@@ -1,0 +1,83 @@
+// Command coyote-asm assembles a RISC-V source file with the built-in
+// assembler and prints a listing (address, word, disassembly) or writes a
+// flat little-endian image.
+//
+//	coyote-asm prog.s                 # listing to stdout
+//	coyote-asm -o prog.bin prog.s     # flat text image
+//	coyote-asm -symbols prog.s        # symbol table
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/coyote-sim/coyote/internal/asm"
+	"github.com/coyote-sim/coyote/internal/riscv"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "write the flat text-section image to this file")
+		symbols = flag.Bool("symbols", false, "print the symbol table")
+		textAt  = flag.Uint64("text-base", 0x8000_0000, "text base address")
+		dataAt  = flag.Uint64("data-base", 0x8010_0000, "data base address")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: coyote-asm [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.AssembleWith(string(src), asm.Options{
+		TextBase: *textAt, DataBase: *dataAt,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, prog.Text, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d text bytes, %d data bytes, entry %#x\n",
+			*out, len(prog.Text), len(prog.Data), prog.Entry)
+		return
+	}
+
+	if *symbols {
+		names := make([]string, 0, len(prog.Symbols))
+		for n := range prog.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return prog.Symbols[names[i]] < prog.Symbols[names[j]]
+		})
+		for _, n := range names {
+			fmt.Printf("%016x %s\n", prog.Symbols[n], n)
+		}
+		return
+	}
+
+	for off := 0; off+4 <= len(prog.Text); off += 4 {
+		word := binary.LittleEndian.Uint32(prog.Text[off:])
+		dis := "?"
+		if in, err := riscv.Decode(word); err == nil {
+			dis = riscv.Disasm(in)
+		}
+		fmt.Printf("%08x:  %08x  %s\n", prog.TextBase+uint64(off), word, dis)
+	}
+	if len(prog.Data) > 0 {
+		fmt.Printf("; data: %d bytes at %#x\n", len(prog.Data), prog.DataBase)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coyote-asm:", err)
+	os.Exit(1)
+}

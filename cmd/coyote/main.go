@@ -1,0 +1,205 @@
+// Command coyote runs a built-in kernel (or a user-supplied bare-metal
+// assembly program) on a configurable simulated system and prints the
+// statistics report — the command-line face of the simulator.
+//
+// Examples:
+//
+//	coyote -kernel matmul-scalar -cores 8 -n 48
+//	coyote -kernel spmv-vector-gather -cores 16 -n 256 -density 0.02 -l2 private
+//	coyote -kernel stencil-vector -cores 4 -trace out   # writes out.prv/.pcf/.row
+//	coyote -list
+//	coyote -config system.json -kernel matmul-vector
+//	coyote -run prog.s -cores 2                         # custom program
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	coyote "github.com/coyote-sim/coyote"
+	"github.com/coyote-sim/coyote/internal/asm"
+	"github.com/coyote-sim/coyote/internal/core"
+	"github.com/coyote-sim/coyote/internal/kernels"
+	"github.com/coyote-sim/coyote/internal/trace"
+	"github.com/coyote-sim/coyote/internal/uncore"
+)
+
+func main() {
+	var (
+		kernel     = flag.String("kernel", "", "built-in kernel to run (see -list)")
+		runFile    = flag.String("run", "", "assemble and run a RISC-V .s file instead of a kernel")
+		list       = flag.Bool("list", false, "list built-in kernels and exit")
+		cores      = flag.Int("cores", 1, "number of simulated cores")
+		n          = flag.Int("n", 64, "problem size")
+		density    = flag.Float64("density", 0.02, "SpMV nonzero density")
+		seed       = flag.Int64("seed", 42, "data generator seed")
+		interleave = flag.Int("interleave", 1, "instructions per core per orchestrator slot (Spike-style interleaving when >1)")
+		l2mode     = flag.String("l2", "shared", "L2 sharing: shared | private")
+		mapping    = flag.String("mapping", "set-interleave", "bank mapping: set-interleave | page-to-bank")
+		nocLat     = flag.Uint64("noc-latency", 0, "override NoC crossbar latency (cycles)")
+		memLat     = flag.Uint64("mem-latency", 0, "override memory latency (cycles)")
+		llc        = flag.Bool("llc", false, "enable the shared last-level cache (Figure 2 third level)")
+		prefetch   = flag.Int("prefetch", 0, "L2 next-line prefetch depth (0 = off)")
+		rowBits    = flag.Uint("row-bits", 0, "enable DRAM row-buffer model with this row size in bits (e.g. 13 = 8 KiB rows)")
+		fastFwd    = flag.Bool("fastforward", false, "skip idle cycles (wall-clock optimisation; timing identical)")
+		mcpu       = flag.Bool("mcpu", false, "offload vector gathers/scatters to the memory-controller CPUs (ACME MCPU path)")
+		configPath = flag.String("config", "", "JSON config file overriding the defaults")
+		tracePfx   = flag.String("trace", "", "write Paraver trace files <prefix>.prv/.pcf/.row")
+		uncoreDump = flag.Bool("uncore", false, "also print the per-unit uncore counters")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range coyote.Kernels() {
+			k, _ := coyote.GetKernel(name)
+			fmt.Printf("%-20s %s\n", name, k.Description)
+		}
+		return
+	}
+
+	cfg := coyote.DefaultConfig(*cores)
+	if *configPath != "" {
+		raw, err := os.ReadFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *configPath, err))
+		}
+		if cfg.Cores == 0 {
+			cfg.Cores = *cores
+		}
+	}
+	cfg.InterleaveQuantum = *interleave
+	switch *l2mode {
+	case "shared":
+		cfg.Uncore.L2Shared = true
+	case "private":
+		cfg.Uncore.L2Shared = false
+	default:
+		fatal(fmt.Errorf("bad -l2 %q", *l2mode))
+	}
+	mp, err := uncore.ParseMapping(*mapping)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Uncore.Mapping = mp
+	if *nocLat != 0 {
+		cfg.Uncore.NoCLatency = *nocLat
+	}
+	if *memLat != 0 {
+		cfg.Uncore.MemLatency = *memLat
+	}
+	cfg.Uncore.LLCEnable = *llc
+	cfg.Uncore.PrefetchDepth = *prefetch
+	cfg.Uncore.MemRowBits = *rowBits
+	cfg.FastForward = *fastFwd
+	cfg.Hart.MCPUOffload = *mcpu
+
+	var sys *core.System
+	var params coyote.Params
+	verify := false
+	switch {
+	case *runFile != "":
+		src, err := os.ReadFile(*runFile)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := asm.Assemble(string(src))
+		if err != nil {
+			fatal(fmt.Errorf("assembling %s: %w", *runFile, err))
+		}
+		sys, err = coyote.NewSystem(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		sys.LoadProgram(prog)
+	case *kernel != "":
+		params = kernels.Params{N: *n, Cores: cfg.Cores, Density: *density, Seed: *seed}
+		sys, err = coyote.PrepareKernel(*kernel, params, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		verify = true
+	default:
+		fmt.Fprintln(os.Stderr, "need -kernel, -run or -list; see -help")
+		os.Exit(2)
+	}
+
+	var tw *trace.Writer
+	if *tracePfx != "" {
+		tw = trace.NewWriter(cfg.Cores)
+		sys.Tracer = tw
+	}
+
+	res, err := sys.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if verify {
+		if err := coyote.VerifyKernel(sys, *kernel, params); err != nil {
+			fatal(fmt.Errorf("verification FAILED: %w", err))
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(res.Report())
+		if verify {
+			fmt.Println("verification     OK")
+		}
+		for i, c := range res.Consoles {
+			if c != "" {
+				fmt.Printf("console[%d]: %s", i, c)
+			}
+		}
+	}
+	if *uncoreDump {
+		fmt.Print(res.UncoreReport())
+	}
+
+	if tw != nil {
+		if err := writeTrace(tw, *tracePfx); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %s.prv (%d events)\n", *tracePfx, tw.Len())
+	}
+}
+
+func writeTrace(tw *trace.Writer, prefix string) error {
+	prv, err := os.Create(prefix + ".prv")
+	if err != nil {
+		return err
+	}
+	defer prv.Close()
+	if err := tw.WritePRV(prv); err != nil {
+		return err
+	}
+	pcf, err := os.Create(prefix + ".pcf")
+	if err != nil {
+		return err
+	}
+	defer pcf.Close()
+	if err := tw.WritePCF(pcf); err != nil {
+		return err
+	}
+	row, err := os.Create(prefix + ".row")
+	if err != nil {
+		return err
+	}
+	defer row.Close()
+	return tw.WriteROW(row)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coyote:", err)
+	os.Exit(1)
+}

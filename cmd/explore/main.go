@@ -1,0 +1,147 @@
+// Command explore runs a design-space-exploration grid: one kernel (or
+// several) against the cross product of memory-system variants, reporting
+// simulated time and the data-movement metrics the paper cares about.
+// This is the "compare disparate design points within reasonable time"
+// workflow of paper §III/§IV as a tool.
+//
+//	explore -kernels spmv-vector-gather -cores 16 -n 2048
+//	explore -kernels matmul-vector,spmv-vector-ell -grid l2,mapping,noc
+//	explore -csv out.csv ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	coyote "github.com/coyote-sim/coyote"
+	"github.com/coyote-sim/coyote/internal/uncore"
+)
+
+// variant is one point of the configuration grid.
+type variant struct {
+	name string
+	mut  func(*coyote.Config)
+}
+
+// axes defines the sweepable dimensions. Each axis contributes its
+// variants multiplicatively when selected via -grid.
+var axes = map[string][]variant{
+	"l2": {
+		{"l2=shared", func(c *coyote.Config) { c.Uncore.L2Shared = true }},
+		{"l2=private", func(c *coyote.Config) { c.Uncore.L2Shared = false }},
+	},
+	"mapping": {
+		{"map=set-il", func(c *coyote.Config) { c.Uncore.Mapping = uncore.SetInterleave }},
+		{"map=page", func(c *coyote.Config) { c.Uncore.Mapping = uncore.PageToBank }},
+	},
+	"noc": {
+		{"noc=2", func(c *coyote.Config) { c.Uncore.NoCLatency = 2 }},
+		{"noc=8", func(c *coyote.Config) { c.Uncore.NoCLatency = 8 }},
+		{"noc=32", func(c *coyote.Config) { c.Uncore.NoCLatency = 32 }},
+	},
+	"llc": {
+		{"llc=off", func(c *coyote.Config) { c.Uncore.LLCEnable = false }},
+		{"llc=on", func(c *coyote.Config) { c.Uncore.LLCEnable = true }},
+	},
+	"prefetch": {
+		{"pf=0", func(c *coyote.Config) { c.Uncore.PrefetchDepth = 0 }},
+		{"pf=4", func(c *coyote.Config) { c.Uncore.PrefetchDepth = 4 }},
+	},
+	"row": {
+		{"row=flat", func(c *coyote.Config) { c.Uncore.MemRowBits = 0 }},
+		{"row=open", func(c *coyote.Config) {
+			c.Uncore.MemRowBits = 13
+			c.Uncore.MemRowHitLat = 40
+		}},
+	},
+	"mcpu": {
+		{"mcpu=off", func(c *coyote.Config) { c.Hart.MCPUOffload = false }},
+		{"mcpu=on", func(c *coyote.Config) { c.Hart.MCPUOffload = true }},
+	},
+}
+
+func main() {
+	var (
+		kernFlag = flag.String("kernels", "spmv-vector-gather", "comma-separated kernels")
+		gridFlag = flag.String("grid", "l2,mapping", "axes to sweep: l2,mapping,noc,llc,prefetch,row,mcpu")
+		cores    = flag.Int("cores", 16, "simulated cores")
+		n        = flag.Int("n", 1024, "problem size")
+		density  = flag.Float64("density", 0.02, "SpMV density")
+		csvPath  = flag.String("csv", "", "also write results as CSV")
+	)
+	flag.Parse()
+
+	var grid []string
+	for _, a := range strings.Split(*gridFlag, ",") {
+		a = strings.TrimSpace(a)
+		if _, ok := axes[a]; !ok {
+			fatal(fmt.Errorf("unknown axis %q (have l2, mapping, noc, llc, prefetch, row, mcpu)", a))
+		}
+		grid = append(grid, a)
+	}
+
+	// Build the cross product of the selected axes.
+	points := []variant{{name: "", mut: func(*coyote.Config) {}}}
+	for _, axis := range grid {
+		var next []variant
+		for _, p := range points {
+			for _, v := range axes[axis] {
+				p, v := p, v
+				name := v.name
+				if p.name != "" {
+					name = p.name + " " + v.name
+				}
+				next = append(next, variant{
+					name: name,
+					mut: func(c *coyote.Config) {
+						p.mut(c)
+						v.mut(c)
+					},
+				})
+			}
+		}
+		points = next
+	}
+
+	fmt.Printf("DSE grid: %d cores, n=%d, %d points per kernel\n\n",
+		*cores, *n, len(points))
+	header := fmt.Sprintf("%-22s %-28s %12s %9s %9s %12s",
+		"kernel", "variant", "simcycles", "L1D miss", "L2 miss", "DRAM bytes")
+	fmt.Println(header)
+	var csv []string
+	csv = append(csv, "kernel,variant,simcycles,l1d_miss_rate,l2_miss_rate,dram_bytes")
+
+	for _, kname := range strings.Split(*kernFlag, ",") {
+		kname = strings.TrimSpace(kname)
+		for _, p := range points {
+			cfg := coyote.DefaultConfig(*cores)
+			p.mut(&cfg)
+			res, err := coyote.RunKernel(kname,
+				coyote.Params{N: *n, Density: *density}, cfg)
+			if err != nil {
+				fatal(fmt.Errorf("%s [%s]: %w", kname, p.name, err))
+			}
+			l2 := res.L2Stats()
+			dram := res.MemTrafficBytes(cfg.Uncore.L2.LineBytes)
+			fmt.Printf("%-22s %-28s %12d %8.2f%% %8.2f%% %12d\n",
+				kname, p.name, res.Cycles,
+				100*res.L1D.MissRate(), 100*l2.MissRate(), dram)
+			csv = append(csv, fmt.Sprintf("%s,%s,%d,%.4f,%.4f,%d",
+				kname, p.name, res.Cycles, res.L1D.MissRate(), l2.MissRate(), dram))
+		}
+		fmt.Println()
+	}
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(strings.Join(csv, "\n")+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "explore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command fig3 regenerates Figure 3 of the paper: aggregate simulation
+// throughput (MIPS) as a function of the simulated core count, for the
+// scalar matmul and scalar SpMV kernels. It also exposes the interleaving
+// ablation discussed alongside the figure (-interleave) and the
+// fast-forward optimisation ablation (-fastforward), and can emit a
+// gnuplot-ready data file.
+//
+// Workloads weak-scale with the core count like the paper's: matmul grows
+// the matrix with the cores (rows per core constant), SpMV grows the row
+// count with a constant number of nonzeros per row.
+//
+//	fig3                        # default sweep 1..128 cores, both kernels
+//	fig3 -cores 1,2,4,8         # custom core counts
+//	fig3 -interleave 8          # Spike-style interleaving enabled
+//	fig3 -repeat 3              # best-of-3 wall-clock per point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	coyote "github.com/coyote-sim/coyote"
+)
+
+type point struct {
+	kernel string
+	cores  int
+	n      int
+	mips   float64
+	cycles uint64
+	instrs uint64
+}
+
+func main() {
+	var (
+		coresFlag   = flag.String("cores", "1,2,4,8,16,32,64,128", "comma-separated core counts")
+		kernFlag    = flag.String("kernels", "matmul-scalar,spmv-scalar", "kernels to sweep")
+		rowsPerCore = flag.Int("rows-per-core", 1, "matmul rows per simulated core (weak scaling)")
+		minN        = flag.Int("min-n", 48, "minimum matmul size")
+		spmvRows    = flag.Int("spmv-rows-per-core", 256, "SpMV rows per simulated core")
+		nnzPerRow   = flag.Int("nnz-per-row", 24, "SpMV nonzeros per row")
+		interleave  = flag.Int("interleave", 1, "interleaving quantum (1 = Coyote default)")
+		fastForward = flag.Bool("fastforward", false, "enable the idle-cycle fast-forward optimisation")
+		repeat      = flag.Int("repeat", 1, "runs per point; best MIPS reported")
+		dataOut     = flag.String("o", "", "also write a gnuplot-style data file")
+	)
+	flag.Parse()
+
+	var cores []int
+	for _, f := range strings.Split(*coresFlag, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c <= 0 {
+			fatal(fmt.Errorf("bad core count %q", f))
+		}
+		cores = append(cores, c)
+	}
+
+	fmt.Printf("# Figure 3: simulation throughput vs simulated cores (interleave=%d fastforward=%v)\n",
+		*interleave, *fastForward)
+	fmt.Printf("%-20s %6s %8s %12s %12s %10s\n",
+		"kernel", "cores", "n", "instructions", "cycles", "MIPS")
+	var fileLines []string
+	fileLines = append(fileLines, "# kernel cores mips")
+
+	for _, kname := range strings.Split(*kernFlag, ",") {
+		kname = strings.TrimSpace(kname)
+		for _, c := range cores {
+			p := point{kernel: kname, cores: c}
+			params := coyote.Params{Cores: c}
+			switch {
+			case strings.HasPrefix(kname, "spmv"):
+				p.n = *spmvRows * c
+				params.N = p.n
+				params.Density = float64(*nnzPerRow) / float64(p.n)
+			default:
+				p.n = c * *rowsPerCore
+				if p.n < *minN {
+					p.n = *minN
+				}
+				params.N = p.n
+			}
+			cfg := coyote.DefaultConfig(c)
+			cfg.InterleaveQuantum = *interleave
+			cfg.FastForward = *fastForward
+			for r := 0; r < *repeat; r++ {
+				res, err := coyote.RunKernel(kname, params, cfg)
+				if err != nil {
+					fatal(fmt.Errorf("%s @ %d cores: %w", kname, c, err))
+				}
+				if m := res.MIPS(); m > p.mips {
+					p.mips = m
+				}
+				p.cycles = res.Cycles
+				p.instrs = res.Instructions
+			}
+			fmt.Printf("%-20s %6d %8d %12d %12d %10.3f\n",
+				p.kernel, p.cores, p.n, p.instrs, p.cycles, p.mips)
+			fileLines = append(fileLines,
+				fmt.Sprintf("%s %d %.4f", p.kernel, p.cores, p.mips))
+		}
+	}
+
+	if *dataOut != "" {
+		if err := os.WriteFile(*dataOut, []byte(strings.Join(fileLines, "\n")+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fig3:", err)
+	os.Exit(1)
+}

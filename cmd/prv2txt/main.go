@@ -1,0 +1,71 @@
+// Command prv2txt decodes a Paraver trace produced by the simulator into
+// readable text, one event per line, optionally filtered by hart.
+//
+//	prv2txt out.prv
+//	prv2txt -hart 3 out.prv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/coyote-sim/coyote/internal/trace"
+)
+
+func main() {
+	hart := flag.Int("hart", -1, "only show events from this hart")
+	summary := flag.Bool("summary", false, "print per-hart event counts only")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: prv2txt [flags] file.prv")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	nHarts, events, err := trace.ParsePRV(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *summary {
+		counts := make(map[int]map[int]int) // hart → type → count
+		for _, e := range events {
+			if counts[e.Hart] == nil {
+				counts[e.Hart] = map[int]int{}
+			}
+			counts[e.Hart][e.Type]++
+		}
+		fmt.Printf("%d harts, %d events\n", nHarts, len(events))
+		for h := 0; h < nHarts; h++ {
+			fmt.Printf("hart %d:", h)
+			for _, typ := range []int{trace.EventL1DMiss, trace.EventL1IMiss,
+				trace.EventStall, trace.EventWakeup} {
+				fmt.Printf(" %s=%d", trace.TypeName(typ), counts[h][typ])
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	for _, e := range events {
+		if *hart >= 0 && e.Hart != *hart {
+			continue
+		}
+		switch e.Type {
+		case trace.EventL1DMiss, trace.EventL1IMiss:
+			fmt.Printf("%12d hart%-3d %-9s line %#x\n", e.Cycle, e.Hart,
+				trace.TypeName(e.Type), e.Value)
+		default:
+			fmt.Printf("%12d hart%-3d %s\n", e.Cycle, e.Hart, trace.TypeName(e.Type))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prv2txt:", err)
+	os.Exit(1)
+}

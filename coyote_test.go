@@ -1,0 +1,125 @@
+package coyote
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicRunKernel(t *testing.T) {
+	cfg := DefaultConfig(4)
+	res, err := RunKernel("axpy-vector", Params{N: 256}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 || res.Cycles == 0 {
+		t.Errorf("empty result: %+v", res)
+	}
+	if res.MIPS() <= 0 {
+		t.Error("MIPS should be positive")
+	}
+}
+
+func TestPublicKernelList(t *testing.T) {
+	names := Kernels()
+	if len(names) < 10 {
+		t.Fatalf("kernels = %v", names)
+	}
+	for _, n := range names {
+		k, err := GetKernel(n)
+		if err != nil || k.Source == "" {
+			t.Errorf("kernel %s broken: %v", n, err)
+		}
+	}
+}
+
+func TestPublicUnknownKernel(t *testing.T) {
+	if _, err := RunKernel("not-a-kernel", Params{}, DefaultConfig(1)); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestPublicCoreMismatch(t *testing.T) {
+	_, err := PrepareKernel("axpy-scalar", Params{N: 64, Cores: 2}, DefaultConfig(4))
+	if err == nil || !strings.Contains(err.Error(), "cores") {
+		t.Errorf("core mismatch not caught: %v", err)
+	}
+}
+
+func TestPublicCustomProgram(t *testing.T) {
+	prog, err := Assemble(`
+	_start:
+		li   t0, 10
+		li   t1, 0
+	loop:
+		add  t1, t1, t0
+		addi t0, t0, -1
+		bnez t0, loop
+		la   a0, result
+		sd   t1, 0(a0)
+		li   a7, 93
+		li   a0, 0
+		ecall
+	.data
+	result: .dword 0
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.LoadProgram(prog)
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Mem.Read64(sys.MustSymbol("result")); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestPublicTraceWriter(t *testing.T) {
+	cfg := DefaultConfig(2)
+	sys, err := PrepareKernel("axpy-scalar", Params{N: 64, Cores: 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := NewTraceWriter(2)
+	sys.Tracer = tw
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Len() == 0 {
+		t.Error("no trace events recorded")
+	}
+	if err := VerifyKernel(sys, "axpy-scalar", Params{N: 64, Cores: 2}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminism: two identical runs must agree cycle-for-cycle — the
+// property that makes trace-based analysis and A/B architecture
+// comparisons meaningful.
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		res, err := RunKernel("spmv-vector-gather",
+			Params{N: 256, Cores: 8, Density: 0.05}, DefaultConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Errorf("nondeterministic: %d/%d vs %d/%d cycles/instrs",
+			a.Cycles, a.Instructions, b.Cycles, b.Instructions)
+	}
+	if a.L1D != b.L1D || a.L2Stats() != b.L2Stats() {
+		t.Error("cache statistics differ between identical runs")
+	}
+	for k, v := range a.UncoreRaw {
+		if b.UncoreRaw[k] != v {
+			t.Errorf("uncore counter %s differs: %d vs %d", k, v, b.UncoreRaw[k])
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package coyote_test
+
+import (
+	"fmt"
+
+	coyote "github.com/coyote-sim/coyote"
+)
+
+// The simplest use: run a built-in kernel on a default system and read
+// the architectural outcome. Simulated results are deterministic, so the
+// output is stable.
+func ExampleRunKernel() {
+	cfg := coyote.DefaultConfig(4)
+	res, err := coyote.RunKernel("axpy-scalar", coyote.Params{N: 256}, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cycles:", res.Cycles)
+	fmt.Println("instructions:", res.Instructions)
+	// Output:
+	// cycles: 4986
+	// instructions: 2608
+}
+
+// Custom bare-metal programs run through the same pipeline: assemble,
+// load, simulate, inspect memory.
+func ExampleAssemble() {
+	prog, err := coyote.Assemble(`
+	_start:
+		li   t0, 6
+		li   t1, 7
+		mul  t2, t0, t1
+		la   a0, answer
+		sd   t2, 0(a0)
+		li   a7, 93
+		li   a0, 0
+		ecall
+	.data
+	answer: .dword 0
+	`)
+	if err != nil {
+		panic(err)
+	}
+	sys, err := coyote.NewSystem(coyote.DefaultConfig(1))
+	if err != nil {
+		panic(err)
+	}
+	sys.LoadProgram(prog)
+	if _, err := sys.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println(sys.Mem.Read64(sys.MustSymbol("answer")))
+	// Output:
+	// 42
+}
+
+// Architecture comparison — the tool's purpose: the same workload under
+// two memory-system configurations, compared in simulated time.
+func ExampleConfig_designSpace() {
+	run := func(nocLatency uint64) uint64 {
+		cfg := coyote.DefaultConfig(8)
+		cfg.Uncore.NoCLatency = nocLatency
+		res, err := coyote.RunKernel("stencil-vector", coyote.Params{N: 96}, cfg)
+		if err != nil {
+			panic(err)
+		}
+		return res.Cycles
+	}
+	fast, slow := run(2), run(64)
+	fmt.Println("slow NoC costs more cycles:", slow > fast)
+	// Output:
+	// slow NoC costs more cycles: true
+}

@@ -1,0 +1,41 @@
+// Quickstart: simulate an 8-core RISC-V system running the vector daxpy
+// kernel, verify the numerical result against the host, and print the
+// statistics report — the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coyote "github.com/coyote-sim/coyote"
+)
+
+func main() {
+	// A DESIGN.md §6 default system: one 8-core tile, 16 KiB L1s, two
+	// shared 256 KiB L2 banks, crossbar NoC, one memory controller.
+	cfg := coyote.DefaultConfig(8)
+
+	// Run y += a*x over 4096 doubles, split across the 8 cores. RunKernel
+	// assembles the kernel from RISC-V source, loads it, generates the
+	// data, simulates until every hart exits, and verifies the result.
+	res, err := coyote.RunKernel("axpy-vector", coyote.Params{N: 4096}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("axpy-vector on 8 simulated cores:")
+	fmt.Print(res.Report())
+
+	// Individual counters are available programmatically too.
+	fmt.Printf("\nvector instructions: %d (%.1f%% of all retired)\n",
+		totalVector(res), 100*float64(totalVector(res))/float64(res.Instructions))
+	fmt.Printf("DRAM traffic: %d bytes\n", res.MemTrafficBytes(64))
+}
+
+func totalVector(res *coyote.Result) uint64 {
+	var n uint64
+	for _, h := range res.HartStats {
+		n += h.VectorOps
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module github.com/coyote-sim/coyote
+
+go 1.22

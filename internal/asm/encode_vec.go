@@ -1,0 +1,356 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/coyote-sim/coyote/internal/riscv"
+)
+
+// encodeVMem handles vector loads/stores:
+//
+//	vle64.v    vd,  (rs1)
+//	vlse64.v   vd,  (rs1), rs2
+//	vluxei64.v vd,  (rs1), vs2
+//	(stores identical with vs3 in the vd slot)
+func encodeVMem(in riscv.Instr, name string, ops []string, syms map[string]uint64) ([]uint32, error) {
+	if len(ops) < 2 {
+		return nil, fmt.Errorf("%s: want at least vreg, (rs1)", name)
+	}
+	var err error
+	if in.Rd, err = vreg(ops[0]); err != nil {
+		return nil, err
+	}
+	off, base, err := parseMemOperand(ops[1], syms)
+	if err != nil {
+		return nil, err
+	}
+	if off != 0 {
+		return nil, fmt.Errorf("%s: vector memory operands take no offset", name)
+	}
+	if in.Rs1, err = xreg(base); err != nil {
+		return nil, err
+	}
+	strided := strings.Contains(name, "vlse") || strings.Contains(name, "vsse")
+	indexed := strings.Contains(name, "xei")
+	switch {
+	case strided:
+		if err := needOps(name, ops, 3); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = xreg(ops[2]); err != nil {
+			return nil, err
+		}
+	case indexed:
+		if err := needOps(name, ops, 3); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = vreg(ops[2]); err != nil {
+			return nil, err
+		}
+	default:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+	}
+	return enc(in)
+}
+
+// encodeVArith handles OP-V arithmetic forms. Canonical operand orders:
+//
+//	vadd.vv  vd, vs2, vs1      vadd.vx vd, vs2, rs1     vadd.vi vd, vs2, imm
+//	vfadd.vf vd, vs2, fs1      vmacc.vv vd, vs1, vs2 (accumulators too)
+//	vmv.v.v vd, vs1            vmv.v.x vd, rs1          vmv.v.i vd, imm
+//	vmv.x.s rd, vs2            vmv.s.x vd, rs1
+//	vfmv.f.s fd, vs2           vfmv.s.f vd, fs1         vfmv.v.f vd, fs1
+//	vid.v vd                   vfsqrt.v vd, vs2
+//	vredsum.vs vd, vs2, vs1
+func encodeVArith(in riscv.Instr, name string, ops []string, syms map[string]uint64) ([]uint32, error) {
+	var err error
+	op := in.Op
+	switch op {
+	case riscv.OpVIDV:
+		if err := needOps(name, ops, 1); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = vreg(ops[0]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpVMVXS:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = xreg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = vreg(ops[1]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpVFMVFS:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = freg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = vreg(ops[1]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpVMVSX:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = vreg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = xreg(ops[1]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpVFMVSF, riscv.OpVFMVVF:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = vreg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = freg(ops[1]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpVMVVV:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = vreg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = vreg(ops[1]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpVMVVX:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = vreg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = xreg(ops[1]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpVMVVI:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = vreg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = evalExpr(ops[1], syms); err != nil {
+			return nil, err
+		}
+		if err := checkRange(name, in.Imm, -16, 15); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpVFSQRTV:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = vreg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = vreg(ops[1]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	}
+
+	// Multiply-accumulate family uses "vd, vs1/rs1, vs2" operand order
+	// (vd is the accumulator); everything else is "vd, vs2, vs1/rs1/imm".
+	macc := false
+	switch op {
+	case riscv.OpVMACCVV, riscv.OpVMACCVX, riscv.OpVFMACCVV,
+		riscv.OpVFMACCVF, riscv.OpVFNMSACVV:
+		macc = true
+	}
+	if err := needOps(name, ops, 3); err != nil {
+		return nil, err
+	}
+	if in.Rd, err = vreg(ops[0]); err != nil {
+		return nil, err
+	}
+	srcIdx := 2
+	if macc {
+		srcIdx = 1
+		if in.Rs2, err = vreg(ops[2]); err != nil {
+			return nil, err
+		}
+	} else {
+		if in.Rs2, err = vreg(ops[1]); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case strings.HasSuffix(name, ".vv") || strings.HasSuffix(name, ".vs"):
+		if in.Rs1, err = vreg(ops[srcIdx]); err != nil {
+			return nil, err
+		}
+	case strings.HasSuffix(name, ".vf"):
+		if in.Rs1, err = freg(ops[srcIdx]); err != nil {
+			return nil, err
+		}
+	case strings.HasSuffix(name, ".vx"):
+		if in.Rs1, err = xreg(ops[srcIdx]); err != nil {
+			return nil, err
+		}
+	case strings.HasSuffix(name, ".vi"):
+		if in.Imm, err = evalExpr(ops[srcIdx], syms); err != nil {
+			return nil, err
+		}
+		if err := checkRange(name, in.Imm, -16, 15); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%s: unrecognised vector form", name)
+	}
+	return enc(in)
+}
+
+// encodeFP handles scalar floating-point instructions.
+func encodeFP(in riscv.Instr, name string, ops []string, syms map[string]uint64) ([]uint32, error) {
+	var err error
+	op := in.Op
+	cls := op.Classify()
+	switch {
+	case cls&riscv.ClassLoad != 0: // flw/fld fd, imm(rs1)
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = freg(ops[0]); err != nil {
+			return nil, err
+		}
+		off, base, err := parseMemOperand(ops[1], syms)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(name, off, -2048, 2047); err != nil {
+			return nil, err
+		}
+		in.Imm = off
+		if in.Rs1, err = xreg(base); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case cls&riscv.ClassStore != 0: // fsw/fsd fs2, imm(rs1)
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = freg(ops[0]); err != nil {
+			return nil, err
+		}
+		off, base, err := parseMemOperand(ops[1], syms)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(name, off, -2048, 2047); err != nil {
+			return nil, err
+		}
+		in.Imm = off
+		if in.Rs1, err = xreg(base); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	}
+
+	switch op {
+	case riscv.OpFMADDS, riscv.OpFMSUBS, riscv.OpFNMSUBS, riscv.OpFNMADDS,
+		riscv.OpFMADDD, riscv.OpFMSUBD, riscv.OpFNMSUBD, riscv.OpFNMADDD:
+		if err := needOps(name, ops, 4); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = freg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = freg(ops[1]); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = freg(ops[2]); err != nil {
+			return nil, err
+		}
+		if in.Rs3, err = freg(ops[3]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpFEQS, riscv.OpFLTS, riscv.OpFLES,
+		riscv.OpFEQD, riscv.OpFLTD, riscv.OpFLED:
+		if err := needOps(name, ops, 3); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = xreg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = freg(ops[1]); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = freg(ops[2]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpFSQRTS, riscv.OpFSQRTD, riscv.OpFCVTSD, riscv.OpFCVTDS:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = freg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = freg(ops[1]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpFCVTWS, riscv.OpFCVTWUS, riscv.OpFCVTLS, riscv.OpFCVTLUS,
+		riscv.OpFCVTWD, riscv.OpFCVTWUD, riscv.OpFCVTLD, riscv.OpFCVTLUD,
+		riscv.OpFMVXW, riscv.OpFMVXD, riscv.OpFCLASSS, riscv.OpFCLASSD:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = xreg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = freg(ops[1]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	case riscv.OpFCVTSW, riscv.OpFCVTSWU, riscv.OpFCVTSL, riscv.OpFCVTSLU,
+		riscv.OpFCVTDW, riscv.OpFCVTDWU, riscv.OpFCVTDL, riscv.OpFCVTDLU,
+		riscv.OpFMVWX, riscv.OpFMVDX:
+		if err := needOps(name, ops, 2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = freg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = xreg(ops[1]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	default: // three-operand FP arithmetic
+		if err := needOps(name, ops, 3); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = freg(ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = freg(ops[1]); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = freg(ops[2]); err != nil {
+			return nil, err
+		}
+		return enc(in)
+	}
+}

@@ -1,0 +1,270 @@
+package asm
+
+import (
+	"fmt"
+
+	"github.com/coyote-sim/coyote/internal/riscv"
+)
+
+// encodePseudo expands the standard RISC-V pseudo-instructions. It returns
+// handled=false for real mnemonics.
+func encodePseudo(name string, ops []string, pc uint64, syms map[string]uint64) ([]uint32, bool, error) {
+	fail := func(err error) ([]uint32, bool, error) { return nil, true, err }
+	done := func(words []uint32, err error) ([]uint32, bool, error) { return words, true, err }
+	re := func(newName string, newOps ...string) ([]uint32, bool, error) {
+		w, err := encodeInstruction(newName, newOps, pc, syms)
+		return w, true, err
+	}
+
+	switch name {
+	case "nop":
+		return re("addi", "zero", "zero", "0")
+	case "mv":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("addi", ops[0], ops[1], "0")
+	case "not":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("xori", ops[0], ops[1], "-1")
+	case "neg":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("sub", ops[0], "zero", ops[1])
+	case "negw":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("subw", ops[0], "zero", ops[1])
+	case "sext.w":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("addiw", ops[0], ops[1], "0")
+	case "seqz":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("sltiu", ops[0], ops[1], "1")
+	case "snez":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("sltu", ops[0], "zero", ops[1])
+	case "sltz":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("slt", ops[0], ops[1], "zero")
+	case "sgtz":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("slt", ops[0], "zero", ops[1])
+
+	case "beqz":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("beq", ops[0], "zero", ops[1])
+	case "bnez":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("bne", ops[0], "zero", ops[1])
+	case "blez":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("bge", "zero", ops[0], ops[1])
+	case "bgez":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("bge", ops[0], "zero", ops[1])
+	case "bltz":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("blt", ops[0], "zero", ops[1])
+	case "bgtz":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("blt", "zero", ops[0], ops[1])
+	case "bgt":
+		if err := needOps(name, ops, 3); err != nil {
+			return fail(err)
+		}
+		return re("blt", ops[1], ops[0], ops[2])
+	case "ble":
+		if err := needOps(name, ops, 3); err != nil {
+			return fail(err)
+		}
+		return re("bge", ops[1], ops[0], ops[2])
+	case "bgtu":
+		if err := needOps(name, ops, 3); err != nil {
+			return fail(err)
+		}
+		return re("bltu", ops[1], ops[0], ops[2])
+	case "bleu":
+		if err := needOps(name, ops, 3); err != nil {
+			return fail(err)
+		}
+		return re("bgeu", ops[1], ops[0], ops[2])
+
+	case "j":
+		if err := needOps(name, ops, 1); err != nil {
+			return fail(err)
+		}
+		return re("jal", "zero", ops[0])
+	case "jr":
+		if err := needOps(name, ops, 1); err != nil {
+			return fail(err)
+		}
+		return re("jalr", "zero", ops[0], "0")
+	case "ret":
+		return re("jalr", "zero", "ra", "0")
+	case "call":
+		if err := needOps(name, ops, 1); err != nil {
+			return fail(err)
+		}
+		return re("jal", "ra", ops[0])
+
+	case "csrr":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("csrrs", ops[0], ops[1], "zero")
+	case "csrw":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("csrrw", "zero", ops[0], ops[1])
+	case "rdcycle":
+		if err := needOps(name, ops, 1); err != nil {
+			return fail(err)
+		}
+		return re("csrrs", ops[0], "cycle", "zero")
+	case "rdinstret":
+		if err := needOps(name, ops, 1); err != nil {
+			return fail(err)
+		}
+		return re("csrrs", ops[0], "instret", "zero")
+
+	case "fmv.s":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("fsgnj.s", ops[0], ops[1], ops[1])
+	case "fmv.d":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("fsgnj.d", ops[0], ops[1], ops[1])
+	case "fneg.s":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("fsgnjn.s", ops[0], ops[1], ops[1])
+	case "fneg.d":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("fsgnjn.d", ops[0], ops[1], ops[1])
+	case "fabs.s":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("fsgnjx.s", ops[0], ops[1], ops[1])
+	case "fabs.d":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		return re("fsgnjx.d", ops[0], ops[1], ops[1])
+
+	case "li":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		rd, err := xreg(ops[0])
+		if err != nil {
+			return fail(err)
+		}
+		v, err := evalExpr(ops[1], syms)
+		if err != nil {
+			return fail(fmt.Errorf("li: %w", err))
+		}
+		var words []uint32
+		for _, in := range expandLI(rd, v) {
+			w, err := riscv.Encode(in)
+			if err != nil {
+				return fail(err)
+			}
+			words = append(words, w)
+		}
+		return done(words, nil)
+
+	case "la":
+		if err := needOps(name, ops, 2); err != nil {
+			return fail(err)
+		}
+		rd, err := xreg(ops[0])
+		if err != nil {
+			return fail(err)
+		}
+		target, err := evalExpr(ops[1], syms)
+		if err != nil {
+			return fail(fmt.Errorf("la: %w", err))
+		}
+		// auipc rd, %pcrel_hi(sym); addi rd, rd, %pcrel_lo(sym)
+		delta := target - int64(pc)
+		lo := delta << 52 >> 52
+		hi := (delta - lo) >> 12
+		if hi < -(1<<19) || hi >= 1<<19 {
+			return fail(fmt.Errorf("la: target %#x out of ±2GiB range from pc %#x", target, pc))
+		}
+		w1, err := riscv.Encode(riscv.Instr{
+			Op: riscv.OpAUIPC, Rd: rd, Imm: hi & 0xfffff, VM: true,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		w2, err := riscv.Encode(riscv.Instr{
+			Op: riscv.OpADDI, Rd: rd, Rs1: rd, Imm: lo, VM: true,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return done([]uint32{w1, w2}, nil)
+	}
+	return nil, false, nil
+}
+
+// instrWords reports how many 32-bit words a statement will occupy; needed
+// by pass 1 for layout before labels are resolved. equs holds .equ
+// constants defined so far (li immediates must be constant expressions).
+func instrWords(name string, ops []string, equs map[string]uint64) (int, error) {
+	switch name {
+	case "li":
+		if len(ops) != 2 {
+			return 0, fmt.Errorf("li: want 2 operands")
+		}
+		rd, err := xreg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		v, err := evalExpr(ops[1], equs)
+		if err != nil {
+			return 0, fmt.Errorf("li: immediate must be a constant known at its point of use: %w", err)
+		}
+		return len(expandLI(rd, v)), nil
+	case "la":
+		return 2, nil
+	default:
+		return 1, nil
+	}
+}

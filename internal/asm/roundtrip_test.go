@@ -1,0 +1,109 @@
+package asm
+
+// Cross-checks the assembler against the disassembler: for random
+// instances of (almost) every opcode, riscv.Disasm output must assemble
+// back to the identical machine word. Control-flow and U-format ops are
+// excluded because their textual operands are symbolic targets, not the
+// raw immediates the disassembler prints.
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/riscv"
+)
+
+// assembleOne assembles a single statement and returns its first word.
+func assembleOne(t *testing.T, src string) (uint32, error) {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		return 0, err
+	}
+	if len(p.Text) < 4 {
+		t.Fatalf("no code for %q", src)
+	}
+	return binary.LittleEndian.Uint32(p.Text), nil
+}
+
+func skipRoundTrip(op riscv.Op) bool {
+	cls := op.Classify()
+	switch {
+	case cls&riscv.ClassBranch != 0:
+		return true // branch targets are labels in assembly
+	case op == riscv.OpLUI, op == riscv.OpAUIPC:
+		return true // Disasm prints hex imm20; assembler accepts it, but
+		// AUIPC rarely appears hand-written — covered by la tests
+	case op == riscv.OpFENCE, op == riscv.OpECALL, op == riscv.OpEBREAK:
+		return false
+	}
+	return false
+}
+
+func TestDisasmAssembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	reg := func() uint8 { return uint8(rng.Intn(32)) }
+	for opInt := 1; ; opInt++ {
+		op := riscv.Op(opInt)
+		if op.String() == "invalid" {
+			break
+		}
+		if skipRoundTrip(op) {
+			continue
+		}
+		for trial := 0; trial < 8; trial++ {
+			in := riscv.Instr{Op: op, VM: true}
+			in.Rd, in.Rs1, in.Rs2, in.Rs3 = reg(), reg(), reg(), reg()
+			cls := op.Classify()
+			switch {
+			case op == riscv.OpJAL:
+				in.Imm = int64(rng.Intn(1024)) &^ 1
+				in.Rd = 0 // Disasm prints "jal zero, off"; both forms parse
+			case op == riscv.OpJALR:
+				in.Imm = int64(rng.Intn(2048) - 1024)
+			case op == riscv.OpSLLI || op == riscv.OpSRLI || op == riscv.OpSRAI:
+				in.Imm = int64(rng.Intn(64))
+			case op == riscv.OpSLLIW || op == riscv.OpSRLIW || op == riscv.OpSRAIW:
+				in.Imm = int64(rng.Intn(32))
+			case cls&riscv.ClassCSR != 0:
+				in.Imm = riscv.CSRMHartID // named CSR survives the trip
+				if op == riscv.OpCSRRWI || op == riscv.OpCSRRSI || op == riscv.OpCSRRCI {
+					in.Rs1 = uint8(rng.Intn(32))
+				}
+			case op == riscv.OpVSETVLI:
+				vt, _ := riscv.EncodeVType(riscv.VType{SEW: 64, LMUL: 2})
+				in.Imm = vt
+			case op == riscv.OpVSETIVLI:
+				vt, _ := riscv.EncodeVType(riscv.VType{SEW: 32, LMUL: 1})
+				in.Imm = vt
+				in.Rs1 = uint8(rng.Intn(32))
+			case op == riscv.OpVADDVI, op == riscv.OpVRSUBVI, op == riscv.OpVANDVI,
+				op == riscv.OpVORVI, op == riscv.OpVXORVI, op == riscv.OpVSLLVI,
+				op == riscv.OpVSRLVI, op == riscv.OpVSRAVI, op == riscv.OpVMSEQVI,
+				op == riscv.OpVMVVI, op == riscv.OpVSLIDEDOWNVI:
+				in.Imm = int64(rng.Intn(31) - 15)
+			default:
+				in.Imm = int64(rng.Intn(2048) - 1024)
+			}
+			// Ops whose encodings fix vs2/vs1 to zero must match that.
+			switch op {
+			case riscv.OpVMVVV, riscv.OpVMVVX, riscv.OpVMVVI,
+				riscv.OpVFMVVF, riscv.OpVMVSX, riscv.OpVFMVSF:
+				in.Rs2 = 0
+			}
+			want, err := riscv.Encode(in)
+			if err != nil {
+				t.Fatalf("%v: encode: %v", op, err)
+			}
+			text := riscv.Disasm(in)
+			got, err := assembleOne(t, text)
+			if err != nil {
+				t.Fatalf("%v: assembling %q: %v", op, text, err)
+			}
+			if got != want {
+				t.Fatalf("%v: %q assembled to %#08x, want %#08x", op, text, got, want)
+			}
+		}
+	}
+}

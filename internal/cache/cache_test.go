@@ -1,0 +1,202 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	return MustNew(Config{SizeBytes: 1024, Ways: 2, LineBytes: 64, WriteBack: true})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{SizeBytes: 1024, Ways: 2, LineBytes: 60},    // non-pow2 line
+		{SizeBytes: 1000, Ways: 2, LineBytes: 64},    // size not divisible
+		{SizeBytes: 3 * 128, Ways: 1, LineBytes: 64}, // non-pow2 sets
+		{SizeBytes: -1, Ways: 1, LineBytes: 64},      // negative
+		{SizeBytes: 1024, Ways: 0, LineBytes: 64},    // zero ways
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+	good := Config{SizeBytes: 16384, Ways: 4, LineBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(%+v) = %v", good, err)
+	}
+	if got := good.Sets(); got != 64 {
+		t.Errorf("Sets() = %d, want 64", got)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if res := c.Access(0x1000, false); res.Hit {
+		t.Error("cold access should miss")
+	}
+	if res := c.Access(0x1000, false); !res.Hit {
+		t.Error("second access should hit")
+	}
+	if res := c.Access(0x103f, false); !res.Hit {
+		t.Error("same line should hit")
+	}
+	if res := c.Access(0x1040, false); res.Hit {
+		t.Error("next line should miss")
+	}
+	if c.Stats.Hits != 2 || c.Stats.Misses != 2 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way cache: three conflicting lines evict the least recently used.
+	c := small()
+	sets := uint64(c.Config().Sets())
+	stride := sets * 64 // same set, different tags
+	a, b, d := uint64(0), stride, 2*stride
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // touch a: b is now LRU
+	c.Access(d, false) // evicts b
+	if !c.Probe(a) {
+		t.Error("a should still be resident")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestDirtyEvictionWriteback(t *testing.T) {
+	c := small()
+	sets := uint64(c.Config().Sets())
+	stride := sets * 64
+	c.Access(0, true) // dirty
+	c.Access(stride, false)
+	res := c.Access(2*stride, false) // evicts line 0 (dirty)
+	if !res.HasWriteback || res.Writeback != 0 {
+		t.Errorf("expected writeback of line 0, got %+v", res)
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats.Writebacks)
+	}
+}
+
+func TestNoWritebackWhenWriteThroughDisabled(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 1024, Ways: 2, LineBytes: 64, WriteBack: false})
+	sets := uint64(c.Config().Sets())
+	stride := sets * 64
+	c.Access(0, true)
+	c.Access(stride, false)
+	res := c.Access(2*stride, false)
+	if res.HasWriteback {
+		t.Error("write-through cache should not emit writebacks")
+	}
+}
+
+func TestFillDoesNotPerturbStats(t *testing.T) {
+	c := small()
+	c.Fill(0x2000)
+	if c.Stats.Hits != 0 || c.Stats.Misses != 0 {
+		t.Errorf("fill changed stats: %+v", c.Stats)
+	}
+	if !c.Probe(0x2000) {
+		t.Error("fill should insert the line")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Access(0x3000, false)
+	if !c.Invalidate(0x3000) {
+		t.Error("invalidate should find the line")
+	}
+	if c.Probe(0x3000) {
+		t.Error("line should be gone")
+	}
+	if c.Invalidate(0x3000) {
+		t.Error("second invalidate should report absence")
+	}
+}
+
+func TestFlushReturnsDirtyLines(t *testing.T) {
+	c := small()
+	c.Access(0x0, true)
+	c.Access(0x1000, false)
+	wbs := c.Flush()
+	if len(wbs) != 1 || wbs[0] != 0 {
+		t.Errorf("Flush() = %v, want [0]", wbs)
+	}
+	if c.Occupancy() != 0 {
+		t.Error("flush should empty the cache")
+	}
+}
+
+// Property: occupancy never exceeds capacity and a just-accessed line is
+// always resident.
+func TestOccupancyBound(t *testing.T) {
+	c := small()
+	capacity := c.Config().Sets() * c.Config().Ways
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			addr := uint64(a)
+			c.Access(addr, a%3 == 0)
+			if !c.Probe(addr) {
+				return false
+			}
+		}
+		return c.Occupancy() <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hits+misses equals the access count.
+func TestStatsConservation(t *testing.T) {
+	c := small()
+	rng := rand.New(rand.NewSource(7))
+	const n = 10000
+	for i := 0; i < n; i++ {
+		c.Access(uint64(rng.Intn(1<<16))&^63, rng.Intn(2) == 0)
+	}
+	if c.Stats.Hits+c.Stats.Misses != n {
+		t.Errorf("hits %d + misses %d != %d", c.Stats.Hits, c.Stats.Misses, n)
+	}
+	if mr := c.Stats.MissRate(); mr < 0 || mr > 1 {
+		t.Errorf("miss rate %f out of range", mr)
+	}
+}
+
+func TestMissRateIdle(t *testing.T) {
+	if (Stats{}).MissRate() != 0 {
+		t.Error("idle miss rate should be 0")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := small()
+	if got := c.LineAddr(0x12345); got != 0x12340 {
+		t.Errorf("LineAddr = %#x", got)
+	}
+	if c.LineBytes() != 64 {
+		t.Errorf("LineBytes = %d", c.LineBytes())
+	}
+}
+
+// Directly-mapped degenerate case: repeated conflicting accesses all miss.
+func TestDirectMappedConflicts(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 512, Ways: 1, LineBytes: 64})
+	stride := uint64(512)
+	for i := 0; i < 10; i++ {
+		if res := c.Access(uint64(i%2)*stride, false); res.Hit {
+			t.Fatalf("access %d unexpectedly hit", i)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+// Cross-layer invariant tests: the counters of adjacent levels must agree
+// with each other — every L1 miss becomes exactly one uncore request, L2
+// misses become memory reads, and so on. These catch lost or duplicated
+// transactions anywhere on the path.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// busyWorkload produces a mix of fetch misses, load/store misses,
+// writebacks and dependency stalls across 4 cores.
+const busyWorkload = `
+_start:
+	csrr t0, mhartid
+	la   a0, data
+	slli t1, t0, 12
+	add  a0, a0, t1      # per-hart 4 KiB region
+	li   t2, 0
+	li   t3, 512
+wloop:
+	slli t4, t2, 3
+	add  t5, a0, t4
+	ld   t6, 0(t5)       # load (often missing)
+	add  t6, t6, t2      # immediate use: RAW stall
+	sd   t6, 0(t5)       # dirty the line
+	addi t2, t2, 1
+	blt  t2, t3, wloop
+	li a7, 93
+	li a0, 0
+	ecall
+.data
+data: .zero 16384
+`
+
+func runBusy(t *testing.T, mut ...func(*Config)) *Result {
+	t.Helper()
+	s := newSystem(t, 4, mut...)
+	s.LoadProgram(mustAsm(t, busyWorkload))
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sumCounter(res *Result, prefix, suffix string) uint64 {
+	var n uint64
+	for k, v := range res.UncoreRaw {
+		if strings.HasPrefix(k, prefix) && strings.HasSuffix(k, suffix) {
+			n += v
+		}
+	}
+	return n
+}
+
+func TestTrafficConservationL1ToL2(t *testing.T) {
+	res := runBusy(t)
+	var l1Misses, l1Writebacks uint64
+	for _, h := range res.HartStats {
+		l1Misses += h.LoadMisses + h.StoreMisses + h.FetchMisses
+		l1Writebacks += h.Writebacks
+	}
+	bankReads := sumCounter(res, "l2bank", ".reads")
+	bankWrites := sumCounter(res, "l2bank", ".writes")
+	// MSHR-full retries re-enter handle() and would double count; the
+	// default config has enough MSHRs that this workload has none.
+	if conflicts := sumCounter(res, "l2bank", ".mshr_conflicts"); conflicts != 0 {
+		t.Fatalf("test premise broken: %d MSHR conflicts", conflicts)
+	}
+	if bankReads != l1Misses {
+		t.Errorf("L2 reads %d != L1 misses %d", bankReads, l1Misses)
+	}
+	if bankWrites != l1Writebacks {
+		t.Errorf("L2 writes %d != L1 writebacks %d", bankWrites, l1Writebacks)
+	}
+}
+
+func TestTrafficConservationL2ToMemory(t *testing.T) {
+	res := runBusy(t)
+	missesIssued := sumCounter(res, "l2bank", ".misses_issued")
+	l2Writebacks := sumCounter(res, "l2bank", ".writebacks")
+	// Every issued L2 miss is one DRAM line read; every L2 writeback plus
+	// every L1 writeback that missed L2 becomes... no: L1 writebacks that
+	// miss in L2 allocate (write-allocate) and issue a read. DRAM writes
+	// come only from L2 dirty evictions.
+	if got := res.MemReads(); got != missesIssued {
+		t.Errorf("DRAM reads %d != L2 misses issued %d", got, missesIssued)
+	}
+	if got := res.MemWrites(); got != l2Writebacks {
+		t.Errorf("DRAM writes %d != L2 writebacks %d", got, l2Writebacks)
+	}
+}
+
+func TestStallCyclesAccounted(t *testing.T) {
+	// Nearly every load misses and is immediately used, so the stalled
+	// time must be a large fraction of total cycles — and bounded by it.
+	res := runBusy(t, func(c *Config) { c.Uncore.MemLatency = 300 })
+	stalls := res.TotalStalls()
+	if stalls == 0 {
+		t.Fatal("no stall cycles recorded")
+	}
+	perHartBound := res.Cycles * uint64(len(res.HartStats))
+	if stalls > perHartBound {
+		t.Errorf("stalls %d exceed cores×cycles %d", stalls, perHartBound)
+	}
+	if float64(stalls) < 0.2*float64(perHartBound) {
+		t.Errorf("memory-bound workload should stall ≥20%% of hart-cycles; got %d/%d",
+			stalls, perHartBound)
+	}
+}
+
+func TestInstructionConservation(t *testing.T) {
+	res := runBusy(t)
+	var sum uint64
+	for _, h := range res.HartStats {
+		sum += h.Instret
+	}
+	if sum != res.Instructions {
+		t.Errorf("per-hart instret sum %d != total %d", sum, res.Instructions)
+	}
+	// Each retired instruction was fetched exactly once through L1I
+	// (hit or miss), so L1I accesses ≥ instructions.
+	if res.L1I.Hits+res.L1I.Misses < res.Instructions {
+		t.Errorf("L1I accesses %d < instructions %d",
+			res.L1I.Hits+res.L1I.Misses, res.Instructions)
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.Uncore.LLCEnable = true
+	cfg.Uncore.PrefetchDepth = 2
+	cfg.InterleaveQuantum = 4
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cores != 16 || !back.Uncore.LLCEnable ||
+		back.Uncore.PrefetchDepth != 2 || back.InterleaveQuantum != 4 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped config invalid: %v", err)
+	}
+}
+
+func TestPrivateL2KeepsTrafficLocal(t *testing.T) {
+	// With tile-private L2, a core's requests never take the remote hop
+	// to another tile's bank (memory-side hops are still remote).
+	run := func(shared bool) (local, remote uint64) {
+		s := newSystem(t, 16, func(c *Config) { c.Uncore.L2Shared = shared })
+		s.LoadProgram(mustAsm(t, busyWorkload))
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		snap := s.Uncore.Snapshot()
+		return snap["noc.local_msgs"], snap["noc.remote_msgs"]
+	}
+	sharedLocal, sharedRemote := run(true)
+	privLocal, privRemote := run(false)
+	if privLocal <= sharedLocal {
+		t.Errorf("private L2 should raise local traffic: %d vs %d", privLocal, sharedLocal)
+	}
+	if privRemote >= sharedRemote {
+		t.Errorf("private L2 should cut remote traffic: %d vs %d", privRemote, sharedRemote)
+	}
+}
+
+func TestVectorBusyAccounting(t *testing.T) {
+	s := newSystem(t, 1)
+	s.LoadProgram(mustAsm(t, `
+	_start:
+		li   a0, 1048576
+		vsetvli t0, a0, e64, m8, ta, ma   # vl = 128 → 8 cycles/op
+		vmv.v.i v8, 1
+		vmv.v.i v16, 2
+		vadd.vv v24, v8, v16
+	`+exitAsm))
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three 8-cycle vector ops: ≥ 21 busy cycles beyond the issue slots.
+	if res.HartStats[0].BusyCycles < 21 {
+		t.Errorf("busy cycles = %d, want ≥ 21", res.HartStats[0].BusyCycles)
+	}
+}
+
+func TestConfigFromJSONFile(t *testing.T) {
+	raw, err := readTestdata("acme64.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("shipped example config invalid: %v", err)
+	}
+	if cfg.Cores != 64 || cfg.Tiles() != 8 || !cfg.Uncore.LLCEnable {
+		t.Errorf("config fields lost: %+v", cfg)
+	}
+	// The config must actually build and run a small workload.
+	cfg.Cores = 8 // shrink for test speed; tiles rederived by Validate
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadProgram(mustAsm(t, "_start:"+exitAsm))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readTestdata(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join("testdata", name))
+}
+
+func TestResetStatsClearsCountersKeepsState(t *testing.T) {
+	s := newSystem(t, 2)
+	s.LoadProgram(mustAsm(t, busyWorkload))
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 {
+		t.Fatal("no work done")
+	}
+	s.ResetStats()
+	for i, h := range s.Harts {
+		if h.Stats.Instret != 0 || h.L1D.Stats.Misses != 0 {
+			t.Errorf("hart %d stats not cleared", i)
+		}
+		if h.L1D.Occupancy() == 0 {
+			t.Errorf("hart %d cache contents should survive a stats reset", i)
+		}
+	}
+	for k, v := range s.Uncore.Snapshot() {
+		if v != 0 {
+			t.Errorf("uncore counter %s = %d after reset", k, v)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/coyote-sim/coyote/internal/asm"
+	"github.com/coyote-sim/coyote/internal/cpu"
+	"github.com/coyote-sim/coyote/internal/evsim"
+	"github.com/coyote-sim/coyote/internal/mem"
+	"github.com/coyote-sim/coyote/internal/uncore"
+)
+
+// TraceKind classifies trace events emitted by the orchestrator.
+type TraceKind int
+
+const (
+	// TraceL1DMiss is a data-cache miss leaving a core.
+	TraceL1DMiss TraceKind = iota
+	// TraceL1IMiss is an instruction-fetch miss.
+	TraceL1IMiss
+	// TraceStallRAW marks a core going inactive on a dependency.
+	TraceStallRAW
+	// TraceWakeup marks a core reactivating after a fill.
+	TraceWakeup
+)
+
+// Tracer receives simulation events; the Paraver writer in internal/trace
+// implements it. Implementations must be cheap: they run inside the
+// simulation loop.
+type Tracer interface {
+	Event(cycle uint64, hart int, kind TraceKind, addr uint64)
+}
+
+// System is one simulated machine instance.
+type System struct {
+	cfg    Config
+	Mem    *mem.Memory
+	Harts  []*cpu.Hart
+	Eng    *evsim.Engine
+	Uncore *uncore.Uncore
+
+	cycle  uint64
+	active []bool
+	halted []bool
+	nDone  int
+
+	// stall bookkeeping: when a core parks, remember why and since when
+	// so the wake-up can credit the full stalled duration to its stats.
+	stallSince []uint64
+	stallFetch []bool
+
+	Tracer Tracer
+
+	prog *asm.Program
+}
+
+// New builds a system from cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:        cfg,
+		Mem:        mem.New(),
+		Eng:        evsim.NewEngine(),
+		active:     make([]bool, cfg.Cores),
+		halted:     make([]bool, cfg.Cores),
+		stallSince: make([]uint64, cfg.Cores),
+		stallFetch: make([]bool, cfg.Cores),
+	}
+	un, err := uncore.New(cfg.Uncore, s.Eng)
+	if err != nil {
+		return nil, err
+	}
+	s.Uncore = un
+	resv := cpu.NewReservations(cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		h, err := cpu.NewHart(i, cfg.Hart, s.Mem, resv)
+		if err != nil {
+			return nil, err
+		}
+		h.CycleFn = func() uint64 { return s.cycle }
+		s.Harts = append(s.Harts, h)
+		s.active[i] = true
+	}
+	return s, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Cycle returns the current simulated cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// LoadProgram installs an assembled image and resets every hart to its
+// entry point with a private stack. All harts run the same binary and
+// differentiate via the mhartid CSR, exactly like Spike's bare-metal
+// multicore mode.
+func (s *System) LoadProgram(p *asm.Program) {
+	p.LoadInto(s.Mem)
+	s.prog = p
+	for i, h := range s.Harts {
+		h.PC = p.Entry
+		h.X[2] = s.cfg.StackTop - uint64(i)*s.cfg.StackSize // sp
+		h.FlushDecodeCache()                                // text may overwrite a previous image
+	}
+}
+
+// Symbol resolves a program symbol; it panics if no program is loaded.
+func (s *System) Symbol(name string) (uint64, bool) {
+	v, ok := s.prog.Symbols[name]
+	return v, ok
+}
+
+// MustSymbol resolves a symbol or panics — for harness code where the
+// symbol is statically known to exist.
+func (s *System) MustSymbol(name string) uint64 {
+	v, ok := s.Symbol(name)
+	if !ok {
+		panic(fmt.Sprintf("core: no symbol %q in loaded program", name))
+	}
+	return v
+}
+
+// tileOf maps a hart to its tile.
+func (s *System) tileOf(hart int) int { return hart / s.cfg.CoresPerTile }
+
+// dispatch drains a hart's memory events into the uncore, wiring
+// completion callbacks that clear scoreboard state and reactivate the
+// core. Events are consumed synchronously, so the hart's buffer is
+// truncated in place and its backing array reused.
+func (s *System) dispatch(h *cpu.Hart) {
+	events := h.Events
+	h.Events = h.Events[:0]
+	for _, ev := range events {
+		if ev.Gather != nil {
+			// MCPU scatter/gather descriptor: one transaction for the
+			// whole indexed access, straight to the memory side.
+			var done func()
+			if ev.HasDest {
+				hart, kind, reg := ev.Hart, ev.Dest, ev.DestReg
+				done = func() {
+					s.Harts[hart].CompleteFill(kind, reg)
+					s.wake(hart)
+				}
+				if s.Tracer != nil && len(ev.Gather) > 0 {
+					s.Tracer.Event(s.cycle, ev.Hart, TraceL1DMiss, ev.Gather[0])
+				}
+			}
+			s.Uncore.SubmitGather(s.tileOf(ev.Hart), ev.Gather, ev.Write, done)
+			continue
+		}
+		req := uncore.Request{
+			Tile:  s.tileOf(ev.Hart),
+			Addr:  ev.Addr,
+			Write: ev.Write,
+		}
+		switch {
+		case ev.Fetch:
+			hart := ev.Hart
+			req.Done = func() {
+				s.Harts[hart].CompleteFetch()
+				s.wake(hart)
+			}
+			if s.Tracer != nil {
+				s.Tracer.Event(s.cycle, ev.Hart, TraceL1IMiss, ev.Addr)
+			}
+		case ev.HasDest:
+			hart, kind, reg := ev.Hart, ev.Dest, ev.DestReg
+			req.Done = func() {
+				s.Harts[hart].CompleteFill(kind, reg)
+				s.wake(hart)
+			}
+			if s.Tracer != nil {
+				s.Tracer.Event(s.cycle, ev.Hart, TraceL1DMiss, ev.Addr)
+			}
+		default:
+			// Writebacks and write-allocate fetches need no completion.
+			if !ev.Write && s.Tracer != nil {
+				s.Tracer.Event(s.cycle, ev.Hart, TraceL1DMiss, ev.Addr)
+			}
+		}
+		s.Uncore.Submit(req)
+	}
+}
+
+func (s *System) wake(hart int) {
+	if !s.active[hart] && !s.halted[hart] {
+		s.active[hart] = true
+		// Credit the cycles the core sat parked (its own Step already
+		// counted the cycle on which it reported the stall).
+		if now := s.Eng.Now(); now > s.stallSince[hart]+1 {
+			s.Harts[hart].AddStallCycles(s.stallFetch[hart], now-s.stallSince[hart]-1)
+		}
+		if s.Tracer != nil {
+			s.Tracer.Event(s.Eng.Now(), hart, TraceWakeup, 0)
+		}
+	}
+}
+
+// ResetStats zeroes every statistic in the system — hart counters, cache
+// counters and uncore unit counters — without touching architectural or
+// cache state. Call it after a warm-up region (e.g. from a custom driver
+// loop) so the final Result covers only the measurement window. The cycle
+// counter keeps running; Result.Cycles still reports the absolute time.
+func (s *System) ResetStats() {
+	for _, h := range s.Harts {
+		h.Stats = cpu.Stats{}
+		h.L1I.ResetStats()
+		h.L1D.ResetStats()
+	}
+	s.Uncore.ResetStats()
+}
+
+// Run simulates until every hart halts, a fault occurs, or MaxCycles is
+// reached.
+func (s *System) Run() (*Result, error) {
+	if s.prog == nil {
+		return nil, fmt.Errorf("core: no program loaded")
+	}
+	start := time.Now()
+	for s.nDone < len(s.Harts) {
+		if s.cycle >= s.cfg.MaxCycles {
+			return nil, fmt.Errorf("core: cycle limit %d reached (deadlock or runaway kernel?)",
+				s.cfg.MaxCycles)
+		}
+		anyRunnable := false
+		for i, h := range s.Harts {
+			if !s.active[i] {
+				continue
+			}
+			if h.BusyUntil() > s.cycle {
+				anyRunnable = true // occupied, but will free itself
+				h.Stats.BusyCycles++
+				continue
+			}
+			for q := 0; q < s.cfg.InterleaveQuantum; q++ {
+				res := h.Step(s.cycle)
+				if len(h.Events) > 0 {
+					s.dispatch(h)
+				}
+				if res == cpu.StepExecuted {
+					anyRunnable = true
+					continue
+				}
+				switch res {
+				case cpu.StepFault:
+					return nil, h.Fault
+				case cpu.StepHalted:
+					if !s.halted[i] {
+						s.halted[i] = true
+						s.active[i] = false
+						s.nDone++
+					}
+				case cpu.StepStalledRAW, cpu.StepStalledFetch:
+					s.active[i] = false
+					s.stallSince[i] = s.cycle
+					s.stallFetch[i] = res == cpu.StepStalledFetch
+					if res == cpu.StepStalledRAW && s.Tracer != nil {
+						s.Tracer.Event(s.cycle, i, TraceStallRAW, 0)
+					}
+				case cpu.StepBusy:
+					anyRunnable = true
+				}
+				break
+			}
+		}
+
+		// Advance the event-driven model to "now", servicing anything due
+		// this cycle (paper: "the Orchestrator checks if Sparta has any
+		// in-flight events for the current cycle").
+		s.Eng.AdvanceTo(s.cycle)
+		s.cycle++
+
+		if anyRunnable {
+			continue
+		}
+		// Completions processed by AdvanceTo above may have reactivated a
+		// core after anyRunnable was computed.
+		for i := range s.active {
+			if s.active[i] && !s.halted[i] {
+				anyRunnable = true
+				break
+			}
+		}
+		if anyRunnable {
+			continue
+		}
+		// Every core is stalled or halted. Find the next moment anything
+		// can change: the earliest pending event or vector-busy release.
+		next, ok := s.Eng.NextEventTime()
+		if !ok {
+			next = ^uint64(0)
+		}
+		for i, h := range s.Harts {
+			if s.active[i] && h.BusyUntil() > s.cycle && h.BusyUntil() < next {
+				next = h.BusyUntil()
+			}
+		}
+		if next == ^uint64(0) {
+			if s.nDone == len(s.Harts) {
+				break
+			}
+			return nil, fmt.Errorf(
+				"core: deadlock at cycle %d: %d/%d harts halted, none runnable, no pending events",
+				s.cycle, s.nDone, len(s.Harts))
+		}
+		if !s.cfg.FastForward {
+			// Coyote mode: tick every idle cycle (this is the wall-clock
+			// cost that bottlenecks low core counts in Figure 3).
+			continue
+		}
+		// Fast-forward: jump the clock to the next event time. The loop
+		// top keeps the canonical step-then-advance order, so completions
+		// still wake cores for the *following* cycle, exactly as when
+		// ticking cycle by cycle. Statistics count the skipped cycles.
+		if next > s.cycle {
+			s.cycle = next
+		}
+	}
+	s.Eng.Drain()
+	return s.collect(time.Since(start)), nil
+}

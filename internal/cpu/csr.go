@@ -1,0 +1,77 @@
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/coyote-sim/coyote/internal/riscv"
+)
+
+// readCSR returns the current value of a CSR.
+func (h *Hart) readCSR(addr uint16) uint64 {
+	switch addr {
+	case riscv.CSRMHartID:
+		return uint64(h.ID)
+	case riscv.CSRCycle, riscv.CSRTime:
+		if h.CycleFn != nil {
+			return h.CycleFn()
+		}
+		return 0
+	case riscv.CSRInstret:
+		return h.Stats.Instret
+	case riscv.CSRVL:
+		return h.VL
+	case riscv.CSRVType:
+		return h.vtypeRaw
+	case riscv.CSRVLenB:
+		return uint64(h.VLenB)
+	case riscv.CSRVStart:
+		return 0
+	default:
+		return h.csr[addr]
+	}
+}
+
+// writeCSR updates a CSR; read-only CSRs silently ignore writes (matching
+// the permissive bare-metal behaviour the kernels rely on).
+func (h *Hart) writeCSR(addr uint16, v uint64) {
+	switch addr {
+	case riscv.CSRMHartID, riscv.CSRCycle, riscv.CSRTime, riscv.CSRInstret,
+		riscv.CSRVL, riscv.CSRVType, riscv.CSRVLenB:
+		// read-only in this model
+	default:
+		h.csr[addr] = v
+	}
+}
+
+// executeCSR handles the six Zicsr instructions.
+func (h *Hart) executeCSR(in riscv.Instr) StepResult {
+	addr := uint16(in.Imm)
+	old := h.readCSR(addr)
+	var src uint64
+	imm := false
+	switch in.Op {
+	case riscv.OpCSRRWI, riscv.OpCSRRSI, riscv.OpCSRRCI:
+		src = uint64(in.Rs1)
+		imm = true
+	default:
+		src = h.X[in.Rs1]
+	}
+	switch in.Op {
+	case riscv.OpCSRRW, riscv.OpCSRRWI:
+		h.writeCSR(addr, src)
+	case riscv.OpCSRRS, riscv.OpCSRRSI:
+		if (imm && in.Rs1 != 0) || (!imm && in.Rs1 != 0) {
+			h.writeCSR(addr, old|src)
+		}
+	case riscv.OpCSRRC, riscv.OpCSRRCI:
+		if (imm && in.Rs1 != 0) || (!imm && in.Rs1 != 0) {
+			h.writeCSR(addr, old&^src)
+		}
+	default:
+		h.Fault = fmt.Errorf("hart %d: bad CSR op %v", h.ID, in.Op)
+		h.Halted = true
+		return StepFault
+	}
+	h.setX(in.Rd, old)
+	return StepExecuted
+}

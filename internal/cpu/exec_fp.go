@@ -1,0 +1,348 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/coyote-sim/coyote/internal/riscv"
+)
+
+// F registers hold raw IEEE-754 bit patterns. Single-precision values are
+// NaN-boxed per the RISC-V spec: the upper 32 bits are all ones.
+
+const nanBoxMask = 0xffffffff00000000
+
+func (h *Hart) setF32(r uint8, v float32) {
+	h.F[r] = nanBoxMask | uint64(math.Float32bits(v))
+}
+
+func (h *Hart) getF32(r uint8) float32 {
+	bitsv := h.F[r]
+	if bitsv&nanBoxMask != nanBoxMask {
+		// Improperly boxed: the spec says treat as canonical NaN.
+		return float32(math.NaN())
+	}
+	return math.Float32frombits(uint32(bitsv))
+}
+
+func (h *Hart) setF64(r uint8, v float64) { h.F[r] = math.Float64bits(v) }
+func (h *Hart) getF64(r uint8) float64    { return math.Float64frombits(h.F[r]) }
+
+// executeFP handles F and D extension instructions.
+func (h *Hart) executeFP(in riscv.Instr) StepResult {
+	x := &h.X
+	switch in.Op {
+	// ----- loads/stores -----
+	case riscv.OpFLW:
+		a := x[in.Rs1] + uint64(in.Imm)
+		h.F[in.Rd] = nanBoxMask | uint64(h.Mem.Read32(a))
+		h.scalarLoadAccess(a, RegF, in.Rd)
+	case riscv.OpFLD:
+		a := x[in.Rs1] + uint64(in.Imm)
+		h.F[in.Rd] = h.Mem.Read64(a)
+		h.scalarLoadAccess(a, RegF, in.Rd)
+	case riscv.OpFSW:
+		a := x[in.Rs1] + uint64(in.Imm)
+		h.Mem.Write32(a, uint32(h.F[in.Rs2]))
+		h.scalarStoreAccess(a)
+	case riscv.OpFSD:
+		a := x[in.Rs1] + uint64(in.Imm)
+		h.Mem.Write64(a, h.F[in.Rs2])
+		h.scalarStoreAccess(a)
+
+	// ----- single precision arithmetic -----
+	case riscv.OpFADDS:
+		h.setF32(in.Rd, h.getF32(in.Rs1)+h.getF32(in.Rs2))
+	case riscv.OpFSUBS:
+		h.setF32(in.Rd, h.getF32(in.Rs1)-h.getF32(in.Rs2))
+	case riscv.OpFMULS:
+		h.setF32(in.Rd, h.getF32(in.Rs1)*h.getF32(in.Rs2))
+	case riscv.OpFDIVS:
+		h.setF32(in.Rd, h.getF32(in.Rs1)/h.getF32(in.Rs2))
+	case riscv.OpFSQRTS:
+		h.setF32(in.Rd, float32(math.Sqrt(float64(h.getF32(in.Rs1)))))
+	case riscv.OpFMINS:
+		h.setF32(in.Rd, fmin32(h.getF32(in.Rs1), h.getF32(in.Rs2)))
+	case riscv.OpFMAXS:
+		h.setF32(in.Rd, fmax32(h.getF32(in.Rs1), h.getF32(in.Rs2)))
+	case riscv.OpFMADDS:
+		h.setF32(in.Rd, fmaf32(h.getF32(in.Rs1), h.getF32(in.Rs2), h.getF32(in.Rs3)))
+	case riscv.OpFMSUBS:
+		h.setF32(in.Rd, fmaf32(h.getF32(in.Rs1), h.getF32(in.Rs2), -h.getF32(in.Rs3)))
+	case riscv.OpFNMSUBS:
+		h.setF32(in.Rd, fmaf32(-h.getF32(in.Rs1), h.getF32(in.Rs2), h.getF32(in.Rs3)))
+	case riscv.OpFNMADDS:
+		h.setF32(in.Rd, fmaf32(-h.getF32(in.Rs1), h.getF32(in.Rs2), -h.getF32(in.Rs3)))
+
+	// ----- double precision arithmetic -----
+	case riscv.OpFADDD:
+		h.setF64(in.Rd, h.getF64(in.Rs1)+h.getF64(in.Rs2))
+	case riscv.OpFSUBD:
+		h.setF64(in.Rd, h.getF64(in.Rs1)-h.getF64(in.Rs2))
+	case riscv.OpFMULD:
+		h.setF64(in.Rd, h.getF64(in.Rs1)*h.getF64(in.Rs2))
+	case riscv.OpFDIVD:
+		h.setF64(in.Rd, h.getF64(in.Rs1)/h.getF64(in.Rs2))
+	case riscv.OpFSQRTD:
+		h.setF64(in.Rd, math.Sqrt(h.getF64(in.Rs1)))
+	case riscv.OpFMIND:
+		h.setF64(in.Rd, fmin64(h.getF64(in.Rs1), h.getF64(in.Rs2)))
+	case riscv.OpFMAXD:
+		h.setF64(in.Rd, fmax64(h.getF64(in.Rs1), h.getF64(in.Rs2)))
+	case riscv.OpFMADDD:
+		h.setF64(in.Rd, math.FMA(h.getF64(in.Rs1), h.getF64(in.Rs2), h.getF64(in.Rs3)))
+	case riscv.OpFMSUBD:
+		h.setF64(in.Rd, math.FMA(h.getF64(in.Rs1), h.getF64(in.Rs2), -h.getF64(in.Rs3)))
+	case riscv.OpFNMSUBD:
+		h.setF64(in.Rd, math.FMA(-h.getF64(in.Rs1), h.getF64(in.Rs2), h.getF64(in.Rs3)))
+	case riscv.OpFNMADDD:
+		h.setF64(in.Rd, math.FMA(-h.getF64(in.Rs1), h.getF64(in.Rs2), -h.getF64(in.Rs3)))
+
+	// ----- sign injection -----
+	case riscv.OpFSGNJS:
+		h.setF32(in.Rd, sgnj32(h.getF32(in.Rs1), h.getF32(in.Rs2), false, false))
+	case riscv.OpFSGNJNS:
+		h.setF32(in.Rd, sgnj32(h.getF32(in.Rs1), h.getF32(in.Rs2), true, false))
+	case riscv.OpFSGNJXS:
+		h.setF32(in.Rd, sgnj32(h.getF32(in.Rs1), h.getF32(in.Rs2), false, true))
+	case riscv.OpFSGNJD:
+		h.setF64(in.Rd, sgnj64(h.getF64(in.Rs1), h.getF64(in.Rs2), false, false))
+	case riscv.OpFSGNJND:
+		h.setF64(in.Rd, sgnj64(h.getF64(in.Rs1), h.getF64(in.Rs2), true, false))
+	case riscv.OpFSGNJXD:
+		h.setF64(in.Rd, sgnj64(h.getF64(in.Rs1), h.getF64(in.Rs2), false, true))
+
+	// ----- comparisons -----
+	case riscv.OpFEQS:
+		h.setX(in.Rd, b2u(h.getF32(in.Rs1) == h.getF32(in.Rs2)))
+	case riscv.OpFLTS:
+		h.setX(in.Rd, b2u(h.getF32(in.Rs1) < h.getF32(in.Rs2)))
+	case riscv.OpFLES:
+		h.setX(in.Rd, b2u(h.getF32(in.Rs1) <= h.getF32(in.Rs2)))
+	case riscv.OpFEQD:
+		h.setX(in.Rd, b2u(h.getF64(in.Rs1) == h.getF64(in.Rs2)))
+	case riscv.OpFLTD:
+		h.setX(in.Rd, b2u(h.getF64(in.Rs1) < h.getF64(in.Rs2)))
+	case riscv.OpFLED:
+		h.setX(in.Rd, b2u(h.getF64(in.Rs1) <= h.getF64(in.Rs2)))
+
+	// ----- conversions -----
+	case riscv.OpFCVTWS:
+		h.setX(in.Rd, sext32(uint32(satI32(float64(h.getF32(in.Rs1))))))
+	case riscv.OpFCVTWUS:
+		h.setX(in.Rd, sext32(satU32(float64(h.getF32(in.Rs1)))))
+	case riscv.OpFCVTLS:
+		h.setX(in.Rd, uint64(satI64(float64(h.getF32(in.Rs1)))))
+	case riscv.OpFCVTLUS:
+		h.setX(in.Rd, satU64(float64(h.getF32(in.Rs1))))
+	case riscv.OpFCVTSW:
+		h.setF32(in.Rd, float32(int32(x[in.Rs1])))
+	case riscv.OpFCVTSWU:
+		h.setF32(in.Rd, float32(uint32(x[in.Rs1])))
+	case riscv.OpFCVTSL:
+		h.setF32(in.Rd, float32(int64(x[in.Rs1])))
+	case riscv.OpFCVTSLU:
+		h.setF32(in.Rd, float32(x[in.Rs1]))
+	case riscv.OpFCVTWD:
+		h.setX(in.Rd, sext32(uint32(satI32(h.getF64(in.Rs1)))))
+	case riscv.OpFCVTWUD:
+		h.setX(in.Rd, sext32(satU32(h.getF64(in.Rs1))))
+	case riscv.OpFCVTLD:
+		h.setX(in.Rd, uint64(satI64(h.getF64(in.Rs1))))
+	case riscv.OpFCVTLUD:
+		h.setX(in.Rd, satU64(h.getF64(in.Rs1)))
+	case riscv.OpFCVTDW:
+		h.setF64(in.Rd, float64(int32(x[in.Rs1])))
+	case riscv.OpFCVTDWU:
+		h.setF64(in.Rd, float64(uint32(x[in.Rs1])))
+	case riscv.OpFCVTDL:
+		h.setF64(in.Rd, float64(int64(x[in.Rs1])))
+	case riscv.OpFCVTDLU:
+		h.setF64(in.Rd, float64(x[in.Rs1]))
+	case riscv.OpFCVTSD:
+		h.setF32(in.Rd, float32(h.getF64(in.Rs1)))
+	case riscv.OpFCVTDS:
+		h.setF64(in.Rd, float64(h.getF32(in.Rs1)))
+
+	// ----- moves & classification -----
+	case riscv.OpFMVXW:
+		h.setX(in.Rd, sext32(uint32(h.F[in.Rs1])))
+	case riscv.OpFMVWX:
+		h.F[in.Rd] = nanBoxMask | uint64(uint32(x[in.Rs1]))
+	case riscv.OpFMVXD:
+		h.setX(in.Rd, h.F[in.Rs1])
+	case riscv.OpFMVDX:
+		h.F[in.Rd] = x[in.Rs1]
+	case riscv.OpFCLASSS:
+		h.setX(in.Rd, fclass(float64(h.getF32(in.Rs1)), uint32(h.F[in.Rs1])&0x7fffff != 0 && uint32(h.F[in.Rs1])>>23&0xff == 0))
+	case riscv.OpFCLASSD:
+		h.setX(in.Rd, fclass(h.getF64(in.Rs1), h.F[in.Rs1]&(1<<52-1) != 0 && h.F[in.Rs1]>>52&0x7ff == 0))
+
+	default:
+		h.Fault = fmt.Errorf("hart %d: pc=%#x: unimplemented FP op %v", h.ID, h.PC, in.Op)
+		h.Halted = true
+		return StepFault
+	}
+	return StepExecuted
+}
+
+// fmaf32 computes a*b+c with a single rounding, as the hardware would.
+func fmaf32(a, b, c float32) float32 {
+	return float32(math.FMA(float64(a), float64(b), float64(c)))
+}
+
+func fmin32(a, b float32) float32 {
+	switch {
+	case a != a:
+		return b
+	case b != b:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+func fmax32(a, b float32) float32 {
+	switch {
+	case a != a:
+		return b
+	case b != b:
+		return a
+	case a > b:
+		return a
+	default:
+		return b
+	}
+}
+
+func fmin64(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a):
+		return b
+	case math.IsNaN(b):
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+func fmax64(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a):
+		return b
+	case math.IsNaN(b):
+		return a
+	case a > b:
+		return a
+	default:
+		return b
+	}
+}
+
+func sgnj32(a, b float32, negate, xorSign bool) float32 {
+	ab := math.Float32bits(a)
+	bb := math.Float32bits(b)
+	sign := bb & (1 << 31)
+	if negate {
+		sign ^= 1 << 31
+	}
+	if xorSign {
+		sign = (ab ^ bb) & (1 << 31)
+	}
+	return math.Float32frombits(ab&^(1<<31) | sign)
+}
+
+func sgnj64(a, b float64, negate, xorSign bool) float64 {
+	ab := math.Float64bits(a)
+	bb := math.Float64bits(b)
+	sign := bb & (1 << 63)
+	if negate {
+		sign ^= 1 << 63
+	}
+	if xorSign {
+		sign = (ab ^ bb) & (1 << 63)
+	}
+	return math.Float64frombits(ab&^(1<<63) | sign)
+}
+
+// Saturating conversions per the RISC-V spec (NaN → max positive).
+
+func satI32(v float64) int32 {
+	switch {
+	case math.IsNaN(v):
+		return math.MaxInt32
+	case v >= math.MaxInt32:
+		return math.MaxInt32
+	case v <= math.MinInt32:
+		return math.MinInt32
+	default:
+		return int32(v)
+	}
+}
+
+func satU32(v float64) uint32 {
+	switch {
+	case math.IsNaN(v):
+		return math.MaxUint32
+	case v >= math.MaxUint32:
+		return math.MaxUint32
+	case v <= 0:
+		return 0
+	default:
+		return uint32(v)
+	}
+}
+
+func satI64(v float64) int64 {
+	switch {
+	case math.IsNaN(v):
+		return math.MaxInt64
+	case v >= math.MaxInt64:
+		return math.MaxInt64
+	case v <= math.MinInt64:
+		return math.MinInt64
+	default:
+		return int64(v)
+	}
+}
+
+func satU64(v float64) uint64 {
+	switch {
+	case math.IsNaN(v):
+		return math.MaxUint64
+	case v >= math.MaxUint64:
+		return math.MaxUint64
+	case v <= 0:
+		return 0
+	default:
+		return uint64(v)
+	}
+}
+
+// fclass implements the FCLASS bit encoding.
+func fclass(v float64, subnormal bool) uint64 {
+	switch {
+	case math.IsInf(v, -1):
+		return 1 << 0
+	case math.IsInf(v, 1):
+		return 1 << 7
+	case math.IsNaN(v):
+		return 1 << 9 // quiet NaN (we do not distinguish signalling)
+	case v == 0 && math.Signbit(v):
+		return 1 << 3
+	case v == 0:
+		return 1 << 4
+	case subnormal && math.Signbit(v):
+		return 1 << 2
+	case subnormal:
+		return 1 << 5
+	case math.Signbit(v):
+		return 1 << 1
+	default:
+		return 1 << 6
+	}
+}

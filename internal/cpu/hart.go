@@ -1,0 +1,485 @@
+// Package cpu implements the functional RISC-V hart model — the role Spike
+// plays inside Coyote. A Hart executes one instruction per Step against the
+// shared functional memory and models its private L1 instruction and data
+// caches; L1 misses are surfaced to the orchestrator as MemEvents to be
+// injected into the event-driven uncore. Loads that miss mark their
+// destination registers *pending*; the hart keeps executing until an
+// instruction names a pending register (RAW/WAW), at which point Step
+// reports a stall and the orchestrator deactivates the core until the miss
+// completes (paper §III-A).
+package cpu
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/coyote-sim/coyote/internal/cache"
+	"github.com/coyote-sim/coyote/internal/mem"
+	"github.com/coyote-sim/coyote/internal/riscv"
+)
+
+// RegKind selects one of the three architectural register files.
+type RegKind uint8
+
+const (
+	RegX RegKind = iota
+	RegF
+	RegV
+	regKinds
+)
+
+// MemEvent is an L1 miss or writeback that must be serviced by the uncore.
+type MemEvent struct {
+	Hart    int
+	Addr    uint64 // line base address
+	Write   bool   // true for stores/writebacks (no completion needed)
+	Fetch   bool   // instruction-fetch miss
+	Dest    RegKind
+	DestReg uint8
+	HasDest bool // completion must call Hart.CompleteFill(Dest, DestReg)
+
+	// Gather, when non-nil, is an MCPU scatter/gather descriptor (the
+	// paper's §I memory-controller CPUs): the element addresses of one
+	// indexed vector access, bypassing the cache hierarchy. Addr is
+	// unused; one completion covers the whole descriptor.
+	Gather []uint64
+}
+
+// StepResult reports what happened during one Step.
+type StepResult uint8
+
+const (
+	// StepExecuted: one instruction retired.
+	StepExecuted StepResult = iota
+	// StepStalledRAW: instruction names a register with a pending fill.
+	StepStalledRAW
+	// StepStalledFetch: instruction fetch missed L1I; waiting for the line.
+	StepStalledFetch
+	// StepBusy: a multi-cycle (vector) instruction still occupies the core.
+	StepBusy
+	// StepHalted: the hart has exited.
+	StepHalted
+	// StepFault: illegal instruction or trap; hart is halted with an error.
+	StepFault
+)
+
+// Config holds per-hart model parameters.
+type Config struct {
+	VLenBits    uint // vector register length in bits (power of two ≥ 64)
+	VectorLanes uint // parallel lanes; a vector op occupies ceil(vl/lanes) cycles
+	L1I, L1D    cache.Config
+
+	// MCPUOffload routes indexed (gather/scatter) vector accesses to the
+	// memory-controller CPUs as single descriptors instead of per-element
+	// cache transactions — the ACME architecture's aggregate-semantics
+	// memory path (paper §I).
+	MCPUOffload bool
+}
+
+// DefaultConfig mirrors the ACME VAS tile core: 16-lane VPU and 16 KiB L1s.
+func DefaultConfig() Config {
+	return Config{
+		VLenBits:    1024,
+		VectorLanes: 16,
+		L1I:         cache.Config{SizeBytes: 16 << 10, Ways: 4, LineBytes: 64},
+		L1D:         cache.Config{SizeBytes: 16 << 10, Ways: 4, LineBytes: 64, WriteBack: true},
+	}
+}
+
+// Stats counts per-hart execution events.
+type Stats struct {
+	Instret      uint64 // instructions retired
+	VectorOps    uint64
+	StallsRAW    uint64 // cycles lost to pending-register dependencies
+	StallsFetch  uint64 // cycles lost waiting on L1I fills
+	BusyCycles   uint64 // extra cycles occupied by multi-cycle vector ops
+	LoadMisses   uint64
+	StoreMisses  uint64
+	FetchMisses  uint64
+	Writebacks   uint64
+	ElemAccesses uint64 // vector element memory accesses
+}
+
+// Reservations tracks LR/SC reservations across harts; any store to a
+// reserved line (by any hart) invalidates the reservation.
+type Reservations struct {
+	line  []uint64
+	valid []bool
+}
+
+// NewReservations sizes the set for n harts.
+func NewReservations(n int) *Reservations {
+	return &Reservations{line: make([]uint64, n), valid: make([]bool, n)}
+}
+
+func (r *Reservations) set(hart int, line uint64) {
+	r.line[hart] = line
+	r.valid[hart] = true
+}
+
+func (r *Reservations) check(hart int, line uint64) bool {
+	ok := r.valid[hart] && r.line[hart] == line
+	r.valid[hart] = false // SC always clears the reservation
+	return ok
+}
+
+// invalidateStores drops every reservation matching a stored-to line,
+// except the storing hart's own (its SC consumed it already).
+func (r *Reservations) invalidateStores(storer int, line uint64) {
+	for i := range r.valid {
+		if i != storer && r.valid[i] && r.line[i] == line {
+			r.valid[i] = false
+		}
+	}
+}
+
+// Hart is one simulated RISC-V core: architectural state + L1 models.
+type Hart struct {
+	ID int
+
+	PC uint64
+	X  [32]uint64
+	F  [32]uint64 // raw IEEE bits; singles are NaN-boxed
+
+	// Vector state. V is the flat register file: 32 registers of VLenB
+	// bytes each; register groups (LMUL>1) are contiguous slices of it.
+	V        []byte
+	VLenB    uint
+	VL       uint64
+	VType    riscv.VType
+	vtypeRaw uint64
+	lanes    uint
+
+	Mem      *mem.Memory
+	L1I, L1D *cache.Cache
+	resv     *Reservations
+
+	mcpuOffload bool
+
+	// Pending-register scoreboard: bit set while ≥1 fill is outstanding.
+	pending      [regKinds]uint32
+	pendingCount [regKinds][32]uint16
+	fetchPending bool
+
+	Halted   bool
+	ExitCode uint64
+	Fault    error
+
+	busyUntil uint64 // absolute cycle until which the core is occupied
+
+	// Events produced by the last Step; the orchestrator drains this.
+	Events []MemEvent
+
+	Console bytes.Buffer // bytes written via the write "syscall"
+
+	Stats Stats
+
+	// stepCache is a direct-mapped decoded-instruction cache indexed by
+	// PC: it holds the decoded form and the precomputed register-usage
+	// masks, avoiding per-step decode and dependency analysis (the same
+	// trick Spike's instruction cache plays). Self-modifying code is not
+	// supported, matching Spike's bare-metal assumptions.
+	stepCache []stepEntry
+
+	// lastFetchLine short-circuits the L1I tag lookup for straight-line
+	// fetches from the same cache line.
+	lastFetchLine  uint64
+	lastFetchValid bool
+
+	// scratch buffers reused across steps to avoid allocation
+	lineScratch []uint64
+	oneAddr     [1]uint64
+	addrScratch []uint64
+
+	// CSR backing store for CSRs without dedicated fields.
+	csr map[uint16]uint64
+
+	// CycleFn lets the orchestrator expose the global cycle counter via
+	// the cycle/time CSRs. Optional.
+	CycleFn func() uint64
+}
+
+// NewHart builds a hart with the given ID and config, wired to shared
+// functional memory and a shared reservation set (may be nil for
+// single-hart use).
+func NewHart(id int, cfg Config, m *mem.Memory, resv *Reservations) (*Hart, error) {
+	if cfg.VLenBits < 64 || cfg.VLenBits&(cfg.VLenBits-1) != 0 {
+		return nil, fmt.Errorf("cpu: VLenBits %d must be a power of two ≥ 64", cfg.VLenBits)
+	}
+	if cfg.VectorLanes == 0 {
+		return nil, fmt.Errorf("cpu: VectorLanes must be positive")
+	}
+	l1i, err := cache.New(cfg.L1I)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: L1I: %w", err)
+	}
+	l1d, err := cache.New(cfg.L1D)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: L1D: %w", err)
+	}
+	if resv == nil {
+		resv = NewReservations(id + 1)
+	}
+	h := &Hart{
+		ID:          id,
+		V:           make([]byte, 32*cfg.VLenBits/8),
+		VLenB:       cfg.VLenBits / 8,
+		lanes:       cfg.VectorLanes,
+		Mem:         m,
+		L1I:         l1i,
+		L1D:         l1d,
+		resv:        resv,
+		mcpuOffload: cfg.MCPUOffload,
+		stepCache:   make([]stepEntry, stepCacheSize),
+		csr:         make(map[uint16]uint64),
+	}
+	return h, nil
+}
+
+// stepEntry is one slot of the decoded-instruction cache.
+type stepEntry struct {
+	pc    uint64
+	in    riscv.Instr
+	use   riscv.RegUse
+	lmul  uint8
+	valid bool
+}
+
+const stepCacheSize = 512 // 2 KiB window of straight-line code (kernels are far smaller)
+
+// BusyUntil returns the cycle at which a multi-cycle vector instruction
+// releases the core (0 when idle). The orchestrator uses it to fast-forward.
+func (h *Hart) BusyUntil() uint64 { return h.busyUntil }
+
+// FlushDecodeCache invalidates the decoded-instruction cache and fetch
+// fast path. Required after program memory changes (e.g. loading a new
+// binary over an old one); ordinary kernels never need it.
+func (h *Hart) FlushDecodeCache() {
+	for i := range h.stepCache {
+		h.stepCache[i].valid = false
+	}
+	h.lastFetchValid = false
+}
+
+// AddStallCycles credits stall cycles the orchestrator observed while the
+// core was parked (Step is not called on inactive cores, so the per-Step
+// counters alone would undercount the stalled time).
+func (h *Hart) AddStallCycles(fetch bool, n uint64) {
+	if fetch {
+		h.Stats.StallsFetch += n
+	} else {
+		h.Stats.StallsRAW += n
+	}
+}
+
+// VLMax returns the maximum vl for the current vtype.
+func (h *Hart) VLMax() uint64 {
+	if h.VType.SEW == 0 {
+		return 0
+	}
+	return uint64(h.VLenB*8) * uint64(h.VType.LMUL) / uint64(h.VType.SEW)
+}
+
+// Pending reports whether register (kind, r) has outstanding fills.
+func (h *Hart) Pending(kind RegKind, r uint8) bool {
+	return h.pending[kind]&(1<<r) != 0
+}
+
+// PendingAny reports whether any register has outstanding fills.
+func (h *Hart) PendingAny() bool {
+	return h.pending[RegX]|h.pending[RegF]|h.pending[RegV] != 0 || h.fetchPending
+}
+
+// CompleteFill is called by the orchestrator when a miss carrying a
+// destination register finishes. When the last outstanding fill for the
+// register lands, the pending bit clears and the core may wake up.
+func (h *Hart) CompleteFill(kind RegKind, r uint8) {
+	if h.pendingCount[kind][r] == 0 {
+		panic(fmt.Sprintf("cpu: hart %d: stray completion for %v%d", h.ID, kind, r))
+	}
+	h.pendingCount[kind][r]--
+	if h.pendingCount[kind][r] == 0 {
+		h.pending[kind] &^= 1 << r
+	}
+}
+
+// CompleteFetch is called when an instruction-fetch miss is serviced.
+func (h *Hart) CompleteFetch() { h.fetchPending = false }
+
+func (h *Hart) markPending(kind RegKind, r uint8) {
+	if kind == RegX && r == 0 {
+		return
+	}
+	h.pending[kind] |= 1 << r
+	h.pendingCount[kind][r]++
+}
+
+// emit appends a memory event for the orchestrator.
+func (h *Hart) emit(ev MemEvent) {
+	ev.Hart = h.ID
+	h.Events = append(h.Events, ev)
+}
+
+// Step attempts to execute one instruction at cycle now. Produced memory
+// events are appended to h.Events (caller drains). The result tells the
+// orchestrator whether to keep the core active.
+func (h *Hart) Step(now uint64) StepResult {
+	if h.Halted {
+		return StepHalted
+	}
+	if h.fetchPending {
+		h.Stats.StallsFetch++
+		return StepStalledFetch
+	}
+	if now < h.busyUntil {
+		h.Stats.BusyCycles++
+		return StepBusy
+	}
+
+	// Fetch timing through L1I (line granularity), with a fast path for
+	// consecutive fetches from the same line.
+	line := h.L1I.LineAddr(h.PC)
+	if h.lastFetchValid && line == h.lastFetchLine {
+		h.L1I.Stats.Hits++
+	} else if res := h.L1I.Access(h.PC, false); res.Hit {
+		h.lastFetchLine = line
+		h.lastFetchValid = true
+	} else {
+		h.lastFetchValid = false
+		h.Stats.FetchMisses++
+		h.fetchPending = true
+		h.emit(MemEvent{Addr: line, Fetch: true})
+		h.Stats.StallsFetch++
+		return StepStalledFetch
+	}
+
+	// Decode through the step cache.
+	e := &h.stepCache[h.PC>>2&(stepCacheSize-1)]
+	if !e.valid || e.pc != h.PC {
+		raw := h.Mem.Read32(h.PC)
+		in, err := riscv.Decode(raw)
+		if err != nil {
+			h.Fault = fmt.Errorf("hart %d: pc=%#x: %w", h.ID, h.PC, err)
+			h.Halted = true
+			return StepFault
+		}
+		lmul := uint(1)
+		if in.Op.IsVector() {
+			lmul = h.VType.LMUL
+		}
+		*e = stepEntry{pc: h.PC, in: in, use: riscv.RegUsage(in, lmul),
+			lmul: uint8(lmul), valid: true}
+	} else if e.in.Op.IsVector() && uint(e.lmul) != h.VType.LMUL {
+		// LMUL changed since the usage masks were computed: refresh the
+		// register-group footprint.
+		e.lmul = uint8(h.VType.LMUL)
+		e.use = riscv.RegUsage(e.in, h.VType.LMUL)
+	}
+	in := e.in
+	use := &e.use
+
+	// Scoreboard check: stall on any pending source or destination.
+	if (use.ReadsX|use.WritesX)&h.pending[RegX] != 0 ||
+		(use.ReadsF|use.WritesF)&h.pending[RegF] != 0 ||
+		(use.ReadsV|use.WritesV)&h.pending[RegV] != 0 {
+		h.Stats.StallsRAW++
+		return StepStalledRAW
+	}
+
+	nextPC := h.PC + 4
+	res := h.execute(in, &nextPC, now)
+	if res == StepExecuted {
+		h.PC = nextPC
+		h.Stats.Instret++
+		if in.Op.IsVector() {
+			h.Stats.VectorOps++
+			if occ := h.vectorOccupancy(in); occ > 1 {
+				h.busyUntil = now + occ
+			}
+		}
+	}
+	return res
+}
+
+// vectorOccupancy returns the number of cycles a vector instruction
+// occupies the core: ceil(vl/lanes), minimum 1.
+func (h *Hart) vectorOccupancy(in riscv.Instr) uint64 {
+	switch in.Op {
+	case riscv.OpVSETVLI, riscv.OpVSETIVLI, riscv.OpVSETVL:
+		return 1
+	}
+	vl := h.VL
+	if vl == 0 {
+		return 1
+	}
+	return (vl + uint64(h.lanes) - 1) / uint64(h.lanes)
+}
+
+// DrainEvents returns and clears the accumulated memory events.
+func (h *Hart) DrainEvents() []MemEvent {
+	evs := h.Events
+	h.Events = h.Events[len(h.Events):]
+	if len(evs) == 0 {
+		return nil
+	}
+	return evs
+}
+
+// dataAccess runs one or more element accesses through the L1D at line
+// granularity, deduplicating lines within the instruction, emitting miss
+// and writeback events, and marking the destination register pending for
+// load misses. addrs is the list of element addresses; size their width.
+func (h *Hart) dataAccess(addrs []uint64, write bool, dest RegKind, destReg uint8, hasDest bool) {
+	h.lineScratch = h.lineScratch[:0]
+	for _, a := range addrs {
+		line := h.L1D.LineAddr(a)
+		dup := false
+		for _, seen := range h.lineScratch {
+			if seen == line {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		h.lineScratch = append(h.lineScratch, line)
+		res := h.L1D.Access(a, write)
+		if res.HasWriteback {
+			h.Stats.Writebacks++
+			h.emit(MemEvent{Addr: res.Writeback, Write: true})
+		}
+		if !res.Hit {
+			if write {
+				h.Stats.StoreMisses++
+				// Write-allocate: the line must still be fetched, but no
+				// register depends on it; model as a read request without
+				// a destination (the store buffer hides the latency).
+				h.emit(MemEvent{Addr: line})
+			} else {
+				h.Stats.LoadMisses++
+				ev := MemEvent{Addr: line}
+				if hasDest {
+					ev.HasDest = true
+					ev.Dest = dest
+					ev.DestReg = destReg
+					h.markPending(dest, destReg)
+				}
+				h.emit(ev)
+			}
+		}
+	}
+}
+
+// scalarLoadAccess is dataAccess for a single scalar load.
+func (h *Hart) scalarLoadAccess(addr uint64, dest RegKind, destReg uint8) {
+	h.oneAddr[0] = addr
+	h.dataAccess(h.oneAddr[:], false, dest, destReg, true)
+}
+
+// scalarStoreAccess is dataAccess for a single scalar store.
+func (h *Hart) scalarStoreAccess(addr uint64) {
+	h.oneAddr[0] = addr
+	h.dataAccess(h.oneAddr[:], true, 0, 0, false)
+	h.resv.invalidateStores(h.ID, h.L1D.LineAddr(addr))
+}

@@ -1,0 +1,452 @@
+package cpu
+
+// Directed ISA tests in the style of riscv-tests: each case is an
+// assembly fragment (assembled by internal/asm, so the full
+// encode→decode→execute path is exercised) with expected register and/or
+// memory values at exit. The fragments run on a single hart with
+// zero-latency miss servicing.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/asm"
+	"github.com/coyote-sim/coyote/internal/mem"
+	"github.com/coyote-sim/coyote/internal/riscv"
+)
+
+type isaCase struct {
+	name string
+	src  string            // body; a trailing ebreak is appended
+	x    map[uint8]uint64  // expected integer registers
+	f    map[uint8]float64 // expected FP registers (as doubles)
+	mem  map[uint64]uint64 // expected 64-bit memory words
+}
+
+func runISACase(t *testing.T, c isaCase) {
+	t.Helper()
+	prog, err := asm.Assemble("_start:\n" + c.src + "\n\tebreak\n.data\nscratch: .zero 256\n")
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := mem.New()
+	h, err := NewHart(0, DefaultConfig(), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.LoadInto(m)
+	h.PC = prog.Entry
+	for i := 0; i < 100000; i++ {
+		res := h.Step(uint64(i))
+		for _, ev := range h.DrainEvents() {
+			if ev.Fetch {
+				h.CompleteFetch()
+			} else if ev.HasDest {
+				h.CompleteFill(ev.Dest, ev.DestReg)
+			}
+		}
+		if res == StepFault {
+			t.Fatalf("fault: %v", h.Fault)
+		}
+		if h.Halted {
+			break
+		}
+	}
+	if !h.Halted {
+		t.Fatalf("did not halt (pc=%#x)", h.PC)
+	}
+	for r, want := range c.x {
+		if got := h.X[r]; got != want {
+			t.Errorf("%s = %#x (%d), want %#x (%d)",
+				riscv.XRegName(r), got, int64(got), want, int64(want))
+		}
+	}
+	for r, want := range c.f {
+		got := h.getF64(r)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("%s = %v, want %v", riscv.FRegName(r), got, want)
+		}
+	}
+	for addr, want := range c.mem {
+		base := prog.Symbols["scratch"]
+		if got := m.Read64(base + addr); got != want {
+			t.Errorf("scratch[%d] = %#x, want %#x", addr, got, want)
+		}
+	}
+}
+
+func u(v int64) uint64 { return uint64(v) }
+
+var isaCases = []isaCase{
+	// ----- immediates and LUI/AUIPC -----
+	{name: "lui", src: "lui a0, 0xfffff", x: map[uint8]uint64{10: u(-4096)}},
+	{name: "lui_pos", src: "lui a0, 1", x: map[uint8]uint64{10: 0x1000}},
+	{name: "addi_chain", src: "addi a0, zero, 100\naddi a0, a0, -300",
+		x: map[uint8]uint64{10: u(-200)}},
+	{name: "slti", src: "li a1, -5\nslti a0, a1, -4\nslti a2, a1, -6",
+		x: map[uint8]uint64{10: 1, 12: 0}},
+	{name: "sltiu_minus1", src: "li a1, 5\nsltiu a0, a1, -1",
+		x: map[uint8]uint64{10: 1}}, // -1 is max unsigned
+	{name: "logic_imm", src: "li a1, 0xff\nxori a0, a1, 0x0f\nori a2, a1, 0x700\nandi a3, a1, 0x3c",
+		x: map[uint8]uint64{10: 0xf0, 12: 0x7ff, 13: 0x3c}},
+
+	// ----- shifts -----
+	{name: "sll_srl_sra", src: `
+		li a1, -16
+		slli a0, a1, 2
+		srli a2, a1, 60
+		srai a3, a1, 2`,
+		x: map[uint8]uint64{10: u(-64), 12: 15, 13: u(-4)}},
+	{name: "shift_by_reg_mod64", src: "li a1, 1\nli a2, 65\nsll a0, a1, a2",
+		x: map[uint8]uint64{10: 2}},
+	{name: "w_shifts", src: `
+		li a1, 0x80000000
+		srliw a0, a1, 4
+		sraiw a2, a1, 4
+		slliw a3, a1, 1`,
+		x: map[uint8]uint64{10: 0x08000000, 12: u(-0x8000000), 13: 0}},
+
+	// ----- comparisons and branches -----
+	{name: "slt_family", src: `
+		li a1, -1
+		li a2, 1
+		slt a0, a1, a2
+		sltu a3, a1, a2
+		slt a4, a2, a1`,
+		x: map[uint8]uint64{10: 1, 13: 0, 14: 0}},
+	{name: "branch_taken_matrix", src: `
+		li a0, 0
+		li a1, -2
+		li a2, 3
+		blt a1, a2, L1
+		li a0, 99
+	L1:	bltu a2, a1, L2
+		addi a0, a0, 1
+	L2:	bge a2, a1, L3
+		li a0, 99
+	L3:	bgeu a1, a2, L4
+		li a0, 99
+	L4:	addi a0, a0, 10`,
+		// bltu sees -2 as a huge unsigned value, so the +1 is skipped.
+		x: map[uint8]uint64{10: 10}},
+	{name: "beq_bne", src: `
+		li a0, 0
+		li a1, 7
+		li a2, 7
+		beq a1, a2, L1
+		li a0, 99
+	L1:	bne a1, a2, L2
+		addi a0, a0, 1
+	L2:	nop`,
+		x: map[uint8]uint64{10: 1}},
+
+	// ----- loads/stores all widths & sign extension -----
+	{name: "store_load_widths", src: `
+		la a0, scratch
+		li a1, -2
+		sd a1, 0(a0)
+		lb a2, 0(a0)
+		lbu a3, 0(a0)
+		lh a4, 0(a0)
+		lhu a5, 0(a0)
+		lw a6, 0(a0)
+		lwu a7, 0(a0)
+		ld s2, 0(a0)`,
+		x: map[uint8]uint64{12: u(-2), 13: 0xfe, 14: u(-2), 15: 0xfffe,
+			16: u(-2), 17: 0xfffffffe, 18: u(-2)}},
+	{name: "store_byte_merge", src: `
+		la a0, scratch
+		li a1, 0x11
+		li a2, 0x22
+		sb a1, 0(a0)
+		sb a2, 1(a0)
+		lhu a3, 0(a0)`,
+		x:   map[uint8]uint64{13: 0x2211},
+		mem: map[uint64]uint64{0: 0x2211}},
+	{name: "sw_negative_offset", src: `
+		la a0, scratch
+		addi a0, a0, 16
+		li a1, 42
+		sw a1, -8(a0)`,
+		mem: map[uint64]uint64{8: 42}},
+
+	// ----- jumps -----
+	{name: "jalr_function_call", src: `
+		la a1, func
+		jalr ra, 0(a1)
+		addi a0, a0, 1
+		beqz zero, end
+	func:
+		li a0, 41
+		ret
+	end:`,
+		x: map[uint8]uint64{10: 42}},
+	{name: "jal_offset", src: `
+		li a0, 1
+		j skip
+		li a0, 99
+	skip:`,
+		x: map[uint8]uint64{10: 1}},
+
+	// ----- M extension corner cases -----
+	{name: "mul_overflow_wrap", src: "li a1, 0x7fffffffffffffff\nli a2, 2\nmul a0, a1, a2",
+		x: map[uint8]uint64{10: u(-2)}},
+	{name: "mulh_signs", src: `
+		li a1, -1
+		li a2, -1
+		mulh a0, a1, a2
+		mulhu a3, a1, a2
+		mulhsu a4, a1, a2`,
+		x: map[uint8]uint64{10: 0, 13: u(-2), 14: u(-1)}},
+	{name: "div_overflow", src: `
+		li a1, -0x8000000000000000
+		li a2, -1
+		div a0, a1, a2
+		rem a3, a1, a2`,
+		x: map[uint8]uint64{10: 1 << 63, 13: 0}},
+	{name: "divw_remw", src: `
+		li a1, -7
+		li a2, 2
+		divw a0, a1, a2
+		remw a3, a1, a2
+		divuw a4, a1, a2`,
+		x: map[uint8]uint64{10: u(-3), 13: u(-1), 14: 0x7ffffffc}},
+	{name: "mulw_truncates", src: "li a1, 0x100000001\nli a2, 3\nmulw a0, a1, a2",
+		x: map[uint8]uint64{10: 3}},
+
+	// ----- A extension -----
+	{name: "amoswap", src: `
+		la a0, scratch
+		li a1, 7
+		sd a1, 0(a0)
+		li a2, 9
+		amoswap.d a3, a2, (a0)`,
+		x:   map[uint8]uint64{13: 7},
+		mem: map[uint64]uint64{0: 9}},
+	{name: "amo_minmax", src: `
+		la a0, scratch
+		li a1, -5
+		sd a1, 0(a0)
+		li a2, 3
+		amomax.d a3, a2, (a0)
+		ld a4, 0(a0)
+		li a5, -100
+		amomin.d a6, a5, (a0)
+		ld a7, 0(a0)`,
+		x: map[uint8]uint64{13: u(-5), 14: 3, 16: 3, 17: u(-100)}},
+	{name: "amo_unsigned_minmax", src: `
+		la a0, scratch
+		li a1, -1
+		sd a1, 0(a0)
+		li a2, 5
+		amominu.d a3, a2, (a0)
+		ld a4, 0(a0)`,
+		x: map[uint8]uint64{13: u(-1), 14: 5}},
+	{name: "amoadd_w_sext", src: `
+		la a0, scratch
+		li a1, 0x7fffffff
+		sw a1, 0(a0)
+		li a2, 1
+		amoadd.w a3, a2, (a0)
+		lw a4, 0(a0)`,
+		x: map[uint8]uint64{13: 0x7fffffff, 14: u(-0x80000000)}},
+	{name: "lr_sc_success", src: `
+		la a0, scratch
+		li a1, 5
+		sd a1, 0(a0)
+		lr.d a2, (a0)
+		li a3, 6
+		sc.d a4, a3, (a0)
+		ld a5, 0(a0)`,
+		x: map[uint8]uint64{12: 5, 14: 0, 15: 6}},
+
+	// ----- F/D arithmetic, conversions, compares, classification -----
+	{name: "fp_basic", src: `
+		li a1, 3
+		fcvt.d.l fa0, a1
+		li a2, 4
+		fcvt.d.l fa1, a2
+		fadd.d fa2, fa0, fa1
+		fmul.d fa3, fa0, fa1
+		fdiv.d fa4, fa1, fa0
+		fsub.d fa5, fa0, fa1`,
+		f: map[uint8]float64{12: 7, 13: 12, 15: -1}},
+	{name: "fp_sqrt", src: "li a1, 16\nfcvt.d.lu fa0, a1\nfsqrt.d fa1, fa0",
+		f: map[uint8]float64{11: 4}},
+	{name: "fp_minmax", src: `
+		li a1, -3
+		fcvt.d.l fa0, a1
+		li a2, 2
+		fcvt.d.l fa1, a2
+		fmin.d fa2, fa0, fa1
+		fmax.d fa3, fa0, fa1`,
+		f: map[uint8]float64{12: -3, 13: 2}},
+	{name: "fp_compare", src: `
+		li a1, 1
+		fcvt.d.l fa0, a1
+		li a2, 2
+		fcvt.d.l fa1, a2
+		flt.d a0, fa0, fa1
+		fle.d a3, fa1, fa1
+		feq.d a4, fa0, fa1`,
+		x: map[uint8]uint64{10: 1, 13: 1, 14: 0}},
+	{name: "fp_sgnj", src: `
+		li a1, 3
+		fcvt.d.l fa0, a1
+		fneg.d fa1, fa0
+		fabs.d fa2, fa1
+		li a2, -1
+		fcvt.d.l fa3, a2
+		fsgnj.d fa4, fa0, fa3`,
+		f: map[uint8]float64{11: -3, 12: 3, 14: -3}},
+	{name: "fp_cvt_truncates_toward_zero", src: `
+		la a0, scratch
+		li a1, 7
+		fcvt.d.l fa0, a1
+		li a2, 2
+		fcvt.d.l fa1, a2
+		fdiv.d fa2, fa0, fa1
+		fcvt.l.d a3, fa2
+		fneg.d fa3, fa2
+		fcvt.l.d a4, fa3`,
+		x: map[uint8]uint64{13: 3, 14: u(-3)}},
+	{name: "fmv_bits", src: `
+		li a1, 0x4010000000000000
+		fmv.d.x fa0, a1
+		fmv.x.d a2, fa0`,
+		x: map[uint8]uint64{12: 0x4010000000000000},
+		f: map[uint8]float64{10: 4.0}},
+	{name: "fclass", src: `
+		li a1, 1
+		fcvt.d.l fa0, a1
+		fclass.d a0, fa0
+		fneg.d fa1, fa0
+		fclass.d a2, fa1
+		fmv.d.x fa2, zero
+		fclass.d a3, fa2`,
+		x: map[uint8]uint64{10: 1 << 6, 12: 1 << 1, 13: 1 << 4}},
+	{name: "fmadd_family", src: `
+		li a1, 2
+		fcvt.d.l fa0, a1
+		li a2, 3
+		fcvt.d.l fa1, a2
+		li a3, 10
+		fcvt.d.l fa2, a3
+		fmadd.d fa3, fa0, fa1, fa2
+		fmsub.d fa4, fa0, fa1, fa2
+		fnmsub.d fa5, fa0, fa1, fa2
+		fnmadd.d fa6, fa0, fa1, fa2`,
+		f: map[uint8]float64{13: 16, 14: -4, 15: 4, 16: -16}},
+	{name: "fp_single", src: `
+		li a1, 3
+		fcvt.s.l fa0, a1
+		li a2, 4
+		fcvt.s.l fa1, a2
+		fmul.s fa2, fa0, fa1
+		fcvt.d.s fa3, fa2
+		fcvt.w.s a3, fa2`,
+		x: map[uint8]uint64{13: 12},
+		f: map[uint8]float64{13: 12}},
+	{name: "fp_load_store", src: `
+		la a0, scratch
+		li a1, 5
+		fcvt.d.l fa0, a1
+		fsd fa0, 0(a0)
+		fld fa1, 0(a0)
+		fcvt.s.d fa2, fa1
+		fsw fa2, 8(a0)
+		flw fa3, 8(a0)
+		fcvt.d.s fa4, fa3`,
+		f: map[uint8]float64{11: 5, 14: 5}},
+
+	// ----- CSRs -----
+	{name: "csr_swap_set_clear", src: `
+		li a1, 0xff
+		csrrw zero, 0x340, a1
+		li a2, 0x0f
+		csrrc a3, 0x340, a2
+		csrr a4, 0x340
+		li a5, 0x100
+		csrrs a6, 0x340, a5
+		csrr a7, 0x340`,
+		x: map[uint8]uint64{13: 0xff, 14: 0xf0, 16: 0xf0, 17: 0x1f0}},
+	{name: "csr_imm_forms", src: `
+		csrrwi zero, 0x340, 21
+		csrrsi a0, 0x340, 8
+		csrrci a1, 0x340, 1
+		csrr a2, 0x340`,
+		x: map[uint8]uint64{10: 21, 11: 29, 12: 28}},
+
+	// ----- vector extras -----
+	{name: "vector_logic_shift", src: `
+		li a1, 4
+		vsetvli t0, a1, e64, m1, ta, ma
+		li a2, 0b1100
+		vmv.v.x v1, a2
+		vand.vi v2, v1, 0b0110? # placeholder replaced below
+		`,
+		x: map[uint8]uint64{}},
+}
+
+func TestISADirected(t *testing.T) {
+	for _, c := range isaCases {
+		if c.name == "vector_logic_shift" {
+			continue // replaced by TestVectorLogicDirected
+		}
+		c := c
+		t.Run(c.name, func(t *testing.T) { runISACase(t, c) })
+	}
+}
+
+func TestVectorLogicDirected(t *testing.T) {
+	runISACase(t, isaCase{
+		name: "vector_logic",
+		src: `
+		li a1, 4
+		vsetvli t0, a1, e64, m1, ta, ma
+		li a2, 12
+		vmv.v.x v1, a2
+		vand.vi v2, v1, 6
+		vor.vi  v3, v1, 1
+		vxor.vi v4, v1, 15
+		vsll.vi v5, v1, 2
+		vsrl.vi v6, v1, 1
+		vmv.x.s a0, v2
+		vmv.x.s a3, v3
+		vmv.x.s a4, v4
+		vmv.x.s a5, v5
+		vmv.x.s a6, v6`,
+		x: map[uint8]uint64{10: 4, 13: 13, 14: 3, 15: 48, 16: 6},
+	})
+	runISACase(t, isaCase{
+		name: "vector_minmax_slide",
+		src: `
+		li a1, 4
+		vsetvli t0, a1, e64, m1, ta, ma
+		vid.v v1
+		li a2, 2
+		vmax.vx v2, v1, a2
+		vmin.vx v3, v1, a2
+		vslide1down.vx v4, v1, a2
+		vmv.x.s a0, v2
+		vmv.x.s a3, v3
+		vmv.x.s a4, v4`,
+		x: map[uint8]uint64{10: 2, 13: 0, 14: 1},
+	})
+	runISACase(t, isaCase{
+		name: "vector_int_mul_macc",
+		src: `
+		li a1, 4
+		vsetvli t0, a1, e64, m1, ta, ma
+		vid.v v1
+		li a2, 3
+		vmul.vx v2, v1, a2
+		vmv.v.i v3, 1
+		vmacc.vv v3, v1, v2
+		vmv.x.s a0, v2
+		vredsum.vs v4, v3, v3
+		vmv.x.s a3, v4`,
+		// v2 = 0,3,6,9; v3 = 1 + i*3i = 1,4,13,28; redsum+v3[0] = 46+1 = 47
+		x: map[uint8]uint64{10: 0, 13: 47},
+	})
+}

@@ -1,0 +1,365 @@
+package cpu
+
+import (
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/riscv"
+)
+
+// vsetvli builds a vsetvli instruction for the given config.
+func vsetvli(rd, rs1 uint8, sew, lmul uint) riscv.Instr {
+	vt, err := riscv.EncodeVType(riscv.VType{SEW: sew, LMUL: lmul, TA: true, MA: true})
+	if err != nil {
+		panic(err)
+	}
+	return riscv.Instr{Op: riscv.OpVSETVLI, Rd: rd, Rs1: rs1, Imm: vt, VM: true}
+}
+
+func vv(op riscv.Op, vd, vs2, vs1 uint8) riscv.Instr {
+	return riscv.Instr{Op: op, Rd: vd, Rs1: vs1, Rs2: vs2, VM: true}
+}
+
+func TestVsetvli(t *testing.T) {
+	h := newTestHart(t)
+	h.X[10] = 1000 // AVL much larger than VLMAX
+	load(t, h, vsetvli(5, 10, 64, 1))
+	run(t, h, 10)
+	wantVLMax := uint64(h.VLenB) * 8 / 64
+	if h.VL != wantVLMax || h.X[5] != wantVLMax {
+		t.Errorf("vl = %d, x5 = %d, want %d", h.VL, h.X[5], wantVLMax)
+	}
+	if h.VType.SEW != 64 || h.VType.LMUL != 1 {
+		t.Errorf("vtype = %+v", h.VType)
+	}
+}
+
+func TestVsetvliSmallAVL(t *testing.T) {
+	h := newTestHart(t)
+	h.X[10] = 3
+	load(t, h, vsetvli(5, 10, 64, 1))
+	run(t, h, 10)
+	if h.VL != 3 || h.X[5] != 3 {
+		t.Errorf("vl = %d", h.VL)
+	}
+}
+
+func TestVsetvliLMULScalesVLMax(t *testing.T) {
+	h := newTestHart(t)
+	h.X[10] = 1 << 20
+	load(t, h, vsetvli(5, 10, 64, 8))
+	run(t, h, 10)
+	want := uint64(h.VLenB) * 8 * 8 / 64
+	if h.VL != want {
+		t.Errorf("vl = %d, want %d", h.VL, want)
+	}
+}
+
+func TestVectorLoadComputeStore(t *testing.T) {
+	h := newTestHart(t)
+	const n = 8
+	for i := 0; i < n; i++ {
+		h.Mem.Write64(0x1000+uint64(i*8), uint64(i+1))
+		h.Mem.Write64(0x2000+uint64(i*8), uint64(10*(i+1)))
+	}
+	h.X[10] = n
+	h.X[11] = 0x1000
+	h.X[12] = 0x2000
+	h.X[13] = 0x3000
+	load(t, h,
+		vsetvli(5, 10, 64, 1),
+		riscv.Instr{Op: riscv.OpVLE64, Rd: 1, Rs1: 11, VM: true},
+		riscv.Instr{Op: riscv.OpVLE64, Rd: 2, Rs1: 12, VM: true},
+		vv(riscv.OpVADDVV, 3, 1, 2), // v3 = v1(vs2=1)... careful on order
+		riscv.Instr{Op: riscv.OpVSE64, Rd: 3, Rs1: 13, VM: true},
+	)
+	run(t, h, 50)
+	for i := 0; i < n; i++ {
+		want := uint64(i+1) + uint64(10*(i+1))
+		if got := h.Mem.Read64(0x3000 + uint64(i*8)); got != want {
+			t.Errorf("elem %d = %d, want %d", i, got, want)
+		}
+	}
+	if h.Stats.VectorOps == 0 {
+		t.Error("vector ops not counted")
+	}
+}
+
+func TestVectorStrided(t *testing.T) {
+	h := newTestHart(t)
+	// Gather every third element.
+	for i := 0; i < 4; i++ {
+		h.Mem.Write64(0x1000+uint64(i*24), uint64(i+100))
+	}
+	h.X[10] = 4
+	h.X[11] = 0x1000
+	h.X[12] = 24 // stride in bytes
+	h.X[13] = 0x2000
+	load(t, h,
+		vsetvli(5, 10, 64, 1),
+		riscv.Instr{Op: riscv.OpVLSE64, Rd: 1, Rs1: 11, Rs2: 12, VM: true},
+		riscv.Instr{Op: riscv.OpVSE64, Rd: 1, Rs1: 13, VM: true},
+	)
+	run(t, h, 50)
+	for i := 0; i < 4; i++ {
+		if got := h.Mem.Read64(0x2000 + uint64(i*8)); got != uint64(i+100) {
+			t.Errorf("elem %d = %d", i, got)
+		}
+	}
+}
+
+func TestVectorGather(t *testing.T) {
+	h := newTestHart(t)
+	// x[] table and an index vector (byte offsets).
+	vals := []uint64{7, 13, 42, 99}
+	for i, v := range vals {
+		h.Mem.Write64(0x1000+uint64(i*8), v)
+	}
+	idx := []uint64{24, 0, 16, 8} // byte offsets: vals[3,0,2,1]
+	for i, v := range idx {
+		h.Mem.Write64(0x2000+uint64(i*8), v)
+	}
+	h.X[10] = 4
+	h.X[11] = 0x2000 // index base
+	h.X[12] = 0x1000 // data base
+	h.X[13] = 0x3000 // out
+	load(t, h,
+		vsetvli(5, 10, 64, 1),
+		riscv.Instr{Op: riscv.OpVLE64, Rd: 2, Rs1: 11, VM: true},            // v2 = indices
+		riscv.Instr{Op: riscv.OpVLUXEI64, Rd: 1, Rs1: 12, Rs2: 2, VM: true}, // v1 = gather
+		riscv.Instr{Op: riscv.OpVSE64, Rd: 1, Rs1: 13, VM: true},
+	)
+	run(t, h, 50)
+	want := []uint64{99, 7, 42, 13}
+	for i, w := range want {
+		if got := h.Mem.Read64(0x3000 + uint64(i*8)); got != w {
+			t.Errorf("gathered[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestVectorFPMacc(t *testing.T) {
+	h := newTestHart(t)
+	n := 4
+	for i := 0; i < n; i++ {
+		h.Mem.WriteFloat64(0x1000+uint64(i*8), float64(i+1))     // a = 1,2,3,4
+		h.Mem.WriteFloat64(0x2000+uint64(i*8), float64(2*(i+1))) // b = 2,4,6,8
+	}
+	h.X[10] = uint64(n)
+	h.X[11] = 0x1000
+	h.X[12] = 0x2000
+	h.X[13] = 0x3000
+	load(t, h,
+		vsetvli(5, 10, 64, 1),
+		riscv.Instr{Op: riscv.OpVLE64, Rd: 1, Rs1: 11, VM: true},
+		riscv.Instr{Op: riscv.OpVLE64, Rd: 2, Rs1: 12, VM: true},
+		riscv.Instr{Op: riscv.OpVMVVI, Rd: 3, Imm: 0, VM: true}, // v3 = 0
+		vv(riscv.OpVFMACCVV, 3, 2, 1),                           // v3 += v1*v2
+		riscv.Instr{Op: riscv.OpVSE64, Rd: 3, Rs1: 13, VM: true},
+	)
+	run(t, h, 50)
+	for i := 0; i < n; i++ {
+		want := float64(i+1) * float64(2*(i+1))
+		if got := h.Mem.ReadFloat64(0x3000 + uint64(i*8)); got != want {
+			t.Errorf("fmacc[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestVectorFPReduction(t *testing.T) {
+	h := newTestHart(t)
+	n := 6
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := float64(i) * 1.5
+		h.Mem.WriteFloat64(0x1000+uint64(i*8), v)
+		sum += v
+	}
+	h.X[10] = uint64(n)
+	h.X[11] = 0x1000
+	h.X[13] = 0x3000
+	load(t, h,
+		vsetvli(5, 10, 64, 1),
+		riscv.Instr{Op: riscv.OpVLE64, Rd: 1, Rs1: 11, VM: true},
+		riscv.Instr{Op: riscv.OpVMVVI, Rd: 2, Imm: 0, VM: true},
+		vv(riscv.OpVFREDUSUMVS, 3, 1, 2),                         // v3[0] = sum(v1) + v2[0]
+		riscv.Instr{Op: riscv.OpVFMVFS, Rd: 1, Rs2: 3, VM: true}, // f1 = v3[0]
+		riscv.Instr{Op: riscv.OpFSD, Rs1: 13, Rs2: 1, VM: true},
+	)
+	run(t, h, 50)
+	if got := h.Mem.ReadFloat64(0x3000); got != sum {
+		t.Errorf("reduction = %v, want %v", got, sum)
+	}
+}
+
+func TestVectorIntReduction(t *testing.T) {
+	h := newTestHart(t)
+	h.X[10] = 5
+	load(t, h,
+		vsetvli(5, 10, 64, 1),
+		riscv.Instr{Op: riscv.OpVIDV, Rd: 1, VM: true}, // v1 = 0..4
+		riscv.Instr{Op: riscv.OpVMVVI, Rd: 2, Imm: 3, VM: true},
+		vv(riscv.OpVREDSUMVS, 3, 1, 2), // 0+1+2+3+4 + 3 = 13
+		riscv.Instr{Op: riscv.OpVMVXS, Rd: 6, Rs2: 3, VM: true},
+	)
+	run(t, h, 50)
+	if h.X[6] != 13 {
+		t.Errorf("vredsum = %d, want 13", h.X[6])
+	}
+}
+
+func TestVectorMasking(t *testing.T) {
+	h := newTestHart(t)
+	h.X[10] = 4
+	load(t, h,
+		vsetvli(5, 10, 64, 1),
+		riscv.Instr{Op: riscv.OpVIDV, Rd: 1, VM: true},                     // v1 = 0,1,2,3
+		riscv.Instr{Op: riscv.OpVMVVI, Rd: 2, Imm: 2, VM: true},            // v2 = 2,2,2,2
+		vv(riscv.OpVMSLTVV, 0, 1, 2),                                       // v0 mask = v1 < v2 = 1,1,0,0
+		riscv.Instr{Op: riscv.OpVMVVI, Rd: 3, Imm: 0, VM: true},            // v3 = 0
+		riscv.Instr{Op: riscv.OpVADDVI, Rd: 3, Rs2: 1, Imm: 10, VM: false}, // masked: v3[i] = v1[i]+10 where mask
+		riscv.Instr{Op: riscv.OpVMVXS, Rd: 6, Rs2: 3, VM: true},
+	)
+	run(t, h, 50)
+	// v3 = 10, 11, 0, 0
+	if h.X[6] != 10 {
+		t.Errorf("masked add lane0 = %d", h.X[6])
+	}
+	if got := h.vGetInt(3, 1, 64); got != 11 {
+		t.Errorf("lane1 = %d", got)
+	}
+	if got := h.vGetInt(3, 2, 64); got != 0 {
+		t.Errorf("lane2 = %d (mask should have suppressed)", got)
+	}
+}
+
+func TestVectorSEW32(t *testing.T) {
+	h := newTestHart(t)
+	for i := 0; i < 4; i++ {
+		h.Mem.Write32(0x1000+uint64(i*4), uint32(i+1))
+	}
+	h.X[10] = 4
+	h.X[11] = 0x1000
+	h.X[13] = 0x3000
+	load(t, h,
+		vsetvli(5, 10, 32, 1),
+		riscv.Instr{Op: riscv.OpVLE32, Rd: 1, Rs1: 11, VM: true},
+		riscv.Instr{Op: riscv.OpVADDVI, Rd: 2, Rs2: 1, Imm: 5, VM: true},
+		riscv.Instr{Op: riscv.OpVSE32, Rd: 2, Rs1: 13, VM: true},
+	)
+	run(t, h, 50)
+	for i := 0; i < 4; i++ {
+		if got := h.Mem.Read32(0x3000 + uint64(i*4)); got != uint32(i+6) {
+			t.Errorf("elem %d = %d", i, got)
+		}
+	}
+}
+
+func TestVectorOpBeforeVsetvliFaults(t *testing.T) {
+	h := newTestHart(t)
+	load(t, h, riscv.Instr{Op: riscv.OpVADDVV, Rd: 1, Rs1: 2, Rs2: 3, VM: true})
+	for i := 0; i < 10; i++ {
+		res := h.Step(uint64(i))
+		for _, ev := range h.DrainEvents() {
+			if ev.Fetch {
+				h.CompleteFetch()
+			}
+		}
+		if res == StepFault {
+			return // expected
+		}
+	}
+	t.Fatal("expected a fault for vector op before vsetvli")
+}
+
+func TestVectorOccupancyBusy(t *testing.T) {
+	h := newTestHart(t)
+	h.X[10] = 64 // vl=16 with VLEN=1024/sew=64... AVL=64 clamps to VLMAX=16
+	load(t, h,
+		vsetvli(5, 10, 64, 1),
+		riscv.Instr{Op: riscv.OpVMVVI, Rd: 1, Imm: 1, VM: true},
+		ins(riscv.OpADDI, 6, 0, 0, 1),
+	)
+	// Warm the I-line first.
+	res := h.Step(0)
+	if res == StepStalledFetch {
+		for _, ev := range h.DrainEvents() {
+			if ev.Fetch {
+				h.CompleteFetch()
+			}
+		}
+	}
+	now := uint64(1)
+	if res := h.Step(now); res != StepExecuted { // vsetvli
+		t.Fatalf("vsetvli: %v", res)
+	}
+	now++
+	if res := h.Step(now); res != StepExecuted { // vmv.v.i, vl=16, lanes=16 → 1 cycle
+		t.Fatalf("vmv: %v", res)
+	}
+	// With 16 lanes and vl=16 occupancy is exactly 1 cycle: not busy.
+	now++
+	if res := h.Step(now); res != StepExecuted {
+		t.Fatalf("addi after vector: %v", res)
+	}
+}
+
+func TestVectorOccupancyMultiCycle(t *testing.T) {
+	h := newTestHart(t)
+	h.X[10] = 1 << 20
+	load(t, h,
+		vsetvli(5, 10, 64, 8), // vl = 128 → 8 cycles at 16 lanes
+		riscv.Instr{Op: riscv.OpVMVVI, Rd: 8, Imm: 1, VM: true},
+		ins(riscv.OpADDI, 6, 0, 0, 1),
+	)
+	if res := h.Step(0); res == StepStalledFetch {
+		for _, ev := range h.DrainEvents() {
+			if ev.Fetch {
+				h.CompleteFetch()
+			}
+		}
+	}
+	h.Step(1) // vsetvli
+	if res := h.Step(2); res != StepExecuted {
+		t.Fatalf("vmv: %v", res)
+	}
+	// Busy until cycle 2+8.
+	busy := 0
+	for now := uint64(3); now < 10; now++ {
+		if res := h.Step(now); res == StepBusy {
+			busy++
+		}
+	}
+	if busy != 7 {
+		t.Errorf("busy cycles = %d, want 7", busy)
+	}
+	if res := h.Step(10); res != StepExecuted {
+		t.Errorf("addi after busy window: %v", res)
+	}
+}
+
+func TestVectorGatherMissesPerLine(t *testing.T) {
+	h := newTestHart(t)
+	// Indices spread across distinct cache lines: each gather element
+	// should produce its own L1 miss (the sparse behaviour Coyote studies).
+	n := 8
+	lineBytes := uint64(h.L1D.Config().LineBytes)
+	for i := 0; i < n; i++ {
+		h.Mem.Write64(0x2000+uint64(i*8), uint64(i)*lineBytes*4)
+	}
+	h.X[10] = uint64(n)
+	h.X[11] = 0x2000
+	h.X[12] = 0x100000
+	load(t, h,
+		vsetvli(5, 10, 64, 1),
+		riscv.Instr{Op: riscv.OpVLE64, Rd: 2, Rs1: 11, VM: true},
+		riscv.Instr{Op: riscv.OpVLUXEI64, Rd: 1, Rs1: 12, Rs2: 2, VM: true},
+	)
+	run(t, h, 50)
+	// vle64 of 8×8B = 1 line miss; gather = 8 line misses.
+	if h.Stats.LoadMisses != 9 {
+		t.Errorf("load misses = %d, want 9", h.Stats.LoadMisses)
+	}
+	if h.Stats.ElemAccesses != 16 {
+		t.Errorf("element accesses = %d, want 16", h.Stats.ElemAccesses)
+	}
+}

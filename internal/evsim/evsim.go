@@ -1,0 +1,194 @@
+// Package evsim is a small discrete-event simulation kernel playing the
+// role Sparta plays in Coyote: hardware is modelled as independent units
+// connected by latency-carrying ports, advanced by a time-ordered event
+// queue. The Coyote orchestrator (internal/core) interleaves this event
+// model with the instruction-by-instruction CPU model, advancing it to the
+// current cycle after every simulated instruction slot (paper §III-A).
+package evsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Cycle is a simulation timestamp in clock cycles.
+type Cycle = uint64
+
+type event struct {
+	when Cycle
+	seq  uint64 // FIFO tie-break: events at the same cycle run in schedule order
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the event queue and the simulation clock. Deterministic:
+// same schedule calls → same execution order.
+type Engine struct {
+	now      Cycle
+	seq      uint64
+	queue    eventHeap
+	executed uint64
+}
+
+// NewEngine returns an engine at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Executed returns the number of events processed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run delay cycles from now. A delay of 0 runs the
+// event within the current AdvanceTo sweep (after already-queued events
+// for this cycle).
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn at an absolute cycle. Scheduling in the past is a
+// programming error and panics: it would silently corrupt causality.
+func (e *Engine) ScheduleAt(when Cycle, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("evsim: schedule at %d before now %d", when, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, event{when: when, seq: e.seq, fn: fn})
+}
+
+// NextEventTime reports the timestamp of the earliest queued event.
+func (e *Engine) NextEventTime() (Cycle, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].when, true
+}
+
+// AdvanceTo runs every event scheduled at or before target, then sets the
+// clock to target. Events may schedule further events; those falling
+// within the window run in the same sweep.
+func (e *Engine) AdvanceTo(target Cycle) {
+	if target < e.now {
+		panic(fmt.Sprintf("evsim: advance to %d before now %d", target, e.now))
+	}
+	for len(e.queue) > 0 && e.queue[0].when <= target {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.when
+		e.executed++
+		ev.fn()
+	}
+	e.now = target
+}
+
+// Drain runs every queued event regardless of time and returns the final
+// clock value. Useful for quiescing the model at end of simulation.
+func (e *Engine) Drain() Cycle {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.when
+		e.executed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Port is a latency-carrying, typed connection between units: Send(v)
+// delivers v to the sink after the port's fixed latency. This mirrors
+// Sparta's port/latency idiom and keeps units decoupled.
+type Port[T any] struct {
+	eng     *Engine
+	latency Cycle
+	sink    func(T)
+	sent    uint64
+}
+
+// NewPort wires a port into eng with the given delivery latency and sink.
+func NewPort[T any](eng *Engine, latency Cycle, sink func(T)) *Port[T] {
+	if sink == nil {
+		panic("evsim: nil port sink")
+	}
+	return &Port[T]{eng: eng, latency: latency, sink: sink}
+}
+
+// Send schedules delivery of v after the port latency.
+func (p *Port[T]) Send(v T) {
+	p.sent++
+	p.eng.Schedule(p.latency, func() { p.sink(v) })
+}
+
+// SendAfter schedules delivery with extra delay on top of the port latency
+// (used to model arbitration or bandwidth backpressure).
+func (p *Port[T]) SendAfter(extra Cycle, v T) {
+	p.sent++
+	p.eng.Schedule(p.latency+extra, func() { p.sink(v) })
+}
+
+// Latency returns the port's fixed delivery latency.
+func (p *Port[T]) Latency() Cycle { return p.latency }
+
+// Sent returns the number of messages pushed through the port.
+func (p *Port[T]) Sent() uint64 { return p.sent }
+
+// Unit is anything that exposes statistics to the report. Units register
+// with a Registry so reports are assembled generically, as Sparta does
+// with its statistics tree.
+type Unit interface {
+	Name() string
+	Counters() map[string]uint64
+}
+
+// Registry collects units for reporting.
+type Registry struct {
+	units []Unit
+}
+
+// Register adds u to the registry.
+func (r *Registry) Register(u Unit) { r.units = append(r.units, u) }
+
+// Units returns the registered units in registration order.
+func (r *Registry) Units() []Unit { return r.units }
+
+// Snapshot flattens every unit's counters into "unit.counter" → value,
+// sorted iteration left to the caller.
+func (r *Registry) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, u := range r.units {
+		for k, v := range u.Counters() {
+			out[u.Name()+"."+k] = v
+		}
+	}
+	return out
+}
+
+// SortedKeys returns the snapshot keys in lexical order (deterministic
+// report output).
+func SortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,404 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"github.com/coyote-sim/coyote/internal/mem"
+)
+
+// Dense kernels: matmul (scalar + vector), axpy (scalar + vector) and the
+// 2D 5-point stencil (scalar + vector). Work is partitioned over harts by
+// round-robin rows (matmul/stencil/scalar axpy) or contiguous chunks
+// (vector axpy), with the hart count passed through the args block.
+
+// matmul argument block: 0 A, 8 B, 16 C, 24 n, 32 ncores.
+func matmulSetup(m *mem.Memory, args uint64, p Params) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	a := randMatrix(rng, n, n)
+	b := randMatrix(rng, n, n)
+	h := newHeap()
+	aAddr := h.alloc(8 * n * n)
+	bAddr := h.alloc(8 * n * n)
+	cAddr := h.alloc(8 * n * n)
+	writeF64s(m, aAddr, a)
+	writeF64s(m, bAddr, b)
+	writeU64s(m, args, []uint64{aAddr, bAddr, cAddr, uint64(n), uint64(p.Cores)})
+}
+
+func matmulVerify(m *mem.Memory, args uint64, p Params) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	a := randMatrix(rng, n, n)
+	b := randMatrix(rng, n, n)
+	want := matmulRef(a, b, n)
+	cAddr := m.Read64(args + 16)
+	return compare("C", readF64s(m, cAddr, n*n), want)
+}
+
+const matmulScalarSrc = `
+# C = A x B, doubles, row i handled by hart (i mod ncores).
+_start:
+	la   s0, args
+	ld   s1, 0(s0)      # A
+	ld   s2, 8(s0)      # B
+	ld   s3, 16(s0)     # C
+	ld   s4, 24(s0)     # n
+	ld   s5, 32(s0)     # ncores
+	csrr s6, mhartid
+	slli s7, s4, 3      # row stride in bytes
+	mv   t0, s6         # i
+mm_row:
+	bge  t0, s4, mm_exit
+	li   t1, 0          # j
+mm_col:
+	bge  t1, s4, mm_nextrow
+	fmv.d.x fa0, zero   # acc = 0
+	mul  t3, t0, s4
+	slli t3, t3, 3
+	add  t3, s1, t3     # &A[i][0]
+	slli t4, t1, 3
+	add  t4, s2, t4     # &B[0][j]
+	li   t2, 0          # k
+mm_k:
+	bge  t2, s4, mm_kdone
+	fld  fa1, 0(t3)
+	fld  fa2, 0(t4)
+	fmadd.d fa0, fa1, fa2, fa0
+	addi t3, t3, 8
+	add  t4, t4, s7
+	addi t2, t2, 1
+	j    mm_k
+mm_kdone:
+	mul  t5, t0, s4
+	add  t5, t5, t1
+	slli t5, t5, 3
+	add  t5, s3, t5
+	fsd  fa0, 0(t5)
+	addi t1, t1, 1
+	j    mm_col
+mm_nextrow:
+	add  t0, t0, s5
+	j    mm_row
+mm_exit:
+` + exitSeq + argsBlock
+
+const matmulVectorSrc = `
+# C = A x B vectorised across columns: C[i][j:j+vl] += A[i][k]*B[k][j:j+vl].
+_start:
+	la   s0, args
+	ld   s1, 0(s0)
+	ld   s2, 8(s0)
+	ld   s3, 16(s0)
+	ld   s4, 24(s0)      # n
+	ld   s5, 32(s0)      # ncores
+	csrr s6, mhartid
+	slli s7, s4, 3
+	mv   t0, s6          # i
+vmm_row:
+	bge  t0, s4, vmm_exit
+	li   t1, 0           # j
+vmm_col:
+	bge  t1, s4, vmm_nextrow
+	sub  t2, s4, t1
+	vsetvli t3, t2, e64, m1, ta, ma
+	vmv.v.i v8, 0        # acc strip
+	mul  t4, t0, s4
+	slli t4, t4, 3
+	add  t4, s1, t4      # &A[i][0]
+	slli t5, t1, 3
+	add  t5, s2, t5      # &B[0][j]
+	li   t6, 0           # k
+vmm_k:
+	bge  t6, s4, vmm_kdone
+	fld  fa0, 0(t4)
+	vle64.v v1, (t5)
+	vfmacc.vf v8, fa0, v1
+	addi t4, t4, 8
+	add  t5, t5, s7
+	addi t6, t6, 1
+	j    vmm_k
+vmm_kdone:
+	mul  s8, t0, s4
+	add  s8, s8, t1
+	slli s8, s8, 3
+	add  s8, s3, s8
+	vse64.v v8, (s8)
+	add  t1, t1, t3
+	j    vmm_col
+vmm_nextrow:
+	add  t0, t0, s5
+	j    vmm_row
+vmm_exit:
+` + exitSeq + argsBlock
+
+// axpy argument block: 0 x, 8 y, 16 n, 24 ncores, 32 a (double).
+func axpySetup(m *mem.Memory, args uint64, p Params) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	x := randVector(rng, n)
+	y := randVector(rng, n)
+	h := newHeap()
+	xAddr := h.alloc(8 * n)
+	yAddr := h.alloc(8 * n)
+	writeF64s(m, xAddr, x)
+	writeF64s(m, yAddr, y)
+	writeU64s(m, args, []uint64{xAddr, yAddr, uint64(n), uint64(p.Cores)})
+	m.WriteFloat64(args+32, 2.5)
+}
+
+func axpyVerify(m *mem.Memory, args uint64, p Params) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	x := randVector(rng, n)
+	want := randVector(rng, n)
+	for i := range want {
+		want[i] += 2.5 * x[i]
+	}
+	yAddr := m.Read64(args + 8)
+	return compare("y", readF64s(m, yAddr, n), want)
+}
+
+const axpyScalarSrc = `
+# y[i] += a*x[i], element i on hart (i mod ncores).
+_start:
+	la   s0, args
+	ld   s1, 0(s0)
+	ld   s2, 8(s0)
+	ld   s3, 16(s0)
+	ld   s4, 24(s0)
+	fld  fa0, 32(s0)
+	csrr t0, mhartid
+ax_loop:
+	bge  t0, s3, ax_exit
+	slli t1, t0, 3
+	add  t2, s1, t1
+	add  t3, s2, t1
+	fld  fa1, 0(t2)
+	fld  fa2, 0(t3)
+	fmadd.d fa3, fa0, fa1, fa2
+	fsd  fa3, 0(t3)
+	add  t0, t0, s4
+	j    ax_loop
+ax_exit:
+` + exitSeq + argsBlock
+
+const axpyVectorSrc = `
+# y[lo:hi] += a*x[lo:hi] in contiguous per-hart chunks, strip-mined.
+_start:
+	la   s0, args
+	ld   s1, 0(s0)
+	ld   s2, 8(s0)
+	ld   s3, 16(s0)       # n
+	ld   s4, 24(s0)       # ncores
+	fld  fa0, 32(s0)
+	csrr t0, mhartid
+	add  t1, s3, s4
+	addi t1, t1, -1
+	divu t1, t1, s4       # chunk = ceil(n/ncores)
+	mul  t2, t0, t1       # lo
+	add  t3, t2, t1       # hi
+	ble  t3, s3, axv_go
+	mv   t3, s3
+axv_go:
+	bge  t2, t3, axv_exit
+	sub  t4, t3, t2
+	vsetvli t5, t4, e64, m1, ta, ma
+	slli t6, t2, 3
+	add  s5, s1, t6
+	add  s6, s2, t6
+	vle64.v v1, (s5)
+	vle64.v v2, (s6)
+	vfmacc.vf v2, fa0, v1
+	vse64.v v2, (s6)
+	add  t2, t2, t5
+	j    axv_go
+axv_exit:
+` + exitSeq + argsBlock
+
+// stencil argument block: 0 in, 8 out, 16 n, 24 ncores, 32 c0, 40 c1.
+const stencilC0 = 0.5
+const stencilC1 = 0.125
+
+func stencilSetup(m *mem.Memory, args uint64, p Params) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	in := randMatrix(rng, n, n)
+	h := newHeap()
+	inAddr := h.alloc(8 * n * n)
+	outAddr := h.alloc(8 * n * n)
+	writeF64s(m, inAddr, in)
+	writeF64s(m, outAddr, in) // boundary cells keep their input values
+	writeU64s(m, args, []uint64{inAddr, outAddr, uint64(n), uint64(p.Cores)})
+	m.WriteFloat64(args+32, stencilC0)
+	m.WriteFloat64(args+40, stencilC1)
+}
+
+func stencilRef(in []float64, n int) []float64 {
+	out := make([]float64, n*n)
+	copy(out, in)
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			sum := in[i*n+j-1] + in[i*n+j+1] + in[(i-1)*n+j] + in[(i+1)*n+j]
+			out[i*n+j] = stencilC0*in[i*n+j] + stencilC1*sum
+		}
+	}
+	return out
+}
+
+func stencilVerify(m *mem.Memory, args uint64, p Params) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	in := randMatrix(rng, n, n)
+	want := stencilRef(in, n)
+	outAddr := m.Read64(args + 8)
+	return compare("out", readF64s(m, outAddr, n*n), want)
+}
+
+const stencilScalarSrc = `
+# out[i][j] = c0*in[i][j] + c1*(l+r+u+d), interior rows round-robin.
+_start:
+	la   s0, args
+	ld   s1, 0(s0)
+	ld   s2, 8(s0)
+	ld   s3, 16(s0)     # n
+	ld   s4, 24(s0)     # ncores
+	fld  fa0, 32(s0)    # c0
+	fld  fa1, 40(s0)    # c1
+	csrr s6, mhartid
+	slli s7, s3, 3      # row stride
+	addi s8, s3, -1     # n-1
+	addi t0, s6, 1      # i
+sst_row:
+	bge  t0, s8, sst_exit
+	li   t1, 1          # j
+sst_col:
+	bge  t1, s8, sst_nextrow
+	mul  t2, t0, s3
+	add  t2, t2, t1
+	slli t2, t2, 3
+	add  t3, s1, t2     # &in[i][j]
+	fld  fa2, 0(t3)     # c
+	fld  fa3, -8(t3)    # l
+	fld  fa4, 8(t3)     # r
+	sub  t4, t3, s7
+	fld  fa5, 0(t4)     # u
+	add  t4, t3, s7
+	fld  fa6, 0(t4)     # d
+	fadd.d fa3, fa3, fa4
+	fadd.d fa3, fa3, fa5
+	fadd.d fa3, fa3, fa6
+	fmul.d fa7, fa2, fa0
+	fmadd.d fa7, fa1, fa3, fa7
+	add  t4, s2, t2
+	fsd  fa7, 0(t4)
+	addi t1, t1, 1
+	j    sst_col
+sst_nextrow:
+	add  t0, t0, s4
+	j    sst_row
+sst_exit:
+` + exitSeq + argsBlock
+
+const stencilVectorSrc = `
+# Vector 5-point stencil: columns strip-mined, interior rows round-robin.
+_start:
+	la   s0, args
+	ld   s1, 0(s0)
+	ld   s2, 8(s0)
+	ld   s3, 16(s0)
+	ld   s4, 24(s0)
+	fld  fa0, 32(s0)
+	fld  fa1, 40(s0)
+	csrr s6, mhartid
+	slli s7, s3, 3
+	addi s8, s3, -1
+	addi t0, s6, 1
+vst_row:
+	bge  t0, s8, vst_exit
+	li   t1, 1
+vst_col:
+	bge  t1, s8, vst_nextrow
+	sub  t2, s8, t1
+	vsetvli t3, t2, e64, m1, ta, ma
+	mul  t4, t0, s3
+	add  t4, t4, t1
+	slli t4, t4, 3
+	add  t5, s1, t4      # &in[i][j]
+	vle64.v v1, (t5)     # centre
+	addi t6, t5, -8
+	vle64.v v2, (t6)     # left
+	addi t6, t5, 8
+	vle64.v v3, (t6)     # right
+	sub  t6, t5, s7
+	vle64.v v4, (t6)     # up
+	add  t6, t5, s7
+	vle64.v v5, (t6)     # down
+	vfadd.vv v2, v2, v3
+	vfadd.vv v2, v2, v4
+	vfadd.vv v2, v2, v5
+	vfmul.vf v6, v1, fa0
+	vfmacc.vf v6, fa1, v2
+	add  t6, s2, t4
+	vse64.v v6, (t6)
+	add  t1, t1, t3
+	j    vst_col
+vst_nextrow:
+	add  t0, t0, s4
+	j    vst_row
+vst_exit:
+` + exitSeq + argsBlock
+
+func init() {
+	register(&Kernel{
+		Name:        "matmul-scalar",
+		Description: "scalar dense matrix multiplication (Figure 3 workload)",
+		Source:      matmulScalarSrc,
+		Setup:       matmulSetup,
+		Verify:      matmulVerify,
+	})
+	register(&Kernel{
+		Name:        "matmul-vector",
+		Description: "vector dense matrix multiplication (vfmacc over column strips)",
+		Vector:      true,
+		Source:      matmulVectorSrc,
+		Setup:       matmulSetup,
+		Verify:      matmulVerify,
+	})
+	register(&Kernel{
+		Name:        "axpy-scalar",
+		Description: "scalar daxpy",
+		Source:      axpyScalarSrc,
+		Setup:       axpySetup,
+		Verify:      axpyVerify,
+	})
+	register(&Kernel{
+		Name:        "axpy-vector",
+		Description: "vector daxpy (quickstart kernel)",
+		Vector:      true,
+		Source:      axpyVectorSrc,
+		Setup:       axpySetup,
+		Verify:      axpyVerify,
+	})
+	register(&Kernel{
+		Name:        "stencil-scalar",
+		Description: "scalar 2D 5-point stencil",
+		Source:      stencilScalarSrc,
+		Setup:       stencilSetup,
+		Verify:      stencilVerify,
+	})
+	register(&Kernel{
+		Name:        "stencil-vector",
+		Description: "vector 2D 5-point stencil (paper kernel)",
+		Vector:      true,
+		Source:      stencilVectorSrc,
+		Setup:       stencilSetup,
+		Verify:      stencilVerify,
+	})
+}

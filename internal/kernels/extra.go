@@ -1,0 +1,465 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/coyote-sim/coyote/internal/mem"
+)
+
+// Extra kernels beyond the paper's initial four: the FFT the paper lists
+// as a planned addition ("These will include FFT, AI and other
+// representative HPC and HPDA kernels", §III-A), a STREAM-style copy, a
+// partial-dot-product, and an atomics-heavy histogram.
+
+// --- fft-scalar -------------------------------------------------------
+//
+// Iterative radix-2 Cooley-Tukey over split complex arrays (re[], im[]).
+// The host stores the input in bit-reversed order; the kernel runs log2(n)
+// butterfly stages with all harts splitting the blocks of each stage and
+// meeting at a counter barrier between stages.
+//
+// args: 0 re, 8 im, 16 twre, 24 twim, 32 n, 40 logn, 48 ncores, 56 barrier.
+
+const fftScalarSrc = `
+_start:
+	la   s0, args
+	ld   s1, 0(s0)       # re
+	ld   s2, 8(s0)       # im
+	ld   s3, 16(s0)      # twre
+	ld   s4, 24(s0)      # twim
+	ld   s5, 32(s0)      # n
+	ld   s6, 40(s0)      # logn
+	ld   s7, 48(s0)      # ncores
+	ld   s8, 56(s0)      # &barrier
+	csrr s9, mhartid
+	li   s10, 1          # s = stage
+fft_stage:
+	bgt  s10, s6, fft_done
+	li   s11, 1
+	sll  s11, s11, s10   # m = 1<<s
+	srli t2, s11, 1      # half = m/2
+	srl  t3, s5, s10     # tstride = n >> s
+	mul  t0, s9, s11     # k = hart*m
+fft_block:
+	bge  t0, s5, fft_barrier
+	li   t1, 0           # j
+fft_bfly:
+	bge  t1, t2, fft_nextblock
+	add  a2, t0, t1      # i1
+	add  a3, a2, t2      # i2 = i1 + half
+	# twiddle = tw[j*tstride]
+	mul  a4, t1, t3
+	slli a4, a4, 3
+	add  a5, s3, a4
+	fld  fa0, 0(a5)      # wre
+	add  a5, s4, a4
+	fld  fa1, 0(a5)      # wim
+	slli a6, a3, 3
+	add  a7, s1, a6
+	fld  fa2, 0(a7)      # re[i2]
+	add  a5, s2, a6
+	fld  fa3, 0(a5)      # im[i2]
+	# t = w * x[i2]
+	fmul.d fa4, fa0, fa2
+	fmul.d fa5, fa1, fa3
+	fsub.d fa4, fa4, fa5 # tre = wre*re2 - wim*im2
+	fmul.d fa5, fa0, fa3
+	fmul.d fa6, fa1, fa2
+	fadd.d fa5, fa5, fa6 # tim = wre*im2 + wim*re2
+	slli a6, a2, 3
+	add  a7, s1, a6
+	fld  fa6, 0(a7)      # re[i1]
+	add  a5, s2, a6
+	fld  fa7, 0(a5)      # im[i1]
+	# x[i2] = x[i1] - t ; x[i1] += t
+	fsub.d ft0, fa6, fa4
+	fsub.d ft1, fa7, fa5
+	fadd.d ft2, fa6, fa4
+	fadd.d ft3, fa7, fa5
+	slli a6, a3, 3
+	add  a7, s1, a6
+	fsd  ft0, 0(a7)
+	add  a5, s2, a6
+	fsd  ft1, 0(a5)
+	slli a6, a2, 3
+	add  a7, s1, a6
+	fsd  ft2, 0(a7)
+	add  a5, s2, a6
+	fsd  ft3, 0(a5)
+	addi t1, t1, 1
+	j    fft_bfly
+fft_nextblock:
+	mul  a2, s7, s11     # step = ncores*m
+	add  t0, t0, a2
+	j    fft_block
+fft_barrier:
+	li   t4, 1
+	amoadd.d zero, t4, (s8)
+	mul  t5, s7, s10     # target = ncores*stage
+fft_spin:
+	ld   t6, 0(s8)
+	blt  t6, t5, fft_spin
+	addi s10, s10, 1
+	j    fft_stage
+fft_done:
+` + exitSeq + argsBlock
+
+// bitrev reverses the low bits of i.
+func bitrev(i, bits int) int {
+	r := 0
+	for b := 0; b < bits; b++ {
+		r = r<<1 | i&1
+		i >>= 1
+	}
+	return r
+}
+
+// fftSize rounds n up to the next power of two (radix-2 requirement).
+func fftSize(n int) int {
+	if n < 2 {
+		return 2
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// fftInput generates the deterministic complex input signal.
+func fftInput(p Params) (re, im []float64) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := fftSize(p.N)
+	re = randVector(rng, n)
+	im = randVector(rng, n)
+	return re, im
+}
+
+// fftRef runs the same radix-2 algorithm on the host.
+func fftRef(re, im []float64) ([]float64, []float64) {
+	n := len(re)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	outRe := make([]float64, n)
+	outIm := make([]float64, n)
+	for i := 0; i < n; i++ {
+		outRe[bitrev(i, bits)] = re[i]
+		outIm[bitrev(i, bits)] = im[i]
+	}
+	for s := 1; s <= bits; s++ {
+		m := 1 << s
+		half := m / 2
+		for k := 0; k < n; k += m {
+			for j := 0; j < half; j++ {
+				ang := -2 * math.Pi * float64(j) / float64(m)
+				wre, wim := math.Cos(ang), math.Sin(ang)
+				i1, i2 := k+j, k+j+half
+				tre := wre*outRe[i2] - wim*outIm[i2]
+				tim := wre*outIm[i2] + wim*outRe[i2]
+				outRe[i2], outIm[i2] = outRe[i1]-tre, outIm[i1]-tim
+				outRe[i1], outIm[i1] = outRe[i1]+tre, outIm[i1]+tim
+			}
+		}
+	}
+	return outRe, outIm
+}
+
+func fftSetup(m *mem.Memory, args uint64, p Params) {
+	p = p.withDefaults()
+	n := fftSize(p.N)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	re, im := fftInput(p)
+	h := newHeap()
+	reAddr := h.alloc(8 * n)
+	imAddr := h.alloc(8 * n)
+	twreAddr := h.alloc(8 * n / 2)
+	twimAddr := h.alloc(8 * n / 2)
+	barAddr := h.alloc(8)
+	// Bit-reversed input; twiddles W_n^k = e^{-2πik/n} for k < n/2. A
+	// stage with m = 2^s uses W_m^j = W_n^{j·(n/m)}.
+	for i := 0; i < n; i++ {
+		m.WriteFloat64(reAddr+uint64(bitrev(i, bits))*8, re[i])
+		m.WriteFloat64(imAddr+uint64(bitrev(i, bits))*8, im[i])
+	}
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		m.WriteFloat64(twreAddr+uint64(k)*8, math.Cos(ang))
+		m.WriteFloat64(twimAddr+uint64(k)*8, math.Sin(ang))
+	}
+	m.Write64(barAddr, 0)
+	writeU64s(m, args, []uint64{
+		reAddr, imAddr, twreAddr, twimAddr,
+		uint64(n), uint64(bits), uint64(p.Cores), barAddr,
+	})
+}
+
+func fftVerify(m *mem.Memory, args uint64, p Params) error {
+	p = p.withDefaults()
+	n := fftSize(p.N)
+	re, im := fftInput(p)
+	wantRe, wantIm := fftRef(re, im)
+	reAddr := m.Read64(args)
+	imAddr := m.Read64(args + 8)
+	if err := compareTol("fft.re", readF64s(m, reAddr, n), wantRe, 1e-6); err != nil {
+		return err
+	}
+	return compareTol("fft.im", readF64s(m, imAddr, n), wantIm, 1e-6)
+}
+
+// compareTol is compare with an explicit absolute/relative tolerance (the
+// kernel's twiddle multiplication order differs slightly from the
+// reference, and FFT error grows with log n).
+func compareTol(what string, got, want []float64, tol float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d vs %d", what, len(got), len(want))
+	}
+	for i := range want {
+		diff := math.Abs(got[i] - want[i])
+		scale := math.Max(1, math.Abs(want[i]))
+		if diff/scale > tol || math.IsNaN(got[i]) {
+			return fmt.Errorf("%s[%d] = %v, want %v", what, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// --- dot-vector -------------------------------------------------------
+//
+// Per-hart partial dot products of contiguous chunks; partial[hart] holds
+// each hart's contribution (no inter-hart reduction, so no barrier).
+// args: 0 x, 8 y, 16 partial, 24 n, 32 ncores.
+
+const dotVectorSrc = `
+_start:
+	la   s0, args
+	ld   s1, 0(s0)
+	ld   s2, 8(s0)
+	ld   s3, 16(s0)      # partial
+	ld   s4, 24(s0)      # n
+	ld   s5, 32(s0)      # ncores
+	csrr s6, mhartid
+	add  t1, s4, s5
+	addi t1, t1, -1
+	divu t1, t1, s5      # chunk
+	mul  t2, s6, t1      # lo
+	add  t3, t2, t1      # hi
+	ble  t3, s4, dot_go
+	mv   t3, s4
+dot_go:
+	li   t5, 1
+	vsetvli zero, t5, e64, m1, ta, ma
+	vmv.s.x v8, zero     # accumulator
+dot_strip:
+	bge  t2, t3, dot_store
+	sub  t4, t3, t2
+	vsetvli t5, t4, e64, m1, ta, ma
+	slli t6, t2, 3
+	add  a2, s1, t6
+	vle64.v v1, (a2)
+	add  a2, s2, t6
+	vle64.v v2, (a2)
+	vfmul.vv v3, v1, v2
+	vfredusum.vs v8, v3, v8
+	add  t2, t2, t5
+	j    dot_strip
+dot_store:
+	vfmv.f.s fa0, v8
+	slli t6, s6, 3
+	add  a2, s3, t6
+	fsd  fa0, 0(a2)
+` + exitSeq + argsBlock
+
+func dotSetup(m *mem.Memory, args uint64, p Params) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	x := randVector(rng, p.N)
+	y := randVector(rng, p.N)
+	h := newHeap()
+	xAddr := h.alloc(8 * p.N)
+	yAddr := h.alloc(8 * p.N)
+	partAddr := h.alloc(8 * p.Cores)
+	writeF64s(m, xAddr, x)
+	writeF64s(m, yAddr, y)
+	writeU64s(m, args, []uint64{xAddr, yAddr, partAddr, uint64(p.N), uint64(p.Cores)})
+}
+
+func dotVerify(m *mem.Memory, args uint64, p Params) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	x := randVector(rng, p.N)
+	y := randVector(rng, p.N)
+	want := 0.0
+	for i := range x {
+		want += x[i] * y[i]
+	}
+	partAddr := m.Read64(args + 16)
+	got := 0.0
+	for _, v := range readF64s(m, partAddr, p.Cores) {
+		got += v
+	}
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		return fmt.Errorf("dot = %v, want %v", got, want)
+	}
+	return nil
+}
+
+// --- copy-vector (STREAM copy) ----------------------------------------
+//
+// y[i] = x[i] in contiguous chunks: the pure-bandwidth workload.
+// args: 0 x, 8 y, 16 n, 24 ncores.
+
+const copyVectorSrc = `
+_start:
+	la   s0, args
+	ld   s1, 0(s0)
+	ld   s2, 8(s0)
+	ld   s3, 16(s0)
+	ld   s4, 24(s0)
+	csrr s5, mhartid
+	add  t1, s3, s4
+	addi t1, t1, -1
+	divu t1, t1, s4
+	mul  t2, s5, t1
+	add  t3, t2, t1
+	ble  t3, s3, copy_go
+	mv   t3, s3
+copy_go:
+	bge  t2, t3, copy_exit
+	sub  t4, t3, t2
+	vsetvli t5, t4, e64, m1, ta, ma
+	slli t6, t2, 3
+	add  a2, s1, t6
+	vle64.v v1, (a2)
+	add  a2, s2, t6
+	vse64.v v1, (a2)
+	add  t2, t2, t5
+	j    copy_go
+copy_exit:
+` + exitSeq + argsBlock
+
+func copySetup(m *mem.Memory, args uint64, p Params) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	x := randVector(rng, p.N)
+	h := newHeap()
+	xAddr := h.alloc(8 * p.N)
+	yAddr := h.alloc(8 * p.N)
+	writeF64s(m, xAddr, x)
+	writeU64s(m, args, []uint64{xAddr, yAddr, uint64(p.N), uint64(p.Cores)})
+}
+
+func copyVerify(m *mem.Memory, args uint64, p Params) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	want := randVector(rng, p.N)
+	yAddr := m.Read64(args + 8)
+	return compare("y", readF64s(m, yAddr, p.N), want)
+}
+
+// --- histogram-atomic --------------------------------------------------
+//
+// bins[key[i]]++ via amoadd.d: the atomics-contention workload (HPDA
+// flavour). Keys are partitioned in contiguous chunks.
+// args: 0 keys, 8 bins, 16 n, 24 nbins, 32 ncores.
+
+const histogramSrc = `
+_start:
+	la   s0, args
+	ld   s1, 0(s0)       # keys
+	ld   s2, 8(s0)       # bins
+	ld   s3, 16(s0)      # n
+	ld   s5, 32(s0)      # ncores
+	csrr s6, mhartid
+	add  t1, s3, s5
+	addi t1, t1, -1
+	divu t1, t1, s5
+	mul  t2, s6, t1      # lo
+	add  t3, t2, t1      # hi
+	ble  t3, s3, hist_go
+	mv   t3, s3
+hist_go:
+	li   t6, 1
+hist_loop:
+	bge  t2, t3, hist_exit
+	slli t4, t2, 3
+	add  t5, s1, t4
+	ld   a2, 0(t5)       # key
+	slli a2, a2, 3
+	add  a2, s2, a2
+	amoadd.d zero, t6, (a2)
+	addi t2, t2, 1
+	j    hist_loop
+hist_exit:
+` + exitSeq + argsBlock
+
+const histBins = 64
+
+func histSetup(m *mem.Memory, args uint64, p Params) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	h := newHeap()
+	keysAddr := h.alloc(8 * p.N)
+	binsAddr := h.alloc(8 * histBins)
+	for i := 0; i < p.N; i++ {
+		m.Write64(keysAddr+uint64(i)*8, uint64(rng.Intn(histBins)))
+	}
+	writeU64s(m, args, []uint64{
+		keysAddr, binsAddr, uint64(p.N), histBins, uint64(p.Cores),
+	})
+}
+
+func histVerify(m *mem.Memory, args uint64, p Params) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	want := make([]uint64, histBins)
+	for i := 0; i < p.N; i++ {
+		want[rng.Intn(histBins)]++
+	}
+	binsAddr := m.Read64(args + 8)
+	for b := 0; b < histBins; b++ {
+		if got := m.Read64(binsAddr + uint64(b)*8); got != want[b] {
+			return fmt.Errorf("bins[%d] = %d, want %d", b, got, want[b])
+		}
+	}
+	return nil
+}
+
+func init() {
+	register(&Kernel{
+		Name:        "fft-scalar",
+		Description: "iterative radix-2 complex FFT with inter-stage barriers (paper future-work kernel)",
+		Source:      fftScalarSrc,
+		Setup:       fftSetup,
+		Verify:      fftVerify,
+	})
+	register(&Kernel{
+		Name:        "dot-vector",
+		Description: "vector dot product, per-hart partial sums",
+		Vector:      true,
+		Source:      dotVectorSrc,
+		Setup:       dotSetup,
+		Verify:      dotVerify,
+	})
+	register(&Kernel{
+		Name:        "copy-vector",
+		Description: "STREAM-style vector copy (pure bandwidth)",
+		Vector:      true,
+		Source:      copyVectorSrc,
+		Setup:       copySetup,
+		Verify:      copyVerify,
+	})
+	register(&Kernel{
+		Name:        "histogram-atomic",
+		Description: "atomic histogram via amoadd.d (HPDA contention workload)",
+		Source:      histogramSrc,
+		Setup:       histSetup,
+		Verify:      histVerify,
+	})
+}

@@ -1,0 +1,84 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFFTReferenceMatchesDFT(t *testing.T) {
+	// The host-side radix-2 reference must agree with a naive DFT.
+	p := Params{N: 16, Seed: 9}.withDefaults()
+	re, im := fftInput(p)
+	gotRe, gotIm := fftRef(re, im)
+	n := len(re)
+	for k := 0; k < n; k++ {
+		var wr, wi float64
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			wr += re[j]*c - im[j]*s
+			wi += re[j]*s + im[j]*c
+		}
+		if math.Abs(gotRe[k]-wr) > 1e-9 || math.Abs(gotIm[k]-wi) > 1e-9 {
+			t.Fatalf("bin %d: got (%v,%v), DFT (%v,%v)", k, gotRe[k], gotIm[k], wr, wi)
+		}
+	}
+}
+
+func TestBitrev(t *testing.T) {
+	cases := []struct{ in, bits, want int }{
+		{0, 3, 0}, {1, 3, 4}, {2, 3, 2}, {3, 3, 6},
+		{4, 3, 1}, {5, 3, 5}, {6, 3, 3}, {7, 3, 7},
+		{1, 4, 8},
+	}
+	for _, c := range cases {
+		if got := bitrev(c.in, c.bits); got != c.want {
+			t.Errorf("bitrev(%d,%d) = %d, want %d", c.in, c.bits, got, c.want)
+		}
+	}
+	// Property: bitrev is an involution.
+	for i := 0; i < 256; i++ {
+		if bitrev(bitrev(i, 8), 8) != i {
+			t.Fatalf("bitrev not involutive at %d", i)
+		}
+	}
+}
+
+func TestFFTSize(t *testing.T) {
+	for _, c := range []struct{ in, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {24, 32}, {64, 64}, {65, 128},
+	} {
+		if got := fftSize(c.in); got != c.want {
+			t.Errorf("fftSize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestFFTCoreCountInvariance: the barrier-synchronised multicore FFT must
+// produce the same spectrum at every core count.
+func TestFFTCoreCountInvariance(t *testing.T) {
+	// The verifier already compares against the host reference; running
+	// at several core counts proves the stage barriers are correct.
+	for _, cores := range []int{1, 2, 4, 8} {
+		res := runKernel(t, "fft-scalar", Params{N: 64, Cores: cores, Seed: 5})
+		if res.Instructions == 0 {
+			t.Fatalf("%d cores: nothing ran", cores)
+		}
+	}
+}
+
+func TestHistogramContention(t *testing.T) {
+	// All harts hammering 64 shared bins with amoadd must still count
+	// exactly (functional memory is shared); more cores, same totals.
+	runKernel(t, "histogram-atomic", Params{N: 4096, Cores: 8, Seed: 3})
+}
+
+func TestStreamCopyBandwidthBound(t *testing.T) {
+	res := runKernel(t, "copy-vector", Params{N: 8192, Cores: 4})
+	// A pure copy moves 2 lines per 8 elements: misses should dominate
+	// relative to compute (very high stall fraction).
+	if res.TotalStalls() < res.Cycles/4 {
+		t.Errorf("copy should be memory bound: stalls %d of %d hart-cycles",
+			res.TotalStalls(), res.Cycles)
+	}
+}

@@ -1,0 +1,100 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"github.com/coyote-sim/coyote/internal/mem"
+)
+
+// gemv-vector: dense y = A·x with one row per hart iteration, strip-mined
+// dot products with an ordered reduction — the dense counterpart of the
+// gather-based SpMV, useful to isolate how much of SpMV's cost is the
+// gather itself.
+//
+// args: 0 A (row-major), 8 x, 16 y, 24 n, 32 ncores.
+
+const gemvVectorSrc = `
+_start:
+	la   s0, args
+	ld   s1, 0(s0)       # A
+	ld   s2, 8(s0)       # x
+	ld   s3, 16(s0)      # y
+	ld   s4, 24(s0)      # n
+	ld   s5, 32(s0)      # ncores
+	csrr s6, mhartid
+	mv   t0, s6          # i
+gemv_row:
+	bge  t0, s4, gemv_exit
+	li   t5, 1
+	vsetvli zero, t5, e64, m1, ta, ma
+	vmv.s.x v8, zero
+	mul  t2, t0, s4
+	slli t2, t2, 3
+	add  t2, s1, t2      # &A[i][0]
+	li   t1, 0           # j
+gemv_strip:
+	bge  t1, s4, gemv_store
+	sub  t3, s4, t1
+	vsetvli t4, t3, e64, m1, ta, ma
+	slli t5, t1, 3
+	add  t6, t2, t5
+	vle64.v v1, (t6)     # row slice
+	add  t6, s2, t5
+	vle64.v v2, (t6)     # x slice
+	vfmul.vv v3, v1, v2
+	vfredusum.vs v8, v3, v8
+	add  t1, t1, t4
+	j    gemv_strip
+gemv_store:
+	vfmv.f.s fa0, v8
+	slli t5, t0, 3
+	add  t6, s3, t5
+	fsd  fa0, 0(t6)
+	add  t0, t0, s5
+	j    gemv_row
+gemv_exit:
+` + exitSeq + argsBlock
+
+func gemvSetup(m *mem.Memory, args uint64, p Params) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	a := randMatrix(rng, n, n)
+	x := randVector(rng, n)
+	h := newHeap()
+	aAddr := h.alloc(8 * n * n)
+	xAddr := h.alloc(8 * n)
+	yAddr := h.alloc(8 * n)
+	writeF64s(m, aAddr, a)
+	writeF64s(m, xAddr, x)
+	writeU64s(m, args, []uint64{aAddr, xAddr, yAddr, uint64(n), uint64(p.Cores)})
+}
+
+func gemvVerify(m *mem.Memory, args uint64, p Params) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	a := randMatrix(rng, n, n)
+	x := randVector(rng, n)
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc += a[i*n+j] * x[j]
+		}
+		want[i] = acc
+	}
+	yAddr := m.Read64(args + 16)
+	return compare("y", readF64s(m, yAddr, n), want)
+}
+
+func init() {
+	register(&Kernel{
+		Name:        "gemv-vector",
+		Description: "dense matrix-vector multiply, strip-mined dot products",
+		Vector:      true,
+		Source:      gemvVectorSrc,
+		Setup:       gemvSetup,
+		Verify:      gemvVerify,
+	})
+}

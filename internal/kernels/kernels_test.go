@@ -1,0 +1,219 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/asm"
+	"github.com/coyote-sim/coyote/internal/core"
+)
+
+// runKernel assembles, sets up, simulates and verifies one kernel.
+func runKernel(t *testing.T, name string, p Params) *core.Result {
+	t.Helper()
+	k, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(k.Source)
+	if err != nil {
+		t.Fatalf("%s: assemble: %v", name, err)
+	}
+	cfg := core.DefaultConfig(p.Cores)
+	sys, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.LoadProgram(prog)
+	args := sys.MustSymbol("args")
+	k.Setup(sys.Mem, args, p)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("%s: run: %v", name, err)
+	}
+	if err := k.Verify(sys.Mem, args, p); err != nil {
+		t.Fatalf("%s: verify: %v", name, err)
+	}
+	return res
+}
+
+func TestAllKernelsAssemble(t *testing.T) {
+	for _, name := range Names() {
+		k, _ := Get(name)
+		if _, err := asm.Assemble(k.Source); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Names()) < 10 {
+		t.Errorf("expected ≥10 kernels, have %v", Names())
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Error("Get(nonexistent) should fail")
+	}
+	for _, name := range Names() {
+		k, err := Get(name)
+		if err != nil || k.Name != name || k.Description == "" {
+			t.Errorf("registry entry %q broken", name)
+		}
+	}
+}
+
+func TestKernelsSingleCore(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := runKernel(t, name, Params{N: 24, Cores: 1, Seed: 7})
+			if res.Instructions == 0 {
+				t.Error("no instructions executed")
+			}
+		})
+	}
+}
+
+func TestKernelsFourCores(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := runKernel(t, name, Params{N: 24, Cores: 4, Seed: 11})
+			// All four harts must participate for N >> cores.
+			for i, hs := range res.HartStats {
+				if hs.Instret == 0 {
+					t.Errorf("hart %d retired nothing", i)
+				}
+			}
+		})
+	}
+}
+
+func TestVectorKernelsUseVectorUnit(t *testing.T) {
+	for _, name := range Names() {
+		k, _ := Get(name)
+		res := runKernel(t, name, Params{N: 24, Cores: 1, Seed: 3})
+		hasVec := res.HartStats[0].VectorOps > 0
+		if k.Vector && !hasVec {
+			t.Errorf("%s claims vector but retired no vector ops", name)
+		}
+		if !k.Vector && hasVec {
+			t.Errorf("%s claims scalar but retired vector ops", name)
+		}
+	}
+}
+
+func TestVectorFewerInstructionsThanScalar(t *testing.T) {
+	scalar := runKernel(t, "matmul-scalar", Params{N: 32, Cores: 1})
+	vector := runKernel(t, "matmul-vector", Params{N: 32, Cores: 1})
+	if vector.Instructions >= scalar.Instructions {
+		t.Errorf("vector matmul %d instrs, scalar %d — vectorisation should shrink the count",
+			vector.Instructions, scalar.Instructions)
+	}
+}
+
+func TestSpMVVariantsAgree(t *testing.T) {
+	// All four SpMV implementations verified against the same reference;
+	// this test additionally checks they do substantially different work.
+	p := Params{N: 64, Cores: 2, Density: 0.05, Seed: 13}
+	scalar := runKernel(t, "spmv-scalar", p)
+	gather := runKernel(t, "spmv-vector-gather", p)
+	wide := runKernel(t, "spmv-vector-wide", p)
+	ell := runKernel(t, "spmv-vector-ell", p)
+	if gather.Instructions >= scalar.Instructions {
+		t.Errorf("gather SpMV should retire fewer instructions than scalar (%d vs %d)",
+			gather.Instructions, scalar.Instructions)
+	}
+	// LMUL=4 reduces strip count further on wide rows. With density 0.05
+	// and N=64 rows are short, so just require it to be valid & distinct.
+	if wide.Instructions == gather.Instructions {
+		t.Log("wide and gather retired identical instruction counts (short rows)")
+	}
+	if ell.Instructions == 0 {
+		t.Error("ell ran nothing")
+	}
+}
+
+func TestCSRGenerator(t *testing.T) {
+	c := RandCSR(100, 0.05, 1)
+	if c.N != 100 || len(c.RowPtr) != 101 {
+		t.Fatalf("bad shape: %+v", c)
+	}
+	perRow := 5
+	if c.NNZ() != 100*perRow {
+		t.Errorf("nnz = %d, want %d", c.NNZ(), 100*perRow)
+	}
+	for i := 0; i < c.N; i++ {
+		prev := int64(-1)
+		for j := c.RowPtr[i]; j < c.RowPtr[i+1]; j++ {
+			if int64(c.Col[j]) <= prev {
+				t.Fatalf("row %d columns not strictly increasing", i)
+			}
+			prev = int64(c.Col[j])
+			if c.Col[j] >= uint64(c.N) {
+				t.Fatalf("column out of range")
+			}
+		}
+	}
+	// Determinism.
+	c2 := RandCSR(100, 0.05, 1)
+	if c2.NNZ() != c.NNZ() || c2.Col[10] != c.Col[10] {
+		t.Error("generator not deterministic")
+	}
+	c3 := RandCSR(100, 0.05, 2)
+	same := true
+	for i := range c.Col {
+		if c.Col[i] != c3.Col[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical matrices")
+	}
+}
+
+func TestELLConversion(t *testing.T) {
+	c := RandCSR(32, 0.1, 5)
+	val, col, width := c.ToELL()
+	if width != c.MaxRowNNZ() {
+		t.Errorf("width %d != max row %d", width, c.MaxRowNNZ())
+	}
+	if len(val) != width*c.N || len(col) != width*c.N {
+		t.Fatal("bad ELL size")
+	}
+	// ELL must compute the same SpMV as CSR.
+	x := make([]float64, c.N)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	want := c.SpMV(x)
+	got := make([]float64, c.N)
+	for i := 0; i < c.N; i++ {
+		for k := 0; k < width; k++ {
+			got[i] += val[k*c.N+i] * x[col[k*c.N+i]]
+		}
+	}
+	if err := compare("ell-spmv", got, want); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGatherHasWorseLocality(t *testing.T) {
+	// The core claim Coyote is built to study: sparse gathers produce far
+	// more L1 misses per retired instruction than dense streaming.
+	p := Params{N: 96, Cores: 1, Density: 0.08, Seed: 17}
+	dense := runKernel(t, "matmul-vector", Params{N: 32, Cores: 1, Seed: 17})
+	sparse := runKernel(t, "spmv-vector-gather", p)
+	denseRate := float64(dense.L1D.Misses) / float64(dense.Instructions)
+	sparseRate := float64(sparse.L1D.Misses) / float64(sparse.Instructions)
+	if sparseRate <= denseRate {
+		t.Errorf("gather miss rate/instr %.4f should exceed dense %.4f",
+			sparseRate, denseRate)
+	}
+}
+
+func TestParamDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.N == 0 || p.Cores == 0 || p.Density == 0 || p.Seed == 0 {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+}

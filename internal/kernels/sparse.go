@@ -1,0 +1,304 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"github.com/coyote-sim/coyote/internal/mem"
+)
+
+// Sparse kernels: CSR SpMV in scalar form plus the paper's "three
+// different implementations" of vector SpMV:
+//
+//   spmv-vector-gather — CSR, one row at a time, indexed loads (gather) of
+//     x and an ordered reduction per strip (LMUL=1).
+//   spmv-vector-wide   — the same algorithm with LMUL=4 register groups:
+//     longer strips, fewer instructions, burstier gathers.
+//   spmv-vector-ell    — ELLPACK, vectorised *across rows*: each lane owns
+//     a row, padding contributes zero.
+//
+// CSR argument block: 0 rowptr, 8 col, 16 val, 24 x, 32 y, 40 nrows,
+// 48 ncores. ELL argument block: 0 val, 8 col, 16 x, 24 y, 32 nrows,
+// 40 width, 48 ncores.
+
+func csrSetup(m *mem.Memory, args uint64, p Params) {
+	p = p.withDefaults()
+	a := RandCSR(p.N, p.Density, p.Seed)
+	x := randVector(randFor(p), p.N)
+	h := newHeap()
+	rowptrAddr := h.alloc(8 * (a.N + 1))
+	colAddr := h.alloc(8 * a.NNZ())
+	valAddr := h.alloc(8 * a.NNZ())
+	xAddr := h.alloc(8 * p.N)
+	yAddr := h.alloc(8 * p.N)
+	writeU64s(m, rowptrAddr, a.RowPtr)
+	writeU64s(m, colAddr, a.Col)
+	writeF64s(m, valAddr, a.Val)
+	writeF64s(m, xAddr, x)
+	writeU64s(m, args, []uint64{
+		rowptrAddr, colAddr, valAddr, xAddr, yAddr,
+		uint64(p.N), uint64(p.Cores),
+	})
+}
+
+func csrVerify(m *mem.Memory, args uint64, p Params) error {
+	p = p.withDefaults()
+	a := RandCSR(p.N, p.Density, p.Seed)
+	x := randVector(randFor(p), p.N)
+	want := a.SpMV(x)
+	yAddr := m.Read64(args + 32)
+	return compare("y", readF64s(m, yAddr, p.N), want)
+}
+
+func ellSetup(m *mem.Memory, args uint64, p Params) {
+	p = p.withDefaults()
+	a := RandCSR(p.N, p.Density, p.Seed)
+	val, col, width := a.ToELL()
+	x := randVector(randFor(p), p.N)
+	h := newHeap()
+	valAddr := h.alloc(8 * len(val))
+	colAddr := h.alloc(8 * len(col))
+	xAddr := h.alloc(8 * p.N)
+	yAddr := h.alloc(8 * p.N)
+	writeF64s(m, valAddr, val)
+	writeU64s(m, colAddr, col)
+	writeF64s(m, xAddr, x)
+	writeU64s(m, args, []uint64{
+		valAddr, colAddr, xAddr, yAddr,
+		uint64(p.N), uint64(width), uint64(p.Cores),
+	})
+}
+
+func ellVerify(m *mem.Memory, args uint64, p Params) error {
+	p = p.withDefaults()
+	a := RandCSR(p.N, p.Density, p.Seed)
+	x := randVector(randFor(p), p.N)
+	want := a.SpMV(x)
+	yAddr := m.Read64(args + 24)
+	return compare("y", readF64s(m, yAddr, p.N), want)
+}
+
+const spmvScalarSrc = `
+# y = A*x, CSR, rows round-robin across harts (Figure 3 workload).
+_start:
+	la   s0, args
+	ld   s1, 0(s0)       # rowptr
+	ld   s2, 8(s0)       # col
+	ld   s3, 16(s0)      # val
+	ld   s4, 24(s0)      # x
+	ld   s5, 32(s0)      # y
+	ld   s6, 40(s0)      # nrows
+	ld   s7, 48(s0)      # ncores
+	csrr t0, mhartid
+ssp_row:
+	bge  t0, s6, ssp_exit
+	slli t1, t0, 3
+	add  t2, s1, t1
+	ld   t3, 0(t2)       # j = rowptr[i]
+	ld   t4, 8(t2)       # end = rowptr[i+1]
+	fmv.d.x fa0, zero
+ssp_nnz:
+	bge  t3, t4, ssp_store
+	slli t5, t3, 3
+	add  t6, s2, t5
+	ld   s8, 0(t6)       # col[j]
+	add  s9, s3, t5
+	fld  fa1, 0(s9)      # val[j]
+	slli s8, s8, 3
+	add  s8, s4, s8
+	fld  fa2, 0(s8)      # x[col[j]]
+	fmadd.d fa0, fa1, fa2, fa0
+	addi t3, t3, 1
+	j    ssp_nnz
+ssp_store:
+	slli t1, t0, 3
+	add  t2, s5, t1
+	fsd  fa0, 0(t2)
+	add  t0, t0, s7
+	j    ssp_row
+ssp_exit:
+` + exitSeq + argsBlock
+
+const spmvGatherSrc = `
+# Vector CSR SpMV: per row, strip-mine nonzeros; gather x via vluxei64 and
+# reduce with vfredusum (LMUL=1).
+_start:
+	la   s0, args
+	ld   s1, 0(s0)
+	ld   s2, 8(s0)
+	ld   s3, 16(s0)
+	ld   s4, 24(s0)
+	ld   s5, 32(s0)
+	ld   s6, 40(s0)
+	ld   s7, 48(s0)
+	csrr t0, mhartid
+vsp_row:
+	bge  t0, s6, vsp_exit
+	slli t1, t0, 3
+	add  t2, s1, t1
+	ld   t3, 0(t2)       # j
+	ld   t4, 8(t2)       # end
+	li   t5, 1
+	vsetvli zero, t5, e64, m1, ta, ma
+	vmv.s.x v8, zero     # accumulator element
+vsp_strip:
+	bge  t3, t4, vsp_store
+	sub  t5, t4, t3
+	vsetvli t6, t5, e64, m1, ta, ma
+	slli s8, t3, 3
+	add  s9, s3, s8
+	vle64.v v1, (s9)         # vals
+	add  s9, s2, s8
+	vle64.v v2, (s9)         # column indices
+	vsll.vi v2, v2, 3        # byte offsets
+	vluxei64.v v3, (s4), v2  # gather x
+	vfmul.vv v4, v1, v3
+	vfredusum.vs v8, v4, v8
+	add  t3, t3, t6
+	j    vsp_strip
+vsp_store:
+	vfmv.f.s fa0, v8
+	slli t1, t0, 3
+	add  t2, s5, t1
+	fsd  fa0, 0(t2)
+	add  t0, t0, s7
+	j    vsp_row
+vsp_exit:
+` + exitSeq + argsBlock
+
+const spmvWideSrc = `
+# Vector CSR SpMV with LMUL=4 register groups: the same gather+reduce
+# algorithm with 4x longer strips.
+_start:
+	la   s0, args
+	ld   s1, 0(s0)
+	ld   s2, 8(s0)
+	ld   s3, 16(s0)
+	ld   s4, 24(s0)
+	ld   s5, 32(s0)
+	ld   s6, 40(s0)
+	ld   s7, 48(s0)
+	csrr t0, mhartid
+wsp_row:
+	bge  t0, s6, wsp_exit
+	slli t1, t0, 3
+	add  t2, s1, t1
+	ld   t3, 0(t2)
+	ld   t4, 8(t2)
+	li   t5, 1
+	vsetvli zero, t5, e64, m1, ta, ma
+	vmv.s.x v1, zero
+wsp_strip:
+	bge  t3, t4, wsp_store
+	sub  t5, t4, t3
+	vsetvli t6, t5, e64, m4, ta, ma
+	slli s8, t3, 3
+	add  s9, s3, s8
+	vle64.v v4, (s9)
+	add  s9, s2, s8
+	vle64.v v8, (s9)
+	vsll.vi v8, v8, 3
+	vluxei64.v v12, (s4), v8
+	vfmul.vv v16, v4, v12
+	vfredusum.vs v1, v16, v1
+	add  t3, t3, t6
+	j    wsp_strip
+wsp_store:
+	li   t5, 1
+	vsetvli zero, t5, e64, m1, ta, ma
+	vfmv.f.s fa0, v1
+	slli t1, t0, 3
+	add  t2, s5, t1
+	fsd  fa0, 0(t2)
+	add  t0, t0, s7
+	j    wsp_row
+wsp_exit:
+` + exitSeq + argsBlock
+
+const spmvEllSrc = `
+# Vector ELL SpMV: lanes own rows; per diagonal k, gather x[col[k][lane]]
+# and vfmacc into the per-lane accumulator. Contiguous row chunks per hart.
+_start:
+	la   s0, args
+	ld   s1, 0(s0)       # ellval (column-major)
+	ld   s2, 8(s0)       # ellcol
+	ld   s3, 16(s0)      # x
+	ld   s4, 24(s0)      # y
+	ld   s5, 32(s0)      # nrows
+	ld   s6, 40(s0)      # width
+	ld   s7, 48(s0)      # ncores
+	csrr t0, mhartid
+	add  t1, s5, s7
+	addi t1, t1, -1
+	divu t1, t1, s7      # chunk = ceil(nrows/ncores)
+	mul  t2, t0, t1      # lo
+	add  t3, t2, t1      # hi
+	ble  t3, s5, esp_clamped
+	mv   t3, s5
+esp_clamped:
+	slli s8, s5, 3       # diagonal stride = nrows*8
+esp_strip:
+	bge  t2, t3, esp_exit
+	sub  t4, t3, t2
+	vsetvli t5, t4, e64, m1, ta, ma
+	vmv.v.i v8, 0
+	li   t6, 0           # k
+	slli s9, t2, 3
+	add  s10, s1, s9     # &val[k=0][lo]
+	add  s11, s2, s9     # &col[k=0][lo]
+esp_k:
+	bge  t6, s6, esp_kdone
+	vle64.v v1, (s10)
+	vle64.v v2, (s11)
+	vsll.vi v2, v2, 3
+	vluxei64.v v3, (s3), v2
+	vfmacc.vv v8, v1, v3
+	add  s10, s10, s8
+	add  s11, s11, s8
+	addi t6, t6, 1
+	j    esp_k
+esp_kdone:
+	slli s9, t2, 3
+	add  s9, s4, s9
+	vse64.v v8, (s9)
+	add  t2, t2, t5
+	j    esp_strip
+esp_exit:
+` + exitSeq + argsBlock
+
+func init() {
+	register(&Kernel{
+		Name:        "spmv-scalar",
+		Description: "scalar CSR sparse matrix-vector multiply (Figure 3 workload)",
+		Source:      spmvScalarSrc,
+		Setup:       csrSetup,
+		Verify:      csrVerify,
+	})
+	register(&Kernel{
+		Name:        "spmv-vector-gather",
+		Description: "vector CSR SpMV: gather + reduction per row (LMUL=1)",
+		Vector:      true,
+		Source:      spmvGatherSrc,
+		Setup:       csrSetup,
+		Verify:      csrVerify,
+	})
+	register(&Kernel{
+		Name:        "spmv-vector-wide",
+		Description: "vector CSR SpMV with LMUL=4 register groups",
+		Vector:      true,
+		Source:      spmvWideSrc,
+		Setup:       csrSetup,
+		Verify:      csrVerify,
+	})
+	register(&Kernel{
+		Name:        "spmv-vector-ell",
+		Description: "vector ELLPACK SpMV: rows across lanes",
+		Vector:      true,
+		Source:      spmvEllSrc,
+		Setup:       ellSetup,
+		Verify:      ellVerify,
+	})
+}
+
+// randFor builds the x-vector RNG; a distinct stream from the matrix so
+// Setup/Verify stay in sync without regenerating the matrix first.
+func randFor(p Params) *rand.Rand { return rand.New(rand.NewSource(p.Seed + 1)) }

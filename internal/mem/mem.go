@@ -1,0 +1,182 @@
+// Package mem implements the simulated physical memory: a sparse,
+// page-granular, little-endian 64-bit address space shared by all harts.
+// Functional state lives here; the cache models in internal/cache and
+// internal/uncore are tag-only timing filters layered on top.
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// PageBits is log2 of the backing page size.
+const PageBits = 12
+
+// PageSize is the backing page size in bytes.
+const PageSize = 1 << PageBits
+
+const pageMask = PageSize - 1
+
+type page [PageSize]byte
+
+// Memory is a sparse physical memory. The zero value is not usable; call
+// New. Memory is not safe for concurrent mutation; the simulator core is
+// single-threaded by design (see DESIGN.md §5).
+type Memory struct {
+	pages map[uint64]*page
+
+	// one-entry lookaside to avoid a map hit on every access.
+	lastBase uint64
+	lastPage *page
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64) *page {
+	base := addr &^ pageMask
+	if m.lastPage != nil && base == m.lastBase {
+		return m.lastPage
+	}
+	p, ok := m.pages[base]
+	if !ok {
+		p = new(page)
+		m.pages[base] = p
+	}
+	m.lastBase, m.lastPage = base, p
+	return p
+}
+
+// Pages returns the number of populated backing pages.
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Footprint returns the populated memory size in bytes.
+func (m *Memory) Footprint() uint64 { return uint64(len(m.pages)) * PageSize }
+
+// Reset drops all contents.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*page)
+	m.lastPage = nil
+	m.lastBase = 0
+}
+
+// Read8 loads one byte.
+func (m *Memory) Read8(addr uint64) uint8 {
+	return m.pageFor(addr)[addr&pageMask]
+}
+
+// Write8 stores one byte.
+func (m *Memory) Write8(addr uint64, v uint8) {
+	m.pageFor(addr)[addr&pageMask] = v
+}
+
+// Read16 loads a little-endian 16-bit value (any alignment).
+func (m *Memory) Read16(addr uint64) uint16 {
+	if addr&pageMask <= PageSize-2 {
+		p := m.pageFor(addr)
+		o := addr & pageMask
+		return uint16(p[o]) | uint16(p[o+1])<<8
+	}
+	return uint16(m.Read8(addr)) | uint16(m.Read8(addr+1))<<8
+}
+
+// Write16 stores a little-endian 16-bit value.
+func (m *Memory) Write16(addr uint64, v uint16) {
+	if addr&pageMask <= PageSize-2 {
+		p := m.pageFor(addr)
+		o := addr & pageMask
+		p[o] = byte(v)
+		p[o+1] = byte(v >> 8)
+		return
+	}
+	m.Write8(addr, byte(v))
+	m.Write8(addr+1, byte(v>>8))
+}
+
+// Read32 loads a little-endian 32-bit value.
+func (m *Memory) Read32(addr uint64) uint32 {
+	if addr&pageMask <= PageSize-4 {
+		p := m.pageFor(addr)
+		o := addr & pageMask
+		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+	}
+	return uint32(m.Read16(addr)) | uint32(m.Read16(addr+2))<<16
+}
+
+// Write32 stores a little-endian 32-bit value.
+func (m *Memory) Write32(addr uint64, v uint32) {
+	if addr&pageMask <= PageSize-4 {
+		p := m.pageFor(addr)
+		o := addr & pageMask
+		p[o] = byte(v)
+		p[o+1] = byte(v >> 8)
+		p[o+2] = byte(v >> 16)
+		p[o+3] = byte(v >> 24)
+		return
+	}
+	m.Write16(addr, uint16(v))
+	m.Write16(addr+2, uint16(v>>16))
+}
+
+// Read64 loads a little-endian 64-bit value.
+func (m *Memory) Read64(addr uint64) uint64 {
+	if addr&pageMask <= PageSize-8 {
+		p := m.pageFor(addr)
+		o := addr & pageMask
+		return uint64(p[o]) | uint64(p[o+1])<<8 | uint64(p[o+2])<<16 | uint64(p[o+3])<<24 |
+			uint64(p[o+4])<<32 | uint64(p[o+5])<<40 | uint64(p[o+6])<<48 | uint64(p[o+7])<<56
+	}
+	return uint64(m.Read32(addr)) | uint64(m.Read32(addr+4))<<32
+}
+
+// Write64 stores a little-endian 64-bit value.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	if addr&pageMask <= PageSize-8 {
+		p := m.pageFor(addr)
+		o := addr & pageMask
+		p[o] = byte(v)
+		p[o+1] = byte(v >> 8)
+		p[o+2] = byte(v >> 16)
+		p[o+3] = byte(v >> 24)
+		p[o+4] = byte(v >> 32)
+		p[o+5] = byte(v >> 40)
+		p[o+6] = byte(v >> 48)
+		p[o+7] = byte(v >> 56)
+		return
+	}
+	m.Write32(addr, uint32(v))
+	m.Write32(addr+4, uint32(v>>32))
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Read8(addr + uint64(i))
+	}
+	return out
+}
+
+// WriteBytes stores b starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i, v := range b {
+		m.Write8(addr+uint64(i), v)
+	}
+}
+
+// ReadFloat64 loads an IEEE-754 double.
+func (m *Memory) ReadFloat64(addr uint64) float64 {
+	return math.Float64frombits(m.Read64(addr))
+}
+
+// WriteFloat64 stores an IEEE-754 double.
+func (m *Memory) WriteFloat64(addr uint64, v float64) {
+	m.Write64(addr, math.Float64bits(v))
+}
+
+// String summarises the memory for debugging.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{%d pages, %d KiB}", len(m.pages), m.Footprint()/1024)
+}

@@ -1,0 +1,307 @@
+package riscv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allOps returns every opcode with an encoding row.
+func allOps() []Op {
+	var ops []Op
+	for op := Op(1); op < opMax; op++ {
+		if encodeRows[op] != nil {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+func TestEveryOpHasEncoding(t *testing.T) {
+	for op := Op(1); op < opMax; op++ {
+		if encodeRows[op] == nil {
+			t.Errorf("op %v has no encoding row", op)
+		}
+		if op.String() == "invalid" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+}
+
+func TestEncodingMaskCoversMatch(t *testing.T) {
+	for _, r := range encTable {
+		if r.match&^r.mask != 0 {
+			t.Errorf("%v: match bits %#x outside mask %#x", r.op, r.match, r.mask)
+		}
+		if r.mask&0x7f != 0x7f {
+			t.Errorf("%v: major opcode not fully fixed", r.op)
+		}
+	}
+}
+
+// randInstr builds a random but encodable Instr for op.
+func randInstr(rng *rand.Rand, op Op) Instr {
+	r := encodeRows[op]
+	in := Instr{Op: op, VM: true}
+	reg := func() uint8 { return uint8(rng.Intn(32)) }
+	switch r.f {
+	case ofsR, ofsVSETVL:
+		in.Rd, in.Rs1, in.Rs2 = reg(), reg(), reg()
+	case ofsR4:
+		in.Rd, in.Rs1, in.Rs2, in.Rs3 = reg(), reg(), reg(), reg()
+	case ofsI:
+		in.Rd, in.Rs1 = reg(), reg()
+		in.Imm = int64(rng.Intn(4096) - 2048)
+	case ofsISh6:
+		in.Rd, in.Rs1 = reg(), reg()
+		in.Imm = int64(rng.Intn(64))
+	case ofsISh5:
+		in.Rd, in.Rs1 = reg(), reg()
+		in.Imm = int64(rng.Intn(32))
+	case ofsS:
+		in.Rs1, in.Rs2 = reg(), reg()
+		in.Imm = int64(rng.Intn(4096) - 2048)
+	case ofsB:
+		in.Rs1, in.Rs2 = reg(), reg()
+		in.Imm = int64(rng.Intn(8192)-4096) &^ 1
+	case ofsU:
+		in.Rd = reg()
+		in.Imm = int64(rng.Intn(1 << 20))
+	case ofsJ:
+		in.Rd = reg()
+		in.Imm = int64(rng.Intn(1<<21)-(1<<20)) &^ 1
+	case ofsCSR:
+		in.Rd, in.Rs1 = reg(), reg()
+		in.Imm = int64(rng.Intn(1 << 12))
+	case ofsRdRs1, ofsOPSX:
+		in.Rd, in.Rs1 = reg(), reg()
+	case ofsVL, ofsVS:
+		in.Rd, in.Rs1 = reg(), reg()
+		in.VM = rng.Intn(2) == 0
+	case ofsVLS, ofsVSS, ofsVLX, ofsVSX:
+		in.Rd, in.Rs1, in.Rs2 = reg(), reg(), reg()
+		in.VM = rng.Intn(2) == 0
+	case ofsOPVV, ofsOPVX:
+		in.Rd, in.Rs1, in.Rs2 = reg(), reg(), reg()
+		if r.mask&(1<<25) == 0 {
+			in.VM = rng.Intn(2) == 0
+		}
+	case ofsOPVI:
+		in.Rd, in.Rs2 = reg(), reg()
+		in.Imm = int64(rng.Intn(32) - 16)
+		if r.mask&(1<<25) == 0 {
+			in.VM = rng.Intn(2) == 0
+		}
+	case ofsOPMV:
+		in.Rd, in.Rs2 = reg(), reg()
+		in.VM = rng.Intn(2) == 0
+	case ofsOPMVV:
+		in.Rd = reg()
+		in.VM = rng.Intn(2) == 0
+	case ofsVSETVLI:
+		in.Rd, in.Rs1 = reg(), reg()
+		vt, _ := EncodeVType(VType{SEW: 64, LMUL: 1 << uint(rng.Intn(4)), TA: true, MA: true})
+		in.Imm = vt
+	case ofsVSETIVLI:
+		in.Rd, in.Rs1 = reg(), uint8(rng.Intn(32))
+		vt, _ := EncodeVType(VType{SEW: 32, LMUL: 1})
+		in.Imm = vt
+	}
+	// vmv.* and friends have vs2 fixed to zero in the encoding; the decoder
+	// returns Rs2 = 0 for them, so zero it here for a faithful round-trip.
+	if r.mask&(0x1f<<20) != 0 && (r.f == ofsOPVV || r.f == ofsOPVX || r.f == ofsOPVI) {
+		in.Rs2 = 0
+	}
+	return in
+}
+
+// TestEncodeDecodeRoundTrip is the central property test: for every opcode,
+// encode(instr) must decode back to the identical Instr.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, op := range allOps() {
+		for trial := 0; trial < 64; trial++ {
+			want := randInstr(rng, op)
+			raw, err := Encode(want)
+			if err != nil {
+				t.Fatalf("%v: encode: %v", op, err)
+			}
+			got, err := Decode(raw)
+			if err != nil {
+				t.Fatalf("%v: decode(%#08x): %v", op, raw, err)
+			}
+			if got != want {
+				t.Fatalf("%v: round trip mismatch\nword %#08x\nwant %+v\ngot  %+v",
+					op, raw, want, got)
+			}
+		}
+	}
+}
+
+// TestDecodeUnambiguous checks that no two encoding rows can claim the same
+// word: for every encoded random instruction exactly one row matches.
+func TestDecodeUnambiguous(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, op := range allOps() {
+		for trial := 0; trial < 16; trial++ {
+			raw := MustEncode(randInstr(rng, op))
+			matches := 0
+			for _, r := range encTable {
+				if raw&r.mask == r.match {
+					matches++
+				}
+			}
+			if matches != 1 {
+				t.Fatalf("%v: word %#08x matched %d rows", op, raw, matches)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, w := range []uint32{0, 0xffffffff, 0x00000002, 0xdeadbeef} {
+		if in, err := Decode(w); err == nil {
+			// A lucky random word may decode; only all-zero/all-one must fail.
+			if w == 0 || w == 0xffffffff {
+				t.Errorf("Decode(%#08x) = %v, want error", w, in)
+			}
+		}
+	}
+}
+
+func TestKnownEncodings(t *testing.T) {
+	// Golden words cross-checked against the RISC-V spec examples /
+	// GNU assembler output.
+	cases := []struct {
+		in   Instr
+		want uint32
+	}{
+		// addi a0, a1, 42
+		{Instr{Op: OpADDI, Rd: 10, Rs1: 11, Imm: 42, VM: true}, 0x02a58513},
+		// add a0, a1, a2
+		{Instr{Op: OpADD, Rd: 10, Rs1: 11, Rs2: 12, VM: true}, 0x00c58533},
+		// lui t0, 0x12345
+		{Instr{Op: OpLUI, Rd: 5, Imm: 0x12345, VM: true}, 0x123452b7},
+		// ld a0, 16(sp)
+		{Instr{Op: OpLD, Rd: 10, Rs1: 2, Imm: 16, VM: true}, 0x01013503},
+		// sd a0, 8(sp)
+		{Instr{Op: OpSD, Rs1: 2, Rs2: 10, Imm: 8, VM: true}, 0x00a13423},
+		// beq a0, a1, +8
+		{Instr{Op: OpBEQ, Rs1: 10, Rs2: 11, Imm: 8, VM: true}, 0x00b50463},
+		// jal ra, +16
+		{Instr{Op: OpJAL, Rd: 1, Imm: 16, VM: true}, 0x010000ef},
+		// ecall
+		{Instr{Op: OpECALL, VM: true}, 0x00000073},
+		// mul a0, a1, a2
+		{Instr{Op: OpMUL, Rd: 10, Rs1: 11, Rs2: 12, VM: true}, 0x02c58533},
+		// csrrs a0, mhartid, zero
+		{Instr{Op: OpCSRRS, Rd: 10, Rs1: 0, Imm: CSRMHartID, VM: true}, 0xf1402573},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.in)
+		if err != nil {
+			t.Fatalf("%v: %v", c.in.Op, err)
+		}
+		if got != c.want {
+			t.Errorf("Encode(%v %s) = %#08x, want %#08x",
+				c.in.Op, Disasm(c.in), got, c.want)
+		}
+	}
+}
+
+func TestVTypeRoundTrip(t *testing.T) {
+	f := func(sewSel, lmulSel uint8, ta, ma bool) bool {
+		vt := VType{
+			SEW:  8 << (sewSel % 4),
+			LMUL: 1 << (lmulSel % 4),
+			TA:   ta,
+			MA:   ma,
+		}
+		enc, err := EncodeVType(vt)
+		if err != nil {
+			return false
+		}
+		dec, ok := DecodeVType(uint64(enc))
+		return ok && dec == vt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeVTypeIllegal(t *testing.T) {
+	if _, ok := DecodeVType(1 << 63); ok {
+		t.Error("vill bit should make DecodeVType fail")
+	}
+	if _, ok := DecodeVType(0x7); ok {
+		t.Error("fractional LMUL should be rejected")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{OpLD, ClassLoad},
+		{OpSD, ClassStore},
+		{OpBEQ, ClassBranch},
+		{OpJAL, ClassBranch},
+		{OpADD, ClassALU},
+		{OpFADDD, ClassFloat},
+		{OpVLE64, ClassVector | ClassVectorMem | ClassLoad},
+		{OpVSE64, ClassVector | ClassVectorMem | ClassStore},
+		{OpVLUXEI64, ClassVector | ClassVectorMem | ClassLoad},
+		{OpVSUXEI64, ClassVector | ClassVectorMem | ClassStore},
+		{OpVFMACCVV, ClassVector},
+		{OpAMOADDD, ClassAtomic | ClassLoad | ClassStore},
+		{OpCSRRS, ClassCSR | ClassSystem},
+	}
+	for _, c := range cases {
+		if got := c.op.Classify(); got != c.want {
+			t.Errorf("%v.Classify() = %b, want %b", c.op, got, c.want)
+		}
+	}
+}
+
+func TestDisasmSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, op := range allOps() {
+		in := randInstr(rng, op)
+		s := Disasm(in)
+		if s == "" || s == "invalid" {
+			t.Errorf("Disasm(%v) = %q", op, s)
+		}
+	}
+}
+
+// TestDecodeEncodeIdempotent: for arbitrary words that decode, re-encoding
+// the decoded form and decoding again must yield the same instruction.
+// (encode∘decode is not the identity on raw words because don't-care bits
+// — FP rounding modes, AMO aq/rl — are canonicalised.)
+func TestDecodeEncodeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	decoded := 0
+	for i := 0; i < 200000; i++ {
+		w := rng.Uint32()
+		in, err := Decode(w)
+		if err != nil {
+			continue
+		}
+		decoded++
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("%v (from %#08x): %v", in.Op, w, err)
+		}
+		in2, err := Decode(w2)
+		if err != nil {
+			t.Fatalf("re-decode %#08x (canonical of %#08x): %v", w2, w, err)
+		}
+		if in2 != in {
+			t.Fatalf("not idempotent: %#08x → %+v → %#08x → %+v", w, in, w2, in2)
+		}
+	}
+	if decoded < 1000 {
+		t.Fatalf("only %d random words decoded; suspicious", decoded)
+	}
+}

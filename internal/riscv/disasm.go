@@ -1,0 +1,171 @@
+package riscv
+
+import "fmt"
+
+// Disasm renders in as assembly text in the canonical operand order.
+// It is primarily a debugging aid; the output round-trips through
+// internal/asm for all supported instructions.
+func Disasm(in Instr) string {
+	name := in.Op.String()
+	if int(in.Op) >= len(encodeRows) || encodeRows[in.Op] == nil {
+		return name
+	}
+	r := encodeRows[in.Op]
+	vm := ""
+	if !in.VM {
+		vm = ", v0.t"
+	}
+	switch r.f {
+	case ofsNone:
+		return name
+	case ofsR:
+		cls := in.Op.Classify()
+		switch {
+		case cls&ClassAtomic != 0:
+			return fmt.Sprintf("%s %s, %s, (%s)", name,
+				XRegName(in.Rd), XRegName(in.Rs2), XRegName(in.Rs1))
+		case cls&ClassFloat != 0:
+			if in.Op == OpFEQS || in.Op == OpFLTS || in.Op == OpFLES ||
+				in.Op == OpFEQD || in.Op == OpFLTD || in.Op == OpFLED {
+				return fmt.Sprintf("%s %s, %s, %s", name,
+					XRegName(in.Rd), FRegName(in.Rs1), FRegName(in.Rs2))
+			}
+			return fmt.Sprintf("%s %s, %s, %s", name,
+				FRegName(in.Rd), FRegName(in.Rs1), FRegName(in.Rs2))
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", name,
+				XRegName(in.Rd), XRegName(in.Rs1), XRegName(in.Rs2))
+		}
+	case ofsR4:
+		return fmt.Sprintf("%s %s, %s, %s, %s", name,
+			FRegName(in.Rd), FRegName(in.Rs1), FRegName(in.Rs2), FRegName(in.Rs3))
+	case ofsI:
+		switch in.Op.Classify() & (ClassLoad | ClassStore) {
+		case ClassLoad:
+			dst := XRegName(in.Rd)
+			if in.Op == OpFLW || in.Op == OpFLD {
+				dst = FRegName(in.Rd)
+			}
+			return fmt.Sprintf("%s %s, %d(%s)", name, dst, in.Imm, XRegName(in.Rs1))
+		}
+		return fmt.Sprintf("%s %s, %s, %d", name, XRegName(in.Rd), XRegName(in.Rs1), in.Imm)
+	case ofsISh6, ofsISh5:
+		return fmt.Sprintf("%s %s, %s, %d", name, XRegName(in.Rd), XRegName(in.Rs1), in.Imm)
+	case ofsS:
+		src := XRegName(in.Rs2)
+		if in.Op == OpFSW || in.Op == OpFSD {
+			src = FRegName(in.Rs2)
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", name, src, in.Imm, XRegName(in.Rs1))
+	case ofsB:
+		return fmt.Sprintf("%s %s, %s, %d", name, XRegName(in.Rs1), XRegName(in.Rs2), in.Imm)
+	case ofsU:
+		return fmt.Sprintf("%s %s, %#x", name, XRegName(in.Rd), in.Imm)
+	case ofsJ:
+		return fmt.Sprintf("%s %s, %d", name, XRegName(in.Rd), in.Imm)
+	case ofsCSR:
+		csr := CSRName(uint16(in.Imm))
+		if in.Op == OpCSRRWI || in.Op == OpCSRRSI || in.Op == OpCSRRCI {
+			return fmt.Sprintf("%s %s, %s, %d", name, XRegName(in.Rd), csr, in.Rs1)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", name, XRegName(in.Rd), csr, XRegName(in.Rs1))
+	case ofsRdRs1:
+		rdName, rs1Name := fpUnaryRegNames(in.Op, in.Rd, in.Rs1)
+		if in.Op == OpLRW || in.Op == OpLRD {
+			return fmt.Sprintf("%s %s, (%s)", name, XRegName(in.Rd), XRegName(in.Rs1))
+		}
+		return fmt.Sprintf("%s %s, %s", name, rdName, rs1Name)
+	case ofsVL, ofsVS:
+		return fmt.Sprintf("%s %s, (%s)%s", name, VRegName(in.Rd), XRegName(in.Rs1), vm)
+	case ofsVLS, ofsVSS:
+		return fmt.Sprintf("%s %s, (%s), %s%s", name,
+			VRegName(in.Rd), XRegName(in.Rs1), XRegName(in.Rs2), vm)
+	case ofsVLX, ofsVSX:
+		return fmt.Sprintf("%s %s, (%s), %s%s", name,
+			VRegName(in.Rd), XRegName(in.Rs1), VRegName(in.Rs2), vm)
+	case ofsOPVV:
+		if in.Op == OpVMVVV {
+			return fmt.Sprintf("%s %s, %s", name, VRegName(in.Rd), VRegName(in.Rs1))
+		}
+		if isMACC(in.Op) {
+			// Accumulators print in their canonical vd, vs1, vs2 order.
+			return fmt.Sprintf("%s %s, %s, %s%s", name,
+				VRegName(in.Rd), VRegName(in.Rs1), VRegName(in.Rs2), vm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s%s", name,
+			VRegName(in.Rd), VRegName(in.Rs2), VRegName(in.Rs1), vm)
+	case ofsOPVX:
+		srcName := XRegName(in.Rs1)
+		if isOPF(in.Op) {
+			srcName = FRegName(in.Rs1)
+		}
+		if in.Op == OpVMVVX || in.Op == OpVFMVVF {
+			return fmt.Sprintf("%s %s, %s", name, VRegName(in.Rd), srcName)
+		}
+		if isMACC(in.Op) {
+			return fmt.Sprintf("%s %s, %s, %s%s", name,
+				VRegName(in.Rd), srcName, VRegName(in.Rs2), vm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s%s", name,
+			VRegName(in.Rd), VRegName(in.Rs2), srcName, vm)
+	case ofsOPVI:
+		if in.Op == OpVMVVI {
+			return fmt.Sprintf("%s %s, %d", name, VRegName(in.Rd), in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %d%s", name,
+			VRegName(in.Rd), VRegName(in.Rs2), in.Imm, vm)
+	case ofsOPMV:
+		if in.Op == OpVMVXS {
+			return fmt.Sprintf("%s %s, %s", name, XRegName(in.Rd), VRegName(in.Rs2))
+		}
+		if in.Op == OpVFMVFS {
+			return fmt.Sprintf("%s %s, %s", name, FRegName(in.Rd), VRegName(in.Rs2))
+		}
+		return fmt.Sprintf("%s %s, %s%s", name, VRegName(in.Rd), VRegName(in.Rs2), vm)
+	case ofsOPSX:
+		if in.Op == OpVFMVSF {
+			return fmt.Sprintf("%s %s, %s", name, VRegName(in.Rd), FRegName(in.Rs1))
+		}
+		return fmt.Sprintf("%s %s, %s", name, VRegName(in.Rd), XRegName(in.Rs1))
+	case ofsOPMVV:
+		return fmt.Sprintf("%s %s%s", name, VRegName(in.Rd), vm)
+	case ofsVSETVLI:
+		t, _ := DecodeVType(uint64(in.Imm))
+		return fmt.Sprintf("%s %s, %s, e%d, m%d", name,
+			XRegName(in.Rd), XRegName(in.Rs1), t.SEW, t.LMUL)
+	case ofsVSETIVLI:
+		t, _ := DecodeVType(uint64(in.Imm))
+		return fmt.Sprintf("%s %s, %d, e%d, m%d", name,
+			XRegName(in.Rd), in.Rs1, t.SEW, t.LMUL)
+	case ofsVSETVL:
+		return fmt.Sprintf("%s %s, %s, %s", name,
+			XRegName(in.Rd), XRegName(in.Rs1), XRegName(in.Rs2))
+	}
+	return name
+}
+
+// isOPF reports whether op takes an f-register scalar operand (.vf forms).
+func isOPF(op Op) bool {
+	switch op {
+	case OpVFADDVF, OpVFSUBVF, OpVFMULVF, OpVFDIVVF, OpVFMACCVF, OpVFMVVF:
+		return true
+	}
+	return false
+}
+
+// fpUnaryRegNames picks the right register-file names for FP unary ops,
+// where one side may be an integer register (moves, conversions, fclass).
+func fpUnaryRegNames(op Op, rd, rs1 uint8) (string, string) {
+	switch op {
+	case OpFCVTWS, OpFCVTWUS, OpFCVTLS, OpFCVTLUS,
+		OpFCVTWD, OpFCVTWUD, OpFCVTLD, OpFCVTLUD,
+		OpFMVXW, OpFMVXD, OpFCLASSS, OpFCLASSD:
+		return XRegName(rd), FRegName(rs1)
+	case OpFCVTSW, OpFCVTSWU, OpFCVTSL, OpFCVTSLU,
+		OpFCVTDW, OpFCVTDWU, OpFCVTDL, OpFCVTDLU,
+		OpFMVWX, OpFMVDX:
+		return FRegName(rd), XRegName(rs1)
+	default:
+		return FRegName(rd), FRegName(rs1)
+	}
+}

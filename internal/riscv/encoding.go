@@ -1,0 +1,633 @@
+package riscv
+
+// Instr is a decoded instruction. Field meaning depends on the format:
+// scalar register numbers live in Rd/Rs1/Rs2/Rs3; vector register numbers
+// reuse the same fields (the opcode tells which file they index). For
+// U/J-format Imm holds the raw immediate field (U: the 20-bit upper
+// immediate, not shifted); for CSR ops Imm holds the 12-bit CSR address.
+// VM is the vector mask bit: true means unmasked (the common case).
+type Instr struct {
+	Op           Op
+	Rd, Rs1, Rs2 uint8
+	Rs3          uint8
+	Imm          int64
+	VM           bool
+}
+
+// operand format identifiers — how dynamic fields pack into the word.
+type ofs uint8
+
+const (
+	ofsNone     ofs = iota
+	ofsR            // rd, rs1, rs2
+	ofsR4           // rd, rs1, rs2, rs3
+	ofsI            // rd, rs1, imm12
+	ofsISh6         // rd, rs1, shamt[5:0]
+	ofsISh5         // rd, rs1, shamt[4:0]
+	ofsS            // rs1, rs2, imm12 (S split)
+	ofsB            // rs1, rs2, imm13 (B split)
+	ofsU            // rd, imm20 (raw field)
+	ofsJ            // rd, imm21 (J split)
+	ofsCSR          // rd, rs1 (reg or uimm5), csr12 in Imm
+	ofsRdRs1        // rd, rs1 (FSQRT/FCVT/FMV/FCLASS)
+	ofsVL           // vd(rd), rs1, vm             (unit-stride load)
+	ofsVLS          // vd(rd), rs1, rs2, vm        (strided load)
+	ofsVLX          // vd(rd), rs1, vs2(rs2), vm   (indexed load)
+	ofsVS           // vs3(rd), rs1, vm            (unit-stride store)
+	ofsVSS          // vs3(rd), rs1, rs2, vm       (strided store)
+	ofsVSX          // vs3(rd), rs1, vs2(rs2), vm  (indexed store)
+	ofsOPVV         // vd, vs1(rs1), vs2, vm
+	ofsOPVX         // vd, rs1, vs2, vm (also .vf)
+	ofsOPVI         // vd, imm5, vs2, vm
+	ofsOPMV         // vd/rd, vs2, vm (unary: vs1 field fixed)
+	ofsOPSX         // vd, rs1 (vmv.s.x / vfmv.s.f: vs2 fixed, vm=1)
+	ofsOPMVV        // vd only (vid.v: vs1, vs2 fixed)
+	ofsVSETVLI      // rd, rs1, zimm11
+	ofsVSETIVLI     // rd, uimm5(rs1), zimm10
+	ofsVSETVL       // rd, rs1, rs2
+)
+
+// encRow ties an opcode to its fixed-bit pattern and operand format.
+type encRow struct {
+	op    Op
+	f     ofs
+	mask  uint32 // which bits are fixed
+	match uint32 // their values
+}
+
+// Major opcodes (bits 6:0).
+const (
+	opcLOAD    = 0b0000011
+	opcLOADFP  = 0b0000111
+	opcMISCMEM = 0b0001111
+	opcOPIMM   = 0b0010011
+	opcAUIPC   = 0b0010111
+	opcOPIMM32 = 0b0011011
+	opcSTORE   = 0b0100011
+	opcSTOREFP = 0b0100111
+	opcAMO     = 0b0101111
+	opcOP      = 0b0110011
+	opcLUI     = 0b0110111
+	opcOP32    = 0b0111011
+	opcMADD    = 0b1000011
+	opcMSUB    = 0b1000111
+	opcNMSUB   = 0b1001011
+	opcNMADD   = 0b1001111
+	opcOPFP    = 0b1010011
+	opcOPV     = 0b1010111
+	opcBRANCH  = 0b1100011
+	opcJALR    = 0b1100111
+	opcJAL     = 0b1101111
+	opcSYSTEM  = 0b1110011
+)
+
+// Fixed-bit builders. Each returns (mask, match) over the 32-bit word.
+
+func fixOpc(opc uint32) (uint32, uint32) { return 0x7f, opc }
+
+func fixOpcF3(opc, f3 uint32) (uint32, uint32) {
+	return 0x7f | 7<<12, opc | f3<<12
+}
+
+func fixR(opc, f3, f7 uint32) (uint32, uint32) {
+	return 0x7f | 7<<12 | 0x7f<<25, opc | f3<<12 | f7<<25
+}
+
+// fixFR: funct7 fixed, funct3 is the (dynamic) rounding mode.
+func fixFR(f7 uint32) (uint32, uint32) {
+	return 0x7f | 0x7f<<25, opcOPFP | f7<<25
+}
+
+// fixFR3: funct7 and funct3 both fixed (sign-injection, min/max, compares).
+func fixFR3(f7, f3 uint32) (uint32, uint32) {
+	return 0x7f | 7<<12 | 0x7f<<25, opcOPFP | f3<<12 | f7<<25
+}
+
+// fixFU: funct7 and rs2 fixed, rm dynamic (FSQRT, FCVT).
+func fixFU(f7, rs2 uint32) (uint32, uint32) {
+	return 0x7f | 0x1f<<20 | 0x7f<<25, opcOPFP | rs2<<20 | f7<<25
+}
+
+// fixFU3: funct7, rs2 and funct3 all fixed (FMV, FCLASS).
+func fixFU3(f7, rs2, f3 uint32) (uint32, uint32) {
+	return 0x7f | 7<<12 | 0x1f<<20 | 0x7f<<25, opcOPFP | f3<<12 | rs2<<20 | f7<<25
+}
+
+// fixR4: fmt in bits 26:25 fixed, rm dynamic.
+func fixR4(opc, fmt2 uint32) (uint32, uint32) {
+	return 0x7f | 3<<25, opc | fmt2<<25
+}
+
+// fixSh6: OP-IMM shift with 6-bit shamt: bits 31:26 fixed.
+func fixSh6(opc, f3, f6 uint32) (uint32, uint32) {
+	return 0x7f | 7<<12 | 0x3f<<26, opc | f3<<12 | f6<<26
+}
+
+// fixAMO: funct5 in bits 31:27 fixed; aq/rl (26:25) left dynamic.
+func fixAMO(f3, f5 uint32) (uint32, uint32) {
+	return 0x7f | 7<<12 | 0x1f<<27, opcAMO | f3<<12 | f5<<27
+}
+
+// fixLR: LR has rs2 fixed to zero as well.
+func fixLR(f3, f5 uint32) (uint32, uint32) {
+	m, v := fixAMO(f3, f5)
+	return m | 0x1f<<20, v
+}
+
+// Vector memory ops. width is the funct3 field; mop in bits 27:26;
+// nf (31:29) and mew (28) fixed to zero; vm (25) dynamic.
+func fixVMem(opc, width, mop uint32, lumopFixed bool) (uint32, uint32) {
+	mask := uint32(0x7f | 7<<12 | 3<<26 | 1<<28 | 7<<29)
+	match := opc | width<<12 | mop<<26
+	if lumopFixed { // unit-stride: rs2 field is lumop = 00000
+		mask |= 0x1f << 20
+	}
+	return mask, match
+}
+
+// Vector arithmetic: funct6 (31:26) and funct3 fixed; vm dynamic.
+func fixOPV(f6, f3 uint32) (uint32, uint32) {
+	return 0x7f | 7<<12 | 0x3f<<26, opcOPV | f3<<12 | f6<<26
+}
+
+// fixOPVvs2: vs2 field fixed (vmv.v.*, vmv.s.x).
+func fixOPVvs2(f6, f3, vs2 uint32, vm1 bool) (uint32, uint32) {
+	m, v := fixOPV(f6, f3)
+	m |= 0x1f << 20
+	v |= vs2 << 20
+	if vm1 {
+		m |= 1 << 25
+		v |= 1 << 25
+	}
+	return m, v
+}
+
+// fixOPVvs1: vs1 field fixed (unary ops: vmv.x.s, vfmv.f.s, vfsqrt.v, vid.v).
+func fixOPVvs1(f6, f3, vs1 uint32, alsoVS2 bool) (uint32, uint32) {
+	m, v := fixOPV(f6, f3)
+	m |= 0x1f << 15
+	v |= vs1 << 15
+	if alsoVS2 {
+		m |= 0x1f << 20
+	}
+	return m, v
+}
+
+// RVV funct3 values.
+const (
+	opivv = 0b000
+	opfvv = 0b001
+	opmvv = 0b010
+	opivi = 0b011
+	opivx = 0b100
+	opfvf = 0b101
+	opmvx = 0b110
+	opcfg = 0b111
+)
+
+// vector load/store width encodings (funct3 of LOAD-FP/STORE-FP).
+const (
+	vw8  = 0b000
+	vw16 = 0b101
+	vw32 = 0b110
+	vw64 = 0b111
+)
+
+// vector mop values.
+const (
+	mopUnit    = 0b00
+	mopIndexU  = 0b01
+	mopStrided = 0b10
+)
+
+// encTable lists the fixed-bit pattern and operand format for every opcode.
+var encTable []encRow
+
+func init() {
+	add := func(op Op, f ofs, mask, match uint32) {
+		encTable = append(encTable, encRow{op: op, f: f, mask: mask, match: match})
+	}
+
+	// --- RV64I ---
+	m, v := fixOpc(opcLUI)
+	add(OpLUI, ofsU, m, v)
+	m, v = fixOpc(opcAUIPC)
+	add(OpAUIPC, ofsU, m, v)
+	m, v = fixOpc(opcJAL)
+	add(OpJAL, ofsJ, m, v)
+	m, v = fixOpcF3(opcJALR, 0)
+	add(OpJALR, ofsI, m, v)
+
+	branches := []struct {
+		op Op
+		f3 uint32
+	}{{OpBEQ, 0}, {OpBNE, 1}, {OpBLT, 4}, {OpBGE, 5}, {OpBLTU, 6}, {OpBGEU, 7}}
+	for _, b := range branches {
+		m, v = fixOpcF3(opcBRANCH, b.f3)
+		add(b.op, ofsB, m, v)
+	}
+
+	loads := []struct {
+		op Op
+		f3 uint32
+	}{{OpLB, 0}, {OpLH, 1}, {OpLW, 2}, {OpLD, 3}, {OpLBU, 4}, {OpLHU, 5}, {OpLWU, 6}}
+	for _, l := range loads {
+		m, v = fixOpcF3(opcLOAD, l.f3)
+		add(l.op, ofsI, m, v)
+	}
+
+	stores := []struct {
+		op Op
+		f3 uint32
+	}{{OpSB, 0}, {OpSH, 1}, {OpSW, 2}, {OpSD, 3}}
+	for _, s := range stores {
+		m, v = fixOpcF3(opcSTORE, s.f3)
+		add(s.op, ofsS, m, v)
+	}
+
+	opimm := []struct {
+		op Op
+		f3 uint32
+	}{{OpADDI, 0}, {OpSLTI, 2}, {OpSLTIU, 3}, {OpXORI, 4}, {OpORI, 6}, {OpANDI, 7}}
+	for _, o := range opimm {
+		m, v = fixOpcF3(opcOPIMM, o.f3)
+		add(o.op, ofsI, m, v)
+	}
+	m, v = fixSh6(opcOPIMM, 1, 0b000000)
+	add(OpSLLI, ofsISh6, m, v)
+	m, v = fixSh6(opcOPIMM, 5, 0b000000)
+	add(OpSRLI, ofsISh6, m, v)
+	m, v = fixSh6(opcOPIMM, 5, 0b010000)
+	add(OpSRAI, ofsISh6, m, v)
+
+	rops := []struct {
+		op     Op
+		f3, f7 uint32
+	}{
+		{OpADD, 0, 0}, {OpSUB, 0, 0x20}, {OpSLL, 1, 0}, {OpSLT, 2, 0},
+		{OpSLTU, 3, 0}, {OpXOR, 4, 0}, {OpSRL, 5, 0}, {OpSRA, 5, 0x20},
+		{OpOR, 6, 0}, {OpAND, 7, 0},
+		{OpMUL, 0, 1}, {OpMULH, 1, 1}, {OpMULHSU, 2, 1}, {OpMULHU, 3, 1},
+		{OpDIV, 4, 1}, {OpDIVU, 5, 1}, {OpREM, 6, 1}, {OpREMU, 7, 1},
+	}
+	for _, o := range rops {
+		m, v = fixR(opcOP, o.f3, o.f7)
+		add(o.op, ofsR, m, v)
+	}
+
+	m, v = fixOpcF3(opcOPIMM32, 0)
+	add(OpADDIW, ofsI, m, v)
+	m, v = fixR(opcOPIMM32, 1, 0)
+	add(OpSLLIW, ofsISh5, m, v)
+	m, v = fixR(opcOPIMM32, 5, 0)
+	add(OpSRLIW, ofsISh5, m, v)
+	m, v = fixR(opcOPIMM32, 5, 0x20)
+	add(OpSRAIW, ofsISh5, m, v)
+
+	rops32 := []struct {
+		op     Op
+		f3, f7 uint32
+	}{
+		{OpADDW, 0, 0}, {OpSUBW, 0, 0x20}, {OpSLLW, 1, 0},
+		{OpSRLW, 5, 0}, {OpSRAW, 5, 0x20},
+		{OpMULW, 0, 1}, {OpDIVW, 4, 1}, {OpDIVUW, 5, 1},
+		{OpREMW, 6, 1}, {OpREMUW, 7, 1},
+	}
+	for _, o := range rops32 {
+		m, v = fixR(opcOP32, o.f3, o.f7)
+		add(o.op, ofsR, m, v)
+	}
+
+	add(OpFENCE, ofsNone, 0x7f|7<<12, opcMISCMEM)
+	add(OpECALL, ofsNone, 0xffffffff, opcSYSTEM)
+	add(OpEBREAK, ofsNone, 0xffffffff, opcSYSTEM|1<<20)
+
+	// --- Zicsr ---
+	csrs := []struct {
+		op Op
+		f3 uint32
+	}{
+		{OpCSRRW, 1}, {OpCSRRS, 2}, {OpCSRRC, 3},
+		{OpCSRRWI, 5}, {OpCSRRSI, 6}, {OpCSRRCI, 7},
+	}
+	for _, c := range csrs {
+		m, v = fixOpcF3(opcSYSTEM, c.f3)
+		add(c.op, ofsCSR, m, v)
+	}
+
+	// --- A extension ---
+	amoW := []struct {
+		op Op
+		f5 uint32
+	}{
+		{OpAMOADDW, 0b00000}, {OpAMOSWAPW, 0b00001},
+		{OpAMOXORW, 0b00100}, {OpAMOANDW, 0b01100}, {OpAMOORW, 0b01000},
+		{OpAMOMINW, 0b10000}, {OpAMOMAXW, 0b10100},
+		{OpAMOMINUW, 0b11000}, {OpAMOMAXUW, 0b11100},
+	}
+	for _, a := range amoW {
+		m, v = fixAMO(0b010, a.f5)
+		add(a.op, ofsR, m, v)
+		// .d variant: funct3 = 011, Op offset mirrors the W list order.
+	}
+	amoD := []struct {
+		op Op
+		f5 uint32
+	}{
+		{OpAMOADDD, 0b00000}, {OpAMOSWAPD, 0b00001},
+		{OpAMOXORD, 0b00100}, {OpAMOANDD, 0b01100}, {OpAMOORD, 0b01000},
+		{OpAMOMIND, 0b10000}, {OpAMOMAXD, 0b10100},
+		{OpAMOMINUD, 0b11000}, {OpAMOMAXUD, 0b11100},
+	}
+	for _, a := range amoD {
+		m, v = fixAMO(0b011, a.f5)
+		add(a.op, ofsR, m, v)
+	}
+	m, v = fixLR(0b010, 0b00010)
+	add(OpLRW, ofsRdRs1, m, v)
+	m, v = fixAMO(0b010, 0b00011)
+	add(OpSCW, ofsR, m, v)
+	m, v = fixLR(0b011, 0b00010)
+	add(OpLRD, ofsRdRs1, m, v)
+	m, v = fixAMO(0b011, 0b00011)
+	add(OpSCD, ofsR, m, v)
+
+	// --- F/D loads & stores ---
+	m, v = fixOpcF3(opcLOADFP, 0b010)
+	add(OpFLW, ofsI, m, v)
+	m, v = fixOpcF3(opcLOADFP, 0b011)
+	add(OpFLD, ofsI, m, v)
+	m, v = fixOpcF3(opcSTOREFP, 0b010)
+	add(OpFSW, ofsS, m, v)
+	m, v = fixOpcF3(opcSTOREFP, 0b011)
+	add(OpFSD, ofsS, m, v)
+
+	// --- F/D arithmetic ---
+	// fmt bit: .s has funct7 LSB 0, .d has LSB 1.
+	fr := []struct {
+		op Op
+		f7 uint32
+	}{
+		{OpFADDS, 0b0000000}, {OpFADDD, 0b0000001},
+		{OpFSUBS, 0b0000100}, {OpFSUBD, 0b0000101},
+		{OpFMULS, 0b0001000}, {OpFMULD, 0b0001001},
+		{OpFDIVS, 0b0001100}, {OpFDIVD, 0b0001101},
+	}
+	for _, o := range fr {
+		m, v = fixFR(o.f7)
+		add(o.op, ofsR, m, v)
+	}
+	fr3 := []struct {
+		op     Op
+		f7, f3 uint32
+	}{
+		{OpFSGNJS, 0b0010000, 0}, {OpFSGNJNS, 0b0010000, 1}, {OpFSGNJXS, 0b0010000, 2},
+		{OpFSGNJD, 0b0010001, 0}, {OpFSGNJND, 0b0010001, 1}, {OpFSGNJXD, 0b0010001, 2},
+		{OpFMINS, 0b0010100, 0}, {OpFMAXS, 0b0010100, 1},
+		{OpFMIND, 0b0010101, 0}, {OpFMAXD, 0b0010101, 1},
+		{OpFEQS, 0b1010000, 2}, {OpFLTS, 0b1010000, 1}, {OpFLES, 0b1010000, 0},
+		{OpFEQD, 0b1010001, 2}, {OpFLTD, 0b1010001, 1}, {OpFLED, 0b1010001, 0},
+	}
+	for _, o := range fr3 {
+		m, v = fixFR3(o.f7, o.f3)
+		add(o.op, ofsR, m, v)
+	}
+	fu := []struct {
+		op       Op
+		f7, rs2v uint32
+	}{
+		{OpFSQRTS, 0b0101100, 0}, {OpFSQRTD, 0b0101101, 0},
+		{OpFCVTWS, 0b1100000, 0}, {OpFCVTWUS, 0b1100000, 1},
+		{OpFCVTLS, 0b1100000, 2}, {OpFCVTLUS, 0b1100000, 3},
+		{OpFCVTSW, 0b1101000, 0}, {OpFCVTSWU, 0b1101000, 1},
+		{OpFCVTSL, 0b1101000, 2}, {OpFCVTSLU, 0b1101000, 3},
+		{OpFCVTWD, 0b1100001, 0}, {OpFCVTWUD, 0b1100001, 1},
+		{OpFCVTLD, 0b1100001, 2}, {OpFCVTLUD, 0b1100001, 3},
+		{OpFCVTDW, 0b1101001, 0}, {OpFCVTDWU, 0b1101001, 1},
+		{OpFCVTDL, 0b1101001, 2}, {OpFCVTDLU, 0b1101001, 3},
+		{OpFCVTSD, 0b0100000, 1}, {OpFCVTDS, 0b0100001, 0},
+	}
+	for _, o := range fu {
+		m, v = fixFU(o.f7, o.rs2v)
+		add(o.op, ofsRdRs1, m, v)
+	}
+	fu3 := []struct {
+		op           Op
+		f7, rs2v, f3 uint32
+	}{
+		{OpFMVXW, 0b1110000, 0, 0}, {OpFCLASSS, 0b1110000, 0, 1},
+		{OpFMVWX, 0b1111000, 0, 0},
+		{OpFMVXD, 0b1110001, 0, 0}, {OpFCLASSD, 0b1110001, 0, 1},
+		{OpFMVDX, 0b1111001, 0, 0},
+	}
+	for _, o := range fu3 {
+		m, v = fixFU3(o.f7, o.rs2v, o.f3)
+		add(o.op, ofsRdRs1, m, v)
+	}
+	r4s := []struct {
+		op   Op
+		opc  uint32
+		fmt2 uint32
+	}{
+		{OpFMADDS, opcMADD, 0}, {OpFMSUBS, opcMSUB, 0},
+		{OpFNMSUBS, opcNMSUB, 0}, {OpFNMADDS, opcNMADD, 0},
+		{OpFMADDD, opcMADD, 1}, {OpFMSUBD, opcMSUB, 1},
+		{OpFNMSUBD, opcNMSUB, 1}, {OpFNMADDD, opcNMADD, 1},
+	}
+	for _, o := range r4s {
+		m, v = fixR4(o.opc, o.fmt2)
+		add(o.op, ofsR4, m, v)
+	}
+
+	// --- V configuration ---
+	// vsetvli: bit31 = 0.
+	add(OpVSETVLI, ofsVSETVLI, uint32(0x7f|7<<12|1<<31), opcOPV|opcfg<<12)
+	// vsetivli: bits 31:30 = 11.
+	add(OpVSETIVLI, ofsVSETIVLI, uint32(0x7f|7<<12|3<<30), opcOPV|opcfg<<12|3<<30)
+	// vsetvl: funct7 = 1000000.
+	m, v = fixR(opcOPV, opcfg, 0b1000000)
+	add(OpVSETVL, ofsVSETVL, m, v)
+
+	// --- V memory ---
+	vmem := []struct {
+		op    Op
+		opc   uint32
+		width uint32
+		mop   uint32
+		f     ofs
+	}{
+		{OpVLE8, opcLOADFP, vw8, mopUnit, ofsVL},
+		{OpVLE16, opcLOADFP, vw16, mopUnit, ofsVL},
+		{OpVLE32, opcLOADFP, vw32, mopUnit, ofsVL},
+		{OpVLE64, opcLOADFP, vw64, mopUnit, ofsVL},
+		{OpVSE8, opcSTOREFP, vw8, mopUnit, ofsVS},
+		{OpVSE16, opcSTOREFP, vw16, mopUnit, ofsVS},
+		{OpVSE32, opcSTOREFP, vw32, mopUnit, ofsVS},
+		{OpVSE64, opcSTOREFP, vw64, mopUnit, ofsVS},
+		{OpVLSE8, opcLOADFP, vw8, mopStrided, ofsVLS},
+		{OpVLSE16, opcLOADFP, vw16, mopStrided, ofsVLS},
+		{OpVLSE32, opcLOADFP, vw32, mopStrided, ofsVLS},
+		{OpVLSE64, opcLOADFP, vw64, mopStrided, ofsVLS},
+		{OpVSSE8, opcSTOREFP, vw8, mopStrided, ofsVSS},
+		{OpVSSE16, opcSTOREFP, vw16, mopStrided, ofsVSS},
+		{OpVSSE32, opcSTOREFP, vw32, mopStrided, ofsVSS},
+		{OpVSSE64, opcSTOREFP, vw64, mopStrided, ofsVSS},
+		{OpVLUXEI8, opcLOADFP, vw8, mopIndexU, ofsVLX},
+		{OpVLUXEI16, opcLOADFP, vw16, mopIndexU, ofsVLX},
+		{OpVLUXEI32, opcLOADFP, vw32, mopIndexU, ofsVLX},
+		{OpVLUXEI64, opcLOADFP, vw64, mopIndexU, ofsVLX},
+		{OpVSUXEI8, opcSTOREFP, vw8, mopIndexU, ofsVSX},
+		{OpVSUXEI16, opcSTOREFP, vw16, mopIndexU, ofsVSX},
+		{OpVSUXEI32, opcSTOREFP, vw32, mopIndexU, ofsVSX},
+		{OpVSUXEI64, opcSTOREFP, vw64, mopIndexU, ofsVSX},
+	}
+	for _, o := range vmem {
+		m, v = fixVMem(o.opc, o.width, o.mop, o.mop == mopUnit)
+		add(o.op, o.f, m, v)
+	}
+
+	// --- V integer arithmetic ---
+	// triples of (vv, vx, vi) sharing a funct6; Op==OpInvalid marks "no form".
+	vi3 := []struct {
+		f6         uint32
+		vv, vx, vi Op
+	}{
+		{0b000000, OpVADDVV, OpVADDVX, OpVADDVI},
+		{0b000010, OpVSUBVV, OpVSUBVX, OpInvalid},
+		{0b000011, OpInvalid, OpVRSUBVX, OpVRSUBVI},
+		{0b001001, OpVANDVV, OpVANDVX, OpVANDVI},
+		{0b001010, OpVORVV, OpVORVX, OpVORVI},
+		{0b001011, OpVXORVV, OpVXORVX, OpVXORVI},
+		{0b100101, OpVSLLVV, OpVSLLVX, OpVSLLVI},
+		{0b101000, OpVSRLVV, OpVSRLVX, OpVSRLVI},
+		{0b101001, OpVSRAVV, OpVSRAVX, OpVSRAVI},
+		{0b000101, OpVMINVV, OpVMINVX, OpInvalid},
+		{0b000111, OpVMAXVV, OpVMAXVX, OpInvalid},
+		{0b011000, OpVMSEQVV, OpVMSEQVX, OpVMSEQVI},
+		{0b011001, OpVMSNEVV, OpVMSNEVX, OpInvalid},
+		{0b011011, OpVMSLTVV, OpVMSLTVX, OpInvalid},
+		{0b011101, OpVMSLEVV, OpVMSLEVX, OpInvalid},
+		{0b001111, OpInvalid, OpVSLIDEDOWNVX, OpVSLIDEDOWNVI},
+	}
+	for _, o := range vi3 {
+		if o.vv != OpInvalid {
+			m, v = fixOPV(o.f6, opivv)
+			add(o.vv, ofsOPVV, m, v)
+		}
+		if o.vx != OpInvalid {
+			m, v = fixOPV(o.f6, opivx)
+			add(o.vx, ofsOPVX, m, v)
+		}
+		if o.vi != OpInvalid {
+			m, v = fixOPV(o.f6, opivi)
+			add(o.vi, ofsOPVI, m, v)
+		}
+	}
+	// vmv.v.* : funct6 010111, vs2 fixed 0, vm fixed 1.
+	m, v = fixOPVvs2(0b010111, opivv, 0, true)
+	add(OpVMVVV, ofsOPVV, m, v)
+	m, v = fixOPVvs2(0b010111, opivx, 0, true)
+	add(OpVMVVX, ofsOPVX, m, v)
+	m, v = fixOPVvs2(0b010111, opivi, 0, true)
+	add(OpVMVVI, ofsOPVI, m, v)
+
+	// --- V integer multiply / reductions / moves (OPM) ---
+	vm2 := []struct {
+		f6     uint32
+		vv, vx Op
+	}{
+		{0b100101, OpVMULVV, OpVMULVX},
+		{0b100111, OpVMULHVV, OpInvalid},
+		{0b101101, OpVMACCVV, OpVMACCVX},
+		{0b000000, OpVREDSUMVS, OpInvalid},
+		{0b000111, OpVREDMAXVS, OpInvalid},
+	}
+	for _, o := range vm2 {
+		if o.vv != OpInvalid {
+			m, v = fixOPV(o.f6, opmvv)
+			add(o.vv, ofsOPVV, m, v)
+		}
+		if o.vx != OpInvalid {
+			m, v = fixOPV(o.f6, opmvx)
+			add(o.vx, ofsOPVX, m, v)
+		}
+	}
+	// vid.v: funct6 010100 (VMUNARY0), vs1 = 10001, vs2 = 00000.
+	m, v = fixOPVvs1(0b010100, opmvv, 0b10001, true)
+	add(OpVIDV, ofsOPMVV, m, v)
+	// vmv.x.s: funct6 010000 (VWXUNARY0), vs1 = 00000; rd is an x register.
+	m, v = fixOPVvs1(0b010000, opmvv, 0, false)
+	add(OpVMVXS, ofsOPMV, m, v)
+	// vmv.s.x: funct6 010000 (VRXUNARY0), vs2 = 00000, vm = 1.
+	m, v = fixOPVvs2(0b010000, opmvx, 0, true)
+	add(OpVMVSX, ofsOPSX, m, v)
+	// vslide1down.vx: funct6 001111 (OPM).
+	m, v = fixOPV(0b001111, opmvx)
+	add(OpVSLIDE1DOWNVX, ofsOPVX, m, v)
+
+	// --- V floating point ---
+	vf2 := []struct {
+		f6     uint32
+		vv, vf Op
+	}{
+		{0b000000, OpVFADDVV, OpVFADDVF},
+		{0b000010, OpVFSUBVV, OpVFSUBVF},
+		{0b100100, OpVFMULVV, OpVFMULVF},
+		{0b100000, OpVFDIVVV, OpVFDIVVF},
+		{0b101100, OpVFMACCVV, OpVFMACCVF},
+		{0b101110, OpVFNMSACVV, OpInvalid},
+		{0b000100, OpVFMINVV, OpInvalid},
+		{0b000110, OpVFMAXVV, OpInvalid},
+		{0b000001, OpVFREDUSUMVS, OpInvalid},
+		{0b000011, OpVFREDOSUMVS, OpInvalid},
+	}
+	for _, o := range vf2 {
+		if o.vv != OpInvalid {
+			m, v = fixOPV(o.f6, opfvv)
+			add(o.vv, ofsOPVV, m, v)
+		}
+		if o.vf != OpInvalid {
+			m, v = fixOPV(o.f6, opfvf)
+			add(o.vf, ofsOPVX, m, v)
+		}
+	}
+	// vfmv.v.f: funct6 010111, vs2 = 0, vm = 1.
+	m, v = fixOPVvs2(0b010111, opfvf, 0, true)
+	add(OpVFMVVF, ofsOPVX, m, v)
+	// vfmv.f.s: funct6 010000 (VWFUNARY0), vs1 = 0.
+	m, v = fixOPVvs1(0b010000, opfvv, 0, false)
+	add(OpVFMVFS, ofsOPMV, m, v)
+	// vfmv.s.f: funct6 010000 (VRFUNARY0), vs2 = 0, vm = 1.
+	m, v = fixOPVvs2(0b010000, opfvf, 0, true)
+	add(OpVFMVSF, ofsOPSX, m, v)
+	// vfsqrt.v: funct6 010011 (VFUNARY1), vs1 = 00000.
+	m, v = fixOPVvs1(0b010011, opfvv, 0, false)
+	add(OpVFSQRTV, ofsOPMV, m, v)
+
+	buildDecodeIndex()
+	buildEncodeIndex()
+}
+
+// decode index: bucket rows by major opcode for fast lookup.
+var decodeBuckets [128][]encRow
+
+// encode index: row per Op.
+var encodeRows [opMax]*encRow
+
+func buildDecodeIndex() {
+	for i := range encTable {
+		r := &encTable[i]
+		opc := r.match & 0x7f
+		decodeBuckets[opc] = append(decodeBuckets[opc], *r)
+	}
+}
+
+func buildEncodeIndex() {
+	for i := range encTable {
+		r := &encTable[i]
+		if encodeRows[r.op] != nil {
+			panic("riscv: duplicate encoding row for " + r.op.String())
+		}
+		encodeRows[r.op] = r
+	}
+}

@@ -1,0 +1,75 @@
+package riscv
+
+var opByName map[string]Op
+
+func init() {
+	opByName = make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		if name != "" {
+			opByName[name] = Op(op)
+		}
+	}
+}
+
+// OpByName resolves a canonical mnemonic (as produced by Op.String) to its
+// opcode.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+// XRegByName resolves an integer register by numeric (x7) or ABI (t2)
+// name. fp is accepted as an alias for s0.
+func XRegByName(name string) (uint8, bool) {
+	if name == "fp" {
+		return 8, true
+	}
+	for i, n := range XRegNames {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	if r, ok := numberedReg(name, 'x'); ok {
+		return r, true
+	}
+	return 0, false
+}
+
+// FRegByName resolves an FP register by numeric (f7) or ABI (ft7) name.
+func FRegByName(name string) (uint8, bool) {
+	for i, n := range FRegNames {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	if r, ok := numberedReg(name, 'f'); ok {
+		return r, true
+	}
+	return 0, false
+}
+
+// VRegByName resolves a vector register (v0..v31).
+func VRegByName(name string) (uint8, bool) {
+	return numberedReg(name, 'v')
+}
+
+func numberedReg(name string, prefix byte) (uint8, bool) {
+	if len(name) < 2 || len(name) > 3 || name[0] != prefix {
+		return 0, false
+	}
+	n := 0
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if len(name) == 3 && name[1] == '0' {
+		return 0, false // reject x07 style
+	}
+	if n > 31 {
+		return 0, false
+	}
+	return uint8(n), true
+}

@@ -1,0 +1,72 @@
+package riscv
+
+import "testing"
+
+func TestOpByName(t *testing.T) {
+	for op := Op(1); op < opMax; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Error("bogus mnemonic resolved")
+	}
+}
+
+func TestRegByName(t *testing.T) {
+	cases := []struct {
+		name string
+		want uint8
+		ok   bool
+	}{
+		{"zero", 0, true}, {"ra", 1, true}, {"sp", 2, true},
+		{"a0", 10, true}, {"t6", 31, true}, {"fp", 8, true},
+		{"x0", 0, true}, {"x31", 31, true}, {"x15", 15, true},
+		{"x32", 0, false}, {"x07", 0, false}, {"xyz", 0, false},
+		{"", 0, false}, {"x", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := XRegByName(c.name)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("XRegByName(%q) = %d, %v; want %d, %v",
+				c.name, got, ok, c.want, c.ok)
+		}
+	}
+	if r, ok := FRegByName("fa0"); !ok || r != 10 {
+		t.Errorf("FRegByName(fa0) = %d, %v", r, ok)
+	}
+	if r, ok := FRegByName("f31"); !ok || r != 31 {
+		t.Errorf("FRegByName(f31) = %d, %v", r, ok)
+	}
+	if _, ok := FRegByName("a0"); ok {
+		t.Error("integer name accepted as FP register")
+	}
+	if r, ok := VRegByName("v7"); !ok || r != 7 {
+		t.Errorf("VRegByName(v7) = %d, %v", r, ok)
+	}
+	if _, ok := VRegByName("w7"); ok {
+		t.Error("bogus vector register accepted")
+	}
+}
+
+func TestCSRNameLookup(t *testing.T) {
+	if CSRName(CSRMHartID) != "mhartid" {
+		t.Error("CSRName(mhartid) wrong")
+	}
+	if CSRName(0x123) != "csr0x123" {
+		t.Errorf("fallback = %q", CSRName(0x123))
+	}
+	if addr, ok := CSRByName("vlenb"); !ok || addr != CSRVLenB {
+		t.Errorf("CSRByName(vlenb) = %#x, %v", addr, ok)
+	}
+	if _, ok := CSRByName("nope"); ok {
+		t.Error("bogus CSR name resolved")
+	}
+}
+
+func TestRegNameFallbacks(t *testing.T) {
+	if XRegName(40) == "" || FRegName(40) == "" || VRegName(5) != "v5" {
+		t.Error("register name fallbacks broken")
+	}
+}

@@ -1,0 +1,482 @@
+// Package riscv defines the subset of the RISC-V ISA understood by the
+// simulator: RV64I base, M (multiply/divide), A (atomics), F/D (single and
+// double precision floating point), Zicsr, and a working subset of the "V"
+// vector extension v1.0. It provides instruction encoding, decoding and
+// disassembly against the real 32-bit instruction formats, so programs
+// assembled by internal/asm are genuine RISC-V machine code.
+package riscv
+
+// Op enumerates every instruction mnemonic the simulator understands.
+type Op uint16
+
+// Instruction opcodes, grouped by extension.
+const (
+	OpInvalid Op = iota
+
+	// RV64I base integer ISA.
+	OpLUI
+	OpAUIPC
+	OpJAL
+	OpJALR
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+	OpLB
+	OpLH
+	OpLW
+	OpLD
+	OpLBU
+	OpLHU
+	OpLWU
+	OpSB
+	OpSH
+	OpSW
+	OpSD
+	OpADDI
+	OpSLTI
+	OpSLTIU
+	OpXORI
+	OpORI
+	OpANDI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpADD
+	OpSUB
+	OpSLL
+	OpSLT
+	OpSLTU
+	OpXOR
+	OpSRL
+	OpSRA
+	OpOR
+	OpAND
+	OpFENCE
+	OpECALL
+	OpEBREAK
+	OpADDIW
+	OpSLLIW
+	OpSRLIW
+	OpSRAIW
+	OpADDW
+	OpSUBW
+	OpSLLW
+	OpSRLW
+	OpSRAW
+
+	// Zicsr.
+	OpCSRRW
+	OpCSRRS
+	OpCSRRC
+	OpCSRRWI
+	OpCSRRSI
+	OpCSRRCI
+
+	// M extension.
+	OpMUL
+	OpMULH
+	OpMULHSU
+	OpMULHU
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+	OpMULW
+	OpDIVW
+	OpDIVUW
+	OpREMW
+	OpREMUW
+
+	// A extension.
+	OpLRW
+	OpSCW
+	OpAMOSWAPW
+	OpAMOADDW
+	OpAMOXORW
+	OpAMOANDW
+	OpAMOORW
+	OpAMOMINW
+	OpAMOMAXW
+	OpAMOMINUW
+	OpAMOMAXUW
+	OpLRD
+	OpSCD
+	OpAMOSWAPD
+	OpAMOADDD
+	OpAMOXORD
+	OpAMOANDD
+	OpAMOORD
+	OpAMOMIND
+	OpAMOMAXD
+	OpAMOMINUD
+	OpAMOMAXUD
+
+	// F extension (single precision).
+	OpFLW
+	OpFSW
+	OpFADDS
+	OpFSUBS
+	OpFMULS
+	OpFDIVS
+	OpFSQRTS
+	OpFSGNJS
+	OpFSGNJNS
+	OpFSGNJXS
+	OpFMINS
+	OpFMAXS
+	OpFCVTWS
+	OpFCVTWUS
+	OpFCVTLS
+	OpFCVTLUS
+	OpFCVTSW
+	OpFCVTSWU
+	OpFCVTSL
+	OpFCVTSLU
+	OpFMVXW
+	OpFMVWX
+	OpFEQS
+	OpFLTS
+	OpFLES
+	OpFCLASSS
+	OpFMADDS
+	OpFMSUBS
+	OpFNMSUBS
+	OpFNMADDS
+
+	// D extension (double precision).
+	OpFLD
+	OpFSD
+	OpFADDD
+	OpFSUBD
+	OpFMULD
+	OpFDIVD
+	OpFSQRTD
+	OpFSGNJD
+	OpFSGNJND
+	OpFSGNJXD
+	OpFMIND
+	OpFMAXD
+	OpFCVTWD
+	OpFCVTWUD
+	OpFCVTLD
+	OpFCVTLUD
+	OpFCVTDW
+	OpFCVTDWU
+	OpFCVTDL
+	OpFCVTDLU
+	OpFCVTSD
+	OpFCVTDS
+	OpFMVXD
+	OpFMVDX
+	OpFEQD
+	OpFLTD
+	OpFLED
+	OpFCLASSD
+	OpFMADDD
+	OpFMSUBD
+	OpFNMSUBD
+	OpFNMADDD
+
+	// V extension: configuration.
+	OpVSETVLI
+	OpVSETIVLI
+	OpVSETVL
+
+	// V extension: unit-stride loads/stores.
+	OpVLE8
+	OpVLE16
+	OpVLE32
+	OpVLE64
+	OpVSE8
+	OpVSE16
+	OpVSE32
+	OpVSE64
+
+	// V extension: strided loads/stores.
+	OpVLSE8
+	OpVLSE16
+	OpVLSE32
+	OpVLSE64
+	OpVSSE8
+	OpVSSE16
+	OpVSSE32
+	OpVSSE64
+
+	// V extension: indexed (gather/scatter), unordered.
+	OpVLUXEI8
+	OpVLUXEI16
+	OpVLUXEI32
+	OpVLUXEI64
+	OpVSUXEI8
+	OpVSUXEI16
+	OpVSUXEI32
+	OpVSUXEI64
+
+	// V extension: integer arithmetic (OPIVV/OPIVX/OPIVI).
+	OpVADDVV
+	OpVADDVX
+	OpVADDVI
+	OpVSUBVV
+	OpVSUBVX
+	OpVRSUBVX
+	OpVRSUBVI
+	OpVANDVV
+	OpVANDVX
+	OpVANDVI
+	OpVORVV
+	OpVORVX
+	OpVORVI
+	OpVXORVV
+	OpVXORVX
+	OpVXORVI
+	OpVSLLVV
+	OpVSLLVX
+	OpVSLLVI
+	OpVSRLVV
+	OpVSRLVX
+	OpVSRLVI
+	OpVSRAVV
+	OpVSRAVX
+	OpVSRAVI
+	OpVMINVV
+	OpVMINVX
+	OpVMAXVV
+	OpVMAXVX
+	OpVMSEQVV
+	OpVMSEQVX
+	OpVMSEQVI
+	OpVMSNEVV
+	OpVMSNEVX
+	OpVMSLTVV
+	OpVMSLTVX
+	OpVMSLEVV
+	OpVMSLEVX
+	OpVMVVV
+	OpVMVVX
+	OpVMVVI
+	OpVSLIDEDOWNVX
+	OpVSLIDEDOWNVI
+
+	// V extension: integer multiply/accumulate & misc (OPMVV/OPMVX).
+	OpVMULVV
+	OpVMULVX
+	OpVMULHVV
+	OpVMACCVV
+	OpVMACCVX
+	OpVREDSUMVS
+	OpVREDMAXVS
+	OpVIDV
+	OpVMVXS
+	OpVMVSX
+	OpVSLIDE1DOWNVX
+
+	// V extension: floating point (OPFVV/OPFVF).
+	OpVFADDVV
+	OpVFADDVF
+	OpVFSUBVV
+	OpVFSUBVF
+	OpVFMULVV
+	OpVFMULVF
+	OpVFDIVVV
+	OpVFDIVVF
+	OpVFMACCVV
+	OpVFMACCVF
+	OpVFNMSACVV
+	OpVFMINVV
+	OpVFMAXVV
+	OpVFMVVF
+	OpVFMVFS
+	OpVFMVSF
+	OpVFREDUSUMVS
+	OpVFREDOSUMVS
+	OpVFSQRTV
+
+	opMax // sentinel; must be last
+)
+
+// Class flags describing the broad behaviour of an instruction. The
+// executor and the timing model use these to route instructions without
+// enumerating opcodes.
+type Class uint16
+
+const (
+	ClassALU Class = 1 << iota
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassSystem
+	ClassAtomic
+	ClassFloat
+	ClassVector
+	ClassVectorMem
+	ClassCSR
+)
+
+// Classify reports the behavioural class of op.
+func (op Op) Classify() Class {
+	switch {
+	case op >= OpLB && op <= OpLWU:
+		return ClassLoad
+	case op >= OpSB && op <= OpSD:
+		return ClassStore
+	case op == OpFLW || op == OpFLD:
+		return ClassLoad | ClassFloat
+	case op == OpFSW || op == OpFSD:
+		return ClassStore | ClassFloat
+	case op >= OpBEQ && op <= OpBGEU, op == OpJAL, op == OpJALR:
+		return ClassBranch
+	case op >= OpCSRRW && op <= OpCSRRCI:
+		return ClassCSR | ClassSystem
+	case op == OpECALL || op == OpEBREAK || op == OpFENCE:
+		return ClassSystem
+	case op >= OpLRW && op <= OpAMOMAXUD:
+		return ClassAtomic | ClassLoad | ClassStore
+	case op >= OpFADDS && op <= OpFNMADDS, op >= OpFADDD && op <= OpFNMADDD:
+		return ClassFloat
+	case op >= OpVLE8 && op <= OpVLUXEI64 && op < OpVSUXEI8,
+		op >= OpVLSE8 && op <= OpVLSE64:
+		if op.isVStore() {
+			return ClassVector | ClassVectorMem | ClassStore
+		}
+		return ClassVector | ClassVectorMem | ClassLoad
+	case op >= OpVSUXEI8 && op <= OpVSUXEI64:
+		return ClassVector | ClassVectorMem | ClassStore
+	case op >= OpVSETVLI && op <= OpVSETVL:
+		return ClassVector | ClassSystem
+	case op >= OpVADDVV && op < opMax:
+		return ClassVector
+	default:
+		return ClassALU
+	}
+}
+
+func (op Op) isVStore() bool {
+	switch op {
+	case OpVSE8, OpVSE16, OpVSE32, OpVSE64,
+		OpVSSE8, OpVSSE16, OpVSSE32, OpVSSE64,
+		OpVSUXEI8, OpVSUXEI16, OpVSUXEI32, OpVSUXEI64:
+		return true
+	}
+	return false
+}
+
+// IsVector reports whether op belongs to the vector extension.
+func (op Op) IsVector() bool { return op >= OpVSETVLI && op < opMax }
+
+// IsVectorMem reports whether op is a vector load or store.
+func (op Op) IsVectorMem() bool { return op >= OpVLE8 && op <= OpVSUXEI64 }
+
+// String returns the canonical assembly mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return "invalid"
+}
+
+// opNames maps Op values to canonical mnemonics. Indexed by Op.
+var opNames = [opMax]string{
+	OpLUI: "lui", OpAUIPC: "auipc", OpJAL: "jal", OpJALR: "jalr",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge",
+	OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpLB: "lb", OpLH: "lh", OpLW: "lw", OpLD: "ld",
+	OpLBU: "lbu", OpLHU: "lhu", OpLWU: "lwu",
+	OpSB: "sb", OpSH: "sh", OpSW: "sw", OpSD: "sd",
+	OpADDI: "addi", OpSLTI: "slti", OpSLTIU: "sltiu", OpXORI: "xori",
+	OpORI: "ori", OpANDI: "andi", OpSLLI: "slli", OpSRLI: "srli",
+	OpSRAI: "srai",
+	OpADD:  "add", OpSUB: "sub", OpSLL: "sll", OpSLT: "slt",
+	OpSLTU: "sltu", OpXOR: "xor", OpSRL: "srl", OpSRA: "sra",
+	OpOR: "or", OpAND: "and",
+	OpFENCE: "fence", OpECALL: "ecall", OpEBREAK: "ebreak",
+	OpADDIW: "addiw", OpSLLIW: "slliw", OpSRLIW: "srliw", OpSRAIW: "sraiw",
+	OpADDW: "addw", OpSUBW: "subw", OpSLLW: "sllw", OpSRLW: "srlw",
+	OpSRAW:  "sraw",
+	OpCSRRW: "csrrw", OpCSRRS: "csrrs", OpCSRRC: "csrrc",
+	OpCSRRWI: "csrrwi", OpCSRRSI: "csrrsi", OpCSRRCI: "csrrci",
+	OpMUL: "mul", OpMULH: "mulh", OpMULHSU: "mulhsu", OpMULHU: "mulhu",
+	OpDIV: "div", OpDIVU: "divu", OpREM: "rem", OpREMU: "remu",
+	OpMULW: "mulw", OpDIVW: "divw", OpDIVUW: "divuw", OpREMW: "remw",
+	OpREMUW: "remuw",
+	OpLRW:   "lr.w", OpSCW: "sc.w",
+	OpAMOSWAPW: "amoswap.w", OpAMOADDW: "amoadd.w", OpAMOXORW: "amoxor.w",
+	OpAMOANDW: "amoand.w", OpAMOORW: "amoor.w", OpAMOMINW: "amomin.w",
+	OpAMOMAXW: "amomax.w", OpAMOMINUW: "amominu.w", OpAMOMAXUW: "amomaxu.w",
+	OpLRD: "lr.d", OpSCD: "sc.d",
+	OpAMOSWAPD: "amoswap.d", OpAMOADDD: "amoadd.d", OpAMOXORD: "amoxor.d",
+	OpAMOANDD: "amoand.d", OpAMOORD: "amoor.d", OpAMOMIND: "amomin.d",
+	OpAMOMAXD: "amomax.d", OpAMOMINUD: "amominu.d", OpAMOMAXUD: "amomaxu.d",
+	OpFLW: "flw", OpFSW: "fsw",
+	OpFADDS: "fadd.s", OpFSUBS: "fsub.s", OpFMULS: "fmul.s", OpFDIVS: "fdiv.s",
+	OpFSQRTS: "fsqrt.s",
+	OpFSGNJS: "fsgnj.s", OpFSGNJNS: "fsgnjn.s", OpFSGNJXS: "fsgnjx.s",
+	OpFMINS: "fmin.s", OpFMAXS: "fmax.s",
+	OpFCVTWS: "fcvt.w.s", OpFCVTWUS: "fcvt.wu.s", OpFCVTLS: "fcvt.l.s",
+	OpFCVTLUS: "fcvt.lu.s",
+	OpFCVTSW:  "fcvt.s.w", OpFCVTSWU: "fcvt.s.wu", OpFCVTSL: "fcvt.s.l",
+	OpFCVTSLU: "fcvt.s.lu",
+	OpFMVXW:   "fmv.x.w", OpFMVWX: "fmv.w.x",
+	OpFEQS: "feq.s", OpFLTS: "flt.s", OpFLES: "fle.s", OpFCLASSS: "fclass.s",
+	OpFMADDS: "fmadd.s", OpFMSUBS: "fmsub.s", OpFNMSUBS: "fnmsub.s",
+	OpFNMADDS: "fnmadd.s",
+	OpFLD:     "fld", OpFSD: "fsd",
+	OpFADDD: "fadd.d", OpFSUBD: "fsub.d", OpFMULD: "fmul.d", OpFDIVD: "fdiv.d",
+	OpFSQRTD: "fsqrt.d",
+	OpFSGNJD: "fsgnj.d", OpFSGNJND: "fsgnjn.d", OpFSGNJXD: "fsgnjx.d",
+	OpFMIND: "fmin.d", OpFMAXD: "fmax.d",
+	OpFCVTWD: "fcvt.w.d", OpFCVTWUD: "fcvt.wu.d", OpFCVTLD: "fcvt.l.d",
+	OpFCVTLUD: "fcvt.lu.d",
+	OpFCVTDW:  "fcvt.d.w", OpFCVTDWU: "fcvt.d.wu", OpFCVTDL: "fcvt.d.l",
+	OpFCVTDLU: "fcvt.d.lu",
+	OpFCVTSD:  "fcvt.s.d", OpFCVTDS: "fcvt.d.s",
+	OpFMVXD: "fmv.x.d", OpFMVDX: "fmv.d.x",
+	OpFEQD: "feq.d", OpFLTD: "flt.d", OpFLED: "fle.d", OpFCLASSD: "fclass.d",
+	OpFMADDD: "fmadd.d", OpFMSUBD: "fmsub.d", OpFNMSUBD: "fnmsub.d",
+	OpFNMADDD: "fnmadd.d",
+	OpVSETVLI: "vsetvli", OpVSETIVLI: "vsetivli", OpVSETVL: "vsetvl",
+	OpVLE8: "vle8.v", OpVLE16: "vle16.v", OpVLE32: "vle32.v", OpVLE64: "vle64.v",
+	OpVSE8: "vse8.v", OpVSE16: "vse16.v", OpVSE32: "vse32.v", OpVSE64: "vse64.v",
+	OpVLSE8: "vlse8.v", OpVLSE16: "vlse16.v", OpVLSE32: "vlse32.v",
+	OpVLSE64: "vlse64.v",
+	OpVSSE8:  "vsse8.v", OpVSSE16: "vsse16.v", OpVSSE32: "vsse32.v",
+	OpVSSE64:  "vsse64.v",
+	OpVLUXEI8: "vluxei8.v", OpVLUXEI16: "vluxei16.v", OpVLUXEI32: "vluxei32.v",
+	OpVLUXEI64: "vluxei64.v",
+	OpVSUXEI8:  "vsuxei8.v", OpVSUXEI16: "vsuxei16.v", OpVSUXEI32: "vsuxei32.v",
+	OpVSUXEI64: "vsuxei64.v",
+	OpVADDVV:   "vadd.vv", OpVADDVX: "vadd.vx", OpVADDVI: "vadd.vi",
+	OpVSUBVV: "vsub.vv", OpVSUBVX: "vsub.vx",
+	OpVRSUBVX: "vrsub.vx", OpVRSUBVI: "vrsub.vi",
+	OpVANDVV: "vand.vv", OpVANDVX: "vand.vx", OpVANDVI: "vand.vi",
+	OpVORVV: "vor.vv", OpVORVX: "vor.vx", OpVORVI: "vor.vi",
+	OpVXORVV: "vxor.vv", OpVXORVX: "vxor.vx", OpVXORVI: "vxor.vi",
+	OpVSLLVV: "vsll.vv", OpVSLLVX: "vsll.vx", OpVSLLVI: "vsll.vi",
+	OpVSRLVV: "vsrl.vv", OpVSRLVX: "vsrl.vx", OpVSRLVI: "vsrl.vi",
+	OpVSRAVV: "vsra.vv", OpVSRAVX: "vsra.vx", OpVSRAVI: "vsra.vi",
+	OpVMINVV: "vmin.vv", OpVMINVX: "vmin.vx",
+	OpVMAXVV: "vmax.vv", OpVMAXVX: "vmax.vx",
+	OpVMSEQVV: "vmseq.vv", OpVMSEQVX: "vmseq.vx", OpVMSEQVI: "vmseq.vi",
+	OpVMSNEVV: "vmsne.vv", OpVMSNEVX: "vmsne.vx",
+	OpVMSLTVV: "vmslt.vv", OpVMSLTVX: "vmslt.vx",
+	OpVMSLEVV: "vmsle.vv", OpVMSLEVX: "vmsle.vx",
+	OpVMVVV: "vmv.v.v", OpVMVVX: "vmv.v.x", OpVMVVI: "vmv.v.i",
+	OpVSLIDEDOWNVX: "vslidedown.vx", OpVSLIDEDOWNVI: "vslidedown.vi",
+	OpVMULVV: "vmul.vv", OpVMULVX: "vmul.vx", OpVMULHVV: "vmulh.vv",
+	OpVMACCVV: "vmacc.vv", OpVMACCVX: "vmacc.vx",
+	OpVREDSUMVS: "vredsum.vs", OpVREDMAXVS: "vredmax.vs",
+	OpVIDV: "vid.v", OpVMVXS: "vmv.x.s", OpVMVSX: "vmv.s.x",
+	OpVSLIDE1DOWNVX: "vslide1down.vx",
+	OpVFADDVV:       "vfadd.vv", OpVFADDVF: "vfadd.vf",
+	OpVFSUBVV: "vfsub.vv", OpVFSUBVF: "vfsub.vf",
+	OpVFMULVV: "vfmul.vv", OpVFMULVF: "vfmul.vf",
+	OpVFDIVVV: "vfdiv.vv", OpVFDIVVF: "vfdiv.vf",
+	OpVFMACCVV: "vfmacc.vv", OpVFMACCVF: "vfmacc.vf",
+	OpVFNMSACVV: "vfnmsac.vv",
+	OpVFMINVV:   "vfmin.vv", OpVFMAXVV: "vfmax.vv",
+	OpVFMVVF: "vfmv.v.f", OpVFMVFS: "vfmv.f.s", OpVFMVSF: "vfmv.s.f",
+	OpVFREDUSUMVS: "vfredusum.vs", OpVFREDOSUMVS: "vfredosum.vs",
+	OpVFSQRTV: "vfsqrt.v",
+}

@@ -1,0 +1,200 @@
+package riscv
+
+import "fmt"
+
+// ABI names for the integer register file, indexed by register number.
+var XRegNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// ABI names for the floating-point register file.
+var FRegNames = [32]string{
+	"ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+	"fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+	"fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+	"fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+}
+
+// Convenience integer register numbers (ABI).
+const (
+	RegZero = 0
+	RegRA   = 1
+	RegSP   = 2
+	RegGP   = 3
+	RegTP   = 4
+	RegT0   = 5
+	RegT1   = 6
+	RegT2   = 7
+	RegS0   = 8
+	RegS1   = 9
+	RegA0   = 10
+	RegA1   = 11
+	RegA2   = 12
+	RegA3   = 13
+	RegA4   = 14
+	RegA5   = 15
+	RegA6   = 16
+	RegA7   = 17
+)
+
+// XRegName returns the ABI name of integer register r.
+func XRegName(r uint8) string {
+	if r < 32 {
+		return XRegNames[r]
+	}
+	return fmt.Sprintf("x%d?", r)
+}
+
+// FRegName returns the ABI name of FP register r.
+func FRegName(r uint8) string {
+	if r < 32 {
+		return FRegNames[r]
+	}
+	return fmt.Sprintf("f%d?", r)
+}
+
+// VRegName returns the name of vector register r.
+func VRegName(r uint8) string { return fmt.Sprintf("v%d", r) }
+
+// CSR addresses used by the simulator.
+const (
+	CSRVStart  = 0x008
+	CSRMStatus = 0x300
+	CSRMTVec   = 0x305
+	CSRMEPC    = 0x341
+	CSRMCause  = 0x342
+	CSRCycle   = 0xC00
+	CSRTime    = 0xC01
+	CSRInstret = 0xC02
+	CSRVL      = 0xC20
+	CSRVType   = 0xC21
+	CSRVLenB   = 0xC22
+	CSRMHartID = 0xF14
+)
+
+// CSRNames maps CSR addresses to their standard names.
+var CSRNames = map[uint16]string{
+	CSRVStart: "vstart", CSRMStatus: "mstatus", CSRMTVec: "mtvec",
+	CSRMEPC: "mepc", CSRMCause: "mcause",
+	CSRCycle: "cycle", CSRTime: "time", CSRInstret: "instret",
+	CSRVL: "vl", CSRVType: "vtype", CSRVLenB: "vlenb",
+	CSRMHartID: "mhartid",
+}
+
+// CSRName returns the standard name for a CSR address, or a hex fallback.
+func CSRName(addr uint16) string {
+	if n, ok := CSRNames[addr]; ok {
+		return n
+	}
+	return fmt.Sprintf("csr%#03x", addr)
+}
+
+// CSRByName resolves a CSR name to its address.
+func CSRByName(name string) (uint16, bool) {
+	for addr, n := range CSRNames {
+		if n == name {
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// VType is the decoded contents of the vtype CSR.
+type VType struct {
+	SEW  uint // selected element width in bits: 8, 16, 32, 64
+	LMUL uint // register group multiplier: 1, 2, 4, 8
+	TA   bool // tail agnostic
+	MA   bool // mask agnostic
+}
+
+// EncodeVType packs a VType into the zimm immediate of vsetvli.
+func EncodeVType(t VType) (int64, error) {
+	var sewBits int64
+	switch t.SEW {
+	case 8:
+		sewBits = 0
+	case 16:
+		sewBits = 1
+	case 32:
+		sewBits = 2
+	case 64:
+		sewBits = 3
+	default:
+		return 0, fmt.Errorf("riscv: invalid SEW %d", t.SEW)
+	}
+	var lmulBits int64
+	switch t.LMUL {
+	case 1:
+		lmulBits = 0
+	case 2:
+		lmulBits = 1
+	case 4:
+		lmulBits = 2
+	case 8:
+		lmulBits = 3
+	default:
+		return 0, fmt.Errorf("riscv: invalid LMUL %d", t.LMUL)
+	}
+	v := lmulBits | sewBits<<3
+	if t.TA {
+		v |= 1 << 6
+	}
+	if t.MA {
+		v |= 1 << 7
+	}
+	return v, nil
+}
+
+// DecodeVType unpacks a vtype value. The vill bit (63) marks an illegal
+// configuration; DecodeVType reports ok=false in that case.
+func DecodeVType(v uint64) (t VType, ok bool) {
+	if v>>63&1 == 1 {
+		return VType{}, false
+	}
+	switch v >> 3 & 0x7 {
+	case 0:
+		t.SEW = 8
+	case 1:
+		t.SEW = 16
+	case 2:
+		t.SEW = 32
+	case 3:
+		t.SEW = 64
+	default:
+		return VType{}, false
+	}
+	switch v & 0x7 {
+	case 0:
+		t.LMUL = 1
+	case 1:
+		t.LMUL = 2
+	case 2:
+		t.LMUL = 4
+	case 3:
+		t.LMUL = 8
+	default:
+		return VType{}, false // fractional LMUL unsupported
+	}
+	t.TA = v>>6&1 == 1
+	t.MA = v>>7&1 == 1
+	return t, true
+}
+
+// ElemBytes returns the element size in bytes for a vector memory op, or 0
+// for non-vector-memory opcodes.
+func (op Op) ElemBytes() uint {
+	switch op {
+	case OpVLE8, OpVSE8, OpVLSE8, OpVSSE8, OpVLUXEI8, OpVSUXEI8:
+		return 1
+	case OpVLE16, OpVSE16, OpVLSE16, OpVSSE16, OpVLUXEI16, OpVSUXEI16:
+		return 2
+	case OpVLE32, OpVSE32, OpVLSE32, OpVSSE32, OpVLUXEI32, OpVSUXEI32:
+		return 4
+	case OpVLE64, OpVSE64, OpVLSE64, OpVSSE64, OpVLUXEI64, OpVSUXEI64:
+		return 8
+	}
+	return 0
+}

@@ -1,0 +1,214 @@
+package riscv
+
+// RegUse describes which architectural registers an instruction reads and
+// writes, as bitmasks over the three register files. The Coyote
+// orchestrator stalls a core when an instruction names a register with a
+// pending memory access (RAW — and WAW, which would corrupt the
+// completion bookkeeping), so this must be exact.
+type RegUse struct {
+	ReadsX, WritesX uint32
+	ReadsF, WritesF uint32
+	ReadsV, WritesV uint32
+}
+
+func xbit(r uint8) uint32 {
+	if r == 0 {
+		return 0 // x0 is hardwired; never a dependency
+	}
+	return 1 << r
+}
+
+func bit(r uint8) uint32 { return 1 << r }
+
+// groupMask sets lmul consecutive vector-register bits starting at r.
+// Register groups wrap at 32 only for malformed programs; mask off.
+func groupMask(r uint8, lmul uint) uint32 {
+	var m uint32
+	for i := uint(0); i < lmul; i++ {
+		m |= 1 << ((uint(r) + i) & 31)
+	}
+	return m
+}
+
+// RegUsage computes the register footprint of in. lmul is the current
+// vector register-group multiplier (from vtype); pass 1 for scalar code.
+func RegUsage(in Instr, lmul uint) RegUse {
+	if lmul == 0 {
+		lmul = 1
+	}
+	var u RegUse
+	r := encodeRows[in.Op]
+	if r == nil {
+		return u
+	}
+	switch r.f {
+	case ofsNone:
+	case ofsR:
+		cls := in.Op.Classify()
+		switch {
+		case cls&ClassAtomic != 0:
+			u.ReadsX = xbit(in.Rs1) | xbit(in.Rs2)
+			u.WritesX = xbit(in.Rd)
+		case cls&ClassFloat != 0:
+			switch in.Op {
+			case OpFEQS, OpFLTS, OpFLES, OpFEQD, OpFLTD, OpFLED:
+				u.ReadsF = bit(in.Rs1) | bit(in.Rs2)
+				u.WritesX = xbit(in.Rd)
+			default:
+				u.ReadsF = bit(in.Rs1) | bit(in.Rs2)
+				u.WritesF = bit(in.Rd)
+			}
+		default:
+			u.ReadsX = xbit(in.Rs1) | xbit(in.Rs2)
+			u.WritesX = xbit(in.Rd)
+		}
+	case ofsR4:
+		u.ReadsF = bit(in.Rs1) | bit(in.Rs2) | bit(in.Rs3)
+		u.WritesF = bit(in.Rd)
+	case ofsI:
+		u.ReadsX = xbit(in.Rs1)
+		if in.Op == OpFLW || in.Op == OpFLD {
+			u.WritesF = bit(in.Rd)
+		} else {
+			u.WritesX = xbit(in.Rd)
+		}
+	case ofsISh6, ofsISh5:
+		u.ReadsX = xbit(in.Rs1)
+		u.WritesX = xbit(in.Rd)
+	case ofsS:
+		u.ReadsX = xbit(in.Rs1)
+		if in.Op == OpFSW || in.Op == OpFSD {
+			u.ReadsF = bit(in.Rs2)
+		} else {
+			u.ReadsX |= xbit(in.Rs2)
+		}
+	case ofsB:
+		u.ReadsX = xbit(in.Rs1) | xbit(in.Rs2)
+	case ofsU, ofsJ:
+		u.WritesX = xbit(in.Rd)
+	case ofsCSR:
+		u.WritesX = xbit(in.Rd)
+		if in.Op == OpCSRRW || in.Op == OpCSRRS || in.Op == OpCSRRC {
+			u.ReadsX = xbit(in.Rs1)
+		}
+	case ofsRdRs1:
+		switch in.Op {
+		case OpLRW, OpLRD:
+			u.ReadsX = xbit(in.Rs1)
+			u.WritesX = xbit(in.Rd)
+		case OpFCVTWS, OpFCVTWUS, OpFCVTLS, OpFCVTLUS,
+			OpFCVTWD, OpFCVTWUD, OpFCVTLD, OpFCVTLUD,
+			OpFMVXW, OpFMVXD, OpFCLASSS, OpFCLASSD:
+			u.ReadsF = bit(in.Rs1)
+			u.WritesX = xbit(in.Rd)
+		case OpFCVTSW, OpFCVTSWU, OpFCVTSL, OpFCVTSLU,
+			OpFCVTDW, OpFCVTDWU, OpFCVTDL, OpFCVTDLU,
+			OpFMVWX, OpFMVDX:
+			u.ReadsX = xbit(in.Rs1)
+			u.WritesF = bit(in.Rd)
+		default: // fsqrt, fcvt.s.d, fcvt.d.s
+			u.ReadsF = bit(in.Rs1)
+			u.WritesF = bit(in.Rd)
+		}
+	case ofsVL:
+		u.ReadsX = xbit(in.Rs1)
+		u.WritesV = groupMask(in.Rd, lmul)
+	case ofsVS:
+		u.ReadsX = xbit(in.Rs1)
+		u.ReadsV = groupMask(in.Rd, lmul)
+	case ofsVLS:
+		u.ReadsX = xbit(in.Rs1) | xbit(in.Rs2)
+		u.WritesV = groupMask(in.Rd, lmul)
+	case ofsVSS:
+		u.ReadsX = xbit(in.Rs1) | xbit(in.Rs2)
+		u.ReadsV = groupMask(in.Rd, lmul)
+	case ofsVLX:
+		u.ReadsX = xbit(in.Rs1)
+		u.ReadsV = groupMask(in.Rs2, lmul)
+		u.WritesV = groupMask(in.Rd, lmul)
+	case ofsVSX:
+		u.ReadsX = xbit(in.Rs1)
+		u.ReadsV = groupMask(in.Rs2, lmul) | groupMask(in.Rd, lmul)
+	case ofsOPVV:
+		u.ReadsV = groupMask(in.Rs1, lmul) | groupMask(in.Rs2, lmul)
+		u.WritesV = groupMask(in.Rd, lmul)
+		if isMACC(in.Op) {
+			u.ReadsV |= groupMask(in.Rd, lmul)
+		}
+		if isReduction(in.Op) {
+			// Reductions read vs1[0] (scalar) and write vd[0] only.
+			u.ReadsV = bit(in.Rs1) | groupMask(in.Rs2, lmul)
+			u.WritesV = bit(in.Rd)
+		}
+	case ofsOPVX:
+		u.ReadsV = groupMask(in.Rs2, lmul)
+		u.WritesV = groupMask(in.Rd, lmul)
+		if isOPF(in.Op) {
+			u.ReadsF = bit(in.Rs1)
+		} else {
+			u.ReadsX = xbit(in.Rs1)
+		}
+		if isMACC(in.Op) {
+			u.ReadsV |= groupMask(in.Rd, lmul)
+		}
+		if in.Op == OpVMVVX || in.Op == OpVFMVVF {
+			u.ReadsV = 0 // vs2 field is fixed zero, not a source
+		}
+	case ofsOPVI:
+		u.ReadsV = groupMask(in.Rs2, lmul)
+		u.WritesV = groupMask(in.Rd, lmul)
+		if in.Op == OpVMVVI {
+			u.ReadsV = 0
+		}
+	case ofsOPMV:
+		switch in.Op {
+		case OpVMVXS:
+			u.ReadsV = bit(in.Rs2)
+			u.WritesX = xbit(in.Rd)
+		case OpVFMVFS:
+			u.ReadsV = bit(in.Rs2)
+			u.WritesF = bit(in.Rd)
+		default: // vfsqrt.v
+			u.ReadsV = groupMask(in.Rs2, lmul)
+			u.WritesV = groupMask(in.Rd, lmul)
+		}
+	case ofsOPSX:
+		u.WritesV = bit(in.Rd)
+		if in.Op == OpVFMVSF {
+			u.ReadsF = bit(in.Rs1)
+		} else {
+			u.ReadsX = xbit(in.Rs1)
+		}
+	case ofsOPMVV: // vid.v
+		u.WritesV = groupMask(in.Rd, lmul)
+	case ofsVSETVLI:
+		u.ReadsX = xbit(in.Rs1)
+		u.WritesX = xbit(in.Rd)
+	case ofsVSETIVLI:
+		u.WritesX = xbit(in.Rd)
+	case ofsVSETVL:
+		u.ReadsX = xbit(in.Rs1) | xbit(in.Rs2)
+		u.WritesX = xbit(in.Rd)
+	}
+	// A masked vector op also reads the mask register v0.
+	if !in.VM && in.Op.IsVector() {
+		u.ReadsV |= 1
+	}
+	return u
+}
+
+func isMACC(op Op) bool {
+	switch op {
+	case OpVMACCVV, OpVMACCVX, OpVFMACCVV, OpVFMACCVF, OpVFNMSACVV:
+		return true
+	}
+	return false
+}
+
+func isReduction(op Op) bool {
+	switch op {
+	case OpVREDSUMVS, OpVREDMAXVS, OpVFREDUSUMVS, OpVFREDOSUMVS:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,6 @@
+package trace
+
+import "github.com/coyote-sim/coyote/internal/asm"
+
+// asmAssemble keeps the test file free of a direct asm import alias.
+func asmAssemble(src string) (*asm.Program, error) { return asm.Assemble(src) }

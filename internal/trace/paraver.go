@@ -1,0 +1,270 @@
+// Package trace writes Paraver trace files (.prv + .pcf + .row), the
+// output format Coyote produces for the BSC Paraver visualizer (paper
+// §III-A: "a trace of L1 misses ... can be analyzed using the Paraver
+// Visualization Tools"). One Paraver "thread" is emitted per hart; L1
+// misses, dependency stalls and wakeups are encoded as punctual events.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/coyote-sim/coyote/internal/core"
+)
+
+// Paraver event type codes used by this writer.
+const (
+	EventL1DMiss = 90000001
+	EventL1IMiss = 90000002
+	EventStall   = 90000003
+	EventWakeup  = 90000004
+)
+
+// Event is one trace record.
+type Event struct {
+	Cycle uint64
+	Hart  int
+	Type  int
+	Value uint64
+}
+
+// Writer buffers simulation events and renders them as a Paraver trace.
+// It implements core.Tracer.
+type Writer struct {
+	nHarts int
+	events []Event
+	last   uint64
+}
+
+var _ core.Tracer = (*Writer)(nil)
+
+// NewWriter creates a writer for a system with nHarts cores.
+func NewWriter(nHarts int) *Writer {
+	return &Writer{nHarts: nHarts}
+}
+
+// Event implements core.Tracer.
+func (w *Writer) Event(cycle uint64, hart int, kind core.TraceKind, addr uint64) {
+	var typ int
+	val := addr
+	switch kind {
+	case core.TraceL1DMiss:
+		typ = EventL1DMiss
+	case core.TraceL1IMiss:
+		typ = EventL1IMiss
+	case core.TraceStallRAW:
+		typ = EventStall
+		val = 1
+	case core.TraceWakeup:
+		typ = EventWakeup
+		val = 1
+	default:
+		return
+	}
+	if cycle > w.last {
+		w.last = cycle
+	}
+	w.events = append(w.events, Event{Cycle: cycle, Hart: hart, Type: typ, Value: val})
+}
+
+// Len returns the number of buffered events.
+func (w *Writer) Len() int { return len(w.events) }
+
+// Events returns the buffered events (not a copy; treat as read-only).
+func (w *Writer) Events() []Event { return w.events }
+
+// Paraver state values emitted for stall intervals.
+const (
+	StateRunning = 1
+	StateStalled = 13 // Paraver's conventional "blocked" state code
+)
+
+// WritePRV renders the .prv record stream: punctual events for misses and
+// wake-ups, plus state records (record type 1) covering each stall
+// interval, which is what makes the per-core timeline readable in the
+// Paraver GUI.
+func (w *Writer) WritePRV(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	// Header: #Paraver (date):duration:resource:nAppl:appl(nTasks:node)
+	// One application with nHarts tasks of one thread each, one node.
+	fmt.Fprintf(bw, "#Paraver (01/01/2021 at 00:00):%d:1(%d):1:%d(",
+		w.last+1, w.nHarts, w.nHarts)
+	for i := 0; i < w.nHarts; i++ {
+		if i > 0 {
+			fmt.Fprint(bw, ",")
+		}
+		fmt.Fprint(bw, "1:1")
+	}
+	fmt.Fprintln(bw, ")")
+
+	evs := make([]Event, len(w.events))
+	copy(evs, w.events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Cycle < evs[j].Cycle })
+
+	// Derive stall intervals: a stall event opens a window, the next
+	// wakeup on the same hart closes it.
+	stallStart := make(map[int]uint64)
+	for _, e := range evs {
+		switch e.Type {
+		case EventStall:
+			if _, open := stallStart[e.Hart]; !open {
+				stallStart[e.Hart] = e.Cycle
+			}
+		case EventWakeup:
+			if start, open := stallStart[e.Hart]; open && e.Cycle > start {
+				// 1:cpu:appl:task:thread:begin:end:state
+				fmt.Fprintf(bw, "1:%d:1:%d:1:%d:%d:%d\n",
+					e.Hart+1, e.Hart+1, start, e.Cycle, StateStalled)
+			}
+			delete(stallStart, e.Hart)
+		}
+	}
+
+	for _, e := range evs {
+		// 2:cpu:appl:task:thread:time:type:value
+		fmt.Fprintf(bw, "2:%d:1:%d:1:%d:%d:%d\n",
+			e.Hart+1, e.Hart+1, e.Cycle, e.Type, e.Value)
+	}
+	return bw.Flush()
+}
+
+// ParseStates extracts the state records (stall intervals) from a .prv
+// stream. Returned per record: hart, begin, end, state.
+type StateRecord struct {
+	Hart       int
+	Begin, End uint64
+	State      int
+}
+
+// ParsePRVStates reads the state records out of a .prv stream.
+func ParsePRVStates(in io.Reader) ([]StateRecord, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []StateRecord
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "1:") {
+			continue
+		}
+		fields := strings.Split(line, ":")
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("prv: malformed state record %q", line)
+		}
+		hart, err1 := strconv.Atoi(fields[1])
+		begin, err2 := strconv.ParseUint(fields[5], 10, 64)
+		end, err3 := strconv.ParseUint(fields[6], 10, 64)
+		state, err4 := strconv.Atoi(fields[7])
+		for _, err := range []error{err1, err2, err3, err4} {
+			if err != nil {
+				return nil, fmt.Errorf("prv: state record %q: %w", line, err)
+			}
+		}
+		out = append(out, StateRecord{Hart: hart - 1, Begin: begin, End: end, State: state})
+	}
+	return out, sc.Err()
+}
+
+// WritePCF renders the .pcf config describing the event types.
+func (w *Writer) WritePCF(out io.Writer) error {
+	_, err := fmt.Fprintf(out, `DEFAULT_OPTIONS
+
+LEVEL               THREAD
+UNITS               NANOSEC
+
+STATES
+%d Running
+%d Stalled on memory
+
+EVENT_TYPE
+0 %d L1D miss (line address)
+0 %d L1I miss (line address)
+0 %d RAW dependency stall
+0 %d Core wakeup
+`, StateRunning, StateStalled, EventL1DMiss, EventL1IMiss, EventStall, EventWakeup)
+	return err
+}
+
+// WriteROW renders the .row label file.
+func (w *Writer) WriteROW(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "LEVEL THREAD SIZE %d\n", w.nHarts)
+	for i := 0; i < w.nHarts; i++ {
+		fmt.Fprintf(bw, "core %d\n", i)
+	}
+	return bw.Flush()
+}
+
+// ParsePRV reads a .prv stream back into events — used by cmd/prv2txt and
+// the round-trip tests.
+func ParsePRV(in io.Reader) (nHarts int, events []Event, err error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#Paraver") {
+			// ...:resource(h):nAppl:appl(... — pull the hart count out of
+			// the first parenthesised group.
+			open := strings.Index(line, "(")
+			open = strings.Index(line[open+1:], "(") + open + 1
+			close_ := strings.Index(line[open:], ")") + open
+			if open <= 0 || close_ <= open {
+				return 0, nil, fmt.Errorf("prv line %d: malformed header", lineNo)
+			}
+			nHarts, err = strconv.Atoi(line[open+1 : close_])
+			if err != nil {
+				return 0, nil, fmt.Errorf("prv line %d: bad hart count: %w", lineNo, err)
+			}
+			continue
+		}
+		fields := strings.Split(line, ":")
+		if fields[0] != "2" {
+			continue // only punctual events are produced by this writer
+		}
+		if len(fields) != 8 {
+			return 0, nil, fmt.Errorf("prv line %d: want 8 fields, got %d", lineNo, len(fields))
+		}
+		hart, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0, nil, fmt.Errorf("prv line %d: %w", lineNo, err)
+		}
+		cyc, err := strconv.ParseUint(fields[5], 10, 64)
+		if err != nil {
+			return 0, nil, fmt.Errorf("prv line %d: %w", lineNo, err)
+		}
+		typ, err := strconv.Atoi(fields[6])
+		if err != nil {
+			return 0, nil, fmt.Errorf("prv line %d: %w", lineNo, err)
+		}
+		val, err := strconv.ParseUint(fields[7], 10, 64)
+		if err != nil {
+			return 0, nil, fmt.Errorf("prv line %d: %w", lineNo, err)
+		}
+		events = append(events, Event{Cycle: cyc, Hart: hart - 1, Type: typ, Value: val})
+	}
+	return nHarts, events, sc.Err()
+}
+
+// TypeName returns a human-readable name for an event type code.
+func TypeName(t int) string {
+	switch t {
+	case EventL1DMiss:
+		return "l1d-miss"
+	case EventL1IMiss:
+		return "l1i-miss"
+	case EventStall:
+		return "stall"
+	case EventWakeup:
+		return "wakeup"
+	default:
+		return fmt.Sprintf("type%d", t)
+	}
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/core"
+)
+
+func TestWriterCollectsEvents(t *testing.T) {
+	w := NewWriter(4)
+	w.Event(10, 0, core.TraceL1DMiss, 0x1000)
+	w.Event(12, 1, core.TraceL1IMiss, 0x2000)
+	w.Event(14, 2, core.TraceStallRAW, 0)
+	w.Event(20, 2, core.TraceWakeup, 0)
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if w.Events()[0].Type != EventL1DMiss || w.Events()[0].Value != 0x1000 {
+		t.Errorf("first event = %+v", w.Events()[0])
+	}
+}
+
+func TestParaverRoundTrip(t *testing.T) {
+	w := NewWriter(3)
+	w.Event(5, 2, core.TraceL1DMiss, 0xdead00)
+	w.Event(1, 0, core.TraceL1IMiss, 0xbeef00)
+	w.Event(9, 1, core.TraceStallRAW, 0)
+
+	var buf bytes.Buffer
+	if err := w.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nHarts, evs, err := ParsePRV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nHarts != 3 {
+		t.Errorf("nHarts = %d", nHarts)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// Events come back time-sorted.
+	if evs[0].Cycle != 1 || evs[0].Hart != 0 || evs[0].Type != EventL1IMiss ||
+		evs[0].Value != 0xbeef00 {
+		t.Errorf("ev0 = %+v", evs[0])
+	}
+	if evs[2].Cycle != 9 || evs[2].Hart != 1 || evs[2].Type != EventStall {
+		t.Errorf("ev2 = %+v", evs[2])
+	}
+}
+
+func TestPRVHeaderDuration(t *testing.T) {
+	w := NewWriter(1)
+	w.Event(100, 0, core.TraceL1DMiss, 0)
+	var buf bytes.Buffer
+	if err := w.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(header, ":101:") {
+		t.Errorf("header should carry duration 101: %s", header)
+	}
+}
+
+func TestPCFAndROW(t *testing.T) {
+	w := NewWriter(2)
+	var pcf, row bytes.Buffer
+	if err := w.WritePCF(&pcf); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteROW(&row); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EVENT_TYPE", "L1D miss", "90000001"} {
+		if !strings.Contains(pcf.String(), want) {
+			t.Errorf("pcf missing %q", want)
+		}
+	}
+	if !strings.Contains(row.String(), "LEVEL THREAD SIZE 2") ||
+		!strings.Contains(row.String(), "core 1") {
+		t.Errorf("row file wrong:\n%s", row.String())
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, _, err := ParsePRV(strings.NewReader("2:1:1:1:1:5:90000001\n")); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, _, err := ParsePRV(strings.NewReader("2:x:1:1:1:5:90000001:1\n")); err == nil {
+		t.Error("bad hart accepted")
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	if TypeName(EventL1DMiss) != "l1d-miss" || TypeName(123) != "type123" {
+		t.Error("TypeName wrong")
+	}
+}
+
+// Full-system smoke test: simulate, write, parse, check consistency.
+func TestEndToEndTrace(t *testing.T) {
+	// Local import cycle note: core does not import trace, so we can use
+	// both here.
+	cfg := core.DefaultConfig(2)
+	s, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(2)
+	s.Tracer = w
+	prog := `
+	_start:
+		la a0, data
+		csrr t0, mhartid
+		slli t0, t0, 6
+		add a0, a0, t0
+		ld t1, 0(a0)
+		add t2, t1, t1
+		li a7, 93
+		li a0, 0
+		ecall
+	.data
+	data: .zero 128
+	`
+	p, err := asmAssemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadProgram(p)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() == 0 {
+		t.Fatal("no trace events captured")
+	}
+	var buf bytes.Buffer
+	if err := w.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, evs, err := ParsePRV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(evs) != w.Len() {
+		t.Errorf("round trip: n=%d events=%d want %d", n, len(evs), w.Len())
+	}
+}
+
+func TestStateRecordsFromStallWindows(t *testing.T) {
+	w := NewWriter(2)
+	w.Event(10, 0, core.TraceStallRAW, 0)
+	w.Event(50, 0, core.TraceWakeup, 0)
+	w.Event(60, 1, core.TraceStallRAW, 0)
+	w.Event(61, 1, core.TraceWakeup, 0)
+	w.Event(70, 0, core.TraceStallRAW, 0)
+	// hart 0's second stall never wakes: no state record for it.
+	var buf bytes.Buffer
+	if err := w.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	states, err := ParsePRVStates(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 2 {
+		t.Fatalf("states = %+v, want 2 records", states)
+	}
+	if states[0].Hart != 0 || states[0].Begin != 10 || states[0].End != 50 ||
+		states[0].State != StateStalled {
+		t.Errorf("state[0] = %+v", states[0])
+	}
+	if states[1].Hart != 1 || states[1].Begin != 60 || states[1].End != 61 {
+		t.Errorf("state[1] = %+v", states[1])
+	}
+	// The punctual events still round-trip alongside the states.
+	n, evs, err := ParsePRV(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 2 || len(evs) != 5 {
+		t.Errorf("events after states: n=%d len=%d err=%v", n, len(evs), err)
+	}
+}

@@ -1,0 +1,164 @@
+package uncore
+
+// Tests for the optional uncore extensions: the Figure-2 LLC level, L2
+// next-line prefetching and the DRAM row-buffer model.
+
+import (
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/cache"
+	"github.com/coyote-sim/coyote/internal/evsim"
+)
+
+func llcConfig() Config {
+	cfg := testConfig()
+	cfg.LLCEnable = true
+	cfg.LLC = cache.Config{SizeBytes: 64 << 10, Ways: 8, LineBytes: 64, WriteBack: true}
+	cfg.LLCHitLatency = 20
+	return cfg
+}
+
+func TestLLCHitShortCircuitsDRAM(t *testing.T) {
+	cfg := llcConfig()
+	u, eng := newTestUncore(t, cfg)
+	if len(u.LLCs()) != cfg.MemCtrls {
+		t.Fatalf("llc slices = %d, want %d", len(u.LLCs()), cfg.MemCtrls)
+	}
+	addr := uint64(0x40000)
+	// Cold miss fills both L2 and LLC.
+	roundTrip(t, u, eng, 0, addr)
+	// Evict the line from L2 only by filling its set with conflicts.
+	sets := uint64(cfg.L2.Sets())
+	stride := sets * uint64(cfg.L2.LineBytes) * uint64(len(u.Banks()))
+	for i := uint64(1); i <= uint64(cfg.L2.Ways); i++ {
+		roundTrip(t, u, eng, 0, addr+i*stride)
+	}
+	sumReads := func() (n uint64) {
+		for _, mc := range u.MemCtrls() {
+			n += mc.Reads()
+		}
+		return n
+	}
+	reads0 := sumReads()
+	start := eng.Now()
+	llcTime := roundTrip(t, u, eng, 0, addr) - start
+	reads1 := sumReads()
+	if reads1 != reads0 {
+		t.Errorf("LLC hit went to DRAM: reads %d → %d", reads0, reads1)
+	}
+	if llcTime >= cfg.MemLatency {
+		t.Errorf("LLC hit latency %d not faster than DRAM %d", llcTime, cfg.MemLatency)
+	}
+	var hits uint64
+	for _, s := range u.LLCs() {
+		hits += s.CacheStats().Hits
+	}
+	if hits == 0 {
+		t.Error("no LLC hits recorded")
+	}
+}
+
+func TestLLCDisabledHasNoSlices(t *testing.T) {
+	u, _ := newTestUncore(t, testConfig())
+	if u.LLCs() != nil {
+		t.Error("LLC slices created while disabled")
+	}
+}
+
+func TestLLCValidation(t *testing.T) {
+	cfg := llcConfig()
+	cfg.LLC.LineBytes = 60
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad LLC geometry accepted")
+	}
+}
+
+func TestPrefetchTurnsStreamMissesIntoHits(t *testing.T) {
+	run := func(depth int) (hits, misses, prefetches uint64) {
+		cfg := testConfig()
+		cfg.Tiles = 1
+		cfg.BanksPerTile = 1
+		cfg.MemCtrls = 1
+		cfg.PrefetchDepth = depth
+		cfg.L2MSHRs = 32
+		u, eng := newTestUncore(t, cfg)
+		// Sequential stream of 64 lines, strictly one at a time (so the
+		// prefetcher, not MSHR merging, provides the benefit).
+		for i := uint64(0); i < 64; i++ {
+			roundTrip(t, u, eng, 0, 0x100000+i*64)
+		}
+		b := u.Banks()[0]
+		s := b.CacheStats()
+		return s.Hits, s.Misses, b.prefetches
+	}
+	h0, m0, p0 := run(0)
+	h4, m4, p4 := run(4)
+	if p0 != 0 {
+		t.Errorf("prefetches issued with depth 0: %d", p0)
+	}
+	if p4 == 0 {
+		t.Error("no prefetches issued with depth 4")
+	}
+	if h4 <= h0 || m4 >= m0 {
+		t.Errorf("prefetching should convert misses to hits: depth0 %d/%d, depth4 %d/%d",
+			h0, m0, h4, m4)
+	}
+}
+
+func TestPrefetchRespectsMSHRBudget(t *testing.T) {
+	cfg := testConfig()
+	cfg.Tiles = 1
+	cfg.BanksPerTile = 1
+	cfg.MemCtrls = 1
+	cfg.PrefetchDepth = 16
+	cfg.L2MSHRs = 2
+	u, eng := newTestUncore(t, cfg)
+	done := 0
+	for i := uint64(0); i < 8; i++ {
+		u.Submit(Request{Tile: 0, Addr: 0x100000 + i*1024, Done: func() { done++ }})
+	}
+	eng.Drain()
+	if done != 8 {
+		t.Fatalf("demand requests starved by prefetches: %d/8 done", done)
+	}
+}
+
+func TestRowBufferModel(t *testing.T) {
+	run := func(rowBits uint) (evsim.Cycle, uint64, uint64) {
+		cfg := testConfig()
+		cfg.Tiles = 1
+		cfg.BanksPerTile = 1
+		cfg.MemCtrls = 1
+		cfg.MemRowBits = rowBits
+		cfg.MemRowHitLat = 20
+		u, eng := newTestUncore(t, cfg)
+		// Walk 32 consecutive lines of one 8 KiB row, one at a time.
+		var last evsim.Cycle
+		for i := uint64(0); i < 32; i++ {
+			last = roundTrip(t, u, eng, 0, 0x200000+i*64)
+		}
+		mc := u.MemCtrls()[0]
+		return last, mc.rowHits, mc.rowMisses
+	}
+	flatEnd, h0, m0 := run(0)
+	rowEnd, h1, m1 := run(13) // 8 KiB rows
+	if h0 != 0 || m0 != 0 {
+		t.Errorf("row stats counted while disabled: %d/%d", h0, m0)
+	}
+	if h1 == 0 || m1 == 0 {
+		t.Errorf("row model: hits %d misses %d", h1, m1)
+	}
+	if rowEnd >= flatEnd {
+		t.Errorf("open-row stream (%d) should finish before flat-latency stream (%d)",
+			rowEnd, flatEnd)
+	}
+}
+
+func TestRowBufferValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.MemRowBits = 13
+	cfg.MemRowHitLat = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("row model without hit latency accepted")
+	}
+}

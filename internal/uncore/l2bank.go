@@ -1,0 +1,198 @@
+package uncore
+
+import (
+	"fmt"
+
+	"github.com/coyote-sim/coyote/internal/cache"
+)
+
+// L2Bank is one bank of the L2 cache: a tag array with MSHRs. Misses are
+// merged per line; when the MSHR table is full the request retries next
+// cycle (counted as a conflict, the back-pressure the paper's
+// "maximum number of in-flight misses" parameter controls).
+type L2Bank struct {
+	id   int
+	tile int
+	u    *Uncore
+	tags *cache.Cache
+
+	mshr map[uint64][]func() // line → waiting completions
+
+	// statistics
+	reads         uint64
+	writes        uint64
+	missesIssued  uint64
+	mshrMerges    uint64
+	mshrConflicts uint64
+	prefetches    uint64
+	peakMSHR      int
+}
+
+func newL2Bank(id, tile int, u *Uncore) (*L2Bank, error) {
+	tags, err := cache.New(u.cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("uncore: bank %d: %w", id, err)
+	}
+	return &L2Bank{
+		id:   id,
+		tile: tile,
+		u:    u,
+		tags: tags,
+		mshr: make(map[uint64][]func()),
+	}, nil
+}
+
+// ID returns the global bank index.
+func (b *L2Bank) ID() int { return b.id }
+
+// Tile returns the tile this bank belongs to.
+func (b *L2Bank) Tile() int { return b.tile }
+
+// CacheStats exposes the tag-array statistics.
+func (b *L2Bank) CacheStats() cache.Stats { return b.tags.Stats }
+
+// Accesses returns the total number of lookups handled.
+func (b *L2Bank) Accesses() uint64 { return b.reads + b.writes }
+
+// handle processes a request that has arrived at the bank.
+func (b *L2Bank) handle(req Request) {
+	if req.Write {
+		b.writes++
+	} else {
+		b.reads++
+	}
+
+	// A line already being fetched: merge reads into the MSHR; writes to
+	// an in-flight line simply ride along (the fill will leave the line
+	// present; we conservatively mark it dirty by re-accessing on fill).
+	if waiters, inflight := b.mshr[req.Addr]; inflight {
+		b.mshrMerges++
+		if req.Done != nil {
+			b.mshr[req.Addr] = append(waiters, req.Done)
+		}
+		return
+	}
+
+	res := b.tags.Access(req.Addr, req.Write)
+	if res.HasWriteback {
+		b.writebackToMem(res.Writeback)
+	}
+	if res.Hit {
+		if req.Done != nil {
+			// Lookup latency plus the return traversal, folded into one
+			// scheduled event.
+			delay := b.u.cfg.L2HitLatency + b.u.noc.delay(b.tile != req.Tile)
+			b.u.eng.Schedule(delay, req.Done)
+		}
+		return
+	}
+
+	// Miss. The Access above already allocated the tag (fill-on-miss
+	// model); the MSHR tracks the outstanding memory fetch.
+	if len(b.mshr) >= b.u.cfg.L2MSHRs {
+		// Structural hazard: undo nothing (tags are timing-only), retry
+		// the transaction next cycle.
+		b.mshrConflicts++
+		b.tags.Invalidate(req.Addr) // do not claim the line before the retry succeeds
+		b.u.eng.Schedule(1, func() { b.handle(req) })
+		return
+	}
+	var waiters []func()
+	if req.Done != nil {
+		waiters = append(waiters, req.Done)
+	}
+	b.mshr[req.Addr] = waiters
+	if n := len(b.mshr); n > b.peakMSHR {
+		b.peakMSHR = n
+	}
+	b.missesIssued++
+	remoteReq := b.tile != req.Tile
+	addr := req.Addr
+	// bank → (miss issue + NoC) → memory side; the response flows back
+	// over the NoC to the bank.
+	toMem := b.u.cfg.L2MissLatency + b.u.noc.delay(true)
+	b.u.eng.Schedule(toMem, func() {
+		backLat := b.u.noc.delay(true)
+		b.u.memSide(addr, false, backLat, func() { b.fill(addr, remoteReq) })
+	})
+
+	// Next-line prefetch (paper §III-A future work: "prefetching,
+	// streaming"): fetch the following PrefetchDepth lines into this bank
+	// if they are absent, idle MSHR capacity permitting.
+	lineBytes := uint64(b.u.cfg.L2.LineBytes)
+	// Prefetches may use at most half the MSHRs, so demand misses are
+	// never starved into retry storms by speculative traffic.
+	prefetchBudget := b.u.cfg.L2MSHRs / 2
+	for d := 1; d <= b.u.cfg.PrefetchDepth; d++ {
+		pa := addr + uint64(d)*lineBytes
+		if b.u.bankFor(req.Tile, pa) != b {
+			continue // the neighbouring line belongs to another bank
+		}
+		if b.tags.Probe(pa) {
+			continue
+		}
+		if _, inflight := b.mshr[pa]; inflight {
+			continue
+		}
+		if len(b.mshr) >= prefetchBudget {
+			break
+		}
+		b.mshr[pa] = nil
+		b.prefetches++
+		b.u.eng.Schedule(toMem, func() {
+			b.u.memSide(pa, false, 0, func() { b.fill(pa, false) })
+		})
+	}
+}
+
+// fill completes an outstanding miss: release all merged waiters after
+// their return traversal. Prefetch fills (no waiters) just install the
+// line.
+func (b *L2Bank) fill(addr uint64, remoteReq bool) {
+	waiters := b.mshr[addr]
+	delete(b.mshr, addr)
+	if !b.tags.Probe(addr) {
+		if res := b.tags.Fill(addr); res.HasWriteback {
+			b.writebackToMem(res.Writeback)
+		}
+	}
+	if len(waiters) == 0 {
+		return
+	}
+	delay := b.u.noc.delay(remoteReq)
+	for i := 1; i < len(waiters); i++ {
+		b.u.noc.delay(remoteReq) // one response message per merged waiter
+	}
+	ws := waiters
+	b.u.eng.Schedule(delay, func() {
+		for _, done := range ws {
+			done()
+		}
+	})
+}
+
+// writebackToMem sends an evicted dirty line toward memory.
+func (b *L2Bank) writebackToMem(addr uint64) {
+	delay := b.u.noc.delay(true)
+	b.u.eng.Schedule(delay, func() { b.u.memSide(addr, true, 0, nil) })
+}
+
+// Name implements evsim.Unit.
+func (b *L2Bank) Name() string { return fmt.Sprintf("l2bank%d", b.id) }
+
+// Counters implements evsim.Unit.
+func (b *L2Bank) Counters() map[string]uint64 {
+	s := b.tags.Stats
+	return map[string]uint64{
+		"reads":          b.reads,
+		"writes":         b.writes,
+		"hits":           s.Hits,
+		"misses":         s.Misses,
+		"writebacks":     s.Writebacks,
+		"misses_issued":  b.missesIssued,
+		"mshr_merges":    b.mshrMerges,
+		"mshr_conflicts": b.mshrConflicts,
+		"prefetches":     b.prefetches,
+		"peak_mshr":      uint64(b.peakMSHR),
+	}
+}

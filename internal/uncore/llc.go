@@ -1,0 +1,102 @@
+package uncore
+
+import (
+	"fmt"
+
+	"github.com/coyote-sim/coyote/internal/cache"
+)
+
+// LLCSlice is one slice of the optional shared last-level cache sitting in
+// front of a memory controller — the third cache level of the paper's
+// Figure 2 example system ("Three levels of cache and 64 cores are
+// depicted"). One slice per controller; lines are interleaved across
+// slices by the same function that picks the controller.
+type LLCSlice struct {
+	id   int
+	u    *Uncore
+	tags *cache.Cache
+	mshr map[uint64][]func()
+
+	reads      uint64
+	writes     uint64
+	mshrMerges uint64
+}
+
+func newLLCSlice(id int, u *Uncore) (*LLCSlice, error) {
+	tags, err := cache.New(u.cfg.LLC)
+	if err != nil {
+		return nil, fmt.Errorf("uncore: llc slice %d: %w", id, err)
+	}
+	return &LLCSlice{id: id, u: u, tags: tags, mshr: make(map[uint64][]func())}, nil
+}
+
+// CacheStats exposes the slice's tag statistics.
+func (l *LLCSlice) CacheStats() cache.Stats { return l.tags.Stats }
+
+// request handles a line read (done != nil fires extraDelay cycles after
+// the data is available at the slice) or write.
+func (l *LLCSlice) request(addr uint64, write bool, extraDelay uint64, done func()) {
+	mc := l.u.mcs[l.id]
+	if write {
+		l.writes++
+		res := l.tags.Access(addr, true)
+		if res.HasWriteback {
+			mc.request(res.Writeback, true, 0, nil)
+		}
+		if !res.Hit {
+			// Write-allocate fetch, nobody waits on it.
+			mc.request(addr, false, 0, nil)
+		}
+		return
+	}
+	l.reads++
+	if waiters, inflight := l.mshr[addr]; inflight {
+		l.mshrMerges++
+		if done != nil {
+			l.mshr[addr] = append(waiters, func() {
+				l.u.eng.Schedule(extraDelay, done)
+			})
+		}
+		return
+	}
+	res := l.tags.Access(addr, false)
+	if res.HasWriteback {
+		mc.request(res.Writeback, true, 0, nil)
+	}
+	if res.Hit {
+		if done != nil {
+			l.u.eng.Schedule(l.u.cfg.LLCHitLatency+extraDelay, done)
+		}
+		return
+	}
+	var waiters []func()
+	if done != nil {
+		waiters = append(waiters, func() {
+			l.u.eng.Schedule(extraDelay, done)
+		})
+	}
+	l.mshr[addr] = waiters
+	mc.request(addr, false, 0, func() {
+		ws := l.mshr[addr]
+		delete(l.mshr, addr)
+		for _, w := range ws {
+			w()
+		}
+	})
+}
+
+// Name implements evsim.Unit.
+func (l *LLCSlice) Name() string { return fmt.Sprintf("llc%d", l.id) }
+
+// Counters implements evsim.Unit.
+func (l *LLCSlice) Counters() map[string]uint64 {
+	s := l.tags.Stats
+	return map[string]uint64{
+		"reads":       l.reads,
+		"writes":      l.writes,
+		"hits":        s.Hits,
+		"misses":      s.Misses,
+		"writebacks":  s.Writebacks,
+		"mshr_merges": l.mshrMerges,
+	}
+}

@@ -1,0 +1,120 @@
+package uncore
+
+import (
+	"fmt"
+
+	"github.com/coyote-sim/coyote/internal/evsim"
+)
+
+// MemCtrl models one memory channel: a fixed access latency plus a
+// bandwidth limit. Each line transfer occupies the channel for
+// lineBytes/bytesPerCycle cycles; requests arriving while the channel is
+// busy queue behind it (tracked with a next-free-cycle watermark — the
+// classic latency-bandwidth "simple" controller the paper notes is a
+// placeholder pending the MCPU model).
+type MemCtrl struct {
+	id        int
+	eng       *evsim.Engine
+	latency   evsim.Cycle
+	occupancy evsim.Cycle // channel cycles per line
+	nextFree  evsim.Cycle
+
+	// Optional open-row model: rowBits > 0 keeps one open row per DRAM
+	// bank; accesses hitting an open row complete in rowHitLat instead of
+	// latency. Banks are selected by the bits above the row index, so
+	// independent streams (e.g. a read and a write stream) keep their own
+	// rows open — the behaviour that makes row-buffer locality visible.
+	rowBits   uint
+	rowHitLat evsim.Cycle
+	openRow   []uint64
+	rowValid  []bool
+
+	reads      uint64
+	writes     uint64
+	stallCycle uint64 // cycles requests spent queued behind the channel
+	rowHits    uint64
+	rowMisses  uint64
+}
+
+func newMemCtrl(id int, eng *evsim.Engine, cfg Config) *MemCtrl {
+	occ := evsim.Cycle((cfg.L2.LineBytes + cfg.MemBytesPerCyc - 1) / cfg.MemBytesPerCyc)
+	if occ == 0 {
+		occ = 1
+	}
+	banks := cfg.MemBanks
+	if banks <= 0 {
+		banks = 8
+	}
+	return &MemCtrl{
+		id: id, eng: eng, latency: cfg.MemLatency, occupancy: occ,
+		rowBits: cfg.MemRowBits, rowHitLat: cfg.MemRowHitLat,
+		openRow: make([]uint64, banks), rowValid: make([]bool, banks),
+	}
+}
+
+// accessLatency applies the row-buffer model to one access.
+func (m *MemCtrl) accessLatency(addr uint64) evsim.Cycle {
+	if m.rowBits == 0 {
+		return m.latency
+	}
+	row := addr >> m.rowBits
+	// XOR-fold the row index into the bank selector so streams whose rows
+	// differ by a multiple of the bank count still land in distinct banks.
+	bank := (row ^ row>>3 ^ row>>6) % uint64(len(m.openRow))
+	if m.rowValid[bank] && row == m.openRow[bank] {
+		m.rowHits++
+		return m.rowHitLat
+	}
+	m.rowMisses++
+	m.openRow[bank] = row
+	m.rowValid[bank] = true
+	return m.latency
+}
+
+// ID returns the controller index.
+func (m *MemCtrl) ID() int { return m.id }
+
+// Reads returns the number of line reads serviced.
+func (m *MemCtrl) Reads() uint64 { return m.reads }
+
+// Writes returns the number of line writes serviced.
+func (m *MemCtrl) Writes() uint64 { return m.writes }
+
+// request services one line transfer; done (if non-nil) fires when the
+// data has returned to the requester, extraDelay cycles (the response
+// traversal) after the DRAM access completes.
+func (m *MemCtrl) request(addr uint64, write bool, extraDelay evsim.Cycle, done func()) {
+	now := m.eng.Now()
+	start := now
+	if m.nextFree > start {
+		m.stallCycle += uint64(m.nextFree - start)
+		start = m.nextFree
+	}
+	m.nextFree = start + m.occupancy
+	lat := m.accessLatency(addr)
+	if write {
+		m.writes++
+		return
+	}
+	m.reads++
+	if done != nil {
+		m.eng.ScheduleAt(start+lat+extraDelay, done)
+	}
+}
+
+// Name implements evsim.Unit.
+func (m *MemCtrl) Name() string { return fmt.Sprintf("mc%d", m.id) }
+
+// Counters implements evsim.Unit.
+func (m *MemCtrl) Counters() map[string]uint64 {
+	c := map[string]uint64{
+		"reads":        m.reads,
+		"writes":       m.writes,
+		"queue_cycles": m.stallCycle,
+	}
+	if m.rowBits > 0 {
+		c["row_hits"] = m.rowHits
+		c["row_misses"] = m.rowMisses
+	}
+	return c
+}

@@ -1,0 +1,52 @@
+package uncore
+
+import "github.com/coyote-sim/coyote/internal/evsim"
+
+// NoC is the idealized crossbar interconnect from the paper: every
+// traversal completes after a fixed configurable latency, with no
+// contention ("a highly idealized crossbar, that uses fixed, configurable
+// latencies", §III-A). Same-tile hops use the shorter local latency.
+type NoC struct {
+	eng     *evsim.Engine
+	latency evsim.Cycle
+	local   evsim.Cycle
+
+	remoteMsgs uint64
+	localMsgs  uint64
+}
+
+func newNoC(eng *evsim.Engine, latency, local evsim.Cycle) *NoC {
+	return &NoC{eng: eng, latency: latency, local: local}
+}
+
+// traverse delivers fn after the appropriate hop latency.
+func (n *NoC) traverse(remote bool, fn func()) {
+	n.eng.Schedule(n.delay(remote), fn)
+}
+
+// delay accounts one crossbar traversal and returns its latency. Units on
+// a transaction's critical path fold several hops into a single scheduled
+// event using accumulated delays; this keeps the message statistics exact
+// without one event per hop.
+func (n *NoC) delay(remote bool) evsim.Cycle {
+	if remote {
+		n.remoteMsgs++
+		return n.latency
+	}
+	n.localMsgs++
+	return n.local
+}
+
+// Messages returns total traversals (local + remote).
+func (n *NoC) Messages() uint64 { return n.localMsgs + n.remoteMsgs }
+
+// Name implements evsim.Unit.
+func (n *NoC) Name() string { return "noc" }
+
+// Counters implements evsim.Unit.
+func (n *NoC) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"remote_msgs": n.remoteMsgs,
+		"local_msgs":  n.localMsgs,
+	}
+}

@@ -1,0 +1,320 @@
+package uncore
+
+import (
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/cache"
+	"github.com/coyote-sim/coyote/internal/evsim"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig(2)
+	cfg.L2 = cache.Config{SizeBytes: 8 << 10, Ways: 2, LineBytes: 64, WriteBack: true}
+	return cfg
+}
+
+func newTestUncore(t *testing.T, cfg Config) (*Uncore, *evsim.Engine) {
+	t.Helper()
+	eng := evsim.NewEngine()
+	u, err := New(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, eng
+}
+
+// runUntil drains the engine and returns the completion time of a single
+// tracked request.
+func roundTrip(t *testing.T, u *Uncore, eng *evsim.Engine, tile int, addr uint64) evsim.Cycle {
+	t.Helper()
+	var doneAt evsim.Cycle
+	fired := false
+	u.Submit(Request{Tile: tile, Addr: addr, Done: func() {
+		doneAt = eng.Now()
+		fired = true
+	}})
+	eng.Drain()
+	if !fired {
+		t.Fatal("request never completed")
+	}
+	return doneAt
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig(4)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig(4)
+	bad.BanksPerTile = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two banks accepted")
+	}
+	bad = DefaultConfig(4)
+	bad.MemCtrls = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero MCs accepted")
+	}
+	bad = DefaultConfig(4)
+	bad.L2MSHRs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero MSHRs accepted")
+	}
+}
+
+func TestMissThenHitLatency(t *testing.T) {
+	cfg := testConfig()
+	u, eng := newTestUncore(t, cfg)
+	base := uint64(0x10000)
+
+	// Cold miss: full path core→bank→MC→bank→core.
+	missTime := roundTrip(t, u, eng, 0, base)
+	// The same line again: L2 hit, much quicker.
+	start := eng.Now()
+	hitTime := roundTrip(t, u, eng, 0, base) - start
+
+	if hitTime >= missTime {
+		t.Errorf("hit (%d) should be faster than cold miss (%d)", hitTime, missTime)
+	}
+	// Hit latency bound: two traversals + lookup.
+	maxHit := cfg.L2HitLatency + 2*cfg.NoCLatency + 2*cfg.LocalLatency
+	if hitTime > maxHit {
+		t.Errorf("hit latency %d exceeds bound %d", hitTime, maxHit)
+	}
+	if missTime < cfg.MemLatency {
+		t.Errorf("miss latency %d below DRAM latency %d", missTime, cfg.MemLatency)
+	}
+}
+
+func TestSetInterleaveSpreadsLines(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mapping = SetInterleave
+	u, _ := newTestUncore(t, cfg)
+	lb := uint64(cfg.L2.LineBytes)
+	seen := map[int]bool{}
+	for i := uint64(0); i < uint64(len(u.banks)); i++ {
+		seen[u.bankFor(0, i*lb).ID()] = true
+	}
+	if len(seen) != len(u.banks) {
+		t.Errorf("consecutive lines hit %d banks, want %d", len(seen), len(u.banks))
+	}
+}
+
+func TestPageToBankKeepsPagesTogether(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mapping = PageToBank
+	u, _ := newTestUncore(t, cfg)
+	page := uint64(0x42000)
+	first := u.bankFor(0, page).ID()
+	for off := uint64(0); off < 4096; off += 64 {
+		if got := u.bankFor(0, page+off).ID(); got != first {
+			t.Fatalf("line %#x mapped to bank %d, want %d", page+off, got, first)
+		}
+	}
+	// The next page should (eventually) map elsewhere.
+	other := false
+	for p := uint64(1); p < 8; p++ {
+		if u.bankFor(0, page+p*4096).ID() != first {
+			other = true
+		}
+	}
+	if !other {
+		t.Error("all pages mapped to one bank")
+	}
+}
+
+func TestPrivateL2RestrictsToTileBanks(t *testing.T) {
+	cfg := testConfig()
+	cfg.L2Shared = false
+	u, _ := newTestUncore(t, cfg)
+	for tile := 0; tile < cfg.Tiles; tile++ {
+		for i := uint64(0); i < 64; i++ {
+			b := u.bankFor(tile, i*64)
+			if b.Tile() != tile {
+				t.Fatalf("tile %d request mapped to bank of tile %d", tile, b.Tile())
+			}
+		}
+	}
+}
+
+func TestSharedVsPrivateLatency(t *testing.T) {
+	// In shared mode a tile-0 request can land on a tile-1 bank (remote
+	// hop); in private mode it never does.
+	cfgShared := testConfig()
+	uShared, engShared := newTestUncore(t, cfgShared)
+	cfgPriv := testConfig()
+	cfgPriv.L2Shared = false
+	uPriv, engPriv := newTestUncore(t, cfgPriv)
+
+	// Find a line that lands remote under shared mapping.
+	lb := uint64(cfgShared.L2.LineBytes)
+	var remoteLine uint64
+	for i := uint64(0); ; i++ {
+		if uShared.bankFor(0, i*lb).Tile() != 0 {
+			remoteLine = i * lb
+			break
+		}
+	}
+	// Warm both, then compare hit latencies.
+	roundTrip(t, uShared, engShared, 0, remoteLine)
+	roundTrip(t, uPriv, engPriv, 0, remoteLine)
+	s0 := engShared.Now()
+	sharedHit := roundTrip(t, uShared, engShared, 0, remoteLine) - s0
+	p0 := engPriv.Now()
+	privHit := roundTrip(t, uPriv, engPriv, 0, remoteLine) - p0
+	if sharedHit <= privHit {
+		t.Errorf("remote shared hit (%d) should be slower than private hit (%d)",
+			sharedHit, privHit)
+	}
+}
+
+func TestMSHRMergesSameLine(t *testing.T) {
+	cfg := testConfig()
+	u, eng := newTestUncore(t, cfg)
+	done := 0
+	for i := 0; i < 4; i++ {
+		u.Submit(Request{Tile: 0, Addr: 0x1000, Done: func() { done++ }})
+	}
+	eng.Drain()
+	if done != 4 {
+		t.Fatalf("completions = %d, want 4", done)
+	}
+	var merges, issued uint64
+	for _, b := range u.Banks() {
+		merges += b.mshrMerges
+		issued += b.missesIssued
+	}
+	if issued != 1 {
+		t.Errorf("misses issued = %d, want 1 (merged)", issued)
+	}
+	if merges != 3 {
+		t.Errorf("merges = %d, want 3", merges)
+	}
+	var mcReads uint64
+	for _, mc := range u.MemCtrls() {
+		mcReads += mc.Reads()
+	}
+	if mcReads != 1 {
+		t.Errorf("MC reads = %d, want 1", mcReads)
+	}
+}
+
+func TestMSHRConflictBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.L2MSHRs = 2
+	cfg.Tiles = 1
+	cfg.BanksPerTile = 1
+	cfg.MemCtrls = 1
+	u, eng := newTestUncore(t, cfg)
+	done := 0
+	// 8 distinct lines → 8 misses into a 2-entry MSHR.
+	for i := uint64(0); i < 8; i++ {
+		u.Submit(Request{Tile: 0, Addr: i * 64, Done: func() { done++ }})
+	}
+	eng.Drain()
+	if done != 8 {
+		t.Fatalf("completions = %d, want 8", done)
+	}
+	if u.Banks()[0].mshrConflicts == 0 {
+		t.Error("expected MSHR conflicts under pressure")
+	}
+}
+
+func TestWritebackReachesMemory(t *testing.T) {
+	cfg := testConfig()
+	u, eng := newTestUncore(t, cfg)
+	u.Submit(Request{Tile: 0, Addr: 0x2000, Write: true})
+	eng.Drain()
+	var writes, reads uint64
+	for _, b := range u.Banks() {
+		writes += b.writes
+	}
+	for _, mc := range u.MemCtrls() {
+		reads += mc.Reads()
+	}
+	if writes != 1 {
+		t.Errorf("bank writes = %d", writes)
+	}
+	// Write-allocate: the line is fetched from memory once.
+	if reads != 1 {
+		t.Errorf("MC reads = %d, want 1 (write-allocate fetch)", reads)
+	}
+}
+
+func TestMemBandwidthSerialisesBursts(t *testing.T) {
+	cfg := testConfig()
+	cfg.Tiles = 1
+	cfg.BanksPerTile = 1
+	cfg.MemCtrls = 1
+	cfg.MemBytesPerCyc = 8 // 8 cycles occupancy per 64B line
+	cfg.L2MSHRs = 64
+	u, eng := newTestUncore(t, cfg)
+	n := 16
+	var last evsim.Cycle
+	doneCount := 0
+	for i := 0; i < n; i++ {
+		addr := uint64(i) * 64
+		u.Submit(Request{Tile: 0, Addr: addr, Done: func() {
+			doneCount++
+			last = eng.Now()
+		}})
+	}
+	eng.Drain()
+	if doneCount != n {
+		t.Fatalf("done = %d", doneCount)
+	}
+	// With 8 cycles per line, 16 lines need ≥ 128 cycles of channel time.
+	if last < 128 {
+		t.Errorf("burst finished at %d, bandwidth not enforced", last)
+	}
+	if u.MemCtrls()[0].stallCycle == 0 {
+		t.Error("expected queueing at the memory controller")
+	}
+}
+
+func TestNoCLatencyScalesRoundTrip(t *testing.T) {
+	slowCfg := testConfig()
+	slowCfg.NoCLatency = 64
+	fast, engF := newTestUncore(t, testConfig())
+	slow, engS := newTestUncore(t, slowCfg)
+	tf := roundTrip(t, fast, engF, 0, 0x3000)
+	ts := roundTrip(t, slow, engS, 0, 0x3000)
+	if ts <= tf {
+		t.Errorf("slow NoC round trip (%d) should exceed fast (%d)", ts, tf)
+	}
+}
+
+func TestSnapshotHasAllUnits(t *testing.T) {
+	cfg := testConfig()
+	u, eng := newTestUncore(t, cfg)
+	roundTrip(t, u, eng, 0, 0x1000)
+	snap := u.Snapshot()
+	wantUnits := cfg.Tiles*cfg.BanksPerTile + cfg.MemCtrls + 2 // + noc + mcpu
+	units := map[string]bool{}
+	for _, k := range evsim.SortedKeys(snap) {
+		for i := 0; i < len(k); i++ {
+			if k[i] == '.' {
+				units[k[:i]] = true
+				break
+			}
+		}
+	}
+	if len(units) != wantUnits {
+		t.Errorf("snapshot covers %d units, want %d: %v", len(units), wantUnits, units)
+	}
+}
+
+func TestParseMapping(t *testing.T) {
+	if p, err := ParseMapping("page-to-bank"); err != nil || p != PageToBank {
+		t.Errorf("ParseMapping failed: %v %v", p, err)
+	}
+	if p, err := ParseMapping(""); err != nil || p != SetInterleave {
+		t.Errorf("default mapping: %v %v", p, err)
+	}
+	if _, err := ParseMapping("bogus"); err == nil {
+		t.Error("bogus mapping accepted")
+	}
+	if SetInterleave.String() != "set-interleave" || PageToBank.String() != "page-to-bank" {
+		t.Error("mapping names wrong")
+	}
+}

@@ -1,0 +1,46 @@
+package coyote
+
+import "sync"
+
+// Point names one simulation job in a design-space sweep.
+type Point struct {
+	Name   string
+	Kernel string
+	Params Params
+	Config Config
+}
+
+// PointResult pairs a Point with its outcome.
+type PointResult struct {
+	Point
+	Result *Result
+	Err    error
+}
+
+// Sweep runs a set of independent simulations concurrently on up to
+// `workers` goroutines and returns results in input order. Each
+// simulation is single-threaded and deterministic, so parallelism changes
+// only wall-clock time (and therefore the MIPS numbers — use serial runs
+// when measuring simulator throughput itself; simulated-time metrics are
+// unaffected). workers ≤ 0 means one worker per point.
+func Sweep(points []Point, workers int) []PointResult {
+	if workers <= 0 || workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]PointResult, len(points))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range points {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p := points[i]
+			res, err := RunKernel(p.Kernel, p.Params, p.Config)
+			results[i] = PointResult{Point: p, Result: res, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

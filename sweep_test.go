@@ -1,0 +1,66 @@
+package coyote
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sweepPoints() []Point {
+	var pts []Point
+	for _, cores := range []int{1, 2, 4} {
+		for _, kernel := range []string{"axpy-scalar", "spmv-scalar"} {
+			pts = append(pts, Point{
+				Name:   fmt.Sprintf("%s/%d", kernel, cores),
+				Kernel: kernel,
+				Params: Params{N: 128, Cores: cores},
+				Config: DefaultConfig(cores),
+			})
+		}
+	}
+	return pts
+}
+
+func TestSweepMatchesSerialRuns(t *testing.T) {
+	parallel := Sweep(sweepPoints(), 3)
+	serial := Sweep(sweepPoints(), 1)
+	if len(parallel) != len(serial) {
+		t.Fatal("length mismatch")
+	}
+	for i := range parallel {
+		p, s := parallel[i], serial[i]
+		if p.Err != nil || s.Err != nil {
+			t.Fatalf("%s: errs %v / %v", p.Name, p.Err, s.Err)
+		}
+		if p.Name != s.Name {
+			t.Fatalf("order not preserved: %s vs %s", p.Name, s.Name)
+		}
+		if p.Result.Cycles != s.Result.Cycles ||
+			p.Result.Instructions != s.Result.Instructions {
+			t.Errorf("%s: parallel %d/%d vs serial %d/%d cycles/instrs",
+				p.Name, p.Result.Cycles, p.Result.Instructions,
+				s.Result.Cycles, s.Result.Instructions)
+		}
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	res := Sweep([]Point{{
+		Name:   "bad",
+		Kernel: "no-such-kernel",
+		Params: Params{N: 16, Cores: 1},
+		Config: DefaultConfig(1),
+	}}, 1)
+	if res[0].Err == nil {
+		t.Error("missing error for unknown kernel")
+	}
+}
+
+func TestSweepWorkerClamping(t *testing.T) {
+	pts := sweepPoints()[:2]
+	for _, workers := range []int{0, -1, 100} {
+		res := Sweep(pts, workers)
+		if len(res) != 2 || res[0].Err != nil || res[1].Err != nil {
+			t.Fatalf("workers=%d: %+v", workers, res)
+		}
+	}
+}
