@@ -285,3 +285,47 @@ func BenchmarkStepRate(b *testing.B) {
 	}
 	b.ReportMetric(float64(total)/1e6/b.Elapsed().Seconds(), "MIPS")
 }
+
+// BenchmarkRunLoop128Stalled measures the orchestrator's run loop in the
+// regime the runnable-hart bitset targets: 128 cores that spend almost
+// every cycle parked on L1-miss RAW stalls, so each simulated cycle has
+// work for only a handful of harts. Every hart strides loads through a
+// private 64 KiB region (a new cache line each iteration) and immediately
+// consumes the loaded value.
+func BenchmarkRunLoop128Stalled(b *testing.B) {
+	prog, err := Assemble(`
+	_start:
+		csrr t0, mhartid
+		li   s0, 0x10000000
+		slli t1, t0, 16      # 64 KiB private region per hart
+		add  s0, s0, t1
+		li   t3, 256
+	loop:
+		ld   t4, 0(s0)       # miss: new line every iteration
+		add  t5, t4, t0      # dependent use -> RAW stall until the fill
+		addi s0, s0, 256
+		addi t3, t3, -1
+		bnez t3, loop
+		li   a7, 93
+		csrr a0, mhartid
+		ecall
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(DefaultConfig(128))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.LoadProgram(prog)
+		res, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Instructions
+	}
+	b.ReportMetric(float64(total)/1e6/b.Elapsed().Seconds(), "MIPS")
+}

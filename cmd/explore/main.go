@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	coyote "github.com/coyote-sim/coyote"
@@ -70,8 +72,35 @@ func main() {
 		n        = flag.Int("n", 1024, "problem size")
 		density  = flag.Float64("density", 0.02, "SpMV density")
 		csvPath  = flag.String("csv", "", "also write results as CSV")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the grid run")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile after the grid run")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	var grid []string
 	for _, a := range strings.Split(*gridFlag, ",") {

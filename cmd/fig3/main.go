@@ -9,16 +9,27 @@
 // the matrix with the cores (rows per core constant), SpMV grows the row
 // count with a constant number of nonzeros per row.
 //
+// Every run also writes a machine-readable summary (-json, default
+// BENCH_fig3.json); pointing -baseline at a previous summary records
+// per-point speedups, which is how before/after numbers for simulator
+// optimisations are tracked. -cpuprofile/-memprofile capture pprof
+// profiles of the sweep for hot-path work.
+//
 //	fig3                        # default sweep 1..128 cores, both kernels
 //	fig3 -cores 1,2,4,8         # custom core counts
 //	fig3 -interleave 8          # Spike-style interleaving enabled
 //	fig3 -repeat 3              # best-of-3 wall-clock per point
+//	fig3 -baseline old.json     # record speedup vs a previous run
+//	fig3 -cpuprofile cpu.pb.gz  # profile the simulator itself
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -26,12 +37,21 @@ import (
 )
 
 type point struct {
-	kernel string
-	cores  int
-	n      int
-	mips   float64
-	cycles uint64
-	instrs uint64
+	Kernel       string  `json:"kernel"`
+	Cores        int     `json:"cores"`
+	N            int     `json:"n"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	MIPS         float64 `json:"mips"`
+	BaselineMIPS float64 `json:"baseline_mips,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+}
+
+type summary struct {
+	Interleave  int     `json:"interleave"`
+	FastForward bool    `json:"fastforward"`
+	Repeat      int     `json:"repeat"`
+	Points      []point `json:"points"`
 }
 
 func main() {
@@ -46,6 +66,10 @@ func main() {
 		fastForward = flag.Bool("fastforward", false, "enable the idle-cycle fast-forward optimisation")
 		repeat      = flag.Int("repeat", 1, "runs per point; best MIPS reported")
 		dataOut     = flag.String("o", "", "also write a gnuplot-style data file")
+		jsonOut     = flag.String("json", "BENCH_fig3.json", "machine-readable summary file (empty to skip)")
+		baseline    = flag.String("baseline", "", "previous -json summary to compute speedups against")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile after the sweep")
 	)
 	flag.Parse()
 
@@ -58,29 +82,58 @@ func main() {
 		cores = append(cores, c)
 	}
 
+	// Baseline MIPS keyed "kernel/cores", from a previous run's -json file.
+	base := map[string]float64{}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var prev summary
+		if err := json.Unmarshal(data, &prev); err != nil {
+			fatal(fmt.Errorf("baseline %s: %w", *baseline, err))
+		}
+		for _, p := range prev.Points {
+			base[fmt.Sprintf("%s/%d", p.Kernel, p.Cores)] = p.MIPS
+		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	fmt.Printf("# Figure 3: simulation throughput vs simulated cores (interleave=%d fastforward=%v)\n",
 		*interleave, *fastForward)
 	fmt.Printf("%-20s %6s %8s %12s %12s %10s\n",
 		"kernel", "cores", "n", "instructions", "cycles", "MIPS")
 	var fileLines []string
 	fileLines = append(fileLines, "# kernel cores mips")
+	sum := summary{Interleave: *interleave, FastForward: *fastForward, Repeat: *repeat}
 
 	for _, kname := range strings.Split(*kernFlag, ",") {
 		kname = strings.TrimSpace(kname)
 		for _, c := range cores {
-			p := point{kernel: kname, cores: c}
+			p := point{Kernel: kname, Cores: c}
 			params := coyote.Params{Cores: c}
 			switch {
 			case strings.HasPrefix(kname, "spmv"):
-				p.n = *spmvRows * c
-				params.N = p.n
-				params.Density = float64(*nnzPerRow) / float64(p.n)
+				p.N = *spmvRows * c
+				params.N = p.N
+				params.Density = float64(*nnzPerRow) / float64(p.N)
 			default:
-				p.n = c * *rowsPerCore
-				if p.n < *minN {
-					p.n = *minN
+				p.N = c * *rowsPerCore
+				if p.N < *minN {
+					p.N = *minN
 				}
-				params.N = p.n
+				params.N = p.N
 			}
 			cfg := coyote.DefaultConfig(c)
 			cfg.InterleaveQuantum = *interleave
@@ -90,21 +143,48 @@ func main() {
 				if err != nil {
 					fatal(fmt.Errorf("%s @ %d cores: %w", kname, c, err))
 				}
-				if m := res.MIPS(); m > p.mips {
-					p.mips = m
+				if m := res.MIPS(); m > p.MIPS {
+					p.MIPS = m
 				}
-				p.cycles = res.Cycles
-				p.instrs = res.Instructions
+				p.Cycles = res.Cycles
+				p.Instructions = res.Instructions
 			}
-			fmt.Printf("%-20s %6d %8d %12d %12d %10.3f\n",
-				p.kernel, p.cores, p.n, p.instrs, p.cycles, p.mips)
+			line := fmt.Sprintf("%-20s %6d %8d %12d %12d %10.3f",
+				p.Kernel, p.Cores, p.N, p.Instructions, p.Cycles, p.MIPS)
+			if b, ok := base[fmt.Sprintf("%s/%d", p.Kernel, p.Cores)]; ok && b > 0 {
+				p.BaselineMIPS = b
+				p.Speedup = p.MIPS / b
+				line += fmt.Sprintf("  (%.2fx vs baseline %.3f)", p.Speedup, b)
+			}
+			fmt.Println(line)
 			fileLines = append(fileLines,
-				fmt.Sprintf("%s %d %.4f", p.kernel, p.cores, p.mips))
+				fmt.Sprintf("%s %d %.4f", p.Kernel, p.Cores, p.MIPS))
+			sum.Points = append(sum.Points, p)
 		}
 	}
 
 	if *dataOut != "" {
 		if err := os.WriteFile(*dataOut, []byte(strings.Join(fileLines, "\n")+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,62 @@
+package coyote
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// canonical renders every simulated-time observable of a Result — cycle
+// count, instruction counts, per-hart stats, cache counters and the full
+// uncore counter snapshot — into one comparable string. Wall-clock-only
+// fields are deliberately excluded.
+func canonical(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d instrs=%d\n", res.Cycles, res.Instructions)
+	fmt.Fprintf(&b, "l1i=%+v\nl1d=%+v\n", res.L1I, res.L1D)
+	for i, hs := range res.HartStats {
+		fmt.Fprintf(&b, "hart%d=%+v\n", i, hs)
+	}
+	keys := make([]string, 0, len(res.UncoreRaw))
+	for k := range res.UncoreRaw {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, res.UncoreRaw[k])
+	}
+	return b.String()
+}
+
+// TestDeterminismGolden runs every registered kernel twice at 4 cores and
+// demands byte-identical simulated-time statistics — the repeatability
+// property the paper leans on for design-space exploration ("the
+// simulations are deterministic"). A third run with FastForward enabled
+// must match too: skipping idle cycles is a wall-clock optimisation and
+// may not perturb simulated timing.
+func TestDeterminismGolden(t *testing.T) {
+	params := Params{N: 64, Cores: 4, Density: 0.05}
+	for _, name := range Kernels() {
+		t.Run(name, func(t *testing.T) {
+			run := func(ff bool) string {
+				cfg := DefaultConfig(4)
+				cfg.FastForward = ff
+				res, err := RunKernel(name, params, cfg)
+				if err != nil {
+					t.Fatalf("run (fastforward=%v): %v", ff, err)
+				}
+				return canonical(res)
+			}
+			first := run(false)
+			if second := run(false); second != first {
+				t.Errorf("two identical runs diverged:\n--- first\n%s--- second\n%s",
+					first, second)
+			}
+			if ff := run(true); ff != first {
+				t.Errorf("FastForward changed simulated stats:\n--- ticking\n%s--- fastforward\n%s",
+					first, ff)
+			}
+		})
+	}
+}

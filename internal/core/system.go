@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"github.com/coyote-sim/coyote/internal/asm"
@@ -32,6 +33,11 @@ type Tracer interface {
 	Event(cycle uint64, hart int, kind TraceKind, addr uint64)
 }
 
+// doneFetch flags a fetch-miss completion in a packed Done argument. Data
+// fills pack (RegKind << 8 | reg), which stays below 1<<16, so the two
+// encodings cannot collide.
+const doneFetch = uint64(1) << 16
+
 // System is one simulated machine instance.
 type System struct {
 	cfg    Config
@@ -40,10 +46,22 @@ type System struct {
 	Eng    *evsim.Engine
 	Uncore *uncore.Uncore
 
-	cycle  uint64
-	active []bool
-	halted []bool
-	nDone  int
+	cycle uint64
+	// runnable is a bitset over harts: bit set = the hart wants the step
+	// loop's attention this cycle (ready to execute, or busy and counting
+	// down). Parking on a stall clears the bit; a fill completion sets it.
+	// Iterating set bits with TrailingZeros64 visits harts in index order,
+	// exactly like the old per-hart boolean scan, so the functional memory
+	// interleaving — and therefore simulated timing — is unchanged; only
+	// the O(Cores) skip over parked harts disappears.
+	runnable []uint64
+	halted   []bool
+	nDone    int
+
+	// doneFns holds one long-lived completion callback per hart. Miss
+	// completions carry a packed argument (doneFetch, or dest kind/reg)
+	// instead of a fresh closure per event — see dispatch.
+	doneFns []func(uint64)
 
 	// stall bookkeeping: when a core parks, remember why and since when
 	// so the wake-up can credit the full stalled duration to its stats.
@@ -64,8 +82,9 @@ func New(cfg Config) (*System, error) {
 		cfg:        cfg,
 		Mem:        mem.New(),
 		Eng:        evsim.NewEngine(),
-		active:     make([]bool, cfg.Cores),
+		runnable:   make([]uint64, (cfg.Cores+63)/64),
 		halted:     make([]bool, cfg.Cores),
+		doneFns:    make([]func(uint64), cfg.Cores),
 		stallSince: make([]uint64, cfg.Cores),
 		stallFetch: make([]bool, cfg.Cores),
 	}
@@ -82,7 +101,16 @@ func New(cfg Config) (*System, error) {
 		}
 		h.CycleFn = func() uint64 { return s.cycle }
 		s.Harts = append(s.Harts, h)
-		s.active[i] = true
+		s.runnable[i/64] |= 1 << (i % 64)
+		hart := i
+		s.doneFns[i] = func(arg uint64) {
+			if arg&doneFetch != 0 {
+				s.Harts[hart].CompleteFetch()
+			} else {
+				s.Harts[hart].CompleteFill(cpu.RegKind(arg>>8), uint8(arg))
+			}
+			s.wake(hart)
+		}
 	}
 	return s, nil
 }
@@ -126,10 +154,27 @@ func (s *System) MustSymbol(name string) uint64 {
 // tileOf maps a hart to its tile.
 func (s *System) tileOf(hart int) int { return hart / s.cfg.CoresPerTile }
 
-// dispatch drains a hart's memory events into the uncore, wiring
-// completion callbacks that clear scoreboard state and reactivate the
-// core. Events are consumed synchronously, so the hart's buffer is
-// truncated in place and its backing array reused.
+// park removes a hart from the runnable set.
+func (s *System) park(hart int) {
+	s.runnable[hart/64] &^= 1 << (hart % 64)
+}
+
+// anyRunnableSet reports whether any hart is in the runnable set.
+func (s *System) anyRunnableSet() bool {
+	for _, w := range s.runnable {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch drains a hart's memory events into the uncore. Completions are
+// the hart's pre-bound doneFn carrying a packed argument, so the
+// steady-state miss path schedules no closures and allocates nothing.
+// Events are consumed synchronously: the hart's buffer is truncated in
+// place and its backing array reused, and gather descriptors return to
+// the hart's pool once the MCPU has coalesced them.
 func (s *System) dispatch(h *cpu.Hart) {
 	events := h.Events
 	h.Events = h.Events[:0]
@@ -137,18 +182,18 @@ func (s *System) dispatch(h *cpu.Hart) {
 		if ev.Gather != nil {
 			// MCPU scatter/gather descriptor: one transaction for the
 			// whole indexed access, straight to the memory side.
-			var done func()
+			var done uncore.Done
 			if ev.HasDest {
-				hart, kind, reg := ev.Hart, ev.Dest, ev.DestReg
-				done = func() {
-					s.Harts[hart].CompleteFill(kind, reg)
-					s.wake(hart)
+				done = uncore.Done{
+					F:   s.doneFns[ev.Hart],
+					Arg: uint64(ev.Dest)<<8 | uint64(ev.DestReg),
 				}
 				if s.Tracer != nil && len(ev.Gather) > 0 {
 					s.Tracer.Event(s.cycle, ev.Hart, TraceL1DMiss, ev.Gather[0])
 				}
 			}
 			s.Uncore.SubmitGather(s.tileOf(ev.Hart), ev.Gather, ev.Write, done)
+			h.RecycleGatherBuf(ev.Gather)
 			continue
 		}
 		req := uncore.Request{
@@ -158,19 +203,14 @@ func (s *System) dispatch(h *cpu.Hart) {
 		}
 		switch {
 		case ev.Fetch:
-			hart := ev.Hart
-			req.Done = func() {
-				s.Harts[hart].CompleteFetch()
-				s.wake(hart)
-			}
+			req.Done = uncore.Done{F: s.doneFns[ev.Hart], Arg: doneFetch}
 			if s.Tracer != nil {
 				s.Tracer.Event(s.cycle, ev.Hart, TraceL1IMiss, ev.Addr)
 			}
 		case ev.HasDest:
-			hart, kind, reg := ev.Hart, ev.Dest, ev.DestReg
-			req.Done = func() {
-				s.Harts[hart].CompleteFill(kind, reg)
-				s.wake(hart)
+			req.Done = uncore.Done{
+				F:   s.doneFns[ev.Hart],
+				Arg: uint64(ev.Dest)<<8 | uint64(ev.DestReg),
 			}
 			if s.Tracer != nil {
 				s.Tracer.Event(s.cycle, ev.Hart, TraceL1DMiss, ev.Addr)
@@ -186,8 +226,8 @@ func (s *System) dispatch(h *cpu.Hart) {
 }
 
 func (s *System) wake(hart int) {
-	if !s.active[hart] && !s.halted[hart] {
-		s.active[hart] = true
+	if s.runnable[hart/64]&(1<<(hart%64)) == 0 && !s.halted[hart] {
+		s.runnable[hart/64] |= 1 << (hart % 64)
 		// Credit the cycles the core sat parked (its own Step already
 		// counted the cycle on which it reported the stall).
 		if now := s.Eng.Now(); now > s.stallSince[hart]+1 {
@@ -226,44 +266,52 @@ func (s *System) Run() (*Result, error) {
 				s.cfg.MaxCycles)
 		}
 		anyRunnable := false
-		for i, h := range s.Harts {
-			if !s.active[i] {
-				continue
-			}
-			if h.BusyUntil() > s.cycle {
-				anyRunnable = true // occupied, but will free itself
-				h.Stats.BusyCycles++
-				continue
-			}
-			for q := 0; q < s.cfg.InterleaveQuantum; q++ {
-				res := h.Step(s.cycle)
-				if len(h.Events) > 0 {
-					s.dispatch(h)
-				}
-				if res == cpu.StepExecuted {
-					anyRunnable = true
+		// Sweep only the harts that want attention. Completions cannot
+		// fire mid-sweep (they run inside AdvanceTo below), and a stepped
+		// hart can only park or halt itself, so iterating over word copies
+		// visits exactly the harts that were runnable at cycle start — in
+		// index order, like the old full scan.
+		for w, word := range s.runnable {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << b
+				i := w*64 + b
+				h := s.Harts[i]
+				if h.BusyUntil() > s.cycle {
+					anyRunnable = true // occupied, but will free itself
+					h.Stats.BusyCycles++
 					continue
 				}
-				switch res {
-				case cpu.StepFault:
-					return nil, h.Fault
-				case cpu.StepHalted:
-					if !s.halted[i] {
-						s.halted[i] = true
-						s.active[i] = false
-						s.nDone++
+				for q := 0; q < s.cfg.InterleaveQuantum; q++ {
+					res := h.Step(s.cycle)
+					if len(h.Events) > 0 {
+						s.dispatch(h)
 					}
-				case cpu.StepStalledRAW, cpu.StepStalledFetch:
-					s.active[i] = false
-					s.stallSince[i] = s.cycle
-					s.stallFetch[i] = res == cpu.StepStalledFetch
-					if res == cpu.StepStalledRAW && s.Tracer != nil {
-						s.Tracer.Event(s.cycle, i, TraceStallRAW, 0)
+					if res == cpu.StepExecuted {
+						anyRunnable = true
+						continue
 					}
-				case cpu.StepBusy:
-					anyRunnable = true
+					switch res {
+					case cpu.StepFault:
+						return nil, h.Fault
+					case cpu.StepHalted:
+						if !s.halted[i] {
+							s.halted[i] = true
+							s.park(i)
+							s.nDone++
+						}
+					case cpu.StepStalledRAW, cpu.StepStalledFetch:
+						s.park(i)
+						s.stallSince[i] = s.cycle
+						s.stallFetch[i] = res == cpu.StepStalledFetch
+						if res == cpu.StepStalledRAW && s.Tracer != nil {
+							s.Tracer.Event(s.cycle, i, TraceStallRAW, 0)
+						}
+					case cpu.StepBusy:
+						anyRunnable = true
+					}
+					break
 				}
-				break
 			}
 		}
 
@@ -276,32 +324,23 @@ func (s *System) Run() (*Result, error) {
 		if anyRunnable {
 			continue
 		}
-		// Completions processed by AdvanceTo above may have reactivated a
-		// core after anyRunnable was computed.
-		for i := range s.active {
-			if s.active[i] && !s.halted[i] {
-				anyRunnable = true
-				break
-			}
-		}
-		if anyRunnable {
+		// Completions processed by AdvanceTo above may have re-added a
+		// hart to the runnable set after anyRunnable was computed.
+		if s.anyRunnableSet() {
 			continue
 		}
-		// Every core is stalled or halted. Find the next moment anything
-		// can change: the earliest pending event or vector-busy release.
+		// Every core is stalled or halted (a busy hart keeps its runnable
+		// bit and would have set anyRunnable above).
+		if s.nDone == len(s.Harts) {
+			// All done. Exit before consulting the event queue: leftover
+			// writeback events must not fast-forward the final cycle count
+			// past the point a ticking run would report.
+			break
+		}
+		// Find the next moment anything can change: the earliest pending
+		// event.
 		next, ok := s.Eng.NextEventTime()
 		if !ok {
-			next = ^uint64(0)
-		}
-		for i, h := range s.Harts {
-			if s.active[i] && h.BusyUntil() > s.cycle && h.BusyUntil() < next {
-				next = h.BusyUntil()
-			}
-		}
-		if next == ^uint64(0) {
-			if s.nDone == len(s.Harts) {
-				break
-			}
 			return nil, fmt.Errorf(
 				"core: deadlock at cycle %d: %d/%d harts halted, none runnable, no pending events",
 				s.cycle, s.nDone, len(s.Harts))

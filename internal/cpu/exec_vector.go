@@ -193,7 +193,7 @@ func (h *Hart) executeVMem(in riscv.Instr) StepResult {
 			// ACME MCPU path: ship the whole scatter/gather as one
 			// descriptor to the memory side, bypassing L1/L2.
 			h.Stats.ElemAccesses += uint64(len(h.addrScratch))
-			desc := make([]uint64, len(h.addrScratch))
+			desc := h.getGatherBuf(len(h.addrScratch))
 			copy(desc, h.addrScratch)
 			ev := MemEvent{Gather: desc, Write: isStore}
 			if !isStore {

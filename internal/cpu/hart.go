@@ -191,6 +191,12 @@ type Hart struct {
 	oneAddr     [1]uint64
 	addrScratch []uint64
 
+	// gatherPool recycles MemEvent.Gather descriptor slices. The
+	// orchestrator returns a descriptor with RecycleGatherBuf once the
+	// uncore has consumed it, so steady-state MCPU offload allocates no
+	// per-access buffers.
+	gatherPool [][]uint64
+
 	// CSR backing store for CSRs without dedicated fields.
 	csr map[uint16]uint64
 
@@ -305,6 +311,24 @@ func (h *Hart) CompleteFill(kind RegKind, r uint8) {
 
 // CompleteFetch is called when an instruction-fetch miss is serviced.
 func (h *Hart) CompleteFetch() { h.fetchPending = false }
+
+// getGatherBuf returns a pooled descriptor slice with the given length.
+func (h *Hart) getGatherBuf(n int) []uint64 {
+	if ln := len(h.gatherPool); ln > 0 {
+		buf := h.gatherPool[ln-1]
+		h.gatherPool = h.gatherPool[:ln-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]uint64, n)
+}
+
+// RecycleGatherBuf returns a MemEvent.Gather descriptor to the hart's
+// pool. Callers must not retain the slice afterwards.
+func (h *Hart) RecycleGatherBuf(buf []uint64) {
+	h.gatherPool = append(h.gatherPool, buf)
+}
 
 func (h *Hart) markPending(kind RegKind, r uint8) {
 	if kind == RegX && r == 0 {

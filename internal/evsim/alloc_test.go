@@ -1,0 +1,64 @@
+package evsim
+
+import "testing"
+
+// The engine's contract for the simulator hot path: once the ring
+// buckets, overflow heap and port FIFOs have grown to their working-set
+// size, scheduling and draining events allocates nothing. Warm-up must
+// march the clock through at least one full ring wrap so every calendar
+// slot has grown its bucket to the run's working size.
+
+func warmRing(e *Engine, run func()) {
+	end := e.Now() + 3*bucketWindow
+	for i := 0; i < 32 || e.Now() < end; i++ {
+		run()
+	}
+}
+
+func TestScheduleNearHorizonNoAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func(uint64) {}
+	warm := func() {
+		for i := 0; i < 256; i++ {
+			e.ScheduleArg(Cycle(i%500), fn, 0)
+		}
+		e.Drain()
+	}
+	warmRing(e, warm)
+	if allocs := testing.AllocsPerRun(50, warm); allocs != 0 {
+		t.Errorf("near-horizon schedule+drain: %.1f allocs/run, want 0", allocs)
+	}
+}
+
+func TestScheduleFarHorizonNoAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func(uint64) {}
+	warm := func() {
+		for i := 0; i < 256; i++ {
+			// Far beyond the bucket window: exercises the overflow heap
+			// and the window slide that migrates events back into buckets.
+			e.ScheduleArg(Cycle(2000+i*37), fn, 0)
+		}
+		e.Drain()
+	}
+	warmRing(e, warm)
+	if allocs := testing.AllocsPerRun(50, warm); allocs != 0 {
+		t.Errorf("far-horizon schedule+drain: %.1f allocs/run, want 0", allocs)
+	}
+}
+
+func TestPortSendNoAllocs(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	p := NewPort(e, 3, func(v int) { n += v })
+	warm := func() {
+		for i := 0; i < 64; i++ {
+			p.Send(i)
+		}
+		e.Drain()
+	}
+	warmRing(e, warm)
+	if allocs := testing.AllocsPerRun(50, warm); allocs != 0 {
+		t.Errorf("port send+drain: %.1f allocs/run, want 0", allocs)
+	}
+}

@@ -1,0 +1,65 @@
+package evsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSchedulePop keeps `depth` events in flight: every executed event
+// schedules its replacement `delay` cycles ahead, so each benchmark op is
+// one pop plus one push at a steady queue depth. A near delay stays
+// inside the calendar ring; a far delay forces the overflow heap and the
+// window-slide migration.
+func benchSchedulePop(b *testing.B, depth int, delay Cycle) {
+	e := NewEngine()
+	remaining := b.N
+	var fn func(uint64)
+	fn = func(uint64) {
+		if remaining > 0 {
+			remaining--
+			e.ScheduleArg(delay, fn, 0)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		e.ScheduleArg(delay+Cycle(i), fn, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Drain()
+}
+
+// BenchmarkSchedulePop sweeps queue depth × scheduling horizon. The
+// depths bracket the simulator's regimes: a few in-flight misses, a busy
+// uncore, and a pathological backlog; near (inside the ring) vs far
+// (overflow heap) separates the O(1) path from the heap path.
+func BenchmarkSchedulePop(b *testing.B) {
+	for _, depth := range []int{16, 1024, 65536} {
+		for _, h := range []struct {
+			name  string
+			delay Cycle
+		}{
+			{"near", 200},             // within bucketWindow
+			{"far", 4 * bucketWindow}, // always lands in the overflow heap
+		} {
+			b.Run(fmt.Sprintf("depth-%d-%s", depth, h.name), func(b *testing.B) {
+				benchSchedulePop(b, depth, h.delay)
+			})
+		}
+	}
+}
+
+// BenchmarkPortSend measures the allocation-free port path end to end.
+func BenchmarkPortSend(b *testing.B) {
+	e := NewEngine()
+	var sum int
+	p := NewPort(e, 3, func(v int) { sum += v })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Send(i)
+		if i%64 == 63 {
+			e.Drain()
+		}
+	}
+	e.Drain()
+}

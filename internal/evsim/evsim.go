@@ -4,49 +4,74 @@
 // queue. The Coyote orchestrator (internal/core) interleaves this event
 // model with the instruction-by-instruction CPU model, advancing it to the
 // current cycle after every simulated instruction slot (paper §III-A).
+//
+// The queue is a monotonic bucketed calendar: a ring of per-cycle FIFO
+// buckets covering the next bucketWindow cycles (sized to the common
+// NoC + L2 + DRAM latency chain), with a binary-heap overflow lane for
+// far-future events. Schedule and pop are O(1) in the steady state, with
+// no interface boxing and no per-event allocation — the costs the old
+// container/heap queue paid on every operation.
 package evsim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
 // Cycle is a simulation timestamp in clock cycles.
 type Cycle = uint64
 
+// event is one queued callback. Either fn (a plain closure) or afn+arg
+// (the allocation-free variant: a long-lived callback plus a word of
+// context travelling inside the event) is set.
 type event struct {
 	when Cycle
 	seq  uint64 // FIFO tie-break: events at the same cycle run in schedule order
 	fn   func()
+	afn  func(uint64)
+	arg  uint64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+func eventLess(a, b *event) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+
+const (
+	// bucketWindow is the calendar horizon in cycles. It must be a power
+	// of two and should cover the common scheduling distance: the longest
+	// single-event hop in the uncore is NoC + L2 miss + DRAM ≲ 512 cycles,
+	// so 1024 keeps virtually every event in the O(1) ring. Farther events
+	// take the overflow heap and migrate into the ring as time advances.
+	bucketWindow = 1024
+	bucketMask   = bucketWindow - 1
+	occWords     = bucketWindow / 64
+)
 
 // Engine owns the event queue and the simulation clock. Deterministic:
 // same schedule calls → same execution order.
 type Engine struct {
 	now      Cycle
 	seq      uint64
-	queue    eventHeap
 	executed uint64
+	pending  int // total queued events (ring + overflow)
+
+	// Calendar ring: buckets[w & bucketMask] holds the events of cycle w
+	// for w in [base, base+bucketWindow). base tracks the clock, so each
+	// slot holds events of exactly one cycle. occ is the occupancy bitset
+	// used to find the next non-empty bucket in O(bucketWindow/64).
+	base   Cycle
+	inRing int
+	occ    [occWords]uint64
+	bucket [bucketWindow][]event
+
+	// overflow is a hand-rolled binary min-heap on (when, seq) for events
+	// at or beyond base+bucketWindow. No container/heap: pushing through
+	// the heap.Interface would box every event into an `any`.
+	overflow []event
 }
 
 // NewEngine returns an engine at cycle 0.
@@ -59,31 +84,144 @@ func (e *Engine) Now() Cycle { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.pending }
 
 // Schedule queues fn to run delay cycles from now. A delay of 0 runs the
 // event within the current AdvanceTo sweep (after already-queued events
 // for this cycle).
 func (e *Engine) Schedule(delay Cycle, fn func()) {
-	e.ScheduleAt(e.now+delay, fn)
+	e.enqueue(e.now+delay, event{fn: fn})
 }
 
 // ScheduleAt queues fn at an absolute cycle. Scheduling in the past is a
 // programming error and panics: it would silently corrupt causality.
 func (e *Engine) ScheduleAt(when Cycle, fn func()) {
+	e.enqueue(when, event{fn: fn})
+}
+
+// ScheduleArg queues fn(arg) delay cycles from now without allocating: fn
+// is expected to be a long-lived pre-bound callback, and arg (a register
+// number, an address, a pool index …) travels inside the event itself.
+// This is the steady-state scheduling path of the uncore.
+func (e *Engine) ScheduleArg(delay Cycle, fn func(uint64), arg uint64) {
+	e.enqueue(e.now+delay, event{afn: fn, arg: arg})
+}
+
+// ScheduleArgAt is ScheduleArg at an absolute cycle.
+func (e *Engine) ScheduleArgAt(when Cycle, fn func(uint64), arg uint64) {
+	e.enqueue(when, event{afn: fn, arg: arg})
+}
+
+func (e *Engine) enqueue(when Cycle, ev event) {
 	if when < e.now {
 		panic(fmt.Sprintf("evsim: schedule at %d before now %d", when, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, event{when: when, seq: e.seq, fn: fn})
+	ev.when = when
+	ev.seq = e.seq
+	e.pending++
+	if when < e.base+bucketWindow {
+		slot := int(when) & bucketMask
+		e.bucket[slot] = append(e.bucket[slot], ev)
+		e.occ[slot>>6] |= 1 << uint(slot&63)
+		e.inRing++
+		return
+	}
+	e.heapPush(ev)
+}
+
+// slideTo moves the ring window start to base (the new clock value) and
+// migrates overflow events that now fall inside the window. Buckets behind
+// the new base are necessarily empty: their events already ran.
+func (e *Engine) slideTo(base Cycle) {
+	if base <= e.base {
+		return
+	}
+	e.base = base
+	for len(e.overflow) > 0 && e.overflow[0].when < base+bucketWindow {
+		ev := e.heapPop()
+		slot := int(ev.when) & bucketMask
+		b := e.bucket[slot]
+		if n := len(b); n > 0 && b[n-1].seq > ev.seq {
+			// The bucket already holds events scheduled after this one
+			// (they entered the ring directly while this event waited in
+			// the overflow lane). Insert by seq to keep FIFO order. Rare.
+			i := n
+			for i > 0 && b[i-1].seq > ev.seq {
+				i--
+			}
+			b = append(b, event{})
+			copy(b[i+1:], b[i:n])
+			b[i] = ev
+		} else {
+			b = append(b, ev)
+		}
+		e.bucket[slot] = b
+		e.occ[slot>>6] |= 1 << uint(slot&63)
+		e.inRing++
+	}
+}
+
+// ringMin returns the earliest event time in the ring. Caller guarantees
+// inRing > 0. Scans the occupancy bitset from the base slot, wrapping.
+func (e *Engine) ringMin() Cycle {
+	start := int(e.base) & bucketMask
+	w := start >> 6
+	word := e.occ[w] &^ (1<<uint(start&63) - 1)
+	for i := 0; i <= occWords; i++ {
+		if word != 0 {
+			slot := w<<6 + bits.TrailingZeros64(word)
+			delta := (slot - start + bucketWindow) & bucketMask
+			return e.base + Cycle(delta)
+		}
+		w++
+		if w == occWords {
+			w = 0
+		}
+		word = e.occ[w]
+	}
+	panic("evsim: ring occupancy corrupt")
+}
+
+// nextTime reports the earliest queued event time. Ring events always
+// precede overflow events: the overflow lane only holds events at or
+// beyond base+bucketWindow.
+func (e *Engine) nextTime() (Cycle, bool) {
+	if e.inRing > 0 {
+		return e.ringMin(), true
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0].when, true
+	}
+	return 0, false
 }
 
 // NextEventTime reports the timestamp of the earliest queued event.
-func (e *Engine) NextEventTime() (Cycle, bool) {
-	if len(e.queue) == 0 {
-		return 0, false
+func (e *Engine) NextEventTime() (Cycle, bool) { return e.nextTime() }
+
+// runBucket executes every event in the bucket of the current cycle, in
+// seq (schedule) order. Events may append to the same bucket (delay-0
+// cascades); the index loop picks them up. The bucket keeps its backing
+// array for reuse — the steady state allocates nothing.
+func (e *Engine) runBucket(slot int) {
+	b := e.bucket[slot]
+	for i := 0; i < len(b); i++ {
+		ev := &b[i]
+		e.executed++
+		e.pending--
+		e.inRing--
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.afn(ev.arg)
+		}
+		b = e.bucket[slot]
 	}
-	return e.queue[0].when, true
+	for i := range b {
+		b[i] = event{} // drop closure references
+	}
+	e.bucket[slot] = b[:0]
+	e.occ[slot>>6] &^= 1 << uint(slot&63)
 }
 
 // AdvanceTo runs every event scheduled at or before target, then sets the
@@ -93,35 +231,92 @@ func (e *Engine) AdvanceTo(target Cycle) {
 	if target < e.now {
 		panic(fmt.Sprintf("evsim: advance to %d before now %d", target, e.now))
 	}
-	for len(e.queue) > 0 && e.queue[0].when <= target {
-		ev := heap.Pop(&e.queue).(event)
-		e.now = ev.when
-		e.executed++
-		ev.fn()
+	for e.pending > 0 {
+		t, _ := e.nextTime()
+		if t > target {
+			break
+		}
+		e.now = t
+		e.slideTo(t)
+		e.runBucket(int(t) & bucketMask)
 	}
 	e.now = target
+	e.slideTo(target)
 }
 
 // Drain runs every queued event regardless of time and returns the final
 // clock value. Useful for quiescing the model at end of simulation.
 func (e *Engine) Drain() Cycle {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(event)
-		e.now = ev.when
-		e.executed++
-		ev.fn()
+	for e.pending > 0 {
+		t, _ := e.nextTime()
+		e.now = t
+		e.slideTo(t)
+		e.runBucket(int(t) & bucketMask)
 	}
 	return e.now
+}
+
+// heapPush and heapPop maintain the overflow lane: a plain binary min-heap
+// on (when, seq) over a reused slice.
+func (e *Engine) heapPush(ev event) {
+	h := append(e.overflow, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if eventLess(&h[p], &h[i]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.overflow = h
+}
+
+func (e *Engine) heapPop() event {
+	h := e.overflow
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop closure references
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && eventLess(&h[l], &h[s]) {
+			s = l
+		}
+		if r < n && eventLess(&h[r], &h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	e.overflow = h
+	return top
 }
 
 // Port is a latency-carrying, typed connection between units: Send(v)
 // delivers v to the sink after the port's fixed latency. This mirrors
 // Sparta's port/latency idiom and keeps units decoupled.
+//
+// Send is allocation-free in the steady state: values queue in a reused
+// FIFO ring inside the port and a single pre-bound delivery callback is
+// scheduled per message. This is sound because every Send uses the same
+// fixed latency, so deliveries fire in send order. SendAfter takes a
+// per-message extra delay and therefore still allocates a closure.
 type Port[T any] struct {
 	eng     *Engine
 	latency Cycle
 	sink    func(T)
 	sent    uint64
+
+	fifo    []T
+	head    int
+	deliver func(uint64)
 }
 
 // NewPort wires a port into eng with the given delivery latency and sink.
@@ -129,17 +324,33 @@ func NewPort[T any](eng *Engine, latency Cycle, sink func(T)) *Port[T] {
 	if sink == nil {
 		panic("evsim: nil port sink")
 	}
-	return &Port[T]{eng: eng, latency: latency, sink: sink}
+	p := &Port[T]{eng: eng, latency: latency, sink: sink}
+	p.deliver = func(uint64) {
+		v := p.fifo[p.head]
+		var zero T
+		p.fifo[p.head] = zero
+		p.head++
+		if p.head == len(p.fifo) {
+			p.fifo = p.fifo[:0]
+			p.head = 0
+		}
+		p.sink(v)
+	}
+	return p
 }
 
-// Send schedules delivery of v after the port latency.
+// Send schedules delivery of v after the port latency. Allocation-free in
+// the steady state.
 func (p *Port[T]) Send(v T) {
 	p.sent++
-	p.eng.Schedule(p.latency, func() { p.sink(v) })
+	p.fifo = append(p.fifo, v)
+	p.eng.ScheduleArg(p.latency, p.deliver, 0)
 }
 
 // SendAfter schedules delivery with extra delay on top of the port latency
-// (used to model arbitration or bandwidth backpressure).
+// (used to model arbitration or bandwidth backpressure). Unlike Send it
+// allocates: the per-message delay breaks the FIFO delivery invariant the
+// allocation-free path relies on.
 func (p *Port[T]) SendAfter(extra Cycle, v T) {
 	p.sent++
 	p.eng.Schedule(p.latency+extra, func() { p.sink(v) })

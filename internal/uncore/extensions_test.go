@@ -115,7 +115,7 @@ func TestPrefetchRespectsMSHRBudget(t *testing.T) {
 	u, eng := newTestUncore(t, cfg)
 	done := 0
 	for i := uint64(0); i < 8; i++ {
-		u.Submit(Request{Tile: 0, Addr: 0x100000 + i*1024, Done: func() { done++ }})
+		u.Submit(Request{Tile: 0, Addr: 0x100000 + i*1024, Done: FuncDone(func() { done++ })})
 	}
 	eng.Drain()
 	if done != 8 {

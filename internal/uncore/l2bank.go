@@ -4,19 +4,44 @@ import (
 	"fmt"
 
 	"github.com/coyote-sim/coyote/internal/cache"
+	"github.com/coyote-sim/coyote/internal/evsim"
 )
 
 // L2Bank is one bank of the L2 cache: a tag array with MSHRs. Misses are
 // merged per line; when the MSHR table is full the request retries next
 // cycle (counted as a conflict, the back-pressure the paper's
 // "maximum number of in-flight misses" parameter controls).
+//
+// The steady-state miss path is allocation-free: requests arrive by value
+// through per-bank inbound ports, each outstanding miss is tracked by a
+// pooled missTxn whose stage callbacks are pre-bound once, waiter lists
+// are recycled slices of Done values, and retries/writebacks ride the
+// engine's arg-carrying events instead of fresh closures.
 type L2Bank struct {
 	id   int
 	tile int
 	u    *Uncore
 	tags *cache.Cache
 
-	mshr map[uint64][]func() // line → waiting completions
+	// Inbound ports from the cores: one per NoC hop class, since a port's
+	// latency is fixed. Submit picks the right one.
+	localIn  *evsim.Port[Request]
+	remoteIn *evsim.Port[Request]
+
+	mshr map[uint64][]Done // line → waiting completions
+
+	// Free lists (plain slices — the simulation is single-threaded).
+	txnPool    []*missTxn
+	waiterPool [][]Done
+
+	// Retry FIFO for MSHR structural conflicts: requests park here and a
+	// pre-bound retryFn event pops one per scheduled retry. FIFO order
+	// matches the old closure-per-retry behaviour exactly.
+	retryQ    []Request
+	retryHead int
+	retryFn   func(uint64)
+
+	wbFn func(uint64) // pre-bound writeback issue; arg is the line address
 
 	// statistics
 	reads         uint64
@@ -33,13 +58,82 @@ func newL2Bank(id, tile int, u *Uncore) (*L2Bank, error) {
 	if err != nil {
 		return nil, fmt.Errorf("uncore: bank %d: %w", id, err)
 	}
-	return &L2Bank{
+	b := &L2Bank{
 		id:   id,
 		tile: tile,
 		u:    u,
 		tags: tags,
-		mshr: make(map[uint64][]func()),
-	}, nil
+		mshr: make(map[uint64][]Done),
+	}
+	b.localIn = evsim.NewPort(u.eng, u.cfg.LocalLatency, b.handle)
+	b.remoteIn = evsim.NewPort(u.eng, u.cfg.NoCLatency, b.handle)
+	b.retryFn = func(uint64) {
+		req := b.retryQ[b.retryHead]
+		b.retryQ[b.retryHead] = Request{}
+		b.retryHead++
+		if b.retryHead == len(b.retryQ) {
+			b.retryQ = b.retryQ[:0]
+			b.retryHead = 0
+		}
+		b.handle(req)
+	}
+	b.wbFn = func(addr uint64) { b.u.memSide(addr, true, 0, Done{}) }
+	return b, nil
+}
+
+// missTxn tracks one outstanding miss (demand or prefetch) from issue to
+// fill. Its callbacks are bound once at construction; the object cycles
+// through the bank's pool, so the steady state allocates nothing.
+type missTxn struct {
+	b      *L2Bank
+	addr   uint64
+	remote bool // response returns to a remote tile
+	demand bool // demand miss: the response hop to memory is counted
+
+	issueFn  func() // stage 1: leave the bank toward the memory side
+	fillDone Done   // stage 2: the memory side completed; fill the line
+}
+
+func (b *L2Bank) getTxn(addr uint64, remote, demand bool) *missTxn {
+	var t *missTxn
+	if n := len(b.txnPool); n > 0 {
+		t = b.txnPool[n-1]
+		b.txnPool = b.txnPool[:n-1]
+	} else {
+		t = &missTxn{b: b}
+		t.issueFn = t.issue
+		t.fillDone = Done{F: t.fill}
+	}
+	t.addr, t.remote, t.demand = addr, remote, demand
+	return t
+}
+
+// issue runs L2MissLatency + one NoC hop after the miss was detected:
+// the transaction leaves toward the LLC/memory controller, carrying the
+// response hop latency so the reply lands back at the bank.
+func (t *missTxn) issue() {
+	var back evsim.Cycle
+	if t.demand {
+		back = t.b.u.noc.delay(true)
+	}
+	t.b.u.memSide(t.addr, false, back, t.fillDone)
+}
+
+// fill completes the memory fetch: install the line, release waiters,
+// recycle the transaction.
+func (t *missTxn) fill(uint64) {
+	b := t.b
+	b.fill(t.addr, t.remote)
+	b.txnPool = append(b.txnPool, t)
+}
+
+func (b *L2Bank) getWaiters() []Done {
+	if n := len(b.waiterPool); n > 0 {
+		w := b.waiterPool[n-1]
+		b.waiterPool = b.waiterPool[:n-1]
+		return w
+	}
+	return make([]Done, 0, 4)
 }
 
 // ID returns the global bank index.
@@ -67,7 +161,10 @@ func (b *L2Bank) handle(req Request) {
 	// present; we conservatively mark it dirty by re-accessing on fill).
 	if waiters, inflight := b.mshr[req.Addr]; inflight {
 		b.mshrMerges++
-		if req.Done != nil {
+		if req.Done.F != nil {
+			if waiters == nil {
+				waiters = b.getWaiters()
+			}
 			b.mshr[req.Addr] = append(waiters, req.Done)
 		}
 		return
@@ -78,11 +175,11 @@ func (b *L2Bank) handle(req Request) {
 		b.writebackToMem(res.Writeback)
 	}
 	if res.Hit {
-		if req.Done != nil {
+		if req.Done.F != nil {
 			// Lookup latency plus the return traversal, folded into one
 			// scheduled event.
 			delay := b.u.cfg.L2HitLatency + b.u.noc.delay(b.tile != req.Tile)
-			b.u.eng.Schedule(delay, req.Done)
+			b.u.eng.ScheduleArg(delay, req.Done.F, req.Done.Arg)
 		}
 		return
 	}
@@ -94,31 +191,28 @@ func (b *L2Bank) handle(req Request) {
 		// the transaction next cycle.
 		b.mshrConflicts++
 		b.tags.Invalidate(req.Addr) // do not claim the line before the retry succeeds
-		b.u.eng.Schedule(1, func() { b.handle(req) })
+		b.retryQ = append(b.retryQ, req)
+		b.u.eng.ScheduleArg(1, b.retryFn, 0)
 		return
 	}
-	var waiters []func()
-	if req.Done != nil {
-		waiters = append(waiters, req.Done)
+	var waiters []Done
+	if req.Done.F != nil {
+		waiters = append(b.getWaiters(), req.Done)
 	}
 	b.mshr[req.Addr] = waiters
 	if n := len(b.mshr); n > b.peakMSHR {
 		b.peakMSHR = n
 	}
 	b.missesIssued++
-	remoteReq := b.tile != req.Tile
-	addr := req.Addr
 	// bank → (miss issue + NoC) → memory side; the response flows back
 	// over the NoC to the bank.
 	toMem := b.u.cfg.L2MissLatency + b.u.noc.delay(true)
-	b.u.eng.Schedule(toMem, func() {
-		backLat := b.u.noc.delay(true)
-		b.u.memSide(addr, false, backLat, func() { b.fill(addr, remoteReq) })
-	})
+	b.u.eng.Schedule(toMem, b.getTxn(req.Addr, b.tile != req.Tile, true).issueFn)
 
 	// Next-line prefetch (paper §III-A future work: "prefetching,
 	// streaming"): fetch the following PrefetchDepth lines into this bank
 	// if they are absent, idle MSHR capacity permitting.
+	addr := req.Addr
 	lineBytes := uint64(b.u.cfg.L2.LineBytes)
 	// Prefetches may use at most half the MSHRs, so demand misses are
 	// never starved into retry storms by speculative traffic.
@@ -139,15 +233,16 @@ func (b *L2Bank) handle(req Request) {
 		}
 		b.mshr[pa] = nil
 		b.prefetches++
-		b.u.eng.Schedule(toMem, func() {
-			b.u.memSide(pa, false, 0, func() { b.fill(pa, false) })
-		})
+		b.u.eng.Schedule(toMem, b.getTxn(pa, false, false).issueFn)
 	}
 }
 
 // fill completes an outstanding miss: release all merged waiters after
 // their return traversal. Prefetch fills (no waiters) just install the
-// line.
+// line. Waiters release as one arg-carrying event each, scheduled
+// back-to-back at the same cycle with consecutive seq numbers — the same
+// observable order as the old one-closure-over-all-waiters form, without
+// the closure.
 func (b *L2Bank) fill(addr uint64, remoteReq bool) {
 	waiters := b.mshr[addr]
 	delete(b.mshr, addr)
@@ -157,24 +252,23 @@ func (b *L2Bank) fill(addr uint64, remoteReq bool) {
 		}
 	}
 	if len(waiters) == 0 {
+		if waiters != nil {
+			b.waiterPool = append(b.waiterPool, waiters[:0])
+		}
 		return
 	}
 	delay := b.u.noc.delay(remoteReq)
+	b.u.eng.ScheduleArg(delay, waiters[0].F, waiters[0].Arg)
 	for i := 1; i < len(waiters); i++ {
 		b.u.noc.delay(remoteReq) // one response message per merged waiter
+		b.u.eng.ScheduleArg(delay, waiters[i].F, waiters[i].Arg)
 	}
-	ws := waiters
-	b.u.eng.Schedule(delay, func() {
-		for _, done := range ws {
-			done()
-		}
-	})
+	b.waiterPool = append(b.waiterPool, waiters[:0])
 }
 
 // writebackToMem sends an evicted dirty line toward memory.
 func (b *L2Bank) writebackToMem(addr uint64) {
-	delay := b.u.noc.delay(true)
-	b.u.eng.Schedule(delay, func() { b.u.memSide(addr, true, 0, nil) })
+	b.u.eng.ScheduleArg(b.u.noc.delay(true), b.wbFn, addr)
 }
 
 // Name implements evsim.Unit.

@@ -4,18 +4,33 @@ import (
 	"fmt"
 
 	"github.com/coyote-sim/coyote/internal/cache"
+	"github.com/coyote-sim/coyote/internal/evsim"
 )
+
+// llcWaiter is one read waiting on an in-flight LLC fill, remembering the
+// response traversal to add once the data is available at the slice.
+type llcWaiter struct {
+	done  Done
+	extra evsim.Cycle
+}
 
 // LLCSlice is one slice of the optional shared last-level cache sitting in
 // front of a memory controller — the third cache level of the paper's
 // Figure 2 example system ("Three levels of cache and 64 cores are
 // depicted"). One slice per controller; lines are interleaved across
 // slices by the same function that picks the controller.
+//
+// Like the L2 banks, the slice's miss path is allocation-free: waiters
+// are recycled value slices and the fill completion is one pre-bound
+// callback keyed by line address.
 type LLCSlice struct {
 	id   int
 	u    *Uncore
 	tags *cache.Cache
-	mshr map[uint64][]func()
+	mshr map[uint64][]llcWaiter
+
+	waiterPool [][]llcWaiter
+	fillFn     func(uint64) // pre-bound miss completion; arg is the line
 
 	reads      uint64
 	writes     uint64
@@ -27,62 +42,75 @@ func newLLCSlice(id int, u *Uncore) (*LLCSlice, error) {
 	if err != nil {
 		return nil, fmt.Errorf("uncore: llc slice %d: %w", id, err)
 	}
-	return &LLCSlice{id: id, u: u, tags: tags, mshr: make(map[uint64][]func())}, nil
+	l := &LLCSlice{id: id, u: u, tags: tags, mshr: make(map[uint64][]llcWaiter)}
+	l.fillFn = func(addr uint64) {
+		ws := l.mshr[addr]
+		delete(l.mshr, addr)
+		for _, w := range ws {
+			l.u.eng.ScheduleArg(w.extra, w.done.F, w.done.Arg)
+		}
+		if ws != nil {
+			l.waiterPool = append(l.waiterPool, ws[:0])
+		}
+	}
+	return l, nil
+}
+
+func (l *LLCSlice) getWaiters() []llcWaiter {
+	if n := len(l.waiterPool); n > 0 {
+		w := l.waiterPool[n-1]
+		l.waiterPool = l.waiterPool[:n-1]
+		return w
+	}
+	return make([]llcWaiter, 0, 4)
 }
 
 // CacheStats exposes the slice's tag statistics.
 func (l *LLCSlice) CacheStats() cache.Stats { return l.tags.Stats }
 
-// request handles a line read (done != nil fires extraDelay cycles after
-// the data is available at the slice) or write.
-func (l *LLCSlice) request(addr uint64, write bool, extraDelay uint64, done func()) {
+// request handles a line read (done fires extraDelay cycles after the
+// data is available at the slice) or write.
+func (l *LLCSlice) request(addr uint64, write bool, extraDelay evsim.Cycle, done Done) {
 	mc := l.u.mcs[l.id]
 	if write {
 		l.writes++
 		res := l.tags.Access(addr, true)
 		if res.HasWriteback {
-			mc.request(res.Writeback, true, 0, nil)
+			mc.request(res.Writeback, true, 0, Done{})
 		}
 		if !res.Hit {
 			// Write-allocate fetch, nobody waits on it.
-			mc.request(addr, false, 0, nil)
+			mc.request(addr, false, 0, Done{})
 		}
 		return
 	}
 	l.reads++
 	if waiters, inflight := l.mshr[addr]; inflight {
 		l.mshrMerges++
-		if done != nil {
-			l.mshr[addr] = append(waiters, func() {
-				l.u.eng.Schedule(extraDelay, done)
-			})
+		if done.F != nil {
+			if waiters == nil {
+				waiters = l.getWaiters()
+			}
+			l.mshr[addr] = append(waiters, llcWaiter{done: done, extra: extraDelay})
 		}
 		return
 	}
 	res := l.tags.Access(addr, false)
 	if res.HasWriteback {
-		mc.request(res.Writeback, true, 0, nil)
+		mc.request(res.Writeback, true, 0, Done{})
 	}
 	if res.Hit {
-		if done != nil {
-			l.u.eng.Schedule(l.u.cfg.LLCHitLatency+extraDelay, done)
+		if done.F != nil {
+			l.u.eng.ScheduleArg(l.u.cfg.LLCHitLatency+extraDelay, done.F, done.Arg)
 		}
 		return
 	}
-	var waiters []func()
-	if done != nil {
-		waiters = append(waiters, func() {
-			l.u.eng.Schedule(extraDelay, done)
-		})
+	var waiters []llcWaiter
+	if done.F != nil {
+		waiters = append(l.getWaiters(), llcWaiter{done: done, extra: extraDelay})
 	}
 	l.mshr[addr] = waiters
-	mc.request(addr, false, 0, func() {
-		ws := l.mshr[addr]
-		delete(l.mshr, addr)
-		for _, w := range ws {
-			w()
-		}
-	})
+	mc.request(addr, false, 0, Done{F: l.fillFn, Arg: addr})
 }
 
 // Name implements evsim.Unit.

@@ -1,5 +1,7 @@
 package uncore
 
+import "slices"
+
 // MCPU models the paper's Memory Controller CPUs (§I): processors at the
 // memory controllers that "operate on vectors, both dense and sparse with
 // the help of vector index registers for scatter/gather operations". When
@@ -11,6 +13,8 @@ package uncore
 // latency) at the cost of never hitting in it.
 type MCPU struct {
 	u *Uncore
+
+	txnPool []*gatherTxn
 
 	gathers  uint64 // descriptors processed (loads)
 	scatters uint64 // descriptors processed (stores)
@@ -24,11 +28,84 @@ func newMCPU(u *Uncore) *MCPU { return &MCPU{u: u} }
 // the cores offload to it).
 func (u *Uncore) MCPUUnit() *MCPU { return u.mcpu }
 
+// gatherTxn is one in-flight scatter/gather descriptor: the coalesced
+// line list, the remaining-line count, and the pre-bound stage callbacks.
+// Pooled — the steady-state gather path allocates nothing.
+type gatherTxn struct {
+	u         *Uncore
+	lines     []uint64 // coalesced unique line addresses, sorted
+	write     bool
+	remaining int
+	done      Done
+
+	issueFn  func() // descriptor arrives at the memory side
+	lineDone Done   // one line transfer completed
+}
+
+func (m *MCPU) getTxn() *gatherTxn {
+	if n := len(m.txnPool); n > 0 {
+		t := m.txnPool[n-1]
+		m.txnPool = m.txnPool[:n-1]
+		return t
+	}
+	t := &gatherTxn{u: m.u}
+	t.issueFn = t.issue
+	t.lineDone = Done{F: t.lineDoneFn}
+	return t
+}
+
+func (m *MCPU) putTxn(t *gatherTxn) {
+	t.done = Done{}
+	m.txnPool = append(m.txnPool, t)
+}
+
+func (t *gatherTxn) issue() {
+	u := t.u
+	if t.write {
+		for _, line := range t.lines {
+			u.mcFor(line).request(line, true, 0, Done{})
+		}
+		u.mcpu.putTxn(t)
+		return
+	}
+	t.remaining = len(t.lines)
+	if t.remaining == 0 {
+		// Empty gather: still a round trip.
+		if t.done.F != nil {
+			u.eng.ScheduleArg(u.noc.delay(true), t.done.F, t.done.Arg)
+		}
+		u.mcpu.putTxn(t)
+		return
+	}
+	for _, line := range t.lines {
+		u.mcFor(line).request(line, false, 0, t.lineDone)
+	}
+}
+
+func (t *gatherTxn) lineDoneFn(uint64) {
+	t.remaining--
+	if t.remaining > 0 {
+		return
+	}
+	u := t.u
+	if t.done.F != nil {
+		u.eng.ScheduleArg(u.noc.delay(true), t.done.F, t.done.Arg)
+	}
+	u.mcpu.putTxn(t)
+}
+
 // SubmitGather hands a coalesced scatter/gather descriptor to the MCPU.
 // addrs are element addresses (any order, duplicates allowed); done fires
-// once every line has completed (nil for scatters). The descriptor takes
+// once every line has completed (zero for scatters). The descriptor takes
 // one NoC traversal to reach the memory side and one to respond.
-func (u *Uncore) SubmitGather(tile int, addrs []uint64, write bool, done func()) {
+//
+// Coalescing sorts the unique lines: beyond matching the aggregate
+// semantics the paper attributes to the MCPU, the sorted order makes the
+// per-channel issue order — and therefore bandwidth queueing and
+// row-buffer timing — deterministic. (The previous map-based coalescing
+// issued lines in Go's randomized map order, which could perturb
+// simulated timing between identical runs.)
+func (u *Uncore) SubmitGather(tile int, addrs []uint64, write bool, done Done) {
 	_ = tile // the crossbar is distance-uniform; kept for future topologies
 	m := u.mcpu
 	if write {
@@ -38,37 +115,27 @@ func (u *Uncore) SubmitGather(tile int, addrs []uint64, write bool, done func())
 	}
 	m.elements += uint64(len(addrs))
 
-	// Coalesce to unique lines (the aggregate-semantics benefit the paper
-	// attributes to the MCPU: it sees the whole access pattern at once).
-	lineSet := make(map[uint64]struct{}, len(addrs))
+	t := m.getTxn()
+	t.write = write
+	t.done = done
+	t.lines = t.lines[:0]
+	mask := ^uint64(0) << u.lineShift
 	for _, a := range addrs {
-		lineSet[a>>u.lineShift<<u.lineShift] = struct{}{}
+		t.lines = append(t.lines, a&mask)
 	}
-	m.lines += uint64(len(lineSet))
+	slices.Sort(t.lines)
+	uniq := t.lines[:0]
+	var prev uint64
+	for i, line := range t.lines {
+		if i == 0 || line != prev {
+			uniq = append(uniq, line)
+			prev = line
+		}
+	}
+	t.lines = uniq
+	m.lines += uint64(len(t.lines))
 
-	toMem := u.noc.delay(true)
-	u.eng.Schedule(toMem, func() {
-		if write {
-			for line := range lineSet {
-				u.mcFor(line).request(line, true, 0, nil)
-			}
-			return
-		}
-		remaining := len(lineSet)
-		if remaining == 0 {
-			remaining = 1 // empty gather: still a round trip
-			u.eng.Schedule(u.noc.delay(true), done)
-			return
-		}
-		for line := range lineSet {
-			u.mcFor(line).request(line, false, 0, func() {
-				remaining--
-				if remaining == 0 && done != nil {
-					u.eng.Schedule(u.noc.delay(true), done)
-				}
-			})
-		}
-	})
+	u.eng.Schedule(u.noc.delay(true), t.issueFn)
 }
 
 // Name implements evsim.Unit.

@@ -80,10 +80,11 @@ func (m *MemCtrl) Reads() uint64 { return m.reads }
 // Writes returns the number of line writes serviced.
 func (m *MemCtrl) Writes() uint64 { return m.writes }
 
-// request services one line transfer; done (if non-nil) fires when the
-// data has returned to the requester, extraDelay cycles (the response
-// traversal) after the DRAM access completes.
-func (m *MemCtrl) request(addr uint64, write bool, extraDelay evsim.Cycle, done func()) {
+// request services one line transfer; done (if set) fires when the data
+// has returned to the requester, extraDelay cycles (the response
+// traversal) after the DRAM access completes. Completions are scheduled
+// as arg-carrying events — no closure, no allocation.
+func (m *MemCtrl) request(addr uint64, write bool, extraDelay evsim.Cycle, done Done) {
 	now := m.eng.Now()
 	start := now
 	if m.nextFree > start {
@@ -97,8 +98,8 @@ func (m *MemCtrl) request(addr uint64, write bool, extraDelay evsim.Cycle, done 
 		return
 	}
 	m.reads++
-	if done != nil {
-		m.eng.ScheduleAt(start+lat+extraDelay, done)
+	if done.F != nil {
+		m.eng.ScheduleArgAt(start+lat+extraDelay, done.F, done.Arg)
 	}
 }
 

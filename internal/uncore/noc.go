@@ -7,7 +7,6 @@ import "github.com/coyote-sim/coyote/internal/evsim"
 // contention ("a highly idealized crossbar, that uses fixed, configurable
 // latencies", §III-A). Same-tile hops use the shorter local latency.
 type NoC struct {
-	eng     *evsim.Engine
 	latency evsim.Cycle
 	local   evsim.Cycle
 
@@ -15,13 +14,8 @@ type NoC struct {
 	localMsgs  uint64
 }
 
-func newNoC(eng *evsim.Engine, latency, local evsim.Cycle) *NoC {
-	return &NoC{eng: eng, latency: latency, local: local}
-}
-
-// traverse delivers fn after the appropriate hop latency.
-func (n *NoC) traverse(remote bool, fn func()) {
-	n.eng.Schedule(n.delay(remote), fn)
+func newNoC(latency, local evsim.Cycle) *NoC {
+	return &NoC{latency: latency, local: local}
 }
 
 // delay accounts one crossbar traversal and returns its latency. Units on

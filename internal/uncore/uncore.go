@@ -151,14 +151,39 @@ func (c Config) Validate() error {
 	return c.L2.Validate()
 }
 
+// Done is an allocation-free completion token: F is a long-lived
+// pre-bound callback (one per hart, per pooled transaction, …) and Arg is
+// a word of context distinguishing the completing request (a packed
+// register number, an address …). The zero Done means "no completion".
+// Carrying (F, Arg) by value through the uncore replaces the
+// closure-per-miss style that dominated steady-state allocation.
+type Done struct {
+	F   func(arg uint64)
+	Arg uint64
+}
+
+// Run invokes the completion; a zero Done is a no-op.
+func (d Done) Run() {
+	if d.F != nil {
+		d.F(d.Arg)
+	}
+}
+
+// FuncDone wraps a plain callback into a Done. Convenient for tests and
+// one-off harness code; allocates a closure, so the hot paths build Done
+// values from pre-bound callbacks instead.
+func FuncDone(f func()) Done {
+	return Done{F: func(uint64) { f() }}
+}
+
 // Request is one line-granular transaction entering the uncore.
 type Request struct {
 	Tile  int    // requesting tile (routing + private-L2 bank choice)
 	Addr  uint64 // line base address
 	Write bool   // writeback: no response expected
-	// Done runs when the line is available at the L1 boundary. Nil for
+	// Done fires when the line is available at the L1 boundary. Zero for
 	// writes.
-	Done func()
+	Done Done
 }
 
 // Uncore owns the banks, controllers and crossbar.
@@ -184,7 +209,7 @@ func New(cfg Config, eng *evsim.Engine) (*Uncore, error) {
 	for ls := cfg.L2.LineBytes; ls > 1; ls >>= 1 {
 		u.lineShift++
 	}
-	u.noc = newNoC(eng, cfg.NoCLatency, cfg.LocalLatency)
+	u.noc = newNoC(cfg.NoCLatency, cfg.LocalLatency)
 	u.reg.Register(u.noc)
 	u.mcpu = newMCPU(u)
 	u.reg.Register(u.mcpu)
@@ -254,7 +279,7 @@ func (u *Uncore) mcFor(addr uint64) *MemCtrl {
 
 // memSide routes a transaction leaving the L2 level: through the LLC
 // slice when enabled, straight to the memory controller otherwise.
-func (u *Uncore) memSide(addr uint64, write bool, extraDelay evsim.Cycle, done func()) {
+func (u *Uncore) memSide(addr uint64, write bool, extraDelay evsim.Cycle, done Done) {
 	idx := (addr >> u.lineShift) % uint64(len(u.mcs))
 	if u.llcs != nil {
 		u.llcs[idx].request(addr, write, extraDelay, done)
@@ -269,12 +294,17 @@ func (u *Uncore) LLCs() []*LLCSlice { return u.llcs }
 // Submit injects a request at the current engine time. The request first
 // traverses the interconnect to its bank (local hop if the bank lives in
 // the requester's tile), is looked up, possibly misses to a memory
-// controller, and finally Done fires back at the core side.
+// controller, and finally Done fires back at the core side. The request
+// value travels through the bank's inbound port FIFO — no allocation.
 func (u *Uncore) Submit(req Request) {
 	bank := u.bankFor(req.Tile, req.Addr)
-	u.noc.traverse(bank.tile != req.Tile, func() {
-		bank.handle(req)
-	})
+	if bank.tile != req.Tile {
+		u.noc.remoteMsgs++
+		bank.remoteIn.Send(req)
+	} else {
+		u.noc.localMsgs++
+		bank.localIn.Send(req)
+	}
 }
 
 // Snapshot returns all unit counters keyed "unit.counter".

@@ -29,10 +29,10 @@ func roundTrip(t *testing.T, u *Uncore, eng *evsim.Engine, tile int, addr uint64
 	t.Helper()
 	var doneAt evsim.Cycle
 	fired := false
-	u.Submit(Request{Tile: tile, Addr: addr, Done: func() {
+	u.Submit(Request{Tile: tile, Addr: addr, Done: FuncDone(func() {
 		doneAt = eng.Now()
 		fired = true
-	}})
+	})})
 	eng.Drain()
 	if !fired {
 		t.Fatal("request never completed")
@@ -173,7 +173,7 @@ func TestMSHRMergesSameLine(t *testing.T) {
 	u, eng := newTestUncore(t, cfg)
 	done := 0
 	for i := 0; i < 4; i++ {
-		u.Submit(Request{Tile: 0, Addr: 0x1000, Done: func() { done++ }})
+		u.Submit(Request{Tile: 0, Addr: 0x1000, Done: FuncDone(func() { done++ })})
 	}
 	eng.Drain()
 	if done != 4 {
@@ -209,7 +209,7 @@ func TestMSHRConflictBackpressure(t *testing.T) {
 	done := 0
 	// 8 distinct lines → 8 misses into a 2-entry MSHR.
 	for i := uint64(0); i < 8; i++ {
-		u.Submit(Request{Tile: 0, Addr: i * 64, Done: func() { done++ }})
+		u.Submit(Request{Tile: 0, Addr: i * 64, Done: FuncDone(func() { done++ })})
 	}
 	eng.Drain()
 	if done != 8 {
@@ -254,10 +254,10 @@ func TestMemBandwidthSerialisesBursts(t *testing.T) {
 	doneCount := 0
 	for i := 0; i < n; i++ {
 		addr := uint64(i) * 64
-		u.Submit(Request{Tile: 0, Addr: addr, Done: func() {
+		u.Submit(Request{Tile: 0, Addr: addr, Done: FuncDone(func() {
 			doneCount++
 			last = eng.Now()
-		}})
+		})})
 	}
 	eng.Drain()
 	if doneCount != n {

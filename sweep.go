@@ -17,30 +17,48 @@ type PointResult struct {
 	Err    error
 }
 
-// Sweep runs a set of independent simulations concurrently on up to
-// `workers` goroutines and returns results in input order. Each
+// Sweep runs a set of independent simulations concurrently on a fixed
+// pool of `workers` goroutines and returns results in input order. Each
 // simulation is single-threaded and deterministic, so parallelism changes
 // only wall-clock time (and therefore the MIPS numbers — use serial runs
 // when measuring simulator throughput itself; simulated-time metrics are
 // unaffected). workers ≤ 0 means one worker per point.
 func Sweep(points []Point, workers int) []PointResult {
+	return sweepWith(points, workers, func(p Point) (*Result, error) {
+		return RunKernel(p.Kernel, p.Params, p.Config)
+	})
+}
+
+// sweepWith is Sweep with the per-point run function injected, so tests
+// can observe scheduling without paying for real simulations. Exactly
+// min(workers, len(points)) goroutines are started; they pull point
+// indices from a shared channel, so a slow point never blocks the rest of
+// the queue behind an idle worker.
+func sweepWith(points []Point, workers int, run func(Point) (*Result, error)) []PointResult {
 	if workers <= 0 || workers > len(points) {
 		workers = len(points)
 	}
 	results := make([]PointResult, len(points))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range points {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p := points[i]
-			res, err := RunKernel(p.Kernel, p.Params, p.Config)
-			results[i] = PointResult{Point: p, Result: res, Err: err}
-		}(i)
+	if workers == 0 {
+		return results
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				p := points[i]
+				res, err := run(p)
+				results[i] = PointResult{Point: p, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	return results
 }

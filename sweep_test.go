@@ -2,6 +2,8 @@ package coyote
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -62,5 +64,60 @@ func TestSweepWorkerClamping(t *testing.T) {
 		if len(res) != 2 || res[0].Err != nil || res[1].Err != nil {
 			t.Fatalf("workers=%d: %+v", workers, res)
 		}
+	}
+}
+
+// TestSweepWorkerPool drives sweepWith with a fake run function and
+// checks the pool contract: input-order results, every point run exactly
+// once, and never more than `workers` runs in flight at once.
+func TestSweepWorkerPool(t *testing.T) {
+	const npoints, workers = 40, 3
+	points := make([]Point, npoints)
+	for i := range points {
+		points[i].Name = fmt.Sprintf("p%02d", i)
+	}
+
+	var inFlight, peak, runs atomic.Int64
+	// Rendezvous: the first `workers` runs block until all of them have
+	// started, so the test actually observes the full pool concurrently
+	// rather than one fast worker draining the queue alone.
+	var gate sync.WaitGroup
+	gate.Add(workers)
+
+	res := sweepWith(points, workers, func(p Point) (*Result, error) {
+		n := inFlight.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		if runs.Add(1) <= workers {
+			gate.Done()
+			gate.Wait()
+		}
+		inFlight.Add(-1)
+		return &Result{Instructions: uint64(p.Name[1])}, nil
+	})
+
+	if len(res) != npoints {
+		t.Fatalf("got %d results, want %d", len(res), npoints)
+	}
+	for i, r := range res {
+		if r.Name != points[i].Name {
+			t.Fatalf("result %d: got %s, want %s — input order not preserved", i, r.Name, points[i].Name)
+		}
+		if r.Err != nil || r.Result == nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+	}
+	if got := runs.Load(); got != npoints {
+		t.Errorf("run function called %d times, want %d", got, npoints)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent runs, want at most %d", p, workers)
+	}
+	if p := peak.Load(); p < workers {
+		t.Errorf("observed only %d concurrent runs with %d workers and a rendezvous gate", p, workers)
 	}
 }
