@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race lint vet bench-smoke ci
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full race lane: the simulator proper is single-threaded, but the sweep
+# harness in the root package fans runs out across a worker pool.
+race:
+	$(GO) test -race ./...
+
+# coyotelint: the determinism & hot-path invariant suite (DESIGN.md §9).
+# Zero findings required; exit 1 on findings, 2 on load failure.
+lint:
+	$(GO) run ./cmd/coyotelint ./...
+
+vet:
+	$(GO) vet ./...
+
+bench-smoke:
+	$(GO) test -bench 'Fig3|RunLoop128Stalled' -benchtime 1x -run '^$$' ./
+
+ci: build vet test race lint bench-smoke

@@ -1,0 +1,55 @@
+// Command coyotelint runs Coyote's determinism and hot-path invariant
+// suite (internal/lint) over the module. Usage:
+//
+//	go run ./cmd/coyotelint ./...
+//
+// It exits 0 when the tree is clean, 1 when any analyzer reports a
+// finding, and 2 when the packages cannot be loaded. CI runs it as a
+// required step; see the "Determinism invariants" section of DESIGN.md
+// for the directives (//coyote:allocfree, //coyote:mapiter-ok, …) the
+// analyzers understand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/coyote-sim/coyote/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("analyzers", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: coyotelint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the Coyote determinism & hot-path invariant suite.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := lint.Load(".", patterns, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coyotelint:", err)
+		os.Exit(2)
+	}
+	res := lint.RunSuite(prog)
+	for _, d := range res.Diagnostics {
+		fmt.Println(res.Format(d))
+	}
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "coyotelint: %d finding(s)\n", len(res.Diagnostics))
+		os.Exit(1)
+	}
+}

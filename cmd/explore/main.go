@@ -82,11 +82,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fatal(err)
 		}
-		defer pprof.StopCPUProfile()
+		// Stop flushes the profile into f; a failed Close means a
+		// truncated profile, which must not exit 0.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(fmt.Errorf("writing CPU profile %s: %w", *cpuProf, err))
+			}
+		}()
 	}
 	if *memProf != "" {
 		defer func() {
@@ -94,10 +101,13 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
 				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(fmt.Errorf("writing heap profile %s: %w", *memProf, err))
 			}
 		}()
 	}

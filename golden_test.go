@@ -1,6 +1,7 @@
 package coyote
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,6 +36,52 @@ func canonical(res *Result) string {
 // simulations are deterministic"). A third run with FastForward enabled
 // must match too: skipping idle cycles is a wall-clock optimisation and
 // may not perturb simulated timing.
+// TestTraceDeterminismGolden runs every kernel twice with a Paraver
+// tracer attached and demands the rendered .prv streams be byte-identical
+// — a stronger check than aggregate statistics: the trace exposes the
+// exact cycle and order of every miss, stall and wakeup, so any hidden
+// source of nondeterminism (map iteration, wall-clock leakage) shows up
+// as a diff even when the totals happen to agree.
+func TestTraceDeterminismGolden(t *testing.T) {
+	params := Params{N: 64, Cores: 4, Density: 0.05}
+	for _, name := range Kernels() {
+		t.Run(name, func(t *testing.T) {
+			run := func() []byte {
+				cfg := DefaultConfig(4)
+				sys, err := PrepareKernel(name, params, cfg)
+				if err != nil {
+					t.Fatalf("prepare: %v", err)
+				}
+				tw := NewTraceWriter(cfg.Cores)
+				sys.Tracer = tw
+				if _, err := sys.Run(); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				var buf bytes.Buffer
+				if err := tw.WritePRV(&buf); err != nil {
+					t.Fatalf("rendering .prv: %v", err)
+				}
+				return buf.Bytes()
+			}
+			first := run()
+			second := run()
+			if !bytes.Equal(first, second) {
+				line := 1
+				for i := 0; i < len(first) && i < len(second); i++ {
+					if first[i] != second[i] {
+						break
+					}
+					if first[i] == '\n' {
+						line++
+					}
+				}
+				t.Errorf("two identical runs produced different .prv traces (%d vs %d bytes, first diff around line %d)",
+					len(first), len(second), line)
+			}
+		})
+	}
+}
+
 func TestDeterminismGolden(t *testing.T) {
 	params := Params{N: 64, Cores: 4, Density: 0.05}
 	for _, name := range Kernels() {

@@ -57,6 +57,7 @@ func (r *Result) TotalStalls() uint64 {
 // L2Stats aggregates hit/miss counts over every L2 bank.
 func (r *Result) L2Stats() cache.Stats {
 	var s cache.Stats
+	//coyote:mapiter-ok commutative sums into independent fields; visit order cannot change any total
 	for k, v := range r.UncoreRaw {
 		switch {
 		case strings.HasPrefix(k, "l2bank") && strings.HasSuffix(k, ".hits"):
@@ -73,6 +74,7 @@ func (r *Result) L2Stats() cache.Stats {
 // MemReads sums line reads over all memory controllers.
 func (r *Result) MemReads() uint64 {
 	var n uint64
+	//coyote:mapiter-ok integer sum filtered by key prefix; commutative, order cannot matter
 	for k, v := range r.UncoreRaw {
 		if strings.HasPrefix(k, "mc") && strings.HasSuffix(k, ".reads") {
 			n += v
@@ -84,6 +86,7 @@ func (r *Result) MemReads() uint64 {
 // MemWrites sums line writes over all memory controllers.
 func (r *Result) MemWrites() uint64 {
 	var n uint64
+	//coyote:mapiter-ok integer sum filtered by key prefix; commutative, order cannot matter
 	for k, v := range r.UncoreRaw {
 		if strings.HasPrefix(k, "mc") && strings.HasSuffix(k, ".writes") {
 			n += v
@@ -105,6 +108,7 @@ func (r *Result) BankLoads() []uint64 {
 		n  uint64
 	}
 	var rows []kv
+	//coyote:mapiter-ok rows are sorted by bank id immediately below, erasing visit order
 	for k, v := range r.UncoreRaw {
 		var id int
 		if n, _ := fmt.Sscanf(k, "l2bank%d.reads", &id); n == 1 && strings.HasSuffix(k, ".reads") {

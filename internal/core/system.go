@@ -175,6 +175,8 @@ func (s *System) anyRunnableSet() bool {
 // Events are consumed synchronously: the hart's buffer is truncated in
 // place and its backing array reused, and gather descriptors return to
 // the hart's pool once the MCPU has coalesced them.
+//
+//coyote:allocfree
 func (s *System) dispatch(h *cpu.Hart) {
 	events := h.Events
 	h.Events = h.Events[:0]
@@ -225,6 +227,9 @@ func (s *System) dispatch(h *cpu.Hart) {
 	}
 }
 
+// wake returns a parked hart to the runnable set and credits its stall.
+//
+//coyote:allocfree
 func (s *System) wake(hart int) {
 	if s.runnable[hart/64]&(1<<(hart%64)) == 0 && !s.halted[hart] {
 		s.runnable[hart/64] |= 1 << (hart % 64)
@@ -259,7 +264,7 @@ func (s *System) Run() (*Result, error) {
 	if s.prog == nil {
 		return nil, fmt.Errorf("core: no program loaded")
 	}
-	start := time.Now()
+	start := time.Now() //coyote:wallclock-ok wall-clock MIPS measurement only; never feeds back into simulated timing
 	for s.nDone < len(s.Harts) {
 		if s.cycle >= s.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: cycle limit %d reached (deadlock or runaway kernel?)",
@@ -359,5 +364,5 @@ func (s *System) Run() (*Result, error) {
 		}
 	}
 	s.Eng.Drain()
-	return s.collect(time.Since(start)), nil
+	return s.collect(time.Since(start)), nil //coyote:wallclock-ok reports simulator throughput; simulated state is already final
 }

@@ -270,6 +270,8 @@ func (h *Hart) FlushDecodeCache() {
 // AddStallCycles credits stall cycles the orchestrator observed while the
 // core was parked (Step is not called on inactive cores, so the per-Step
 // counters alone would undercount the stalled time).
+//
+//coyote:allocfree
 func (h *Hart) AddStallCycles(fetch bool, n uint64) {
 	if fetch {
 		h.Stats.StallsFetch += n
@@ -299,6 +301,8 @@ func (h *Hart) PendingAny() bool {
 // CompleteFill is called by the orchestrator when a miss carrying a
 // destination register finishes. When the last outstanding fill for the
 // register lands, the pending bit clears and the core may wake up.
+//
+//coyote:allocfree
 func (h *Hart) CompleteFill(kind RegKind, r uint8) {
 	if h.pendingCount[kind][r] == 0 {
 		panic(fmt.Sprintf("cpu: hart %d: stray completion for %v%d", h.ID, kind, r))
@@ -310,6 +314,8 @@ func (h *Hart) CompleteFill(kind RegKind, r uint8) {
 }
 
 // CompleteFetch is called when an instruction-fetch miss is serviced.
+//
+//coyote:allocfree
 func (h *Hart) CompleteFetch() { h.fetchPending = false }
 
 // getGatherBuf returns a pooled descriptor slice with the given length.
@@ -326,6 +332,8 @@ func (h *Hart) getGatherBuf(n int) []uint64 {
 
 // RecycleGatherBuf returns a MemEvent.Gather descriptor to the hart's
 // pool. Callers must not retain the slice afterwards.
+//
+//coyote:allocfree
 func (h *Hart) RecycleGatherBuf(buf []uint64) {
 	h.gatherPool = append(h.gatherPool, buf)
 }
@@ -339,6 +347,8 @@ func (h *Hart) markPending(kind RegKind, r uint8) {
 }
 
 // emit appends a memory event for the orchestrator.
+//
+//coyote:allocfree
 func (h *Hart) emit(ev MemEvent) {
 	ev.Hart = h.ID
 	h.Events = append(h.Events, ev)
@@ -453,6 +463,8 @@ func (h *Hart) DrainEvents() []MemEvent {
 // granularity, deduplicating lines within the instruction, emitting miss
 // and writeback events, and marking the destination register pending for
 // load misses. addrs is the list of element addresses; size their width.
+//
+//coyote:allocfree
 func (h *Hart) dataAccess(addrs []uint64, write bool, dest RegKind, destReg uint8, hasDest bool) {
 	h.lineScratch = h.lineScratch[:0]
 	for _, a := range addrs {

@@ -89,12 +89,16 @@ func (e *Engine) Pending() int { return e.pending }
 // Schedule queues fn to run delay cycles from now. A delay of 0 runs the
 // event within the current AdvanceTo sweep (after already-queued events
 // for this cycle).
+//
+//coyote:allocfree
 func (e *Engine) Schedule(delay Cycle, fn func()) {
 	e.enqueue(e.now+delay, event{fn: fn})
 }
 
 // ScheduleAt queues fn at an absolute cycle. Scheduling in the past is a
 // programming error and panics: it would silently corrupt causality.
+//
+//coyote:allocfree
 func (e *Engine) ScheduleAt(when Cycle, fn func()) {
 	e.enqueue(when, event{fn: fn})
 }
@@ -103,11 +107,15 @@ func (e *Engine) ScheduleAt(when Cycle, fn func()) {
 // is expected to be a long-lived pre-bound callback, and arg (a register
 // number, an address, a pool index …) travels inside the event itself.
 // This is the steady-state scheduling path of the uncore.
+//
+//coyote:allocfree
 func (e *Engine) ScheduleArg(delay Cycle, fn func(uint64), arg uint64) {
 	e.enqueue(e.now+delay, event{afn: fn, arg: arg})
 }
 
 // ScheduleArgAt is ScheduleArg at an absolute cycle.
+//
+//coyote:allocfree
 func (e *Engine) ScheduleArgAt(when Cycle, fn func(uint64), arg uint64) {
 	e.enqueue(when, event{afn: fn, arg: arg})
 }
@@ -227,6 +235,8 @@ func (e *Engine) runBucket(slot int) {
 // AdvanceTo runs every event scheduled at or before target, then sets the
 // clock to target. Events may schedule further events; those falling
 // within the window run in the same sweep.
+//
+//coyote:allocfree
 func (e *Engine) AdvanceTo(target Cycle) {
 	if target < e.now {
 		panic(fmt.Sprintf("evsim: advance to %d before now %d", target, e.now))
@@ -246,6 +256,8 @@ func (e *Engine) AdvanceTo(target Cycle) {
 
 // Drain runs every queued event regardless of time and returns the final
 // clock value. Useful for quiescing the model at end of simulation.
+//
+//coyote:allocfree
 func (e *Engine) Drain() Cycle {
 	for e.pending > 0 {
 		t, _ := e.nextTime()
@@ -259,7 +271,8 @@ func (e *Engine) Drain() Cycle {
 // heapPush and heapPop maintain the overflow lane: a plain binary min-heap
 // on (when, seq) over a reused slice.
 func (e *Engine) heapPush(ev event) {
-	h := append(e.overflow, ev)
+	e.overflow = append(e.overflow, ev)
+	h := e.overflow
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
@@ -269,7 +282,6 @@ func (e *Engine) heapPush(ev event) {
 		h[i], h[p] = h[p], h[i]
 		i = p
 	}
-	e.overflow = h
 }
 
 func (e *Engine) heapPop() event {
@@ -341,6 +353,8 @@ func NewPort[T any](eng *Engine, latency Cycle, sink func(T)) *Port[T] {
 
 // Send schedules delivery of v after the port latency. Allocation-free in
 // the steady state.
+//
+//coyote:allocfree
 func (p *Port[T]) Send(v T) {
 	p.sent++
 	p.fifo = append(p.fifo, v)
@@ -386,6 +400,7 @@ func (r *Registry) Units() []Unit { return r.units }
 func (r *Registry) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64)
 	for _, u := range r.units {
+		//coyote:mapiter-ok copies pairs into another map; destination is order-independent and callers sort keys
 		for k, v := range u.Counters() {
 			out[u.Name()+"."+k] = v
 		}
@@ -397,6 +412,7 @@ func (r *Registry) Snapshot() map[string]uint64 {
 // report output).
 func SortedKeys(m map[string]uint64) []string {
 	keys := make([]string, 0, len(m))
+	//coyote:mapiter-ok keys are sorted immediately below, erasing visit order
 	for k := range m {
 		keys = append(keys, k)
 	}

@@ -1,0 +1,393 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// AllocFreeAnalyzer turns PR 1's AllocsPerRun=0 tests into source-level
+// enforcement. A function annotated //coyote:allocfree is a root of the
+// steady-state hot path (event schedule/pop, Port.Send, the
+// dispatch-to-fill miss path); the analyzer walks the static call graph
+// from every root and flags anything that can allocate on the way:
+//
+//   - function literals (closure allocation)
+//   - &T{…} composite literals, slice and map literals
+//   - make, new
+//   - append whose result is not assigned back to its first argument
+//     (growth of a fresh slice escapes the reused-buffer discipline;
+//     self-append `x = append(x, …)` is amortized-zero against a pool)
+//   - method values (x.M used as a value allocates a bound closure)
+//   - string concatenation and string<->[]byte conversions
+//   - implicit interface conversions (boxing) at call arguments and
+//     assignments
+//   - calls into known allocating stdlib packages (fmt, errors, strconv)
+//
+// Arguments of panic(…) are exempt: a panic is already off the hot path.
+// A cold sub-path inside a hot function (pool refill on first use) is
+// exempted line-by-line with //coyote:alloc-ok <reason>.
+//
+// Dynamic calls — through function values, stored callbacks, or
+// interface methods — are a boundary the walker does not cross. That is
+// the right boundary here: the hot paths deliberately traffic in
+// pre-bound callbacks (evsim events, uncore.Done), and each callback's
+// body is annotated as its own root where it matters.
+var AllocFreeAnalyzer = &Analyzer{
+	Name:       "allocfree",
+	Doc:        "verifies //coyote:allocfree functions and their static callees do not allocate",
+	RunProgram: runAllocFree,
+}
+
+// allocPkgDeny lists stdlib packages whose entry points allocate by
+// design; a call into one from an allocfree context is always a finding.
+var allocPkgDeny = map[string]bool{
+	"fmt":     true,
+	"errors":  true,
+	"strconv": true,
+}
+
+func runAllocFree(pass *ProgramPass) {
+	prog := pass.Program
+
+	type queued struct {
+		node *FuncNode
+		via  string // the annotated root this function is reached from
+	}
+	var queue []queued
+	seen := make(map[string]bool)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !FuncAnnotation(fd, "allocfree") {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := FuncKey(obj)
+				if node := prog.Funcs[key]; node != nil && !seen[key] {
+					seen[key] = true
+					queue = append(queue, queued{node: node, via: shortKey(key)})
+				}
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		callees := checkFuncBody(pass, q.node, q.via)
+		for _, key := range callees {
+			if seen[key] {
+				continue
+			}
+			if node := prog.Funcs[key]; node != nil {
+				seen[key] = true
+				queue = append(queue, queued{node: node, via: q.via})
+			}
+		}
+	}
+}
+
+// bodyIndex holds per-body syntactic context computed in one pre-pass:
+// which nodes sit inside panic(...) arguments, which selector exprs are
+// the operand of a call (x.M() vs the method value x.M), and each call's
+// enclosing single-assignment statement (for the self-append test).
+type bodyIndex struct {
+	panicArgs map[ast.Node]bool
+	callFuns  map[*ast.SelectorExpr]bool
+	assignOf  map[*ast.CallExpr]*ast.AssignStmt
+}
+
+func indexBody(info *types.Info, body *ast.BlockStmt) *bodyIndex {
+	idx := &bodyIndex{
+		panicArgs: make(map[ast.Node]bool),
+		callFuns:  make(map[*ast.SelectorExpr]bool),
+		assignOf:  make(map[*ast.CallExpr]*ast.AssignStmt),
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				idx.callFuns[sel] = true
+			}
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					for _, arg := range x.Args {
+						ast.Inspect(arg, func(m ast.Node) bool {
+							if m != nil {
+								idx.panicArgs[m] = true
+							}
+							return true
+						})
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(x.Rhs) == 1 {
+				if call, ok := x.Rhs[0].(*ast.CallExpr); ok {
+					idx.assignOf[call] = x
+				}
+			}
+		}
+		return true
+	})
+	return idx
+}
+
+// checkFuncBody reports allocation sites in one function and returns the
+// keys of statically-resolved callees to continue the walk through.
+func checkFuncBody(pass *ProgramPass, node *FuncNode, via string) []string {
+	fset := pass.Program.Fset
+	pkg := node.Pkg
+	info := pkg.Info
+	idx := indexBody(info, node.Decl.Body)
+	var callees []string
+
+	where := " in " + shortKey(node.Key)
+	if own := shortKey(node.Key); own == via {
+		where = " in //coyote:allocfree " + via
+	} else {
+		where += " (reached from //coyote:allocfree " + via + ")"
+	}
+	report := func(pos token.Pos, msg string) {
+		if pkg.Directives.At(fset, pos, "alloc-ok") != nil {
+			return
+		}
+		pass.Report(Diagnostic{Pos: pos, Message: msg + where})
+	}
+
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if idx.panicArgs[n] {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			report(x.Pos(), "function literal allocates a closure")
+			return false // only the capture allocates here; the body runs elsewhere
+
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					report(x.Pos(), "&composite literal heap-allocates")
+				}
+			}
+
+		case *ast.CompositeLit:
+			if t := info.TypeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(x.Pos(), "slice literal allocates")
+				case *types.Map:
+					report(x.Pos(), "map literal allocates")
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if t := info.TypeOf(x); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(x.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal && !idx.callFuns[x] {
+				report(x.Pos(), "method value "+x.Sel.Name+" allocates a bound closure")
+			}
+
+		case *ast.CallExpr:
+			callees = classifyCall(pass, info, idx, report, x, callees)
+		}
+		return true
+	})
+
+	checkBoxing(info, idx, node.Decl.Body, report)
+	return callees
+}
+
+// classifyCall handles one call expression: builtin allocators, type
+// conversions, denylisted stdlib, or a statically-resolved callee to
+// walk into.
+func classifyCall(pass *ProgramPass, info *types.Info, idx *bodyIndex, report func(token.Pos, string), call *ast.CallExpr, callees []string) []string {
+	// Type conversion? string(b) / []byte(s) copy and allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && isStringByteConv(info.TypeOf(call.Args[0]), tv.Type) {
+			report(call.Pos(), "string/[]byte conversion allocates")
+		}
+		return callees
+	}
+
+	resolve := func(fn *types.Func) []string {
+		key := FuncKey(fn)
+		if _, ok := pass.Program.Funcs[key]; ok {
+			return append(callees, key)
+		}
+		if p := fn.Pkg(); p != nil && allocPkgDeny[p.Path()] {
+			report(call.Pos(), "call to "+p.Path()+"."+fn.Name()+" allocates")
+		}
+		return callees
+	}
+
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				if !isSelfAppend(idx, call) {
+					report(call.Pos(), "append result is not assigned back to its first argument; growth escapes the reused buffer")
+				}
+			}
+			return callees
+		}
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return resolve(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if sel, selOk := info.Selections[fun]; selOk && sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+				return callees // dynamic dispatch: boundary, not walked
+			}
+			return resolve(fn)
+		}
+	}
+	// Anything else (call through a function value / stored callback) is
+	// dynamic: a boundary the walker does not cross.
+	return callees
+}
+
+// checkBoxing flags implicit interface conversions: concrete values
+// passed to interface parameters or assigned to interface lvalues box
+// (allocate) unless the value is already an interface or a nil literal.
+func checkBoxing(info *types.Info, idx *bodyIndex, body *ast.BlockStmt, report func(token.Pos, string)) {
+	boxes := func(dst types.Type, src ast.Expr) bool {
+		if dst == nil || !types.IsInterface(dst) {
+			return false
+		}
+		st := info.TypeOf(src)
+		if st == nil || types.IsInterface(st) {
+			return false
+		}
+		if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			return false
+		}
+		return true
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n != nil && idx.panicArgs[n] {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					return false
+				}
+			}
+			sig, ok := info.TypeOf(x.Fun).(*types.Signature)
+			if !ok {
+				return true
+			}
+			np := sig.Params().Len()
+			for i, arg := range x.Args {
+				var pt types.Type
+				switch {
+				case sig.Variadic() && i >= np-1:
+					if x.Ellipsis != token.NoPos {
+						continue
+					}
+					pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+				case i < np:
+					pt = sig.Params().At(i).Type()
+				}
+				if boxes(pt, arg) {
+					report(arg.Pos(), "implicit conversion to interface boxes (allocates)")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Rhs {
+					if boxes(info.TypeOf(x.Lhs[i]), x.Rhs[i]) {
+						report(x.Rhs[i].Pos(), "assignment boxes into interface (allocates)")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isSelfAppend reports whether call (a call to append) appears as
+// `x = append(x, …)` — the amortized-allocation-free pattern where the
+// grown buffer is kept.
+func isSelfAppend(idx *bodyIndex, call *ast.CallExpr) bool {
+	parent := idx.assignOf[call]
+	if parent == nil || len(parent.Lhs) != 1 {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	return exprString(parent.Lhs[0]) == exprString(call.Args[0])
+}
+
+// exprString renders an expression for structural comparison.
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}
+
+// isStringByteConv reports whether a conversion between from and to is a
+// string <-> []byte/[]rune conversion (which copies).
+func isStringByteConv(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+	}
+	return (isStr(from) && isByteSlice(to)) || (isByteSlice(from) && isStr(to))
+}
+
+// shortKey trims the module prefix off a function key for readable
+// diagnostics: "github.com/coyote-sim/coyote/internal/evsim.Engine.enqueue"
+// → "evsim.Engine.enqueue".
+func shortKey(key string) string {
+	if i := lastIndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+func lastIndexByte(s string, b byte) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

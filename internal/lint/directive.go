@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //coyote:<kind> <reason> comment. Directives are the
+// escape hatches of the determinism analyzers: every one must carry a
+// justification, and the justification tests prove each is load-bearing.
+type Directive struct {
+	Kind   string // e.g. "mapiter-ok", "allocfree", "alloc-ok", "wallclock-ok", "floatorder-ok"
+	Reason string
+	Pos    token.Pos
+	File   string
+	Line   int
+}
+
+// DirectiveIndex holds a package's directives for line-based lookup.
+type DirectiveIndex struct {
+	all    []Directive
+	byLine map[string]map[int][]*Directive // file → line → directives
+}
+
+// directivePrefix is the comment marker. Go tool convention: no space
+// between // and the marker, so godoc ignores it.
+const directivePrefix = "coyote:"
+
+// knownDirectives enumerates every directive the suite understands,
+// mapping kind → whether a justification is required after the kind word.
+var knownDirectives = map[string]bool{
+	"allocfree":     false, // annotation: marks a function as a checked root
+	"alloc-ok":      true,  // exempts one allocation site (pool refill etc.)
+	"mapiter-ok":    true,  // exempts one map-range site
+	"wallclock-ok":  true,  // exempts one wall-clock read
+	"floatorder-ok": true,  // exempts one float reduction over a map
+}
+
+// indexDirectives scans the comment lists of files for //coyote: markers.
+func indexDirectives(fset *token.FileSet, files []*ast.File) *DirectiveIndex {
+	idx := &DirectiveIndex{byLine: make(map[string]map[int][]*Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				kind, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				pos := fset.Position(c.Pos())
+				idx.all = append(idx.all, Directive{
+					Kind:   kind,
+					Reason: strings.TrimSpace(reason),
+					Pos:    c.Pos(),
+					File:   pos.Filename,
+					Line:   pos.Line,
+				})
+			}
+		}
+	}
+	for i := range idx.all {
+		d := &idx.all[i]
+		m := idx.byLine[d.File]
+		if m == nil {
+			m = make(map[int][]*Directive)
+			idx.byLine[d.File] = m
+		}
+		m[d.Line] = append(m[d.Line], d)
+	}
+	return idx
+}
+
+// All returns every directive in the package.
+func (idx *DirectiveIndex) All() []Directive { return idx.all }
+
+// At returns a directive of the given kind that applies to a node
+// starting at pos: on the same line, or on the line immediately above
+// (the conventional placement for statement-level directives).
+func (idx *DirectiveIndex) At(fset *token.FileSet, pos token.Pos, kind string) *Directive {
+	p := fset.Position(pos)
+	m := idx.byLine[p.Filename]
+	if m == nil {
+		return nil
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, d := range m[line] {
+			if d.Kind == kind {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// FuncAnnotation reports whether decl's doc comment carries the given
+// directive kind (e.g. //coyote:allocfree above a function).
+func FuncAnnotation(decl *ast.FuncDecl, kind string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+		if !ok {
+			continue
+		}
+		k, _, _ := strings.Cut(strings.TrimSpace(text), " ")
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}

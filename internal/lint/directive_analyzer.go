@@ -1,0 +1,31 @@
+package lint
+
+// DirectiveAnalyzer validates every //coyote: directive in a package:
+// the kind must be known, and every escape-hatch directive (…-ok,
+// alloc-ok) must carry a justification after the kind word. An exemption
+// without a reason is indistinguishable from a silenced bug, so it is a
+// finding in its own right.
+var DirectiveAnalyzer = &Analyzer{
+	Name: "directive",
+	Doc:  "validates //coyote: directives: known kind, justification present",
+	Run:  runDirective,
+}
+
+func runDirective(pass *Pass) {
+	for _, d := range pass.Pkg.Directives.All() {
+		needReason, known := knownDirectives[d.Kind]
+		if !known {
+			pass.Report(Diagnostic{
+				Pos:     d.Pos,
+				Message: "unknown directive //coyote:" + d.Kind + " (have allocfree, alloc-ok, mapiter-ok, wallclock-ok, floatorder-ok)",
+			})
+			continue
+		}
+		if needReason && d.Reason == "" {
+			pass.Report(Diagnostic{
+				Pos:     d.Pos,
+				Message: "//coyote:" + d.Kind + " needs a justification: //coyote:" + d.Kind + " <reason>",
+			})
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrderAnalyzer flags floating-point accumulation inside a range
+// over a map. Float addition is not associative: summing the same values
+// in a different order yields a different result, so a float reduction
+// over a randomized-order container makes reported statistics (miss
+// rates, averages) differ between identical runs even when every counter
+// matches. Integer accumulation is exact and therefore mapiter-exempt;
+// float accumulation is not, even under //coyote:mapiter-ok. Sum floats
+// in index order (sorted keys), or justify with
+// //coyote:floatorder-ok <reason>.
+var FloatOrderAnalyzer = &Analyzer{
+	Name: "floatorder",
+	Doc:  "flags float accumulation over unordered containers",
+	Run:  runFloatOrder,
+}
+
+func runFloatOrder(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				if as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN && as.Tok != token.MUL_ASSIGN {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					lt := info.TypeOf(lhs)
+					if lt == nil {
+						continue
+					}
+					if b, ok := lt.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+						if pass.Pkg.Directives.At(pass.Fset, as.Pos(), "floatorder-ok") != nil ||
+							pass.Pkg.Directives.At(pass.Fset, rs.For, "floatorder-ok") != nil {
+							continue
+						}
+						pass.Report(Diagnostic{
+							Pos: as.Pos(),
+							Message: "float accumulation inside a map range: addition order is randomized, " +
+								"so the sum is not reproducible; reduce over sorted keys, or justify with //coyote:floatorder-ok <reason>",
+						})
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}

@@ -1,0 +1,174 @@
+// Package lint is Coyote's determinism and hot-path invariant suite: a
+// set of static analyzers in the spirit of golang.org/x/tools/go/analysis,
+// built directly on go/ast and go/types so the module needs no external
+// dependencies. The cmd/coyotelint driver runs them over the tree; CI
+// treats findings as build failures.
+//
+// The analyzers enforce the two properties PR 1 established dynamically
+// (bit-identical simulated timing, allocation-free steady-state miss
+// paths) at the source level:
+//
+//   - mapiter: no order-sensitive range over a map in simulator packages
+//     (Go randomizes map iteration; the MCPU gather coalescer was bitten
+//     by exactly this).
+//   - wallclock: no wall-clock, environment or global-rand reads inside
+//     simulation logic — simulated time comes from evsim, configuration
+//     from explicit Config values.
+//   - allocfree: functions annotated //coyote:allocfree, and everything
+//     statically reachable from them, must not allocate.
+//   - floatorder: no float accumulation over unordered containers —
+//     reported miss rates must sum in a deterministic order.
+//   - directive: every //coyote: directive is well-formed and justified.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a package (or, for whole-program
+// analyzers, over the full Program).
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Run inspects one package. Nil for whole-program analyzers.
+	Run func(*Pass)
+	// RunProgram inspects the whole program at once. Nil for per-package
+	// analyzers.
+	RunProgram func(*ProgramPass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	Report   func(Diagnostic)
+}
+
+// ProgramPass carries a whole-program analyzer's view.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Program  *Program
+	Report   func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DirectiveAnalyzer, MapIterAnalyzer, WallClockAnalyzer, AllocFreeAnalyzer, FloatOrderAnalyzer}
+}
+
+// SimPackages lists the import-path suffixes of the packages where the
+// determinism analyzers (mapiter, wallclock, floatorder) apply: the
+// simulator proper. Harness packages (kernels, asm, trace, cmd/…) may
+// legitimately touch the wall clock or iterate maps for reporting.
+var SimPackages = []string{
+	"internal/core",
+	"internal/evsim",
+	"internal/uncore",
+	"internal/cpu",
+	"internal/cache",
+	"internal/mem",
+}
+
+// IsSimPackage reports whether importPath is one of the simulator
+// packages subject to the determinism analyzers.
+func IsSimPackage(importPath string) bool {
+	for _, s := range SimPackages {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunResult is the outcome of running the suite.
+type RunResult struct {
+	Diagnostics []Diagnostic
+	Fset        *token.FileSet
+}
+
+// RunAnalyzers executes analyzers over prog. Per-package analyzers run on
+// every package for which filter returns true (nil filter = all);
+// whole-program analyzers always see the full program.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer, filter func(*Package) bool) *RunResult {
+	res := &RunResult{Fset: prog.Fset}
+	report := func(name string) func(Diagnostic) {
+		return func(d Diagnostic) {
+			d.Analyzer = name
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	for _, a := range analyzers {
+		switch {
+		case a.RunProgram != nil:
+			a.RunProgram(&ProgramPass{Analyzer: a, Program: prog, Report: report(a.Name)})
+		case a.Run != nil:
+			for _, pkg := range prog.Packages {
+				if filter != nil && !filter(pkg) {
+					continue
+				}
+				a.Run(&Pass{Analyzer: a, Fset: prog.Fset, Pkg: pkg, Report: report(a.Name)})
+			}
+		}
+	}
+	sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(res.Diagnostics[i].Pos), prog.Fset.Position(res.Diagnostics[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return res
+}
+
+// Format renders one diagnostic as "file:line:col: [analyzer] message".
+func (r *RunResult) Format(d Diagnostic) string {
+	return fmt.Sprintf("%s: [%s] %s", r.Fset.Position(d.Pos), d.Analyzer, d.Message)
+}
+
+// DefaultFilter returns the package filter used by the coyotelint driver:
+// sim-only analyzers run on simulator packages, everything else runs
+// everywhere. The directive analyzer runs on every package so a stray or
+// unjustified directive can't hide outside the simulator core.
+func DefaultFilter(a *Analyzer) func(*Package) bool {
+	switch a.Name {
+	case "mapiter", "wallclock", "floatorder":
+		return func(p *Package) bool { return IsSimPackage(p.ImportPath) }
+	default:
+		return nil
+	}
+}
+
+// RunSuite applies the full suite the way the driver and the tests both
+// do: each analyzer with its default package filter.
+func RunSuite(prog *Program) *RunResult {
+	res := &RunResult{Fset: prog.Fset}
+	for _, a := range Analyzers() {
+		sub := RunAnalyzers(prog, []*Analyzer{a}, DefaultFilter(a))
+		res.Diagnostics = append(res.Diagnostics, sub.Diagnostics...)
+	}
+	sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(res.Diagnostics[i].Pos), prog.Fset.Position(res.Diagnostics[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return res
+}

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Filenames  []string
+	Types      *types.Package
+	Info       *types.Info
+
+	// Directives holds every //coyote: directive found in the package's
+	// comments, indexed for line-based lookup.
+	Directives *DirectiveIndex
+}
+
+// Program is the whole-program view shared by every analyzer run: all
+// loaded packages on one FileSet, plus a function index for call-graph
+// analyses keyed by a package-path-qualified name (see FuncKey).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	Funcs    map[string]*FuncNode
+}
+
+// FuncNode is one function or method with a body, available for
+// call-graph walking.
+type FuncNode struct {
+	Key  string
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load builds a Program for the packages matching patterns, resolving
+// every import from compiler export data so no network access and no
+// third-party dependencies are needed. dir is the directory the go tool
+// runs in (the module root, or any directory inside it). overlay maps
+// absolute file paths to replacement contents; the justification tests
+// use it to re-lint a package with one directive removed.
+func Load(dir string, patterns []string, overlay map[string][]byte) (*Program, error) {
+	roots, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	prog := &Program{Fset: fset, Funcs: make(map[string]*FuncNode)}
+	for _, lp := range roots {
+		pkg, err := typecheck(fset, imp, lp, overlay)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		indexFuncs(prog, pkg)
+	}
+	return prog, nil
+}
+
+// goList shells out to the go tool twice: once without -deps to learn the
+// root packages to analyze from source, once with -export -deps to map
+// every transitively imported package to its export data file.
+func goList(dir string, patterns []string) (roots []*listedPkg, exports map[string]string, err error) {
+	rootOut, err := runGoList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...))
+	if err != nil {
+		return nil, nil, err
+	}
+	depOut, err := runGoList(dir, append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, patterns...))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(rootOut))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint: parsing go list output: %w", err)
+		}
+		q := p
+		roots = append(roots, &q)
+	}
+
+	exports = make(map[string]string)
+	dec = json.NewDecoder(bytes.NewReader(depOut))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint: parsing go list -export output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return roots, exports, nil
+}
+
+func runGoList(dir string, args []string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args[:2], " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// typecheck parses and type-checks one package from source, resolving
+// imports through imp.
+func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPkg, overlay map[string][]byte) (*Package, error) {
+	pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir}
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		var src any
+		if overlay != nil {
+			if content, ok := overlay[path]; ok {
+				src = content
+			}
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, path)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	pkg.Directives = indexDirectives(fset, pkg.Files)
+	return pkg, nil
+}
+
+// indexFuncs registers every function and method declaration with a body
+// into the program-wide function table.
+func indexFuncs(prog *Program, pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			key := FuncKey(obj)
+			prog.Funcs[key] = &FuncNode{Key: key, Pkg: pkg, Decl: fd, Obj: obj}
+		}
+	}
+}
+
+// FuncKey returns a stable, instantiation-independent identifier for a
+// function or method: "pkg/path.Func" or "pkg/path.Recv.Method". Keys
+// built from a source-checked *types.Func and from an export-data import
+// of the same function agree, which is what lets the allocfree walker
+// cross package boundaries.
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed {
+			obj := n.Origin().Obj()
+			if obj.Pkg() != nil {
+				return obj.Pkg().Path() + "." + obj.Name() + "." + fn.Name()
+			}
+			return obj.Name() + "." + fn.Name()
+		}
+		return t.String() + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIterAnalyzer flags `range` over a map inside simulator packages. Go
+// randomizes map iteration order on purpose; any loop whose effect
+// depends on visit order therefore perturbs simulated timing between
+// identical runs — the bug class that hit the MCPU gather coalescer.
+//
+// A site is accepted when either
+//   - the loop body is provably order-insensitive (only commutative
+//     integer accumulation: x += v, x++, x |= v, …), or
+//   - the `for` line (or the line above) carries
+//     //coyote:mapiter-ok <reason>.
+var MapIterAnalyzer = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags order-sensitive iteration over maps in simulator packages",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Pkg.Directives.At(pass.Fset, rs.For, "mapiter-ok") != nil {
+				return true
+			}
+			if orderInsensitiveBody(info, rs.Body) {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: rs.For,
+				Message: "range over map: iteration order is randomized and can perturb simulated timing; " +
+					"iterate a sorted key slice, or justify with //coyote:mapiter-ok <reason>",
+			})
+			return true
+		})
+	}
+}
+
+// orderInsensitiveBody reports whether every statement in the loop body
+// is a commutative integer accumulation, i.e. re-ordering iterations
+// cannot change the result. The test is deliberately narrow: only
+// `x += v`-style compound assignments (+=, |=, &=, ^=) and ++/-- on
+// integer-typed lvalues qualify, with call-free operands.
+func orderInsensitiveBody(info *types.Info, body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return true
+	}
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !isCallFreeInteger(info, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			switch s.Tok.String() {
+			case "+=", "|=", "&=", "^=":
+			default:
+				return false
+			}
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			if !isCallFreeInteger(info, s.Lhs[0]) || !isCallFree(s.Rhs[0]) {
+				return false
+			}
+		case *ast.EmptyStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isCallFreeInteger reports whether e has integer type and contains no
+// function calls.
+func isCallFreeInteger(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return false
+	}
+	return isCallFree(e)
+}
+
+// isCallFree reports whether e contains no call expressions (whose
+// side-effect order could matter).
+func isCallFree(e ast.Expr) bool {
+	free := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			free = false
+			return false
+		}
+		return true
+	})
+	return free
+}

@@ -1,0 +1,131 @@
+// Package allocfreefix is the fixture for the allocfree analyzer: roots
+// are annotated //coyote:allocfree and the analyzer must flag every
+// allocation reachable from them through static calls, while leaving
+// unannotated functions, panic arguments and justified sites alone.
+package allocfreefix
+
+import "fmt"
+
+// S is a unit with a reused buffer and a stored callback, the shapes the
+// simulator hot paths use.
+type S struct {
+	buf []int
+	cb  func(int)
+}
+
+// Hot is a clean hot path: self-append plus a call into a flagged helper.
+//
+//coyote:allocfree
+func (s *S) Hot(v int) {
+	s.buf = append(s.buf, v)
+	s.helper(v)
+}
+
+// helper is NOT annotated, but it is reachable from Hot, so its
+// allocation is still a finding.
+func (s *S) helper(v int) {
+	x := make([]int, v) // want `make allocates`
+	_ = x
+}
+
+// Closure allocates a function literal on the hot path.
+//
+//coyote:allocfree
+func Closure(n int) func() int {
+	return func() int { return n } // want `function literal allocates`
+}
+
+// PointerLit heap-allocates a composite literal.
+//
+//coyote:allocfree
+func PointerLit() *S {
+	return &S{} // want `&composite literal heap-allocates`
+}
+
+// SliceLit allocates backing storage.
+//
+//coyote:allocfree
+func SliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+// MethodValue binds a bound-method closure.
+//
+//coyote:allocfree
+func MethodValue(s *S) {
+	s.cb = s.Sink // want `method value Sink allocates`
+}
+
+// Sink is the bound method; calling it directly is fine.
+func (s *S) Sink(int) {}
+
+// CallsMethod calls Sink as a method — no binding, no finding.
+//
+//coyote:allocfree
+func CallsMethod(s *S) {
+	s.Sink(1)
+}
+
+// FreshAppend lets append grow a slice it does not keep.
+//
+//coyote:allocfree
+func FreshAppend(dst, src []int) []int {
+	out := append(dst, src...) // want `append result is not assigned back`
+	return out
+}
+
+// Concat builds a string on the hot path.
+//
+//coyote:allocfree
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// Conv copies between string and []byte.
+//
+//coyote:allocfree
+func Conv(b []byte) string {
+	return string(b) // want `string/\[\]byte conversion allocates`
+}
+
+// Boxes passes a concrete value to an interface parameter.
+//
+//coyote:allocfree
+func Boxes(v int) {
+	consume(v) // want `implicit conversion to interface boxes`
+}
+
+func consume(x any) { _ = x }
+
+// Fmt calls into a denylisted allocating stdlib package.
+//
+//coyote:allocfree
+func Fmt(v int) string {
+	return fmt.Sprint(v) // want `call to fmt\.Sprint allocates` // want `implicit conversion to interface boxes`
+}
+
+// PanicOK demonstrates the panic exemption: fmt call, boxing and string
+// concatenation inside panic arguments are all off the hot path.
+//
+//coyote:allocfree
+func PanicOK(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("allocfreefix: bad n %d", n))
+	}
+}
+
+// Justified is a pool warm-up allocation with a reason; the strip test
+// removes the directive and asserts the finding reappears.
+//
+//coyote:allocfree
+func Justified(s *S) {
+	if s.buf == nil {
+		s.buf = make([]int, 0, 8) //coyote:alloc-ok pool warm-up: runs once per unit lifetime
+	}
+}
+
+// Cold is unannotated and unreachable from any root: allocations here are
+// nobody's business.
+func Cold() []int {
+	return make([]int, 64)
+}

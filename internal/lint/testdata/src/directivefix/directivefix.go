@@ -1,0 +1,24 @@
+// Package directivefix is the fixture for the directive analyzer: one
+// unknown directive kind and one escape hatch missing its justification.
+// The expectations live in the Go test (directive positions are the
+// directive comments themselves, so want markers cannot share the line).
+package directivefix
+
+// Known reports line counts; the loop below carries a malformed
+// exemption.
+func Known(m map[string]int) int {
+	n := 0
+	//coyote:mapiter-okay counts only
+	for range m {
+		n++
+	}
+	//coyote:mapiter-ok
+	for range m {
+		n++
+	}
+	//coyote:mapiter-ok commutative count with a proper reason
+	for range m {
+		n++
+	}
+	return n
+}

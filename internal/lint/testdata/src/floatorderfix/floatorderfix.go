@@ -1,0 +1,48 @@
+// Package floatorderfix is the fixture for the floatorder analyzer.
+package floatorderfix
+
+import "sort"
+
+// Bad sums floats in randomized map order: the result differs between
+// identical runs because float addition is not associative.
+func Bad(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation inside a map range`
+	}
+	return sum
+}
+
+// IntSum is exact arithmetic: not a floatorder finding.
+func IntSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Sorted reduces over a sorted key slice: deterministic order, clean.
+func Sorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	//coyote:mapiter-ok keys are sorted immediately below, erasing visit order
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// Justified carries a reason; the strip test removes it and asserts the
+// finding reappears.
+func Justified(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //coyote:floatorder-ok tolerance-checked debug aggregate; not part of simulated state
+	}
+	return sum
+}

@@ -1,0 +1,74 @@
+// Package mapiterfix is the analysistest-style fixture for the mapiter
+// analyzer: each `// want` comment marks a line the analyzer must flag,
+// with a regexp the diagnostic message must match; lines without a want
+// marker must stay clean.
+package mapiterfix
+
+// Bad collects values in visit order: classic order-sensitive iteration.
+func Bad(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Sum is a commutative integer reduction: provably order-insensitive, no
+// directive needed.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Bits ORs flags together — also commutative.
+func Bits(m map[string]uint64) uint64 {
+	var flags uint64
+	for _, v := range m {
+		flags |= v
+	}
+	return flags
+}
+
+// Count increments — order-insensitive.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Justified is order-sensitive but exempted with a justification; the
+// strip test removes the directive and asserts the finding reappears.
+func Justified(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//coyote:mapiter-ok keys are sorted by the caller before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CallInBody has a call inside the accumulation, so the narrow
+// order-insensitivity test must reject it.
+func CallInBody(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map`
+		total += weight(v)
+	}
+	return total
+}
+
+func weight(v int) int { return v * 2 }
+
+// SliceRange is not a map: never flagged.
+func SliceRange(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

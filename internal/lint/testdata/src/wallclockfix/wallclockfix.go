@@ -1,0 +1,38 @@
+// Package wallclockfix is the fixture for the wallclock analyzer.
+package wallclockfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Bad reads the wall clock, the environment, and the global rand source.
+func Bad() int64 {
+	t := time.Now()       // want `time\.Now is nondeterministic`
+	_ = os.Getenv("HOME") // want `os\.Getenv is nondeterministic`
+	n := rand.Int()       // want `math/rand\.Int is nondeterministic`
+	return t.Unix() + int64(n)
+}
+
+// Since is banned too: it reads the clock internally.
+func Since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since is nondeterministic`
+}
+
+// Seeded draws from an explicitly seeded source: methods are fine.
+func Seeded(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// NewSeeded constructs a seeded source: rand.New/NewSource are the
+// allowed package-level entry points.
+func NewSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Justified keeps a wall-clock read with a reason; the strip test removes
+// the directive and asserts the finding reappears.
+func Justified() time.Time {
+	return time.Now() //coyote:wallclock-ok measures simulator throughput for reporting; never feeds simulated state
+}

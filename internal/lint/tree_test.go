@@ -1,0 +1,22 @@
+package lint
+
+import "testing"
+
+// TestRepoTreeClean runs the full suite over the repository exactly the
+// way CI's `go run ./cmd/coyotelint ./...` does and requires zero
+// findings: every hot path stays allocation-free, every map iteration in
+// the simulator is order-insensitive or justified, and no simulation
+// logic reads the wall clock.
+func TestRepoTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := Load("../..", []string{"./..."}, nil)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	res := RunSuite(prog)
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s", res.Format(d))
+	}
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClockAnalyzer flags reads of the wall clock, the process
+// environment, and the globally-seeded random source inside simulator
+// packages. Simulated time must come from the evsim engine and
+// configuration from explicit Config values; anything else makes two
+// identical runs diverge (or makes a run depend on the machine it ran
+// on). The //coyote:wallclock-ok <reason> directive exempts a site —
+// e.g. the orchestrator's wall-clock MIPS measurement, which reports
+// simulator throughput and never feeds back into simulated timing.
+var WallClockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "flags wall-clock, environment and global-rand reads in simulation logic",
+	Run:  runWallClock,
+}
+
+// bannedFuncs maps package path → function names whose call (or mention)
+// in simulator code is nondeterministic input.
+var bannedFuncs = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+// allowedRand lists math/rand package-level functions that do NOT draw
+// from the global (effectively unseeded) source. Everything else at
+// package level does and is banned; methods on an explicitly seeded
+// *rand.Rand are always fine.
+var allowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runWallClock(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			path := fn.Pkg().Path()
+			var banned bool
+			switch path {
+			case "math/rand", "math/rand/v2":
+				banned = !allowedRand[fn.Name()]
+			default:
+				banned = bannedFuncs[path][fn.Name()]
+			}
+			if !banned {
+				return true
+			}
+			if pass.Pkg.Directives.At(pass.Fset, sel.Pos(), "wallclock-ok") != nil {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: sel.Pos(),
+				Message: path + "." + fn.Name() + " is nondeterministic input to simulation logic; " +
+					"use evsim time / explicit config / a seeded rand.Rand, or justify with //coyote:wallclock-ok <reason>",
+			})
+			return true
+		})
+	}
+}

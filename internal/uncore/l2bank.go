@@ -100,9 +100,9 @@ func (b *L2Bank) getTxn(addr uint64, remote, demand bool) *missTxn {
 		t = b.txnPool[n-1]
 		b.txnPool = b.txnPool[:n-1]
 	} else {
-		t = &missTxn{b: b}
-		t.issueFn = t.issue
-		t.fillDone = Done{F: t.fill}
+		t = &missTxn{b: b} //coyote:alloc-ok pool refill: one transaction per pool high-water mark, then recycled forever
+		t.issueFn = t.issue //coyote:alloc-ok binds the stage callback once per pooled transaction lifetime
+		t.fillDone = Done{F: t.fill} //coyote:alloc-ok binds the fill callback once per pooled transaction lifetime
 	}
 	t.addr, t.remote, t.demand = addr, remote, demand
 	return t
@@ -111,6 +111,8 @@ func (b *L2Bank) getTxn(addr uint64, remote, demand bool) *missTxn {
 // issue runs L2MissLatency + one NoC hop after the miss was detected:
 // the transaction leaves toward the LLC/memory controller, carrying the
 // response hop latency so the reply lands back at the bank.
+//
+//coyote:allocfree
 func (t *missTxn) issue() {
 	var back evsim.Cycle
 	if t.demand {
@@ -121,6 +123,8 @@ func (t *missTxn) issue() {
 
 // fill completes the memory fetch: install the line, release waiters,
 // recycle the transaction.
+//
+//coyote:allocfree
 func (t *missTxn) fill(uint64) {
 	b := t.b
 	b.fill(t.addr, t.remote)
@@ -133,7 +137,7 @@ func (b *L2Bank) getWaiters() []Done {
 		b.waiterPool = b.waiterPool[:n-1]
 		return w
 	}
-	return make([]Done, 0, 4)
+	return make([]Done, 0, 4) //coyote:alloc-ok pool refill: grows the waiter-list pool to its high-water mark once
 }
 
 // ID returns the global bank index.
@@ -149,6 +153,8 @@ func (b *L2Bank) CacheStats() cache.Stats { return b.tags.Stats }
 func (b *L2Bank) Accesses() uint64 { return b.reads + b.writes }
 
 // handle processes a request that has arrived at the bank.
+//
+//coyote:allocfree
 func (b *L2Bank) handle(req Request) {
 	if req.Write {
 		b.writes++
@@ -165,7 +171,8 @@ func (b *L2Bank) handle(req Request) {
 			if waiters == nil {
 				waiters = b.getWaiters()
 			}
-			b.mshr[req.Addr] = append(waiters, req.Done)
+			waiters = append(waiters, req.Done)
+			b.mshr[req.Addr] = waiters
 		}
 		return
 	}
@@ -197,7 +204,8 @@ func (b *L2Bank) handle(req Request) {
 	}
 	var waiters []Done
 	if req.Done.F != nil {
-		waiters = append(b.getWaiters(), req.Done)
+		waiters = b.getWaiters()
+		waiters = append(waiters, req.Done)
 	}
 	b.mshr[req.Addr] = waiters
 	if n := len(b.mshr); n > b.peakMSHR {

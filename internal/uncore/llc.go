@@ -62,7 +62,7 @@ func (l *LLCSlice) getWaiters() []llcWaiter {
 		l.waiterPool = l.waiterPool[:n-1]
 		return w
 	}
-	return make([]llcWaiter, 0, 4)
+	return make([]llcWaiter, 0, 4) //coyote:alloc-ok pool refill: grows the waiter-list pool to its high-water mark once
 }
 
 // CacheStats exposes the slice's tag statistics.
@@ -70,6 +70,8 @@ func (l *LLCSlice) CacheStats() cache.Stats { return l.tags.Stats }
 
 // request handles a line read (done fires extraDelay cycles after the
 // data is available at the slice) or write.
+//
+//coyote:allocfree
 func (l *LLCSlice) request(addr uint64, write bool, extraDelay evsim.Cycle, done Done) {
 	mc := l.u.mcs[l.id]
 	if write {
@@ -91,7 +93,8 @@ func (l *LLCSlice) request(addr uint64, write bool, extraDelay evsim.Cycle, done
 			if waiters == nil {
 				waiters = l.getWaiters()
 			}
-			l.mshr[addr] = append(waiters, llcWaiter{done: done, extra: extraDelay})
+			waiters = append(waiters, llcWaiter{done: done, extra: extraDelay})
+			l.mshr[addr] = waiters
 		}
 		return
 	}
@@ -107,7 +110,8 @@ func (l *LLCSlice) request(addr uint64, write bool, extraDelay evsim.Cycle, done
 	}
 	var waiters []llcWaiter
 	if done.F != nil {
-		waiters = append(l.getWaiters(), llcWaiter{done: done, extra: extraDelay})
+		waiters = l.getWaiters()
+		waiters = append(waiters, llcWaiter{done: done, extra: extraDelay})
 	}
 	l.mshr[addr] = waiters
 	mc.request(addr, false, 0, Done{F: l.fillFn, Arg: addr})

@@ -48,9 +48,9 @@ func (m *MCPU) getTxn() *gatherTxn {
 		m.txnPool = m.txnPool[:n-1]
 		return t
 	}
-	t := &gatherTxn{u: m.u}
-	t.issueFn = t.issue
-	t.lineDone = Done{F: t.lineDoneFn}
+	t := &gatherTxn{u: m.u} //coyote:alloc-ok pool refill: one transaction per pool high-water mark, then recycled forever
+	t.issueFn = t.issue //coyote:alloc-ok binds the stage callback once per pooled transaction lifetime
+	t.lineDone = Done{F: t.lineDoneFn} //coyote:alloc-ok binds the line-completion callback once per pooled transaction lifetime
 	return t
 }
 
@@ -59,6 +59,7 @@ func (m *MCPU) putTxn(t *gatherTxn) {
 	m.txnPool = append(m.txnPool, t)
 }
 
+//coyote:allocfree
 func (t *gatherTxn) issue() {
 	u := t.u
 	if t.write {
@@ -82,6 +83,7 @@ func (t *gatherTxn) issue() {
 	}
 }
 
+//coyote:allocfree
 func (t *gatherTxn) lineDoneFn(uint64) {
 	t.remaining--
 	if t.remaining > 0 {
@@ -105,6 +107,8 @@ func (t *gatherTxn) lineDoneFn(uint64) {
 // row-buffer timing — deterministic. (The previous map-based coalescing
 // issued lines in Go's randomized map order, which could perturb
 // simulated timing between identical runs.)
+//
+//coyote:allocfree
 func (u *Uncore) SubmitGather(tile int, addrs []uint64, write bool, done Done) {
 	_ = tile // the crossbar is distance-uniform; kept for future topologies
 	m := u.mcpu

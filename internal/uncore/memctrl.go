@@ -84,6 +84,8 @@ func (m *MemCtrl) Writes() uint64 { return m.writes }
 // has returned to the requester, extraDelay cycles (the response
 // traversal) after the DRAM access completes. Completions are scheduled
 // as arg-carrying events — no closure, no allocation.
+//
+//coyote:allocfree
 func (m *MemCtrl) request(addr uint64, write bool, extraDelay evsim.Cycle, done Done) {
 	now := m.eng.Now()
 	start := now

@@ -296,6 +296,8 @@ func (u *Uncore) LLCs() []*LLCSlice { return u.llcs }
 // the requester's tile), is looked up, possibly misses to a memory
 // controller, and finally Done fires back at the core side. The request
 // value travels through the bank's inbound port FIFO — no allocation.
+//
+//coyote:allocfree
 func (u *Uncore) Submit(req Request) {
 	bank := u.bankFor(req.Tile, req.Addr)
 	if bank.tile != req.Tile {
