@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 60s
 
-.PHONY: all build test race lint vet bench-smoke ci
+.PHONY: all build test race lint vet bench-smoke san fuzz ci
 
 all: build test lint
 
@@ -26,4 +27,18 @@ vet:
 bench-smoke:
 	$(GO) test -bench 'Fig3|RunLoop128Stalled' -benchtime 1x -run '^$$' ./
 
-ci: build vet test race lint bench-smoke
+# Sanitizer lane (DESIGN.md §10): the full test suite with the coyotesan
+# runtime invariant checkers compiled in. The golden tests passing here
+# proves the sanitizer is purely observational — cycle counts stay
+# bit-identical to the default build — with zero violations.
+san:
+	$(GO) build -tags coyotesan ./...
+	$(GO) test -tags coyotesan ./...
+
+# Fuzz smoke: explore random kernel/config combinations under the
+# sanitizer for FUZZTIME on top of the committed seed corpus in
+# testdata/fuzz/. Any invariant violation becomes a reproducible crasher.
+fuzz:
+	$(GO) test -tags coyotesan -run '^$$' -fuzz FuzzKernelSan -fuzztime $(FUZZTIME) .
+
+ci: build vet test race lint bench-smoke san

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	coyote "github.com/coyote-sim/coyote"
@@ -145,58 +147,68 @@ func main() {
 		}
 	}
 
+	// Buffer stdout and check the flush: when the report is redirected to
+	// a file, a write failure must surface as a non-zero exit, not a
+	// silently truncated report.
+	out := bufio.NewWriter(os.Stdout)
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
 			fatal(err)
 		}
 	} else {
-		fmt.Print(res.Report())
+		fmt.Fprint(out, res.Report())
 		if verify {
-			fmt.Println("verification     OK")
+			fmt.Fprintln(out, "verification     OK")
 		}
 		for i, c := range res.Consoles {
 			if c != "" {
-				fmt.Printf("console[%d]: %s", i, c)
+				fmt.Fprintf(out, "console[%d]: %s", i, c)
 			}
 		}
 	}
 	if *uncoreDump {
-		fmt.Print(res.UncoreReport())
+		fmt.Fprint(out, res.UncoreReport())
 	}
 
 	if tw != nil {
 		if err := writeTrace(tw, *tracePfx); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("trace: %s.prv (%d events)\n", *tracePfx, tw.Len())
+		fmt.Fprintf(out, "trace: %s.prv (%d events)\n", *tracePfx, tw.Len())
+	}
+	if err := out.Flush(); err != nil {
+		fatal(fmt.Errorf("writing report: %w", err))
 	}
 }
 
+// writeTrace writes the three Paraver files, propagating write AND close
+// errors: the writers buffer internally, so a full disk can surface only
+// at Close, and silently dropping that would leave a truncated trace
+// behind a zero exit status.
 func writeTrace(tw *trace.Writer, prefix string) error {
-	prv, err := os.Create(prefix + ".prv")
-	if err != nil {
-		return err
+	for _, part := range []struct {
+		ext   string
+		write func(io.Writer) error
+	}{
+		{".prv", tw.WritePRV},
+		{".pcf", tw.WritePCF},
+		{".row", tw.WriteROW},
+	} {
+		f, err := os.Create(prefix + part.ext)
+		if err != nil {
+			return err
+		}
+		if err := part.write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s%s: %w", prefix, part.ext, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s%s: %w", prefix, part.ext, err)
+		}
 	}
-	defer prv.Close()
-	if err := tw.WritePRV(prv); err != nil {
-		return err
-	}
-	pcf, err := os.Create(prefix + ".pcf")
-	if err != nil {
-		return err
-	}
-	defer pcf.Close()
-	if err := tw.WritePCF(pcf); err != nil {
-		return err
-	}
-	row, err := os.Create(prefix + ".row")
-	if err != nil {
-		return err
-	}
-	defer row.Close()
-	return tw.WriteROW(row)
+	return nil
 }
 
 func fatal(err error) {

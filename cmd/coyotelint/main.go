@@ -2,15 +2,19 @@
 // suite (internal/lint) over the module. Usage:
 //
 //	go run ./cmd/coyotelint ./...
+//	go run ./cmd/coyotelint -json ./... | jq .
 //
 // It exits 0 when the tree is clean, 1 when any analyzer reports a
-// finding, and 2 when the packages cannot be loaded. CI runs it as a
+// finding, and 2 when the packages cannot be loaded. -json emits one
+// finding per line with the analyzer, position, message and the
+// //coyote: directive that would suppress it. CI runs it as a
 // required step; see the "Determinism invariants" section of DESIGN.md
 // for the directives (//coyote:allocfree, //coyote:mapiter-ok, …) the
 // analyzers understand.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +24,7 @@ import (
 
 func main() {
 	list := flag.Bool("analyzers", false, "list the analyzers in the suite and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: coyotelint [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the Coyote determinism & hot-path invariant suite.\n")
@@ -45,11 +50,38 @@ func main() {
 		os.Exit(2)
 	}
 	res := lint.RunSuite(prog)
-	for _, d := range res.Diagnostics {
-		fmt.Println(res.Format(d))
+	if *jsonOut {
+		// One JSON object per line, stable field order, so findings pipe
+		// cleanly into jq / CI annotators. "directive" names the escape
+		// hatch that would suppress the finding ("" when there is none).
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range res.Diagnostics {
+			f := finding{
+				Analyzer:  d.Analyzer,
+				Pos:       prog.Fset.Position(d.Pos).String(),
+				Message:   d.Message,
+				Directive: lint.EscapeHatch(d.Analyzer),
+			}
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintln(os.Stderr, "coyotelint:", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(res.Format(d))
+		}
 	}
 	if len(res.Diagnostics) > 0 {
 		fmt.Fprintf(os.Stderr, "coyotelint: %d finding(s)\n", len(res.Diagnostics))
 		os.Exit(1)
 	}
+}
+
+// finding is the -json line format.
+type finding struct {
+	Analyzer  string `json:"analyzer"`
+	Pos       string `json:"pos"`
+	Message   string `json:"message"`
+	Directive string `json:"directive"`
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,10 @@ func main() {
 		fatal(err)
 	}
 
+	// Buffer the decoded text and check the flush: a failed write to a
+	// redirected output file must exit non-zero, not pretend the decode
+	// succeeded.
+	out := bufio.NewWriter(os.Stdout)
 	if *summary {
 		counts := make(map[int]map[int]int) // hart → type → count
 		for _, e := range events {
@@ -39,15 +44,16 @@ func main() {
 			}
 			counts[e.Hart][e.Type]++
 		}
-		fmt.Printf("%d harts, %d events\n", nHarts, len(events))
+		fmt.Fprintf(out, "%d harts, %d events\n", nHarts, len(events))
 		for h := 0; h < nHarts; h++ {
-			fmt.Printf("hart %d:", h)
+			fmt.Fprintf(out, "hart %d:", h)
 			for _, typ := range []int{trace.EventL1DMiss, trace.EventL1IMiss,
 				trace.EventStall, trace.EventWakeup} {
-				fmt.Printf(" %s=%d", trace.TypeName(typ), counts[h][typ])
+				fmt.Fprintf(out, " %s=%d", trace.TypeName(typ), counts[h][typ])
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
+		flushOrDie(out)
 		return
 	}
 
@@ -57,11 +63,18 @@ func main() {
 		}
 		switch e.Type {
 		case trace.EventL1DMiss, trace.EventL1IMiss:
-			fmt.Printf("%12d hart%-3d %-9s line %#x\n", e.Cycle, e.Hart,
+			fmt.Fprintf(out, "%12d hart%-3d %-9s line %#x\n", e.Cycle, e.Hart,
 				trace.TypeName(e.Type), e.Value)
 		default:
-			fmt.Printf("%12d hart%-3d %s\n", e.Cycle, e.Hart, trace.TypeName(e.Type))
+			fmt.Fprintf(out, "%12d hart%-3d %s\n", e.Cycle, e.Hart, trace.TypeName(e.Type))
 		}
+	}
+	flushOrDie(out)
+}
+
+func flushOrDie(out *bufio.Writer) {
+	if err := out.Flush(); err != nil {
+		fatal(fmt.Errorf("writing output: %w", err))
 	}
 }
 

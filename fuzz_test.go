@@ -1,0 +1,80 @@
+package coyote
+
+import (
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/uncore"
+)
+
+// FuzzKernelSan drives randomized kernel/configuration combinations
+// through the full simulator. In the default build it is a determinism
+// and correctness fuzzer: every run must verify against the host
+// reference and two identical runs must report identical cycle counts.
+// Under `go test -tags coyotesan -fuzz FuzzKernelSan` it additionally
+// turns every runtime invariant of internal/san into a fuzz oracle — a
+// violated invariant panics and becomes a reproducible crasher.
+//
+// The committed seed corpus in testdata/fuzz/FuzzKernelSan covers each
+// kernel family and the interesting uncore knobs (LLC, prefetch,
+// page-to-bank mapping, tiny MSHR pools, DRAM row buffers); `make fuzz`
+// runs a short exploration on top of it.
+func FuzzKernelSan(f *testing.F) {
+	// kernel selector, core selector, problem-size selector, uncore knobs, data seed
+	f.Add(byte(0), byte(0), byte(8), byte(0), int64(1))     // smallest scalar run, default uncore
+	f.Add(byte(1), byte(2), byte(12), byte(0x0b), int64(2)) // 4 harts, LLC + prefetch + page-to-bank
+	f.Add(byte(3), byte(1), byte(6), byte(0x30), int64(3))  // tiny MSHR pool + row-buffer model
+	f.Add(byte(5), byte(3), byte(10), byte(0x46), int64(4)) // 8 harts, shared-L2 flip, fast-forward
+	f.Fuzz(func(t *testing.T, kSel, coreSel, nSel, knobs byte, seed int64) {
+		names := Kernels()
+		name := names[int(kSel)%len(names)]
+		cores := 1 << (int(coreSel) % 4) // 1, 2, 4, 8
+
+		cfg := DefaultConfig(cores)
+		cfg.MaxCycles = 20_000_000 // a stuck run is a finding, not a timeout
+		if knobs&0x01 != 0 {
+			cfg.Uncore.LLCEnable = true
+		}
+		if knobs&0x02 != 0 {
+			cfg.Uncore.PrefetchDepth = 2
+		}
+		if knobs&0x04 != 0 {
+			cfg.FastForward = true
+		}
+		if knobs&0x08 != 0 {
+			cfg.Uncore.Mapping = uncore.PageToBank
+		}
+		if knobs&0x10 != 0 {
+			cfg.Uncore.L2MSHRs = 2 // starve the MSHR pool: exercises the retry path
+		}
+		if knobs&0x20 != 0 {
+			cfg.Uncore.MemRowBits = 12
+		}
+		if knobs&0x40 != 0 {
+			cfg.Uncore.L2Shared = !cfg.Uncore.L2Shared
+		}
+		if knobs&0x80 != 0 {
+			cfg.InterleaveQuantum = 8
+		}
+
+		p := Params{
+			// 8..39 keeps even scalar matmul (N³ inner products) cheap
+			// while still spilling the L1s on the larger sizes.
+			N:     8 + int(nSel)%32,
+			Cores: cores,
+			Seed:  1 + seed&0xffff, // Seed 0 means "default" to withDefaults
+		}
+
+		res, err := RunKernel(name, p, cfg)
+		if err != nil {
+			t.Fatalf("%s %+v: %v", name, p, err)
+		}
+		again, err := RunKernel(name, p, cfg)
+		if err != nil {
+			t.Fatalf("%s %+v rerun: %v", name, p, err)
+		}
+		if res.Cycles != again.Cycles {
+			t.Fatalf("%s %+v is nondeterministic: %d cycles then %d",
+				name, p, res.Cycles, again.Cycles)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/coyote-sim/coyote/internal/cpu"
+	"github.com/coyote-sim/coyote/internal/san"
 )
 
 // TestDispatchMissPathNoAllocs pins the tentpole property of the
@@ -13,6 +14,9 @@ import (
 // carries no scoreboard state; the uncore path they take is the same one
 // data misses take.
 func TestDispatchMissPathNoAllocs(t *testing.T) {
+	if san.Enabled {
+		t.Skip("coyotesan build: sanitizer shadow maps may allocate; the zero-alloc contract is a default-build property")
+	}
 	cfg := DefaultConfig(1)
 	s, err := New(cfg)
 	if err != nil {

@@ -1,0 +1,31 @@
+//go:build coyotesan
+
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/san"
+)
+
+// Mutation: a completion fires that the orchestrator never issued — the
+// runtime face of the exactly-one-Done contract the portproto analyzer
+// enforces statically. The completion ledger pins it to the hart and the
+// packed destination.
+func TestSanCatchesStrayCompletion(t *testing.T) {
+	s, err := New(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v, ok := recover().(san.Violation)
+		if !ok {
+			t.Fatalf("want san.Violation panic, got %v", v)
+		}
+		if !strings.Contains(v.Error(), "never issued") {
+			t.Fatalf("violation %q missing %q", v.Error(), "never issued")
+		}
+	}()
+	s.doneFns[0](doneFetch) // no fetch miss outstanding
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/coyote-sim/coyote/internal/cpu"
 	"github.com/coyote-sim/coyote/internal/evsim"
 	"github.com/coyote-sim/coyote/internal/mem"
+	"github.com/coyote-sim/coyote/internal/san"
 	"github.com/coyote-sim/coyote/internal/uncore"
 )
 
@@ -68,6 +69,12 @@ type System struct {
 	stallSince []uint64
 	stallFetch []bool
 
+	// san tracks every completion the orchestrator hands to the uncore:
+	// each issued Done must fire exactly once. Keys pack (hart << 32 |
+	// packed doneFn argument), so a double delivery or a dropped fill is
+	// pinned to the exact hart and destination register.
+	san san.Ledger
+
 	Tracer Tracer
 
 	prog *asm.Program
@@ -88,6 +95,7 @@ func New(cfg Config) (*System, error) {
 		stallSince: make([]uint64, cfg.Cores),
 		stallFetch: make([]bool, cfg.Cores),
 	}
+	s.san.Init("core.completions")
 	un, err := uncore.New(cfg.Uncore, s.Eng)
 	if err != nil {
 		return nil, err
@@ -104,6 +112,7 @@ func New(cfg Config) (*System, error) {
 		s.runnable[i/64] |= 1 << (i % 64)
 		hart := i
 		s.doneFns[i] = func(arg uint64) {
+			s.san.Settle(s.Eng.Now(), uint64(hart)<<32|arg)
 			if arg&doneFetch != 0 {
 				s.Harts[hart].CompleteFetch()
 			} else {
@@ -190,6 +199,7 @@ func (s *System) dispatch(h *cpu.Hart) {
 					F:   s.doneFns[ev.Hart],
 					Arg: uint64(ev.Dest)<<8 | uint64(ev.DestReg),
 				}
+				s.san.Issue(s.cycle, uint64(ev.Hart)<<32|done.Arg)
 				if s.Tracer != nil && len(ev.Gather) > 0 {
 					s.Tracer.Event(s.cycle, ev.Hart, TraceL1DMiss, ev.Gather[0])
 				}
@@ -206,6 +216,7 @@ func (s *System) dispatch(h *cpu.Hart) {
 		switch {
 		case ev.Fetch:
 			req.Done = uncore.Done{F: s.doneFns[ev.Hart], Arg: doneFetch}
+			s.san.Issue(s.cycle, uint64(ev.Hart)<<32|doneFetch)
 			if s.Tracer != nil {
 				s.Tracer.Event(s.cycle, ev.Hart, TraceL1IMiss, ev.Addr)
 			}
@@ -214,6 +225,7 @@ func (s *System) dispatch(h *cpu.Hart) {
 				F:   s.doneFns[ev.Hart],
 				Arg: uint64(ev.Dest)<<8 | uint64(ev.DestReg),
 			}
+			s.san.Issue(s.cycle, uint64(ev.Hart)<<32|req.Done.Arg)
 			if s.Tracer != nil {
 				s.Tracer.Event(s.cycle, ev.Hart, TraceL1DMiss, ev.Addr)
 			}
@@ -292,11 +304,10 @@ func (s *System) Run() (*Result, error) {
 					if len(h.Events) > 0 {
 						s.dispatch(h)
 					}
-					if res == cpu.StepExecuted {
+					switch res {
+					case cpu.StepExecuted:
 						anyRunnable = true
 						continue
-					}
-					switch res {
 					case cpu.StepFault:
 						return nil, h.Fault
 					case cpu.StepHalted:
@@ -309,6 +320,15 @@ func (s *System) Run() (*Result, error) {
 						s.park(i)
 						s.stallSince[i] = s.cycle
 						s.stallFetch[i] = res == cpu.StepStalledFetch
+						if san.Enabled {
+							// A parked hart must have an outstanding fill to
+							// wake it, or it sleeps forever.
+							san.Check(h.PendingAny(), s.cycle, "core.runnable",
+								"hart parked on a stall with no outstanding fill", uint64(i), 0)
+							if res == cpu.StepStalledFetch {
+								s.san.Covered(s.cycle, uint64(i)<<32|doneFetch)
+							}
+						}
 						if res == cpu.StepStalledRAW && s.Tracer != nil {
 							s.Tracer.Event(s.cycle, i, TraceStallRAW, 0)
 						}
@@ -333,6 +353,9 @@ func (s *System) Run() (*Result, error) {
 		// hart to the runnable set after anyRunnable was computed.
 		if s.anyRunnableSet() {
 			continue
+		}
+		if san.Enabled {
+			s.auditRunnable()
 		}
 		// Every core is stalled or halted (a busy hart keeps its runnable
 		// bit and would have set anyRunnable above).
@@ -364,5 +387,31 @@ func (s *System) Run() (*Result, error) {
 		}
 	}
 	s.Eng.Drain()
+	if san.Enabled {
+		// End-of-run conservation: every issued completion fired exactly
+		// once, no MSHR still holds an in-flight line, every tag store
+		// matches its shadow directory.
+		s.san.Drained(s.Eng.Now())
+		s.Uncore.Audit()
+	}
 	return s.collect(time.Since(start)), nil //coyote:wallclock-ok reports simulator throughput; simulated state is already final
+}
+
+// auditRunnable cross-checks the runnable bitset against per-hart state at
+// a quiescent point (no hart ran this cycle): halted harts must be out of
+// the set, and a parked, un-halted hart must have an outstanding fill that
+// can wake it. Only called in the coyotesan build.
+func (s *System) auditRunnable() {
+	for i, h := range s.Harts {
+		bit := s.runnable[i/64]&(1<<(i%64)) != 0
+		if s.halted[i] {
+			san.Check(!bit, s.cycle, "core.runnable",
+				"halted hart still in the runnable set", uint64(i), 0)
+			continue
+		}
+		if !bit {
+			san.Check(h.PendingAny(), s.cycle, "core.runnable",
+				"hart parked with no outstanding fill (would sleep forever)", uint64(i), 0)
+		}
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"github.com/coyote-sim/coyote/internal/cache"
 	"github.com/coyote-sim/coyote/internal/mem"
 	"github.com/coyote-sim/coyote/internal/riscv"
+	"github.com/coyote-sim/coyote/internal/san"
 )
 
 // RegKind selects one of the three architectural register files.
@@ -311,6 +312,20 @@ func (h *Hart) CompleteFill(kind RegKind, r uint8) {
 	if h.pendingCount[kind][r] == 0 {
 		h.pending[kind] &^= 1 << r
 	}
+	if san.Enabled {
+		san.Check((h.pending[kind]&(1<<r) != 0) == (h.pendingCount[kind][r] > 0),
+			h.sanNow(), "cpu.scoreboard", "pending bit disagrees with outstanding-fill count after completion",
+			uint64(h.ID), uint64(kind)<<8|uint64(r))
+	}
+}
+
+// sanNow returns the orchestrator cycle for sanitizer reports (0 when the
+// hart runs standalone, e.g. in unit tests). Only called under san.Enabled.
+func (h *Hart) sanNow() uint64 {
+	if h.CycleFn != nil {
+		return h.CycleFn()
+	}
+	return 0
 }
 
 // CompleteFetch is called when an instruction-fetch miss is serviced.
@@ -344,6 +359,13 @@ func (h *Hart) markPending(kind RegKind, r uint8) {
 	}
 	h.pending[kind] |= 1 << r
 	h.pendingCount[kind][r]++
+	if san.Enabled {
+		// A zero count here means the uint16 wrapped: 65535 fills were
+		// already outstanding on one register, which is impossible traffic.
+		san.Check(h.pendingCount[kind][r] != 0,
+			h.sanNow(), "cpu.scoreboard", "outstanding-fill count overflowed",
+			uint64(h.ID), uint64(kind)<<8|uint64(r))
+	}
 }
 
 // emit appends a memory event for the orchestrator.

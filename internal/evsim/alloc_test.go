@@ -1,6 +1,19 @@
 package evsim
 
-import "testing"
+import (
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/san"
+)
+
+// skipUnderSan skips zero-alloc pins in the coyotesan build: the
+// sanitizer's shadow state is allowed to allocate.
+func skipUnderSan(t *testing.T) {
+	t.Helper()
+	if san.Enabled {
+		t.Skip("coyotesan build: the zero-alloc contract is a default-build property")
+	}
+}
 
 // The engine's contract for the simulator hot path: once the ring
 // buckets, overflow heap and port FIFOs have grown to their working-set
@@ -16,6 +29,7 @@ func warmRing(e *Engine, run func()) {
 }
 
 func TestScheduleNearHorizonNoAllocs(t *testing.T) {
+	skipUnderSan(t)
 	e := NewEngine()
 	fn := func(uint64) {}
 	warm := func() {
@@ -31,6 +45,7 @@ func TestScheduleNearHorizonNoAllocs(t *testing.T) {
 }
 
 func TestScheduleFarHorizonNoAllocs(t *testing.T) {
+	skipUnderSan(t)
 	e := NewEngine()
 	fn := func(uint64) {}
 	warm := func() {
@@ -48,6 +63,7 @@ func TestScheduleFarHorizonNoAllocs(t *testing.T) {
 }
 
 func TestPortSendNoAllocs(t *testing.T) {
+	skipUnderSan(t)
 	e := NewEngine()
 	n := 0
 	p := NewPort(e, 3, func(v int) { n += v })

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+
+	"github.com/coyote-sim/coyote/internal/san"
 )
 
 // Cycle is a simulation timestamp in clock cycles.
@@ -72,10 +74,16 @@ type Engine struct {
 	// at or beyond base+bucketWindow. No container/heap: pushing through
 	// the heap.Interface would box every event into an `any`.
 	overflow []event
+
+	san san.Queue
 }
 
 // NewEngine returns an engine at cycle 0.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.san.Init("evsim.queue")
+	return e
+}
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Cycle { return e.now }
@@ -124,17 +132,20 @@ func (e *Engine) enqueue(when Cycle, ev event) {
 	if when < e.now {
 		panic(fmt.Sprintf("evsim: schedule at %d before now %d", when, e.now))
 	}
+	e.san.Schedule(e.now, when)
 	e.seq++
 	ev.when = when
 	ev.seq = e.seq
 	e.pending++
 	if when < e.base+bucketWindow {
+		e.san.RingSlot(e.base, when, bucketWindow)
 		slot := int(when) & bucketMask
 		e.bucket[slot] = append(e.bucket[slot], ev)
 		e.occ[slot>>6] |= 1 << uint(slot&63)
 		e.inRing++
 		return
 	}
+	e.san.OverflowPush(e.base, when, bucketWindow)
 	e.heapPush(ev)
 }
 
@@ -148,6 +159,7 @@ func (e *Engine) slideTo(base Cycle) {
 	e.base = base
 	for len(e.overflow) > 0 && e.overflow[0].when < base+bucketWindow {
 		ev := e.heapPop()
+		e.san.RingSlot(e.base, ev.when, bucketWindow)
 		slot := int(ev.when) & bucketMask
 		b := e.bucket[slot]
 		if n := len(b); n > 0 && b[n-1].seq > ev.seq {
@@ -215,6 +227,7 @@ func (e *Engine) runBucket(slot int) {
 	b := e.bucket[slot]
 	for i := 0; i < len(b); i++ {
 		ev := &b[i]
+		e.san.Pop(e.now, ev.when)
 		e.executed++
 		e.pending--
 		e.inRing--
@@ -252,6 +265,7 @@ func (e *Engine) AdvanceTo(target Cycle) {
 	}
 	e.now = target
 	e.slideTo(target)
+	e.san.Counts(e.now, e.pending, e.inRing, len(e.overflow))
 }
 
 // Drain runs every queued event regardless of time and returns the final
@@ -265,6 +279,7 @@ func (e *Engine) Drain() Cycle {
 		e.slideTo(t)
 		e.runBucket(int(t) & bucketMask)
 	}
+	e.san.Counts(e.now, e.pending, e.inRing, len(e.overflow))
 	return e.now
 }
 

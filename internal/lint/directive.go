@@ -35,6 +35,29 @@ var knownDirectives = map[string]bool{
 	"mapiter-ok":    true,  // exempts one map-range site
 	"wallclock-ok":  true,  // exempts one wall-clock read
 	"floatorder-ok": true,  // exempts one float reduction over a map
+	"statecheck-ok": true,  // exempts one enum switch or dead state
+	"portproto-ok":  true,  // exempts one fire-and-forget request site
+}
+
+// EscapeHatch returns the directive kind that justifies a finding of the
+// given analyzer ("" when the analyzer has no escape hatch) — surfaced in
+// machine-readable output so tooling can offer the suppression.
+func EscapeHatch(analyzer string) string {
+	switch analyzer {
+	case "mapiter":
+		return "mapiter-ok"
+	case "wallclock":
+		return "wallclock-ok"
+	case "floatorder":
+		return "floatorder-ok"
+	case "allocfree":
+		return "alloc-ok"
+	case "statecheck":
+		return "statecheck-ok"
+	case "portproto":
+		return "portproto-ok"
+	}
+	return ""
 }
 
 // indexDirectives scans the comment lists of files for //coyote: markers.

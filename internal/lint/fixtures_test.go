@@ -86,6 +86,8 @@ func TestMapIterFixture(t *testing.T)    { checkFixture(t, MapIterAnalyzer, "map
 func TestWallClockFixture(t *testing.T)  { checkFixture(t, WallClockAnalyzer, "wallclockfix") }
 func TestFloatOrderFixture(t *testing.T) { checkFixture(t, FloatOrderAnalyzer, "floatorderfix") }
 func TestAllocFreeFixture(t *testing.T)  { checkFixture(t, AllocFreeAnalyzer, "allocfreefix") }
+func TestStateCheckFixture(t *testing.T) { checkFixture(t, StateCheckAnalyzer, "statecheckfix") }
+func TestPortProtoFixture(t *testing.T)  { checkFixture(t, PortProtoAnalyzer, "portprotofix") }
 
 // TestDirectiveFixture asserts the directive analyzer rejects an unknown
 // kind and an escape hatch without a justification, and accepts a
@@ -124,6 +126,8 @@ func TestStrippedJustificationFails(t *testing.T) {
 		{"wallclockfix", "//coyote:wallclock-ok measures simulator throughput for reporting; never feeds simulated state", WallClockAnalyzer, `time\.Now`},
 		{"floatorderfix", "//coyote:floatorder-ok tolerance-checked debug aggregate; not part of simulated state", FloatOrderAnalyzer, `float accumulation`},
 		{"allocfreefix", "//coyote:alloc-ok pool warm-up: runs once per unit lifetime", AllocFreeAnalyzer, `make allocates`},
+		{"statecheckfix", "//coyote:statecheck-ok only the drain state is reachable here; the dispatcher filters the rest", StateCheckAnalyzer, `misses state`},
+		{"portprotofix", "//coyote:portproto-ok prefetch: the fill only warms the tags, nobody consumes the data", PortProtoAnalyzer, `zero Done`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.pkg+"/"+tc.analyzer.Name, func(t *testing.T) {

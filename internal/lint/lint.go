@@ -19,6 +19,16 @@
 //   - floatorder: no float accumulation over unordered containers —
 //     reported miss rates must sum in a deterministic order.
 //   - directive: every //coyote: directive is well-formed and justified.
+//
+// PR 4 adds the protocol analyzers that back the coyotesan runtime
+// sanitizer (internal/san) with static guarantees:
+//
+//   - statecheck: switches over simulator state enums (MSHR states, step
+//     results, mapping policies) must be exhaustive, and no state of an
+//     unexported enum may be dead.
+//   - portproto: read requests must carry a completion callback — no
+//     fire-and-forget port sends (the static face of the sanitizer's
+//     completion ledger).
 package lint
 
 import (
@@ -64,7 +74,7 @@ type Diagnostic struct {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DirectiveAnalyzer, MapIterAnalyzer, WallClockAnalyzer, AllocFreeAnalyzer, FloatOrderAnalyzer}
+	return []*Analyzer{DirectiveAnalyzer, MapIterAnalyzer, WallClockAnalyzer, AllocFreeAnalyzer, FloatOrderAnalyzer, StateCheckAnalyzer, PortProtoAnalyzer}
 }
 
 // SimPackages lists the import-path suffixes of the packages where the
@@ -145,7 +155,7 @@ func (r *RunResult) Format(d Diagnostic) string {
 // unjustified directive can't hide outside the simulator core.
 func DefaultFilter(a *Analyzer) func(*Package) bool {
 	switch a.Name {
-	case "mapiter", "wallclock", "floatorder":
+	case "mapiter", "wallclock", "floatorder", "statecheck", "portproto":
 		return func(p *Package) bool { return IsSimPackage(p.ImportPath) }
 	default:
 		return nil

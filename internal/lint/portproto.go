@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// PortProtoAnalyzer enforces the request/completion protocol of the
+// memory system: every read request submitted to a port must carry a
+// completion callback. A read handed to the uncore with a zero Done is
+// fire-and-forget — nothing will ever observe the fill, so a lost
+// response is silently absorbed instead of hanging the simulation where
+// the sanitizer (or a timeout) can see it. Writes are posted by design
+// and are exempt when the write flag is a constant true.
+//
+// Flagged shapes, at the call site:
+//
+//	port.request(addr, false, 0, Done{})          // read, nobody waits
+//	u.Submit(Request{Addr: a})                    // no Done, not a write
+//
+// Types are matched structurally by name and shape (a struct named
+// "Done" with a func-valued field; a struct named "Request" with a
+// Done-typed field) so the check applies to any port implementation,
+// not just internal/uncore. Deliberate fire-and-forget sites — e.g. a
+// prefetch or a write-allocate fetch whose effect is only warming a
+// cache — must be justified with //coyote:portproto-ok <reason>.
+var PortProtoAnalyzer = &Analyzer{
+	Name: "portproto",
+	Doc:  "read requests must carry a completion: no fire-and-forget port sends",
+	Run:  runPortProto,
+}
+
+// doneLike reports whether t is a completion-callback struct: a named
+// type called "Done" whose struct carries at least one func field.
+func doneLike(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "Done" {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if _, ok := st.Field(i).Type().Underlying().(*types.Signature); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// requestLike reports whether t is a request struct: a named type called
+// "Request" with a Done-like field named "Done".
+func requestLike(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "Request" {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Done" && doneLike(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func runPortProto(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+}
+
+func checkCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		t := info.TypeOf(lit)
+		if t == nil {
+			continue
+		}
+		switch {
+		case doneLike(t) && len(lit.Elts) == 0:
+			// Zero Done literal: fine on a posted write, a protocol hole
+			// on a read.
+			if callIsConstTrueWrite(info, call) {
+				continue
+			}
+			if pass.Pkg.Directives.At(pass.Fset, call.Pos(), "portproto-ok") != nil {
+				continue
+			}
+			pass.Report(Diagnostic{
+				Pos: lit.Pos(),
+				Message: "read request carries a zero Done: fire-and-forget send, the fill is unobservable; " +
+					"attach a completion or justify with //coyote:portproto-ok <reason>",
+			})
+		case requestLike(t):
+			if requestLitCompletes(info, lit) {
+				continue
+			}
+			if pass.Pkg.Directives.At(pass.Fset, call.Pos(), "portproto-ok") != nil {
+				continue
+			}
+			pass.Report(Diagnostic{
+				Pos: lit.Pos(),
+				Message: fmt.Sprintf("%s submitted without a Done and not marked Write: fire-and-forget send, "+
+					"the fill is unobservable; attach a completion or justify with //coyote:portproto-ok <reason>",
+					types.TypeString(t, types.RelativeTo(pass.Pkg.Types))),
+			})
+		}
+	}
+}
+
+// requestLitCompletes reports whether a Request composite literal either
+// attaches a completion (Done: …) or is a posted write (Write: true).
+// Requests built up in a variable can gain their Done later and never
+// reach this check — only literals passed straight into a call do.
+func requestLitCompletes(info *types.Info, lit *ast.CompositeLit) bool {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional Request literal: assume the author filled every
+			// field, including Done.
+			return true
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Done":
+			return true
+		case "Write":
+			if isConstTrue(info, kv.Value) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callIsConstTrueWrite reports whether the call passes a constant true to
+// its write flag — the parameter named "write"/"Write", or failing a
+// named match (func-valued fields lose their parameter names), the first
+// bool parameter.
+func callIsConstTrueWrite(info *types.Info, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	writeIdx := -1
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		b, ok := p.Type().Underlying().(*types.Basic)
+		if !ok || b.Kind() != types.Bool {
+			continue
+		}
+		if p.Name() == "write" || p.Name() == "Write" {
+			writeIdx = i
+			break
+		}
+		if writeIdx < 0 {
+			writeIdx = i
+		}
+	}
+	if writeIdx < 0 || writeIdx >= len(call.Args) {
+		return false
+	}
+	return isConstTrue(info, call.Args[writeIdx])
+}
+
+func isConstTrue(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && constant.BoolVal(tv.Value)
+}

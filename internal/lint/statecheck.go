@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StateCheckAnalyzer enforces the state-machine discipline of the
+// simulator's enums (cache/MSHR states, step results, mapping policies):
+//
+//   - every `switch` over a state enum is exhaustive — each declared
+//     constant of the enum appears in a case arm. A `default` arm is
+//     allowed (it can carry a panic or a fallback) but does not excuse a
+//     missing state: silently lumping a state into default is exactly how
+//     a dropped transition ships.
+//   - every state of an unexported enum is alive — a constant that no
+//     code in the package ever references is an unreachable state, i.e. a
+//     transition that was deleted without deleting the state.
+//
+// A state enum is a named type, defined in a simulator package (or in the
+// package under analysis), whose underlying type is an integer and which
+// has at least two package-level constants. Switches with non-constant
+// case expressions cannot be checked and are skipped. A site is exempted
+// by //coyote:statecheck-ok <reason> on the switch line or the line above.
+var StateCheckAnalyzer = &Analyzer{
+	Name: "statecheck",
+	Doc:  "switches over simulator state enums must be exhaustive, and every state must be used",
+	Run:  runStateCheck,
+}
+
+// enumInfo caches the constants of one enum type, keyed by the qualified
+// type name — cross-package type identity via *types.Named breaks between
+// source-checked and export-data views, string keys do not.
+type enumInfo struct {
+	typeName string
+	consts   []*types.Const // declaration order
+}
+
+// enumKey qualifies a named type as "pkgpath.TypeName".
+func enumKey(n *types.Named) string {
+	obj := n.Origin().Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// stateEnumOf resolves t to a state enum definition, or nil. home is the
+// package under analysis: enums defined there qualify regardless of the
+// sim-package list (this is what lets the fixture packages be
+// self-contained).
+func stateEnumOf(t types.Type, home *types.Package) *enumInfo {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	n = n.Origin()
+	b, ok := n.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	defPkg := n.Obj().Pkg()
+	if defPkg == nil {
+		return nil // builtin named type (e.g. error): not an enum
+	}
+	if defPkg != home && !IsSimPackage(defPkg.Path()) {
+		// Enums owned by harness packages (riscv opcodes, trace kinds …)
+		// are not state machines of the simulator proper.
+		return nil
+	}
+	info := &enumInfo{typeName: enumKey(n)}
+	scope := defPkg.Scope()
+	for _, name := range scope.Names() { // Names() is sorted: deterministic
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), n) {
+			info.consts = append(info.consts, c)
+		}
+	}
+	if len(info.consts) < 2 {
+		return nil // a single constant is a sentinel, not a state machine
+	}
+	return info
+}
+
+func runStateCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	home := pass.Pkg.Types
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			t := info.TypeOf(sw.Tag)
+			if t == nil {
+				return true
+			}
+			enum := stateEnumOf(t, home)
+			if enum == nil {
+				return true
+			}
+			if pass.Pkg.Directives.At(pass.Fset, sw.Switch, "statecheck-ok") != nil {
+				return true
+			}
+			checkExhaustive(pass, sw, enum)
+			return true
+		})
+	}
+
+	checkDeadStates(pass)
+}
+
+// checkExhaustive verifies every constant of enum appears in a case arm
+// of sw. Non-constant case expressions make the switch unverifiable and
+// it is skipped.
+func checkExhaustive(pass *Pass, sw *ast.SwitchStmt, enum *enumInfo) {
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Pkg.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: cannot reason about coverage
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for _, c := range enum.consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Report(Diagnostic{
+		Pos: sw.Switch,
+		Message: fmt.Sprintf(
+			"switch over %s misses state%s %s: a default arm does not excuse a missing transition; "+
+				"add the case arms or justify with //coyote:statecheck-ok <reason>",
+			enum.typeName, plural(len(missing)), strings.Join(missing, ", ")),
+	})
+}
+
+// checkDeadStates flags constants of unexported state enums defined in
+// this package that nothing in the package references: an unreachable
+// state. Exported enums are skipped — their states may be reached from
+// other packages.
+func checkDeadStates(pass *Pass) {
+	info := pass.Pkg.Info
+	home := pass.Pkg.Types
+
+	used := make(map[types.Object]bool)
+	for _, obj := range info.Uses {
+		if c, ok := obj.(*types.Const); ok {
+			used[c] = true
+		}
+	}
+
+	scope := home.Scope()
+	for _, name := range scope.Names() { // sorted: deterministic report order
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.Exported() {
+			continue
+		}
+		n, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		enum := stateEnumOf(n, home)
+		if enum == nil {
+			continue
+		}
+		for _, c := range enum.consts {
+			if used[c] {
+				continue
+			}
+			if pass.Pkg.Directives.At(pass.Fset, c.Pos(), "statecheck-ok") != nil {
+				continue
+			}
+			pass.Report(Diagnostic{
+				Pos: c.Pos(),
+				Message: fmt.Sprintf(
+					"state %s of %s is never used: an unreachable state means a transition was dropped; "+
+						"delete the state or justify with //coyote:statecheck-ok <reason>",
+					c.Name(), enum.typeName),
+			})
+		}
+	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

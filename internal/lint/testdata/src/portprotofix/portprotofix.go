@@ -1,0 +1,73 @@
+// Package portprotofix is the analysistest-style fixture for the
+// portproto analyzer: each `// want` comment marks a line the analyzer
+// must flag, with a regexp the diagnostic message must match; lines
+// without a want marker must stay clean. The Done/Request shapes mirror
+// internal/uncore — the analyzer matches them structurally, so the
+// fixture needs no imports.
+package portprotofix
+
+// Cycle mirrors evsim.Cycle.
+type Cycle uint64
+
+// Done mirrors uncore.Done: a completion callback.
+type Done struct {
+	F   func(uint64)
+	Arg uint64
+}
+
+// Request mirrors uncore.Request.
+type Request struct {
+	Addr  uint64
+	Write bool
+	Done  Done
+}
+
+type port struct{ nextFree Cycle }
+
+func (p *port) request(addr uint64, write bool, extraDelay Cycle, done Done) {}
+
+// Submit mirrors Uncore.Submit.
+func (p *port) Submit(r Request) {}
+
+// Reads shows the flagged and clean shapes of the low-level call.
+func Reads(p *port, a uint64, cb func(uint64)) {
+	p.request(a, false, 0, Done{}) // want `zero Done`
+	p.request(a, true, 0, Done{})  // posted write: exempt
+	p.request(a, false, 0, Done{F: cb})
+	const isWrite = true
+	p.request(a, isWrite, 0, Done{}) // constant-true write: exempt
+}
+
+// Prefetch is deliberately fire-and-forget; the strip test removes the
+// directive and asserts the finding reappears.
+func Prefetch(p *port, a uint64) {
+	//coyote:portproto-ok prefetch: the fill only warms the tags, nobody consumes the data
+	p.request(a, false, 0, Done{})
+}
+
+// Submits shows the Request-literal shapes.
+func Submits(p *port, a uint64, cb func(uint64)) {
+	p.Submit(Request{Addr: a}) // want `without a Done`
+	p.Submit(Request{Addr: a, Write: true})
+	p.Submit(Request{Addr: a, Done: Done{F: cb}})
+}
+
+// Built requests gain their completion after construction: the analyzer
+// only judges literals passed straight into a call, so this stays clean.
+func Built(p *port, a uint64, cb func(uint64)) {
+	r := Request{Addr: a}
+	r.Done = Done{F: cb}
+	p.Submit(r)
+}
+
+// sink carries an unnamed-parameter func field: the write flag is found
+// by the first-bool-parameter fallback.
+type sink struct {
+	send func(uint64, bool, Cycle, Done)
+}
+
+// Fire exercises the fallback on both sides.
+func Fire(s *sink, a uint64) {
+	s.send(a, true, 0, Done{})
+	s.send(a, false, 0, Done{}) // want `zero Done`
+}

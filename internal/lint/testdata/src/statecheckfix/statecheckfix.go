@@ -1,0 +1,110 @@
+// Package statecheckfix is the analysistest-style fixture for the
+// statecheck analyzer: each `// want` comment marks a line the analyzer
+// must flag, with a regexp the diagnostic message must match; lines
+// without a want marker must stay clean.
+package statecheckfix
+
+// txnState is a state enum: named integer type with >= 2 constants.
+type txnState uint8
+
+const (
+	txnIdle txnState = iota
+	txnBusy
+	txnDrain
+)
+
+// Handle drops the txnDrain arm; the default does not excuse it.
+func Handle(s txnState) int {
+	switch s { // want `misses state txnDrain`
+	case txnIdle:
+		return 0
+	case txnBusy:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Full covers every state: clean.
+func Full(s txnState) int {
+	switch s {
+	case txnIdle:
+		return 0
+	case txnBusy:
+		return 1
+	case txnDrain:
+		return 2
+	}
+	return -1
+}
+
+// Justified covers one state deliberately; the strip test removes the
+// directive and asserts the finding reappears.
+func Justified(s txnState) bool {
+	//coyote:statecheck-ok only the drain state is reachable here; the dispatcher filters the rest
+	switch s {
+	case txnDrain:
+		return true
+	}
+	return false
+}
+
+// Matches switches with a non-constant case: unverifiable, skipped.
+func Matches(s, other txnState) bool {
+	switch s {
+	case other:
+		return true
+	}
+	return false
+}
+
+// lruState demonstrates the dead-state check: lruGone is declared but
+// nothing references it — an unreachable state.
+type lruState uint8
+
+const (
+	lruHot lruState = iota
+	lruCold
+	lruGone // want `state lruGone of .*lruState is never used`
+)
+
+// Demote references lruHot and lruCold but never lruGone.
+func Demote(s lruState) lruState {
+	if s == lruHot {
+		return lruCold
+	}
+	return s
+}
+
+// Mode is exported: its states may be consumed by other packages, so the
+// dead-state check does not apply even though ModeB is unused here.
+type Mode uint8
+
+const (
+	ModeA Mode = iota
+	ModeB
+)
+
+// phase has a single constant: a sentinel, not a state machine; switches
+// over it are not checked.
+type phase uint8
+
+const phaseInit phase = 0
+
+// Began switches over the sentinel type: clean.
+func Began(p phase) bool {
+	switch p {
+	case phaseInit:
+		return true
+	}
+	return false
+}
+
+// Width switches over a plain int: not a named enum, never checked.
+func Width(n int) int {
+	switch n {
+	case 0:
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,33 @@
+// Package san is Coyote's runtime invariant sanitizer: the dynamic
+// counterpart to the static coyotelint suite. The simulator's trust
+// boundaries — the evsim event queue, the L2/LLC MSHR machinery, the
+// memory-controller channel watermarks, the orchestrator's runnable-hart
+// bitset and the cache tag stores — call into this package at every state
+// transition. Under the default build every call is a no-op on a
+// zero-size value: the stubs in san_off.go compile to nothing, and the
+// allocfree analyzer verifies the instrumented hot paths still allocate
+// zero bytes. Building with
+//
+//	go build -tags coyotesan ./...
+//	go test  -tags coyotesan ./...
+//
+// swaps in san_on.go: every checker keeps shadow state (in-flight line
+// sets, completion ledgers, channel watermarks, a mirror directory per
+// cache) and panics with a cycle-stamped report on the first violation.
+// The report carries the simulated cycle so a violation can be correlated
+// with the Paraver trace of the same run: the cycle number is the
+// timestamp field of the .prv records (grep ':<cycle>:' in the trace).
+//
+// The sanitizer is purely observational. It schedules no events, touches
+// no simulated state and consults no wall clock, so a coyotesan binary
+// produces bit-identical simulated timing to the default build — the
+// property the root package's pinned-cycle golden test enforces.
+package san
+
+// Violation is the panic value raised on an invariant failure in the
+// coyotesan build. It implements error so recovering test harnesses can
+// treat it uniformly.
+type Violation string
+
+// Error implements error.
+func (v Violation) Error() string { return string(v) }

@@ -1,0 +1,123 @@
+//go:build !coyotesan
+
+package san
+
+// Enabled reports whether the sanitizer is compiled in. It is a constant,
+// so `if san.Enabled { … }` blocks are dead-code-eliminated in the
+// default build.
+const Enabled = false
+
+// Check is the universal ad-hoc invariant hook: a no-op here, a
+// cycle-stamped violation when ok is false in the coyotesan build. The
+// two uint64 details travel as plain words so call sites never box.
+func Check(ok bool, now uint64, unit, detail string, a, b uint64) {}
+
+// Queue checks an event-queue lane discipline (evsim's calendar ring +
+// overflow heap): schedule-in-the-future only, lane membership by
+// timestamp, monotonic pops, and pending-count conservation.
+type Queue struct{}
+
+// Init names the queue for reports.
+func (q *Queue) Init(name string) {}
+
+// Schedule records an enqueue of an event at when, observed at now.
+func (q *Queue) Schedule(now, when uint64) {}
+
+// RingSlot records an event entering the calendar ring lane.
+func (q *Queue) RingSlot(base, when, window uint64) {}
+
+// OverflowPush records an event entering the overflow heap lane.
+func (q *Queue) OverflowPush(base, when, window uint64) {}
+
+// Pop records one event execution at time when with the clock at now.
+func (q *Queue) Pop(now, when uint64) {}
+
+// Counts cross-checks the queue's occupancy bookkeeping.
+func (q *Queue) Counts(now uint64, pending, inRing, overflow int) {}
+
+// MSHR shadows a miss-status holding register table: no duplicate
+// in-flight lines, occupancy bounded by capacity, releases and merges
+// only for lines actually in flight, and nothing left at drain.
+type MSHR struct{}
+
+// Init names the table and sets its capacity (<= 0 means unbounded).
+func (m *MSHR) Init(name string, capacity int) {}
+
+// Insert records a new in-flight line.
+func (m *MSHR) Insert(now, addr uint64) {}
+
+// Merge records a request merging into an in-flight line.
+func (m *MSHR) Merge(now, addr uint64) {}
+
+// Release records an in-flight line completing.
+func (m *MSHR) Release(now, addr uint64) {}
+
+// Drained asserts the table is empty (end of simulation).
+func (m *MSHR) Drained(now uint64) {}
+
+// Ledger tracks request/completion conservation: every issued completion
+// key is settled exactly once and nothing is owed at drain.
+type Ledger struct{}
+
+// Init names the ledger for reports.
+func (l *Ledger) Init(name string) {}
+
+// Issue records that a completion keyed by key is now owed.
+func (l *Ledger) Issue(now, key uint64) {}
+
+// Settle records delivery of a completion keyed by key.
+func (l *Ledger) Settle(now, key uint64) {}
+
+// Covered asserts at least one completion is outstanding for key.
+func (l *Ledger) Covered(now, key uint64) {}
+
+// Drained asserts no completions are owed (end of simulation).
+func (l *Ledger) Drained(now uint64) {}
+
+// Channel shadows a bandwidth-limited channel's next-free watermark:
+// grants never start in the past, never double-book the channel, and
+// advance the watermark by exactly the occupancy.
+type Channel struct{}
+
+// Init names the channel for reports.
+func (c *Channel) Init(name string) {}
+
+// Grant records one channel grant: the transfer occupies
+// [start, newFree) and the previous watermark must be respected.
+func (c *Channel) Grant(now, start, newFree, occupancy uint64) {}
+
+// Latch pins a pair of configuration words (e.g. the NoC's two fixed
+// latencies) at init and verifies they never drift on the hot path.
+type Latch struct{}
+
+// Init latches the two configuration words.
+func (l *Latch) Init(name string, a, b uint64) {}
+
+// CheckLatched verifies the words still match the latched values.
+func (l *Latch) CheckLatched(now, a, b uint64) {}
+
+// Dir shadows a cache tag store with a mirror residency directory and
+// cross-checks every lookup's hit/miss verdict against it.
+type Dir struct{}
+
+// Init names the directory for reports.
+func (d *Dir) Init(name string) {}
+
+// Lookup verifies a lookup outcome for a line tag against the shadow.
+func (d *Dir) Lookup(clock, tag uint64, hit bool) {}
+
+// Install records a line tag becoming resident.
+func (d *Dir) Install(clock, tag uint64) {}
+
+// Evict records a resident line tag being evicted.
+func (d *Dir) Evict(clock, tag uint64) {}
+
+// Drop records an invalidation; present reports whether the tag store
+// found the line.
+func (d *Dir) Drop(clock, tag uint64, present bool) {}
+
+// Reset empties the shadow directory (cache flush).
+func (d *Dir) Reset() {}
+
+// Count cross-checks the tag store's occupancy against the shadow.
+func (d *Dir) Count(clock uint64, n int) {}

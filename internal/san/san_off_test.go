@@ -1,0 +1,48 @@
+//go:build !coyotesan
+
+package san
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The default build's contract: the sanitizer is compiled out. Enabled is
+// a false constant, the checker types are zero-size, and every hook is a
+// no-op even when fed blatant violations.
+func TestDisabledStubsAreInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("san.Enabled must be false in the default build")
+	}
+	var (
+		q Queue
+		m MSHR
+		l Ledger
+		c Channel
+		a Latch
+		d Dir
+	)
+	if s := unsafe.Sizeof(q) + unsafe.Sizeof(m) + unsafe.Sizeof(l) +
+		unsafe.Sizeof(c) + unsafe.Sizeof(a) + unsafe.Sizeof(d); s != 0 {
+		t.Fatalf("stub checkers occupy %d bytes, want 0 (they are embedded in hot structs)", s)
+	}
+
+	// Feed every stub an outright violation: nothing may panic.
+	Check(false, 1, "u", "ignored", 0, 0)
+	q.Init("q")
+	q.Schedule(10, 5) // in the past
+	q.Pop(3, 9)       // wrong stamp
+	q.Counts(0, 1, 0, 0)
+	m.Init("m", 1)
+	m.Release(1, 0x40) // never inserted
+	m.Drained(2)
+	l.Init("l")
+	l.Settle(1, 7) // never issued
+	l.Drained(2)
+	c.Init("c")
+	c.Grant(10, 0, 99, 1)
+	a.CheckLatched(1, 1, 2) // never latched
+	d.Init("d")
+	d.Lookup(1, 5, true) // not resident
+	d.Count(2, 42)
+}

@@ -1,0 +1,273 @@
+//go:build coyotesan
+
+package san
+
+import "fmt"
+
+// Enabled reports whether the sanitizer is compiled in.
+const Enabled = true
+
+// violate raises a cycle-stamped, Paraver-correlatable report. The cycle
+// number equals the timestamp field of the .prv records emitted by the
+// same run, so `grep ':<cycle>:' trace.prv` lands on the events
+// surrounding the violation.
+func violate(now uint64, unit, format string, args ...any) {
+	detail := fmt.Sprintf(format, args...)
+	if unit == "" {
+		unit = "?"
+	}
+	panic(Violation(fmt.Sprintf(
+		"coyotesan: cycle %d: %s: %s (Paraver: records with timestamp %d in the .prv trace)",
+		now, unit, detail, now)))
+}
+
+// Check is the universal ad-hoc invariant hook.
+func Check(ok bool, now uint64, unit, detail string, a, b uint64) {
+	if !ok {
+		violate(now, unit, "%s (a=%#x b=%#x)", detail, a, b)
+	}
+}
+
+// Queue checks an event-queue lane discipline: schedule-in-the-future
+// only, lane membership by timestamp, monotonic pops, and pending-count
+// conservation.
+type Queue struct {
+	name    string
+	lastPop uint64
+	popped  bool
+}
+
+func (q *Queue) Init(name string) { q.name = name }
+
+func (q *Queue) Schedule(now, when uint64) {
+	if when < now {
+		violate(now, q.name, "event scheduled in the past (when=%d < now=%d)", when, now)
+	}
+}
+
+func (q *Queue) RingSlot(base, when, window uint64) {
+	if when < base || when >= base+window {
+		violate(base, q.name,
+			"event at %d entered the calendar ring outside its window [%d, %d)",
+			when, base, base+window)
+	}
+}
+
+func (q *Queue) OverflowPush(base, when, window uint64) {
+	if when < base+window {
+		violate(base, q.name,
+			"event at %d entered the overflow heap inside the ring window [%d, %d)",
+			when, base, base+window)
+	}
+}
+
+func (q *Queue) Pop(now, when uint64) {
+	if when != now {
+		violate(now, q.name, "executed an event stamped %d with the clock at %d", when, now)
+	}
+	if q.popped && now < q.lastPop {
+		violate(now, q.name, "event time ran backwards (previous pop at %d)", q.lastPop)
+	}
+	q.lastPop = now
+	q.popped = true
+}
+
+func (q *Queue) Counts(now uint64, pending, inRing, overflow int) {
+	if inRing < 0 || overflow < 0 || pending != inRing+overflow {
+		violate(now, q.name,
+			"queue occupancy out of balance: pending=%d, ring=%d, overflow=%d",
+			pending, inRing, overflow)
+	}
+}
+
+// MSHR shadows a miss-status holding register table.
+type MSHR struct {
+	name     string
+	capacity int
+	inflight map[uint64]bool
+}
+
+func (m *MSHR) Init(name string, capacity int) {
+	m.name = name
+	m.capacity = capacity
+}
+
+func (m *MSHR) Insert(now, addr uint64) {
+	if m.inflight == nil {
+		m.inflight = make(map[uint64]bool)
+	}
+	if m.inflight[addr] {
+		violate(now, m.name, "duplicate in-flight line %#x (occupancy %d)", addr, len(m.inflight))
+	}
+	if m.capacity > 0 && len(m.inflight) >= m.capacity {
+		violate(now, m.name, "MSHR occupancy %d exceeds capacity %d inserting line %#x",
+			len(m.inflight)+1, m.capacity, addr)
+	}
+	m.inflight[addr] = true
+}
+
+func (m *MSHR) Merge(now, addr uint64) {
+	if !m.inflight[addr] {
+		violate(now, m.name, "merge into line %#x which has no in-flight miss", addr)
+	}
+}
+
+func (m *MSHR) Release(now, addr uint64) {
+	if !m.inflight[addr] {
+		violate(now, m.name, "release of line %#x which has no in-flight miss", addr)
+	}
+	delete(m.inflight, addr)
+}
+
+func (m *MSHR) Drained(now uint64) {
+	if len(m.inflight) == 0 {
+		return
+	}
+	// Report the smallest leaked address so the message is deterministic
+	// despite map order.
+	first := ^uint64(0)
+	for a := range m.inflight {
+		if a < first {
+			first = a
+		}
+	}
+	violate(now, m.name, "%d in-flight line(s) leaked at drain (first: %#x) — a fill or release was dropped",
+		len(m.inflight), first)
+}
+
+// Ledger tracks request/completion conservation.
+type Ledger struct {
+	name string
+	owed map[uint64]int
+	sum  int
+}
+
+func (l *Ledger) Init(name string) { l.name = name }
+
+func (l *Ledger) Issue(now, key uint64) {
+	if l.owed == nil {
+		l.owed = make(map[uint64]int)
+	}
+	l.owed[key]++
+	l.sum++
+}
+
+func (l *Ledger) Settle(now, key uint64) {
+	if l.owed[key] == 0 {
+		violate(now, l.name,
+			"completion for key %#x that was never issued (double delivery or stray Done)", key)
+	}
+	l.owed[key]--
+	l.sum--
+}
+
+func (l *Ledger) Covered(now, key uint64) {
+	if l.owed[key] == 0 {
+		violate(now, l.name, "waiting on key %#x with no outstanding completion (guaranteed deadlock)", key)
+	}
+}
+
+func (l *Ledger) Drained(now uint64) {
+	if l.sum == 0 {
+		return
+	}
+	first := ^uint64(0)
+	for k, n := range l.owed {
+		if n > 0 && k < first {
+			first = k
+		}
+	}
+	violate(now, l.name, "%d completion(s) never delivered at drain (first key: %#x)", l.sum, first)
+}
+
+// Channel shadows a bandwidth-limited channel's next-free watermark.
+type Channel struct {
+	name     string
+	lastFree uint64
+}
+
+func (c *Channel) Init(name string) { c.name = name }
+
+func (c *Channel) Grant(now, start, newFree, occupancy uint64) {
+	switch {
+	case start < now:
+		violate(now, c.name, "grant starts in the past (start=%d)", start)
+	case start < c.lastFree:
+		violate(now, c.name, "channel double-booked: grant at %d overlaps busy window ending %d",
+			start, c.lastFree)
+	case newFree != start+occupancy:
+		violate(now, c.name, "occupancy not conserved: watermark %d != start %d + occupancy %d",
+			newFree, start, occupancy)
+	}
+	c.lastFree = newFree
+}
+
+// Latch pins a pair of configuration words.
+type Latch struct {
+	name string
+	a, b uint64
+	set  bool
+}
+
+func (l *Latch) Init(name string, a, b uint64) {
+	l.name, l.a, l.b, l.set = name, a, b, true
+}
+
+func (l *Latch) CheckLatched(now, a, b uint64) {
+	if !l.set {
+		violate(now, l.name, "latch checked before Init")
+	}
+	if a != l.a || b != l.b {
+		violate(now, l.name, "latched configuration drifted: (%d,%d) != (%d,%d)", a, b, l.a, l.b)
+	}
+}
+
+// Dir shadows a cache tag store with a mirror residency directory.
+type Dir struct {
+	name     string
+	resident map[uint64]bool
+}
+
+func (d *Dir) Init(name string) { d.name = name }
+
+func (d *Dir) Lookup(clock, tag uint64, hit bool) {
+	if hit != d.resident[tag] {
+		violate(clock, d.name,
+			"tag store and shadow directory disagree on tag %#x: lookup says hit=%v, directory says %v",
+			tag, hit, d.resident[tag])
+	}
+}
+
+func (d *Dir) Install(clock, tag uint64) {
+	if d.resident == nil {
+		d.resident = make(map[uint64]bool)
+	}
+	if d.resident[tag] {
+		violate(clock, d.name, "install of tag %#x which is already resident", tag)
+	}
+	d.resident[tag] = true
+}
+
+func (d *Dir) Evict(clock, tag uint64) {
+	if !d.resident[tag] {
+		violate(clock, d.name, "eviction of tag %#x which is not resident", tag)
+	}
+	delete(d.resident, tag)
+}
+
+func (d *Dir) Drop(clock, tag uint64, present bool) {
+	if present != d.resident[tag] {
+		violate(clock, d.name,
+			"invalidate of tag %#x: tag store found=%v, directory says %v", tag, present, d.resident[tag])
+	}
+	delete(d.resident, tag)
+}
+
+func (d *Dir) Reset() { clear(d.resident) }
+
+func (d *Dir) Count(clock uint64, n int) {
+	if n != len(d.resident) {
+		violate(clock, d.name, "occupancy %d disagrees with shadow directory (%d lines)",
+			n, len(d.resident))
+	}
+}

@@ -1,0 +1,158 @@
+//go:build coyotesan
+
+package san
+
+import (
+	"strings"
+	"testing"
+)
+
+// wantViolation runs f and requires it to panic with a Violation whose
+// report contains every fragment (cycle stamp, unit, detail).
+func wantViolation(t *testing.T, f func(), fragments ...string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a sanitizer violation, got none")
+		}
+		v, ok := r.(Violation)
+		if !ok {
+			t.Fatalf("panic value is %T, want san.Violation", r)
+		}
+		for _, frag := range fragments {
+			if !strings.Contains(v.Error(), frag) {
+				t.Errorf("report %q missing %q", v.Error(), frag)
+			}
+		}
+	}()
+	f()
+}
+
+func TestCheck(t *testing.T) {
+	Check(true, 1, "u", "fine", 0, 0) // must not panic
+	wantViolation(t, func() {
+		Check(false, 42, "l2bank.mshr", "boom", 0xbeef, 2)
+	}, "cycle 42", "l2bank.mshr", "boom", "0xbeef")
+}
+
+func TestViolationReportIsParaverCorrelatable(t *testing.T) {
+	wantViolation(t, func() {
+		Check(false, 1234, "unit", "d", 0, 0)
+	}, "records with timestamp 1234")
+}
+
+func TestQueue(t *testing.T) {
+	var q Queue
+	q.Init("q")
+	q.Schedule(10, 10)
+	q.Schedule(10, 500)
+	wantViolation(t, func() { q.Schedule(10, 9) }, "scheduled in the past")
+
+	q.RingSlot(100, 100, 1024)
+	q.RingSlot(100, 1123, 1024)
+	wantViolation(t, func() { q.RingSlot(100, 1124, 1024) }, "outside its window")
+	wantViolation(t, func() { q.RingSlot(100, 99, 1024) }, "outside its window")
+
+	q.OverflowPush(100, 1124, 1024)
+	wantViolation(t, func() { q.OverflowPush(100, 1123, 1024) }, "inside the ring window")
+
+	q.Pop(50, 50)
+	q.Pop(50, 50)
+	q.Pop(51, 51)
+	wantViolation(t, func() { q.Pop(51, 52) }, "stamped 52")
+	var back Queue
+	back.Init("back")
+	back.Pop(10, 10)
+	wantViolation(t, func() { back.Pop(5, 5) }, "ran backwards")
+
+	q.Counts(60, 5, 3, 2)
+	wantViolation(t, func() { q.Counts(60, 5, 3, 1) }, "out of balance")
+}
+
+func TestMSHR(t *testing.T) {
+	var m MSHR
+	m.Init("m", 2)
+	m.Insert(1, 0x40)
+	m.Merge(2, 0x40)
+	wantViolation(t, func() { m.Merge(2, 0x80) }, "no in-flight miss")
+	m.Insert(3, 0x80)
+	wantViolation(t, func() { m.Insert(4, 0x40) }, "duplicate in-flight line")
+	wantViolation(t, func() { m.Insert(4, 0xc0) }, "exceeds capacity")
+	m.Release(5, 0x40)
+	m.Insert(5, 0xc0) // capacity freed: fits again
+	wantViolation(t, func() { m.Release(6, 0x40) }, "no in-flight miss")
+	wantViolation(t, func() { m.Drained(7) }, "leaked at drain", "0x80")
+}
+
+func TestMSHRUnbounded(t *testing.T) {
+	var m MSHR
+	m.Init("m", 0)
+	for a := uint64(0); a < 64; a += 8 {
+		m.Insert(1, a)
+	}
+	for a := uint64(0); a < 64; a += 8 {
+		m.Release(2, a)
+	}
+	m.Drained(3) // empty: fine
+}
+
+func TestLedger(t *testing.T) {
+	var l Ledger
+	l.Init("l")
+	l.Issue(1, 7)
+	l.Issue(1, 7) // two fills owed on the same key is legal
+	l.Covered(2, 7)
+	l.Settle(3, 7)
+	l.Settle(4, 7)
+	wantViolation(t, func() { l.Settle(5, 7) }, "never issued")
+	wantViolation(t, func() { l.Covered(5, 7) }, "deadlock")
+	l.Drained(6)
+	l.Issue(7, 9)
+	wantViolation(t, func() { l.Drained(8) }, "never delivered", "0x9")
+}
+
+func TestChannel(t *testing.T) {
+	var c Channel
+	c.Init("c")
+	c.Grant(10, 10, 12, 2)
+	c.Grant(11, 12, 14, 2) // queued behind the previous transfer
+	wantViolation(t, func() { c.Grant(12, 13, 15, 2) }, "double-booked")
+	var c2 Channel
+	c2.Init("c2")
+	wantViolation(t, func() { c2.Grant(10, 9, 11, 2) }, "starts in the past")
+	var c3 Channel
+	c3.Init("c3")
+	wantViolation(t, func() { c3.Grant(10, 10, 13, 2) }, "not conserved")
+}
+
+func TestLatch(t *testing.T) {
+	var l Latch
+	l.Init("l", 8, 2)
+	l.CheckLatched(1, 8, 2)
+	wantViolation(t, func() { l.CheckLatched(2, 8, 3) }, "drifted")
+	var unset Latch
+	wantViolation(t, func() { unset.CheckLatched(1, 0, 0) }, "before Init")
+}
+
+func TestDir(t *testing.T) {
+	var d Dir
+	d.Init("d")
+	d.Lookup(1, 5, false)
+	d.Install(2, 5)
+	d.Lookup(3, 5, true)
+	wantViolation(t, func() { d.Lookup(4, 5, false) }, "disagree")
+	wantViolation(t, func() { d.Install(4, 5) }, "already resident")
+	d.Evict(5, 5)
+	wantViolation(t, func() { d.Evict(6, 5) }, "not resident")
+	d.Install(7, 6)
+	d.Drop(8, 6, true)
+	d.Drop(9, 6, false) // absent and tag store agrees
+	wantViolation(t, func() { d.Drop(10, 6, true) }, "directory says")
+	d.Install(11, 1)
+	d.Install(11, 2)
+	d.Count(12, 2)
+	wantViolation(t, func() { d.Count(13, 3) }, "disagrees with shadow")
+	d.Reset()
+	d.Count(14, 0)
+}

@@ -199,11 +199,15 @@ func (w *Writer) WriteROW(out io.Writer) error {
 }
 
 // ParsePRV reads a .prv stream back into events — used by cmd/prv2txt and
-// the round-trip tests.
+// the round-trip tests. WritePRV emits punctual events sorted by time, so
+// a timestamp running backwards means the trace was corrupted or
+// hand-edited; ParsePRV rejects it rather than letting a scrambled
+// timeline masquerade as a valid trace.
 func ParsePRV(in io.Reader) (nHarts int, events []Event, err error) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	lineNo := 0
+	var lastCycle uint64
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -248,6 +252,11 @@ func ParsePRV(in io.Reader) (nHarts int, events []Event, err error) {
 		if err != nil {
 			return 0, nil, fmt.Errorf("prv line %d: %w", lineNo, err)
 		}
+		if cyc < lastCycle {
+			return 0, nil, fmt.Errorf("prv line %d: event timestamp %d precedes %d: records must be time-sorted",
+				lineNo, cyc, lastCycle)
+		}
+		lastCycle = cyc
 		events = append(events, Event{Cycle: cyc, Hart: hart - 1, Type: typ, Value: val})
 	}
 	return nHarts, events, sc.Err()

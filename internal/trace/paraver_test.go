@@ -94,6 +94,75 @@ func TestParseRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestEmptyTraceRoundTrip: a run that produced no events still renders a
+// well-formed trace — header with duration 1 (w.last is 0), no records —
+// and parses back to zero events.
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	w := NewWriter(4)
+	var buf bytes.Buffer
+	if err := w.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "#Paraver") {
+		t.Fatalf("empty trace should be header-only, got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], ":1:1(4):") {
+		t.Errorf("header should carry duration 1 and 4 harts: %s", lines[0])
+	}
+	nHarts, evs, err := ParsePRV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nHarts != 4 || len(evs) != 0 {
+		t.Errorf("round trip: nHarts=%d events=%d, want 4 and 0", nHarts, len(evs))
+	}
+}
+
+// TestSingleEventTrace: the smallest non-empty trace round-trips with the
+// header duration derived from that one event.
+func TestSingleEventTrace(t *testing.T) {
+	w := NewWriter(1)
+	w.Event(7, 0, core.TraceL1DMiss, 0x40)
+	var buf bytes.Buffer
+	if err := w.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if header := strings.SplitN(buf.String(), "\n", 2)[0]; !strings.Contains(header, ":8:") {
+		t.Errorf("header should carry duration 8: %s", header)
+	}
+	nHarts, evs, err := ParsePRV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nHarts != 1 || len(evs) != 1 {
+		t.Fatalf("round trip: nHarts=%d events=%d", nHarts, len(evs))
+	}
+	if e := evs[0]; e.Cycle != 7 || e.Hart != 0 || e.Type != EventL1DMiss || e.Value != 0x40 {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+// TestParseRejectsNonMonotonic: WritePRV sorts records by time, so a
+// timestamp running backwards marks a corrupted trace.
+func TestParseRejectsNonMonotonic(t *testing.T) {
+	scrambled := "#Paraver (01/01/2021 at 00:00):11:1(1):1:1(1:1)\n" +
+		"2:1:1:1:1:10:90000001:64\n" +
+		"2:1:1:1:1:5:90000001:128\n"
+	_, _, err := ParsePRV(strings.NewReader(scrambled))
+	if err == nil {
+		t.Fatal("non-monotonic trace accepted")
+	}
+	if !strings.Contains(err.Error(), "precedes") || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should name the offense and the line: %v", err)
+	}
+	// Equal timestamps are legal: many events share a cycle.
+	same := "2:1:1:1:1:5:90000001:64\n2:1:1:1:1:5:90000002:64\n"
+	if _, _, err := ParsePRV(strings.NewReader(same)); err != nil {
+		t.Errorf("equal timestamps rejected: %v", err)
+	}
+}
+
 func TestTypeName(t *testing.T) {
 	if TypeName(EventL1DMiss) != "l1d-miss" || TypeName(123) != "type123" {
 		t.Error("TypeName wrong")

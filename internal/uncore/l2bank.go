@@ -5,7 +5,25 @@ import (
 
 	"github.com/coyote-sim/coyote/internal/cache"
 	"github.com/coyote-sim/coyote/internal/evsim"
+	"github.com/coyote-sim/coyote/internal/san"
 )
+
+// mshrState classifies an outstanding miss. A prefetch entry is promoted
+// to demand the moment a real request merges into it — after that the
+// fill must release waiters like any demand miss.
+type mshrState uint8
+
+const (
+	mshrDemand   mshrState = iota // a core (or the LLC path) is waiting on the line
+	mshrPrefetch                  // speculative next-line fetch; nobody waits
+)
+
+// mshrEntry is one in-flight miss: its class and the completions to
+// release when the fill arrives.
+type mshrEntry struct {
+	state   mshrState
+	waiters []Done
+}
 
 // L2Bank is one bank of the L2 cache: a tag array with MSHRs. Misses are
 // merged per line; when the MSHR table is full the request retries next
@@ -28,7 +46,8 @@ type L2Bank struct {
 	localIn  *evsim.Port[Request]
 	remoteIn *evsim.Port[Request]
 
-	mshr map[uint64][]Done // line → waiting completions
+	mshr map[uint64]mshrEntry // line → in-flight miss state
+	san  san.MSHR
 
 	// Free lists (plain slices — the simulation is single-threaded).
 	txnPool    []*missTxn
@@ -63,8 +82,10 @@ func newL2Bank(id, tile int, u *Uncore) (*L2Bank, error) {
 		tile: tile,
 		u:    u,
 		tags: tags,
-		mshr: make(map[uint64][]Done),
+		mshr: make(map[uint64]mshrEntry),
 	}
+	b.san.Init(fmt.Sprintf("l2bank%d.mshr", id), u.cfg.L2MSHRs)
+	tags.SetSanName(fmt.Sprintf("l2bank%d.tags", id))
 	b.localIn = evsim.NewPort(u.eng, u.cfg.LocalLatency, b.handle)
 	b.remoteIn = evsim.NewPort(u.eng, u.cfg.NoCLatency, b.handle)
 	b.retryFn = func(uint64) {
@@ -165,14 +186,16 @@ func (b *L2Bank) handle(req Request) {
 	// A line already being fetched: merge reads into the MSHR; writes to
 	// an in-flight line simply ride along (the fill will leave the line
 	// present; we conservatively mark it dirty by re-accessing on fill).
-	if waiters, inflight := b.mshr[req.Addr]; inflight {
+	if e, inflight := b.mshr[req.Addr]; inflight {
 		b.mshrMerges++
+		b.san.Merge(b.u.eng.Now(), req.Addr)
 		if req.Done.F != nil {
-			if waiters == nil {
-				waiters = b.getWaiters()
+			if e.waiters == nil {
+				e.waiters = b.getWaiters()
 			}
-			waiters = append(waiters, req.Done)
-			b.mshr[req.Addr] = waiters
+			e.waiters = append(e.waiters, req.Done)
+			e.state = mshrDemand // a waiter attached: promote prefetch entries
+			b.mshr[req.Addr] = e
 		}
 		return
 	}
@@ -207,7 +230,8 @@ func (b *L2Bank) handle(req Request) {
 		waiters = b.getWaiters()
 		waiters = append(waiters, req.Done)
 	}
-	b.mshr[req.Addr] = waiters
+	b.san.Insert(b.u.eng.Now(), req.Addr)
+	b.mshr[req.Addr] = mshrEntry{state: mshrDemand, waiters: waiters}
 	if n := len(b.mshr); n > b.peakMSHR {
 		b.peakMSHR = n
 	}
@@ -239,7 +263,8 @@ func (b *L2Bank) handle(req Request) {
 		if len(b.mshr) >= prefetchBudget {
 			break
 		}
-		b.mshr[pa] = nil
+		b.san.Insert(b.u.eng.Now(), pa)
+		b.mshr[pa] = mshrEntry{state: mshrPrefetch}
 		b.prefetches++
 		b.u.eng.Schedule(toMem, b.getTxn(pa, false, false).issueFn)
 	}
@@ -252,26 +277,35 @@ func (b *L2Bank) handle(req Request) {
 // observable order as the old one-closure-over-all-waiters form, without
 // the closure.
 func (b *L2Bank) fill(addr uint64, remoteReq bool) {
-	waiters := b.mshr[addr]
+	e := b.mshr[addr]
+	b.san.Release(b.u.eng.Now(), addr)
 	delete(b.mshr, addr)
 	if !b.tags.Probe(addr) {
 		if res := b.tags.Fill(addr); res.HasWriteback {
 			b.writebackToMem(res.Writeback)
 		}
 	}
-	if len(waiters) == 0 {
-		if waiters != nil {
-			b.waiterPool = append(b.waiterPool, waiters[:0])
+	waiters := e.waiters
+	switch e.state {
+	case mshrPrefetch:
+		// Merge promotes a prefetch entry to demand the moment a waiter
+		// attaches, so a prefetch fill can never owe anyone a response.
+		san.Check(len(waiters) == 0, b.u.eng.Now(), "l2bank.mshr",
+			"prefetch fill arrived with merged waiters (promotion to demand was lost)",
+			addr, uint64(len(waiters)))
+	case mshrDemand:
+		if len(waiters) > 0 {
+			delay := b.u.noc.delay(remoteReq)
+			b.u.eng.ScheduleArg(delay, waiters[0].F, waiters[0].Arg)
+			for i := 1; i < len(waiters); i++ {
+				b.u.noc.delay(remoteReq) // one response message per merged waiter
+				b.u.eng.ScheduleArg(delay, waiters[i].F, waiters[i].Arg)
+			}
 		}
-		return
 	}
-	delay := b.u.noc.delay(remoteReq)
-	b.u.eng.ScheduleArg(delay, waiters[0].F, waiters[0].Arg)
-	for i := 1; i < len(waiters); i++ {
-		b.u.noc.delay(remoteReq) // one response message per merged waiter
-		b.u.eng.ScheduleArg(delay, waiters[i].F, waiters[i].Arg)
+	if waiters != nil {
+		b.waiterPool = append(b.waiterPool, waiters[:0])
 	}
-	b.waiterPool = append(b.waiterPool, waiters[:0])
 }
 
 // writebackToMem sends an evicted dirty line toward memory.

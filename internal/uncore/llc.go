@@ -5,6 +5,7 @@ import (
 
 	"github.com/coyote-sim/coyote/internal/cache"
 	"github.com/coyote-sim/coyote/internal/evsim"
+	"github.com/coyote-sim/coyote/internal/san"
 )
 
 // llcWaiter is one read waiting on an in-flight LLC fill, remembering the
@@ -28,6 +29,7 @@ type LLCSlice struct {
 	u    *Uncore
 	tags *cache.Cache
 	mshr map[uint64][]llcWaiter
+	san  san.MSHR
 
 	waiterPool [][]llcWaiter
 	fillFn     func(uint64) // pre-bound miss completion; arg is the line
@@ -43,8 +45,11 @@ func newLLCSlice(id int, u *Uncore) (*LLCSlice, error) {
 		return nil, fmt.Errorf("uncore: llc slice %d: %w", id, err)
 	}
 	l := &LLCSlice{id: id, u: u, tags: tags, mshr: make(map[uint64][]llcWaiter)}
+	l.san.Init(fmt.Sprintf("llc%d.mshr", id), 0) // in-flight set is unbounded; duplicate/leak checks only
+	tags.SetSanName(fmt.Sprintf("llc%d.tags", id))
 	l.fillFn = func(addr uint64) {
 		ws := l.mshr[addr]
+		l.san.Release(l.u.eng.Now(), addr)
 		delete(l.mshr, addr)
 		for _, w := range ws {
 			l.u.eng.ScheduleArg(w.extra, w.done.F, w.done.Arg)
@@ -81,7 +86,7 @@ func (l *LLCSlice) request(addr uint64, write bool, extraDelay evsim.Cycle, done
 			mc.request(res.Writeback, true, 0, Done{})
 		}
 		if !res.Hit {
-			// Write-allocate fetch, nobody waits on it.
+			//coyote:portproto-ok write-allocate fetch: the write already completed at the slice, the fetch only warms the line
 			mc.request(addr, false, 0, Done{})
 		}
 		return
@@ -89,6 +94,7 @@ func (l *LLCSlice) request(addr uint64, write bool, extraDelay evsim.Cycle, done
 	l.reads++
 	if waiters, inflight := l.mshr[addr]; inflight {
 		l.mshrMerges++
+		l.san.Merge(l.u.eng.Now(), addr)
 		if done.F != nil {
 			if waiters == nil {
 				waiters = l.getWaiters()
@@ -113,6 +119,7 @@ func (l *LLCSlice) request(addr uint64, write bool, extraDelay evsim.Cycle, done
 		waiters = l.getWaiters()
 		waiters = append(waiters, llcWaiter{done: done, extra: extraDelay})
 	}
+	l.san.Insert(l.u.eng.Now(), addr)
 	l.mshr[addr] = waiters
 	mc.request(addr, false, 0, Done{F: l.fillFn, Arg: addr})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/coyote-sim/coyote/internal/evsim"
+	"github.com/coyote-sim/coyote/internal/san"
 )
 
 // MemCtrl models one memory channel: a fixed access latency plus a
@@ -18,6 +19,7 @@ type MemCtrl struct {
 	latency   evsim.Cycle
 	occupancy evsim.Cycle // channel cycles per line
 	nextFree  evsim.Cycle
+	san       san.Channel
 
 	// Optional open-row model: rowBits > 0 keeps one open row per DRAM
 	// bank; accesses hitting an open row complete in rowHitLat instead of
@@ -45,11 +47,13 @@ func newMemCtrl(id int, eng *evsim.Engine, cfg Config) *MemCtrl {
 	if banks <= 0 {
 		banks = 8
 	}
-	return &MemCtrl{
+	m := &MemCtrl{
 		id: id, eng: eng, latency: cfg.MemLatency, occupancy: occ,
 		rowBits: cfg.MemRowBits, rowHitLat: cfg.MemRowHitLat,
 		openRow: make([]uint64, banks), rowValid: make([]bool, banks),
 	}
+	m.san.Init(fmt.Sprintf("mc%d.channel", id))
+	return m
 }
 
 // accessLatency applies the row-buffer model to one access.
@@ -94,6 +98,7 @@ func (m *MemCtrl) request(addr uint64, write bool, extraDelay evsim.Cycle, done 
 		start = m.nextFree
 	}
 	m.nextFree = start + m.occupancy
+	m.san.Grant(now, start, m.nextFree, m.occupancy)
 	lat := m.accessLatency(addr)
 	if write {
 		m.writes++

@@ -1,28 +1,37 @@
 package uncore
 
-import "github.com/coyote-sim/coyote/internal/evsim"
+import (
+	"github.com/coyote-sim/coyote/internal/evsim"
+	"github.com/coyote-sim/coyote/internal/san"
+)
 
 // NoC is the idealized crossbar interconnect from the paper: every
 // traversal completes after a fixed configurable latency, with no
 // contention ("a highly idealized crossbar, that uses fixed, configurable
 // latencies", §III-A). Same-tile hops use the shorter local latency.
 type NoC struct {
+	eng     *evsim.Engine
 	latency evsim.Cycle
 	local   evsim.Cycle
+	san     san.Latch
 
 	remoteMsgs uint64
 	localMsgs  uint64
 }
 
-func newNoC(latency, local evsim.Cycle) *NoC {
-	return &NoC{latency: latency, local: local}
+func newNoC(eng *evsim.Engine, latency, local evsim.Cycle) *NoC {
+	n := &NoC{eng: eng, latency: latency, local: local}
+	n.san.Init("noc.latency", latency, local)
+	return n
 }
 
 // delay accounts one crossbar traversal and returns its latency. Units on
 // a transaction's critical path fold several hops into a single scheduled
 // event using accumulated delays; this keeps the message statistics exact
-// without one event per hop.
+// without one event per hop. The paper's crossbar latencies are fixed at
+// configuration time; the sanitizer latch verifies they never drift.
 func (n *NoC) delay(remote bool) evsim.Cycle {
+	n.san.CheckLatched(n.eng.Now(), n.latency, n.local)
 	if remote {
 		n.remoteMsgs++
 		return n.latency

@@ -12,6 +12,7 @@ import (
 
 	"github.com/coyote-sim/coyote/internal/cache"
 	"github.com/coyote-sim/coyote/internal/evsim"
+	"github.com/coyote-sim/coyote/internal/san"
 )
 
 // MappingPolicy selects which address bits pick the L2 bank that owns a
@@ -209,7 +210,7 @@ func New(cfg Config, eng *evsim.Engine) (*Uncore, error) {
 	for ls := cfg.L2.LineBytes; ls > 1; ls >>= 1 {
 		u.lineShift++
 	}
-	u.noc = newNoC(cfg.NoCLatency, cfg.LocalLatency)
+	u.noc = newNoC(eng, cfg.NoCLatency, cfg.LocalLatency)
 	u.reg.Register(u.noc)
 	u.mcpu = newMCPU(u)
 	u.reg.Register(u.mcpu)
@@ -260,8 +261,10 @@ func (u *Uncore) bankFor(tile int, addr uint64) *L2Bank {
 	switch u.cfg.Mapping {
 	case PageToBank:
 		shift = 12
-	default:
+	case SetInterleave:
 		shift = u.lineShift
+	default:
+		shift = u.lineShift // unknown policies fall back to set-interleave
 	}
 	if u.cfg.L2Shared {
 		n := uint64(len(u.banks))
@@ -306,6 +309,25 @@ func (u *Uncore) Submit(req Request) {
 	} else {
 		u.noc.localMsgs++
 		bank.localIn.Send(req)
+	}
+}
+
+// Audit asserts the uncore's end-of-run invariants in the coyotesan
+// build: no MSHR still holds an in-flight line after the engine drained
+// (a leaked entry means a fill was dropped), and every tag store agrees
+// with its shadow directory. No-op in the default build.
+func (u *Uncore) Audit() {
+	if !san.Enabled {
+		return
+	}
+	now := u.eng.Now()
+	for _, b := range u.banks {
+		b.san.Drained(now)
+		b.tags.Occupancy() // cross-checks the tag store against its shadow
+	}
+	for _, l := range u.llcs {
+		l.san.Drained(now)
+		l.tags.Occupancy()
 	}
 }
 
