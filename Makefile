@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: all build test race lint vet bench-smoke san fuzz ci
+.PHONY: all build test race golden-workers lint vet bench-smoke san fuzz ci
 
 all: build test lint
 
@@ -11,10 +11,20 @@ build:
 test:
 	$(GO) test ./...
 
-# Full race lane: the simulator proper is single-threaded, but the sweep
-# harness in the root package fans runs out across a worker pool.
+# Full race lane: guards the sweep harness and the in-cycle parallel
+# orchestrator (Config.Workers > 1). The explicit TestWorkersFour pass
+# simulates every kernel with Workers=4 — more workers than most CI hosts
+# have cores — so the pool's happens-before edges get checked under an
+# oversubscribed scheduler too.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -run 'TestWorkersFour' .
+
+# Workers>1 golden-trace lane: byte-identical .prv traces and cycle counts
+# for Workers ∈ {1, 2, 3, NumCPU}, plus the forced same-line conflict that
+# exercises the serial re-execution fallback.
+golden-workers:
+	$(GO) test -run 'TestWorkers' -count 1 .
 
 # coyotelint: the determinism & hot-path invariant suite (DESIGN.md §9).
 # Zero findings required; exit 1 on findings, 2 on load failure.
@@ -41,4 +51,4 @@ san:
 fuzz:
 	$(GO) test -tags coyotesan -run '^$$' -fuzz FuzzKernelSan -fuzztime $(FUZZTIME) .
 
-ci: build vet test race lint bench-smoke san
+ci: build vet test race golden-workers lint bench-smoke san

@@ -38,6 +38,7 @@ func main() {
 		density    = flag.Float64("density", 0.02, "SpMV nonzero density")
 		seed       = flag.Int64("seed", 42, "data generator seed")
 		interleave = flag.Int("interleave", 1, "instructions per core per orchestrator slot (Spike-style interleaving when >1)")
+		workers    = flag.Int("workers", 0, "host worker goroutines stepping harts each cycle (0 = keep config value; results identical for any count)")
 		l2mode     = flag.String("l2", "shared", "L2 sharing: shared | private")
 		mapping    = flag.String("mapping", "set-interleave", "bank mapping: set-interleave | page-to-bank")
 		nocLat     = flag.Uint64("noc-latency", 0, "override NoC crossbar latency (cycles)")
@@ -76,6 +77,9 @@ func main() {
 		}
 	}
 	cfg.InterleaveQuantum = *interleave
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
 	switch *l2mode {
 	case "shared":
 		cfg.Uncore.L2Shared = true

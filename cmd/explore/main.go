@@ -69,6 +69,7 @@ func main() {
 		kernFlag = flag.String("kernels", "spmv-vector-gather", "comma-separated kernels")
 		gridFlag = flag.String("grid", "l2,mapping", "axes to sweep: l2,mapping,noc,llc,prefetch,row,mcpu")
 		cores    = flag.Int("cores", 16, "simulated cores")
+		workers  = flag.Int("workers", 1, "host worker goroutines stepping harts each cycle (grid results identical for any count)")
 		n        = flag.Int("n", 1024, "problem size")
 		density  = flag.Float64("density", 0.02, "SpMV density")
 		csvPath  = flag.String("csv", "", "also write results as CSV")
@@ -156,6 +157,7 @@ func main() {
 		kname = strings.TrimSpace(kname)
 		for _, p := range points {
 			cfg := coyote.DefaultConfig(*cores)
+			cfg.Workers = *workers
 			p.mut(&cfg)
 			res, err := coyote.RunKernel(kname,
 				coyote.Params{N: *n, Density: *density}, cfg)

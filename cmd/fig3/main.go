@@ -15,10 +15,15 @@
 // optimisations are tracked. -cpuprofile/-memprofile capture pprof
 // profiles of the sweep for hot-path work.
 //
+// Wall-clock per point is a median: each point gets one untimed warmup
+// run followed by -repeat timed runs, and the median MIPS is reported —
+// best-of-N rewarded lucky scheduling, medians don't.
+//
 //	fig3                        # default sweep 1..128 cores, both kernels
 //	fig3 -cores 1,2,4,8         # custom core counts
+//	fig3 -workers 1,4           # sweep the in-cycle worker pool too
 //	fig3 -interleave 8          # Spike-style interleaving enabled
-//	fig3 -repeat 3              # best-of-3 wall-clock per point
+//	fig3 -repeat 7              # median-of-7 wall-clock per point
 //	fig3 -baseline old.json     # record speedup vs a previous run
 //	fig3 -cpuprofile cpu.pb.gz  # profile the simulator itself
 package main
@@ -30,6 +35,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -39,6 +45,7 @@ import (
 type point struct {
 	Kernel       string  `json:"kernel"`
 	Cores        int     `json:"cores"`
+	Workers      int     `json:"workers"`
 	N            int     `json:"n"`
 	Instructions uint64  `json:"instructions"`
 	Cycles       uint64  `json:"cycles"`
@@ -51,12 +58,40 @@ type summary struct {
 	Interleave  int     `json:"interleave"`
 	FastForward bool    `json:"fastforward"`
 	Repeat      int     `json:"repeat"`
+	Warmup      int     `json:"warmup"`
+	Stat        string  `json:"stat"`
 	Points      []point `json:"points"`
+}
+
+// pointKey identifies a point in the baseline map. Summaries written
+// before the workers dimension existed unmarshal with Workers == 0; those
+// points ran the sequential orchestrator, so they normalise to workers=1
+// and old baselines keep working against new workers=1 runs.
+func pointKey(kernel string, cores, workers int) string {
+	if workers <= 0 {
+		workers = 1
+	}
+	return fmt.Sprintf("%s/%d/w%d", kernel, cores, workers)
+}
+
+// medianMIPS reports the median of the timed samples (mean of the middle
+// two for even counts).
+func medianMIPS(samples []float64) float64 {
+	sort.Float64s(samples)
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return samples[n/2]
+	}
+	return (samples[n/2-1] + samples[n/2]) / 2
 }
 
 func main() {
 	var (
 		coresFlag   = flag.String("cores", "1,2,4,8,16,32,64,128", "comma-separated core counts")
+		workersFlag = flag.String("workers", "1", "comma-separated in-cycle worker pool sizes")
 		kernFlag    = flag.String("kernels", "matmul-scalar,spmv-scalar", "kernels to sweep")
 		rowsPerCore = flag.Int("rows-per-core", 1, "matmul rows per simulated core (weak scaling)")
 		minN        = flag.Int("min-n", 48, "minimum matmul size")
@@ -64,7 +99,7 @@ func main() {
 		nnzPerRow   = flag.Int("nnz-per-row", 24, "SpMV nonzeros per row")
 		interleave  = flag.Int("interleave", 1, "interleaving quantum (1 = Coyote default)")
 		fastForward = flag.Bool("fastforward", false, "enable the idle-cycle fast-forward optimisation")
-		repeat      = flag.Int("repeat", 1, "runs per point; best MIPS reported")
+		repeat      = flag.Int("repeat", 5, "timed runs per point; median MIPS reported")
 		dataOut     = flag.String("o", "", "also write a gnuplot-style data file")
 		jsonOut     = flag.String("json", "BENCH_fig3.json", "machine-readable summary file (empty to skip)")
 		baseline    = flag.String("baseline", "", "previous -json summary to compute speedups against")
@@ -81,8 +116,20 @@ func main() {
 		}
 		cores = append(cores, c)
 	}
+	var workerCounts []int
+	for _, f := range strings.Split(*workersFlag, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w <= 0 {
+			fatal(fmt.Errorf("bad worker count %q", f))
+		}
+		workerCounts = append(workerCounts, w)
+	}
+	if *repeat < 1 {
+		fatal(fmt.Errorf("-repeat must be at least 1"))
+	}
 
-	// Baseline MIPS keyed "kernel/cores", from a previous run's -json file.
+	// Baseline MIPS keyed kernel/cores/workers, from a previous run's
+	// -json file.
 	base := map[string]float64{}
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)
@@ -94,7 +141,7 @@ func main() {
 			fatal(fmt.Errorf("baseline %s: %w", *baseline, err))
 		}
 		for _, p := range prev.Points {
-			base[fmt.Sprintf("%s/%d", p.Kernel, p.Cores)] = p.MIPS
+			base[pointKey(p.Kernel, p.Cores, p.Workers)] = p.MIPS
 		}
 	}
 
@@ -117,56 +164,70 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("# Figure 3: simulation throughput vs simulated cores (interleave=%d fastforward=%v)\n",
-		*interleave, *fastForward)
-	fmt.Printf("%-20s %6s %8s %12s %12s %10s\n",
-		"kernel", "cores", "n", "instructions", "cycles", "MIPS")
+	fmt.Printf("# Figure 3: simulation throughput vs simulated cores (interleave=%d fastforward=%v repeat=%d+1 warmup)\n",
+		*interleave, *fastForward, *repeat)
+	fmt.Printf("%-20s %6s %8s %8s %12s %12s %10s\n",
+		"kernel", "cores", "workers", "n", "instructions", "cycles", "MIPS")
 	var fileLines []string
-	fileLines = append(fileLines, "# kernel cores mips")
-	sum := summary{Interleave: *interleave, FastForward: *fastForward, Repeat: *repeat}
+	fileLines = append(fileLines, "# kernel cores workers mips")
+	sum := summary{
+		Interleave:  *interleave,
+		FastForward: *fastForward,
+		Repeat:      *repeat,
+		Warmup:      1,
+		Stat:        "median",
+	}
 
 	for _, kname := range strings.Split(*kernFlag, ",") {
 		kname = strings.TrimSpace(kname)
 		for _, c := range cores {
-			p := point{Kernel: kname, Cores: c}
-			params := coyote.Params{Cores: c}
-			switch {
-			case strings.HasPrefix(kname, "spmv"):
-				p.N = *spmvRows * c
-				params.N = p.N
-				params.Density = float64(*nnzPerRow) / float64(p.N)
-			default:
-				p.N = c * *rowsPerCore
-				if p.N < *minN {
-					p.N = *minN
+			for _, w := range workerCounts {
+				p := point{Kernel: kname, Cores: c, Workers: w}
+				params := coyote.Params{Cores: c}
+				switch {
+				case strings.HasPrefix(kname, "spmv"):
+					p.N = *spmvRows * c
+					params.N = p.N
+					params.Density = float64(*nnzPerRow) / float64(p.N)
+				default:
+					p.N = c * *rowsPerCore
+					if p.N < *minN {
+						p.N = *minN
+					}
+					params.N = p.N
 				}
-				params.N = p.N
-			}
-			cfg := coyote.DefaultConfig(c)
-			cfg.InterleaveQuantum = *interleave
-			cfg.FastForward = *fastForward
-			for r := 0; r < *repeat; r++ {
-				res, err := coyote.RunKernel(kname, params, cfg)
-				if err != nil {
-					fatal(fmt.Errorf("%s @ %d cores: %w", kname, c, err))
+				cfg := coyote.DefaultConfig(c)
+				cfg.InterleaveQuantum = *interleave
+				cfg.FastForward = *fastForward
+				cfg.Workers = w
+				// One warmup run (page faults, branch predictors, heap
+				// growth) that never contributes a sample, then -repeat
+				// timed runs.
+				samples := make([]float64, 0, *repeat)
+				for r := 0; r < *repeat+1; r++ {
+					res, err := coyote.RunKernel(kname, params, cfg)
+					if err != nil {
+						fatal(fmt.Errorf("%s @ %d cores, %d workers: %w", kname, c, w, err))
+					}
+					if r > 0 {
+						samples = append(samples, res.MIPS())
+					}
+					p.Cycles = res.Cycles
+					p.Instructions = res.Instructions
 				}
-				if m := res.MIPS(); m > p.MIPS {
-					p.MIPS = m
+				p.MIPS = medianMIPS(samples)
+				line := fmt.Sprintf("%-20s %6d %8d %8d %12d %12d %10.3f",
+					p.Kernel, p.Cores, p.Workers, p.N, p.Instructions, p.Cycles, p.MIPS)
+				if b, ok := base[pointKey(p.Kernel, p.Cores, p.Workers)]; ok && b > 0 {
+					p.BaselineMIPS = b
+					p.Speedup = p.MIPS / b
+					line += fmt.Sprintf("  (%.2fx vs baseline %.3f)", p.Speedup, b)
 				}
-				p.Cycles = res.Cycles
-				p.Instructions = res.Instructions
+				fmt.Println(line)
+				fileLines = append(fileLines,
+					fmt.Sprintf("%s %d %d %.4f", p.Kernel, p.Cores, p.Workers, p.MIPS))
+				sum.Points = append(sum.Points, p)
 			}
-			line := fmt.Sprintf("%-20s %6d %8d %12d %12d %10.3f",
-				p.Kernel, p.Cores, p.N, p.Instructions, p.Cycles, p.MIPS)
-			if b, ok := base[fmt.Sprintf("%s/%d", p.Kernel, p.Cores)]; ok && b > 0 {
-				p.BaselineMIPS = b
-				p.Speedup = p.MIPS / b
-				line += fmt.Sprintf("  (%.2fx vs baseline %.3f)", p.Speedup, b)
-			}
-			fmt.Println(line)
-			fileLines = append(fileLines,
-				fmt.Sprintf("%s %d %.4f", p.Kernel, p.Cores, p.MIPS))
-			sum.Points = append(sum.Points, p)
 		}
 	}
 

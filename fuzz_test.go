@@ -15,16 +15,26 @@ import (
 // violated invariant panics and becomes a reproducible crasher.
 //
 // The committed seed corpus in testdata/fuzz/FuzzKernelSan covers each
-// kernel family and the interesting uncore knobs (LLC, prefetch,
-// page-to-bank mapping, tiny MSHR pools, DRAM row buffers); `make fuzz`
-// runs a short exploration on top of it.
+// kernel family, the interesting uncore knobs (LLC, prefetch,
+// page-to-bank mapping, tiny MSHR pools, DRAM row buffers) and the
+// parallel orchestrator's worker-count dimension; `make fuzz` runs a
+// short exploration on top of it.
+//
+// workersSel picks the in-cycle worker pool size (1..4). Whenever the
+// fuzzed config runs Workers > 1, the rerun below executes the identical
+// point with Workers = 1, so the fuzzer doubles as a cross-worker
+// determinism oracle: any divergence between the speculative parallel
+// orchestrator and the sequential loop is a crasher.
 func FuzzKernelSan(f *testing.F) {
-	// kernel selector, core selector, problem-size selector, uncore knobs, data seed
-	f.Add(byte(0), byte(0), byte(8), byte(0), int64(1))     // smallest scalar run, default uncore
-	f.Add(byte(1), byte(2), byte(12), byte(0x0b), int64(2)) // 4 harts, LLC + prefetch + page-to-bank
-	f.Add(byte(3), byte(1), byte(6), byte(0x30), int64(3))  // tiny MSHR pool + row-buffer model
-	f.Add(byte(5), byte(3), byte(10), byte(0x46), int64(4)) // 8 harts, shared-L2 flip, fast-forward
-	f.Fuzz(func(t *testing.T, kSel, coreSel, nSel, knobs byte, seed int64) {
+	// kernel selector, core selector, problem-size selector, uncore knobs,
+	// worker selector, data seed
+	f.Add(byte(0), byte(0), byte(8), byte(0), byte(0), int64(1))     // smallest scalar run, default uncore
+	f.Add(byte(1), byte(2), byte(12), byte(0x0b), byte(0), int64(2)) // 4 harts, LLC + prefetch + page-to-bank
+	f.Add(byte(3), byte(1), byte(6), byte(0x30), byte(0), int64(3))  // tiny MSHR pool + row-buffer model
+	f.Add(byte(5), byte(3), byte(10), byte(0x46), byte(0), int64(4)) // 8 harts, shared-L2 flip, fast-forward
+	f.Add(byte(2), byte(2), byte(9), byte(0), byte(1), int64(5))     // 4 harts stepped by 2 workers
+	f.Add(byte(6), byte(3), byte(11), byte(0x81), byte(3), int64(6)) // 8 harts, 4 workers, quantum=8 + LLC
+	f.Fuzz(func(t *testing.T, kSel, coreSel, nSel, knobs, workersSel byte, seed int64) {
 		names := Kernels()
 		name := names[int(kSel)%len(names)]
 		cores := 1 << (int(coreSel) % 4) // 1, 2, 4, 8
@@ -55,6 +65,7 @@ func FuzzKernelSan(f *testing.F) {
 		if knobs&0x80 != 0 {
 			cfg.InterleaveQuantum = 8
 		}
+		cfg.Workers = 1 + int(workersSel)%4
 
 		p := Params{
 			// 8..39 keeps even scalar matmul (N³ inner products) cheap
@@ -68,13 +79,19 @@ func FuzzKernelSan(f *testing.F) {
 		if err != nil {
 			t.Fatalf("%s %+v: %v", name, p, err)
 		}
-		again, err := RunKernel(name, p, cfg)
+		// The rerun always uses the sequential orchestrator: for
+		// Workers == 1 it is the classic same-config determinism check,
+		// for Workers > 1 it pins the parallel path to the sequential
+		// golden interleaving.
+		seqCfg := cfg
+		seqCfg.Workers = 1
+		again, err := RunKernel(name, p, seqCfg)
 		if err != nil {
 			t.Fatalf("%s %+v rerun: %v", name, p, err)
 		}
 		if res.Cycles != again.Cycles {
-			t.Fatalf("%s %+v is nondeterministic: %d cycles then %d",
-				name, p, res.Cycles, again.Cycles)
+			t.Fatalf("%s %+v is nondeterministic across workers=%d/1: %d cycles then %d",
+				name, p, cfg.Workers, res.Cycles, again.Cycles)
 		}
 	})
 }

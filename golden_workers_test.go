@@ -1,0 +1,198 @@
+package coyote
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// runKernelTraced runs one kernel with a Paraver tracer attached and
+// returns the canonical stats string, the rendered .prv bytes and the
+// Result.
+func runKernelTraced(t *testing.T, name string, p Params, workers int) (string, []byte, *Result) {
+	t.Helper()
+	cfg := DefaultConfig(p.Cores)
+	cfg.Workers = workers
+	sys, err := PrepareKernel(name, p, cfg)
+	if err != nil {
+		t.Fatalf("prepare (workers=%d): %v", workers, err)
+	}
+	tw := NewTraceWriter(cfg.Cores)
+	sys.Tracer = tw
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("run (workers=%d): %v", workers, err)
+	}
+	if err := VerifyKernel(sys, name, p); err != nil {
+		t.Fatalf("verify (workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := tw.WritePRV(&buf); err != nil {
+		t.Fatalf("rendering .prv (workers=%d): %v", workers, err)
+	}
+	return canonical(res), buf.Bytes(), res
+}
+
+// workerMatrix returns the deduplicated worker counts the determinism
+// matrix must cover: 1, 2, 3 and the host's CPU count.
+func workerMatrix() []int {
+	candidates := []int{1, 2, 3, runtime.NumCPU()}
+	var out []int
+	for _, w := range candidates {
+		dup := false
+		for _, seen := range out {
+			if seen == w {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestWorkersDeterminismGolden is the parallel-orchestrator correctness
+// oracle: every kernel must produce byte-identical .prv traces and
+// identical canonical statistics (cycles, per-hart counters, the full
+// uncore snapshot) for Workers ∈ {1, 2, 3, NumCPU}. The barrier kernels
+// double as a natural stress of the spec-unsafe (atomic) serial fallback.
+func TestWorkersDeterminismGolden(t *testing.T) {
+	params := Params{N: 64, Cores: 4, Density: 0.05}
+	for _, name := range Kernels() {
+		t.Run(name, func(t *testing.T) {
+			baseStats, basePRV, _ := runKernelTraced(t, name, params, 1)
+			for _, w := range workerMatrix()[1:] {
+				stats, prv, res := runKernelTraced(t, name, params, w)
+				if stats != baseStats {
+					t.Errorf("workers=%d changed simulated stats:\n--- workers=1\n%s--- workers=%d\n%s",
+						w, baseStats, w, stats)
+				}
+				if !bytes.Equal(prv, basePRV) {
+					t.Errorf("workers=%d changed the .prv trace (%d vs %d bytes)",
+						w, len(basePRV), len(prv))
+				}
+				if got := res.Par.SpecQuanta; got == 0 {
+					t.Errorf("workers=%d reported no speculative quanta; the parallel path did not run", w)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersFour pins the CI matrix point the acceptance criteria name
+// explicitly: every kernel simulated with Workers=4 (more workers than the
+// typical CI host has cores — the pool must degrade gracefully) matches
+// the sequential run bit for bit. The -race lane runs this test to check
+// the pool's happens-before edges under an oversubscribed scheduler.
+func TestWorkersFour(t *testing.T) {
+	params := Params{N: 48, Cores: 8, Density: 0.05}
+	for _, name := range Kernels() {
+		t.Run(name, func(t *testing.T) {
+			baseStats, basePRV, _ := runKernelTraced(t, name, params, 1)
+			stats, prv, res := runKernelTraced(t, name, params, 4)
+			if stats != baseStats {
+				t.Errorf("workers=4 changed simulated stats:\n--- workers=1\n%s--- workers=4\n%s",
+					baseStats, stats)
+			}
+			if !bytes.Equal(prv, basePRV) {
+				t.Errorf("workers=4 changed the .prv trace (%d vs %d bytes)",
+					len(basePRV), len(prv))
+			}
+			if res.Par.SpecQuanta == 0 {
+				t.Error("workers=4 reported no speculative quanta; the parallel path did not run")
+			}
+		})
+	}
+}
+
+// conflictSrc is a deliberately racy two-hart program: both harts hammer
+// plain (non-atomic) load/add/store cycles on the *same* shared
+// doubleword. The two loop bodies have different lengths, so the harts'
+// relative phase drifts through every alignment — including the one where
+// the lower-index hart's store lands in the same cycle as the
+// higher-index hart's load, which is exactly the read-write conflict the
+// commit walk must catch and re-execute serially. The final counter value
+// is interleaving-defined, so any deviation from the sequential schedule
+// shows up in memory, not just in the statistics.
+const conflictSrc = `
+_start:
+	la   s0, args
+	csrr s1, mhartid
+	li   t0, 400         # iterations
+	beq  s1, zero, loop0
+loop1:                       # hart 1+: 6-instruction body
+	ld   t1, 0(s0)
+	addi t1, t1, 1
+	addi t2, t2, 0       # phase-drift padding
+	sd   t1, 0(s0)
+	addi t0, t0, -1
+	bne  t0, zero, loop1
+	j    done
+loop0:                       # hart 0: 5-instruction body
+	ld   t1, 0(s0)
+	addi t1, t1, 1
+	sd   t1, 0(s0)
+	addi t0, t0, -1
+	bne  t0, zero, loop0
+done:
+	li   a7, 93
+	csrr a0, mhartid
+	ecall
+.data
+.align 6
+args: .zero 128
+`
+
+// TestWorkersForcedConflict pins the re-execution fallback: with two
+// harts racing plain stores against loads of one shared line, Workers=2
+// must (a) detect read-write conflicts, (b) still commit the exact
+// sequential interleaving — identical stats, identical .prv trace,
+// identical final memory value.
+func TestWorkersForcedConflict(t *testing.T) {
+	prog, err := Assemble(conflictSrc)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	run := func(workers int) (string, []byte, uint64, *Result) {
+		cfg := DefaultConfig(2)
+		cfg.Workers = workers
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("new system (workers=%d): %v", workers, err)
+		}
+		sys.LoadProgram(prog)
+		tw := NewTraceWriter(2)
+		sys.Tracer = tw
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatalf("run (workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := tw.WritePRV(&buf); err != nil {
+			t.Fatalf("rendering .prv (workers=%d): %v", workers, err)
+		}
+		return canonical(res), buf.Bytes(), sys.Mem.Read64(sys.MustSymbol("args")), res
+	}
+
+	seqStats, seqPRV, seqCounter, _ := run(1)
+	parStats, parPRV, parCounter, parRes := run(2)
+
+	if parStats != seqStats {
+		t.Errorf("workers=2 changed simulated stats:\n--- workers=1\n%s--- workers=2\n%s",
+			seqStats, parStats)
+	}
+	if !bytes.Equal(parPRV, seqPRV) {
+		t.Errorf("workers=2 changed the .prv trace (%d vs %d bytes)", len(seqPRV), len(parPRV))
+	}
+	if parCounter != seqCounter {
+		t.Errorf("workers=2 changed the racy counter: sequential %d, parallel %d",
+			seqCounter, parCounter)
+	}
+	if parRes.Par.Conflicts == 0 {
+		t.Errorf("expected read-write conflicts with two harts racing one line; Par=%+v", parRes.Par)
+	}
+	if parRes.Par.Commits == 0 {
+		t.Errorf("expected committed speculations; Par=%+v", parRes.Par)
+	}
+}

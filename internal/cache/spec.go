@@ -1,0 +1,123 @@
+package cache
+
+import "github.com/coyote-sim/coyote/internal/san"
+
+// Speculative journaling: during the parallel orchestrator's speculative
+// execution phase a hart's L1s run under a journal, so that a hart whose
+// speculation is invalidated (it read a value a lower-index hart
+// overwrote in the same cycle) can be rolled back to its pre-speculation
+// state bit-exactly — tags, LRU stamps, access clock and statistics —
+// before it re-executes serially. Only the sets an access touched are
+// saved, and the save buffers are pooled, so the steady-state journal
+// allocates nothing.
+
+// specSaved is a pre-speculation copy of one cache set.
+type specSaved struct {
+	idx  uint64
+	ways []line
+}
+
+type cacheSpec struct {
+	active bool
+	saved  []specSaved // pooled: len tracks live entries, cap is reused
+	stats  Stats
+	clock  uint64
+}
+
+// BeginSpec starts a speculative episode: subsequent Access/Invalidate
+// calls journal each touched set before mutating it.
+//
+//coyote:allocfree
+func (c *Cache) BeginSpec() {
+	c.spec.active = true
+	c.spec.saved = c.spec.saved[:0]
+	c.spec.stats = c.Stats
+	c.spec.clock = c.clock
+}
+
+// CommitSpec keeps the speculative state and drops the journal.
+//
+//coyote:allocfree
+func (c *Cache) CommitSpec() {
+	c.spec.active = false
+}
+
+// RollbackSpec restores every journaled set, the access clock and the
+// statistics to their BeginSpec values. Under the coyotesan build the
+// shadow directory is resynchronized: speculatively installed tags are
+// evicted from it and speculatively evicted tags are re-installed, so the
+// serial re-execution starts from a consistent shadow.
+func (c *Cache) RollbackSpec() {
+	for i := range c.spec.saved {
+		sv := &c.spec.saved[i]
+		set := c.sets[sv.idx]
+		if san.Enabled {
+			c.resyncShadow(set, sv.ways)
+		}
+		copy(set, sv.ways)
+	}
+	c.Stats = c.spec.stats
+	c.clock = c.spec.clock
+	c.spec.active = false
+	c.spec.saved = c.spec.saved[:0]
+}
+
+// resyncShadow replays the difference between the speculative and saved
+// contents of one set into the san shadow directory. Only called in the
+// coyotesan build.
+func (c *Cache) resyncShadow(cur, saved []line) {
+	for i := range cur {
+		if !cur[i].valid {
+			continue
+		}
+		kept := false
+		for j := range saved {
+			if saved[j].valid && saved[j].tag == cur[i].tag {
+				kept = true
+				break
+			}
+		}
+		if !kept {
+			c.san.Evict(c.clock, cur[i].tag)
+		}
+	}
+	for j := range saved {
+		if !saved[j].valid {
+			continue
+		}
+		present := false
+		for i := range cur {
+			if cur[i].valid && cur[i].tag == saved[j].tag {
+				present = true
+				break
+			}
+		}
+		if !present {
+			c.san.Install(c.clock, saved[j].tag)
+		}
+	}
+}
+
+// specSave journals the set at idx if this episode has not saved it yet.
+//
+//coyote:allocfree
+func (c *Cache) specSave(idx uint64) {
+	for i := range c.spec.saved {
+		if c.spec.saved[i].idx == idx {
+			return
+		}
+	}
+	n := len(c.spec.saved)
+	if n < cap(c.spec.saved) {
+		c.spec.saved = c.spec.saved[:n+1]
+	} else {
+		c.spec.saved = append(c.spec.saved, specSaved{}) //coyote:alloc-ok journal growth is bounded by the sets one quantum can touch and the buffer is reused for the rest of the run
+	}
+	sv := &c.spec.saved[n]
+	sv.idx = idx
+	if cap(sv.ways) < len(c.sets[idx]) {
+		sv.ways = make([]line, len(c.sets[idx])) //coyote:alloc-ok one-time way-buffer fill; reused for the rest of the run
+	}
+	sv.ways = sv.ways[:len(c.sets[idx])]
+	copy(sv.ways, c.sets[idx])
+}

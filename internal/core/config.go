@@ -32,6 +32,12 @@ type Config struct {
 	// interleaving across cores; larger values trade fidelity for
 	// simulation speed (paper Figure 3 discussion).
 	InterleaveQuantum int
+	// Workers sets how many host goroutines step harts inside each
+	// simulated cycle. 1 (the default) keeps the classic fully sequential
+	// loop; larger values enable the two-phase speculative parallel
+	// orchestrator (parallel.go), whose committed state — traces, cycle
+	// counts, every statistic — is bit-identical for any worker count.
+	Workers int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles uint64
 	// FastForward lets the orchestrator jump over cycles in which no core
@@ -60,6 +66,7 @@ func DefaultConfig(cores int) Config {
 		Hart:              cpu.DefaultConfig(),
 		Uncore:            uncore.DefaultConfig(tiles),
 		InterleaveQuantum: 1,
+		Workers:           1,
 		MaxCycles:         2_000_000_000,
 		StackTop:          0x9000_0000,
 		StackSize:         64 << 10,
@@ -81,6 +88,9 @@ func (c *Config) Validate() error {
 	}
 	if c.InterleaveQuantum <= 0 {
 		c.InterleaveQuantum = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
 	}
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 2_000_000_000

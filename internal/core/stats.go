@@ -26,6 +26,12 @@ type Result struct {
 
 	ExitCodes []uint64
 	Consoles  []string
+
+	// Par reports parallel-orchestrator speculation outcomes (all zero
+	// for Workers <= 1). Not part of the golden determinism surface: the
+	// counters legitimately vary with the worker count even though the
+	// committed simulation state does not.
+	Par ParStats
 }
 
 // MIPS returns simulated millions of instructions per wall-clock second —
@@ -129,6 +135,7 @@ func (s *System) collect(wall time.Duration) *Result {
 		Cycles:    s.cycle,
 		WallTime:  wall,
 		UncoreRaw: s.Uncore.Snapshot(),
+		Par:       s.par.stats,
 	}
 	for _, h := range s.Harts {
 		r.HartStats = append(r.HartStats, h.Stats)

@@ -75,6 +75,11 @@ type System struct {
 	// pinned to the exact hart and destination register.
 	san san.Ledger
 
+	// par holds the parallel orchestrator's worker pool, per-cycle shard
+	// bookkeeping and speculation statistics (see parallel.go). Unused
+	// (zero) when cfg.Workers <= 1.
+	par parState
+
 	Tracer Tracer
 
 	prog *asm.Program
@@ -276,68 +281,26 @@ func (s *System) Run() (*Result, error) {
 	if s.prog == nil {
 		return nil, fmt.Errorf("core: no program loaded")
 	}
+	parallel := s.cfg.Workers > 1 && len(s.Harts) > 1
+	if parallel {
+		s.startWorkers()
+		defer s.stopWorkers()
+	}
 	start := time.Now() //coyote:wallclock-ok wall-clock MIPS measurement only; never feeds back into simulated timing
 	for s.nDone < len(s.Harts) {
 		if s.cycle >= s.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: cycle limit %d reached (deadlock or runaway kernel?)",
 				s.cfg.MaxCycles)
 		}
-		anyRunnable := false
-		// Sweep only the harts that want attention. Completions cannot
-		// fire mid-sweep (they run inside AdvanceTo below), and a stepped
-		// hart can only park or halt itself, so iterating over word copies
-		// visits exactly the harts that were runnable at cycle start — in
-		// index order, like the old full scan.
-		for w, word := range s.runnable {
-			for word != 0 {
-				b := bits.TrailingZeros64(word)
-				word &^= 1 << b
-				i := w*64 + b
-				h := s.Harts[i]
-				if h.BusyUntil() > s.cycle {
-					anyRunnable = true // occupied, but will free itself
-					h.Stats.BusyCycles++
-					continue
-				}
-				for q := 0; q < s.cfg.InterleaveQuantum; q++ {
-					res := h.Step(s.cycle)
-					if len(h.Events) > 0 {
-						s.dispatch(h)
-					}
-					switch res {
-					case cpu.StepExecuted:
-						anyRunnable = true
-						continue
-					case cpu.StepFault:
-						return nil, h.Fault
-					case cpu.StepHalted:
-						if !s.halted[i] {
-							s.halted[i] = true
-							s.park(i)
-							s.nDone++
-						}
-					case cpu.StepStalledRAW, cpu.StepStalledFetch:
-						s.park(i)
-						s.stallSince[i] = s.cycle
-						s.stallFetch[i] = res == cpu.StepStalledFetch
-						if san.Enabled {
-							// A parked hart must have an outstanding fill to
-							// wake it, or it sleeps forever.
-							san.Check(h.PendingAny(), s.cycle, "core.runnable",
-								"hart parked on a stall with no outstanding fill", uint64(i), 0)
-							if res == cpu.StepStalledFetch {
-								s.san.Covered(s.cycle, uint64(i)<<32|doneFetch)
-							}
-						}
-						if res == cpu.StepStalledRAW && s.Tracer != nil {
-							s.Tracer.Event(s.cycle, i, TraceStallRAW, 0)
-						}
-					case cpu.StepBusy:
-						anyRunnable = true
-					}
-					break
-				}
-			}
+		var anyRunnable bool
+		var err error
+		if parallel {
+			anyRunnable, err = s.stepCycleParallel()
+		} else {
+			anyRunnable, err = s.stepCycleSeq()
+		}
+		if err != nil {
+			return nil, err
 		}
 
 		// Advance the event-driven model to "now", servicing anything due
@@ -395,6 +358,95 @@ func (s *System) Run() (*Result, error) {
 		s.Uncore.Audit()
 	}
 	return s.collect(time.Since(start)), nil //coyote:wallclock-ok reports simulator throughput; simulated state is already final
+}
+
+// stepCycleSeq is the classic single-goroutine functional phase: step
+// every runnable hart in index order, dispatching misses as they appear.
+// Sweep only the harts that want attention. Completions cannot fire
+// mid-sweep (they run inside AdvanceTo afterwards), and a stepped hart can
+// only park or halt itself, so iterating over word copies visits exactly
+// the harts that were runnable at cycle start — in index order, like the
+// old full scan.
+func (s *System) stepCycleSeq() (bool, error) {
+	anyRunnable := false
+	for w, word := range s.runnable {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			i := w*64 + b
+			if err := s.stepHart(i, s.Harts[i], &anyRunnable); err != nil {
+				return false, err
+			}
+		}
+	}
+	return anyRunnable, nil
+}
+
+// stepHart runs one hart's interleave quantum sequentially with immediate
+// dispatch — the per-hart body of the classic loop. It is also the serial
+// re-execution fallback for misspeculated or spec-unsafe harts in the
+// parallel commit walk.
+func (s *System) stepHart(i int, h *cpu.Hart, anyRunnable *bool) error {
+	if h.BusyUntil() > s.cycle {
+		*anyRunnable = true // occupied, but will free itself
+		h.Stats.BusyCycles++
+		return nil
+	}
+	for q := 0; q < s.cfg.InterleaveQuantum; q++ {
+		res := h.Step(s.cycle)
+		if len(h.Events) > 0 {
+			s.dispatch(h)
+		}
+		if res == cpu.StepExecuted {
+			*anyRunnable = true
+			continue
+		}
+		return s.applyStepResult(i, h, res, anyRunnable)
+	}
+	return nil
+}
+
+// applyStepResult performs the orchestrator-side bookkeeping for a hart's
+// final step result this cycle: halting, parking on stalls, stall-trace
+// emission. Shared by the sequential loop and the parallel commit walk,
+// which is what keeps the two paths' observable state identical.
+func (s *System) applyStepResult(i int, h *cpu.Hart, res cpu.StepResult, anyRunnable *bool) error {
+	switch res {
+	case cpu.StepExecuted:
+		*anyRunnable = true
+	case cpu.StepFault:
+		return h.Fault
+	case cpu.StepHalted:
+		if !s.halted[i] {
+			s.halted[i] = true
+			s.park(i)
+			s.nDone++
+		}
+	case cpu.StepStalledRAW, cpu.StepStalledFetch:
+		s.park(i)
+		s.stallSince[i] = s.cycle
+		s.stallFetch[i] = res == cpu.StepStalledFetch
+		if san.Enabled {
+			// A parked hart must have an outstanding fill to wake it, or
+			// it sleeps forever.
+			san.Check(h.PendingAny(), s.cycle, "core.runnable",
+				"hart parked on a stall with no outstanding fill", uint64(i), 0)
+			if res == cpu.StepStalledFetch {
+				s.san.Covered(s.cycle, uint64(i)<<32|doneFetch)
+			}
+		}
+		if res == cpu.StepStalledRAW && s.Tracer != nil {
+			s.Tracer.Event(s.cycle, i, TraceStallRAW, 0)
+		}
+	case cpu.StepBusy:
+		*anyRunnable = true
+	case cpu.StepSpecUnsafe:
+		// Only produced while speculation is armed; the parallel commit
+		// walk intercepts it before bookkeeping, and a sequential step can
+		// never return it.
+		panic("core: StepSpecUnsafe reached orchestrator bookkeeping")
+	}
+	return nil
 }
 
 // auditRunnable cross-checks the runnable bitset against per-hart state at

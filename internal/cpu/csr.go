@@ -39,6 +39,11 @@ func (h *Hart) writeCSR(addr uint16, v uint64) {
 		riscv.CSRVL, riscv.CSRVType, riscv.CSRVLenB:
 		// read-only in this model
 	default:
+		if h.spec.active {
+			old, existed := h.csr[addr]
+			h.spec.csrUndo = append(h.spec.csrUndo,
+				specCSRUndo{addr: addr, existed: existed, old: old})
+		}
 		h.csr[addr] = v
 	}
 }

@@ -35,19 +35,19 @@ func (h *Hart) executeFP(in riscv.Instr) StepResult {
 	// ----- loads/stores -----
 	case riscv.OpFLW:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.F[in.Rd] = nanBoxMask | uint64(h.Mem.Read32(a))
+		h.F[in.Rd] = nanBoxMask | uint64(h.memRead32(a))
 		h.scalarLoadAccess(a, RegF, in.Rd)
 	case riscv.OpFLD:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.F[in.Rd] = h.Mem.Read64(a)
+		h.F[in.Rd] = h.memRead64(a)
 		h.scalarLoadAccess(a, RegF, in.Rd)
 	case riscv.OpFSW:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.Mem.Write32(a, uint32(h.F[in.Rs2]))
+		h.memWrite32(a, uint32(h.F[in.Rs2]))
 		h.scalarStoreAccess(a)
 	case riscv.OpFSD:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.Mem.Write64(a, h.F[in.Rs2])
+		h.memWrite64(a, h.F[in.Rs2])
 		h.scalarStoreAccess(a)
 
 	// ----- single precision arithmetic -----

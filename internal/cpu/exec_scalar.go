@@ -67,48 +67,48 @@ func (h *Hart) execute(in riscv.Instr, nextPC *uint64, now uint64) StepResult {
 
 	case riscv.OpLB:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.setX(in.Rd, uint64(int64(int8(h.Mem.Read8(a)))))
+		h.setX(in.Rd, uint64(int64(int8(h.memRead8(a)))))
 		h.scalarLoadAccess(a, RegX, in.Rd)
 	case riscv.OpLH:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.setX(in.Rd, uint64(int64(int16(h.Mem.Read16(a)))))
+		h.setX(in.Rd, uint64(int64(int16(h.memRead16(a)))))
 		h.scalarLoadAccess(a, RegX, in.Rd)
 	case riscv.OpLW:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.setX(in.Rd, uint64(int64(int32(h.Mem.Read32(a)))))
+		h.setX(in.Rd, uint64(int64(int32(h.memRead32(a)))))
 		h.scalarLoadAccess(a, RegX, in.Rd)
 	case riscv.OpLD:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.setX(in.Rd, h.Mem.Read64(a))
+		h.setX(in.Rd, h.memRead64(a))
 		h.scalarLoadAccess(a, RegX, in.Rd)
 	case riscv.OpLBU:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.setX(in.Rd, uint64(h.Mem.Read8(a)))
+		h.setX(in.Rd, uint64(h.memRead8(a)))
 		h.scalarLoadAccess(a, RegX, in.Rd)
 	case riscv.OpLHU:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.setX(in.Rd, uint64(h.Mem.Read16(a)))
+		h.setX(in.Rd, uint64(h.memRead16(a)))
 		h.scalarLoadAccess(a, RegX, in.Rd)
 	case riscv.OpLWU:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.setX(in.Rd, uint64(h.Mem.Read32(a)))
+		h.setX(in.Rd, uint64(h.memRead32(a)))
 		h.scalarLoadAccess(a, RegX, in.Rd)
 
 	case riscv.OpSB:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.Mem.Write8(a, uint8(x[in.Rs2]))
+		h.memWrite8(a, uint8(x[in.Rs2]))
 		h.scalarStoreAccess(a)
 	case riscv.OpSH:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.Mem.Write16(a, uint16(x[in.Rs2]))
+		h.memWrite16(a, uint16(x[in.Rs2]))
 		h.scalarStoreAccess(a)
 	case riscv.OpSW:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.Mem.Write32(a, uint32(x[in.Rs2]))
+		h.memWrite32(a, uint32(x[in.Rs2]))
 		h.scalarStoreAccess(a)
 	case riscv.OpSD:
 		a := x[in.Rs1] + uint64(in.Imm)
-		h.Mem.Write64(a, x[in.Rs2])
+		h.memWrite64(a, x[in.Rs2])
 		h.scalarStoreAccess(a)
 
 	case riscv.OpADDI:
@@ -215,18 +215,18 @@ func (h *Hart) execute(in riscv.Instr, nextPC *uint64, now uint64) StepResult {
 	// ----- A -----
 	case riscv.OpLRW:
 		a := x[in.Rs1]
-		h.setX(in.Rd, sext32(h.Mem.Read32(a)))
+		h.setX(in.Rd, sext32(h.memRead32(a)))
 		h.resv.set(h.ID, h.L1D.LineAddr(a))
 		h.scalarLoadAccess(a, RegX, in.Rd)
 	case riscv.OpLRD:
 		a := x[in.Rs1]
-		h.setX(in.Rd, h.Mem.Read64(a))
+		h.setX(in.Rd, h.memRead64(a))
 		h.resv.set(h.ID, h.L1D.LineAddr(a))
 		h.scalarLoadAccess(a, RegX, in.Rd)
 	case riscv.OpSCW:
 		a := x[in.Rs1]
 		if h.resv.check(h.ID, h.L1D.LineAddr(a)) {
-			h.Mem.Write32(a, uint32(x[in.Rs2]))
+			h.memWrite32(a, uint32(x[in.Rs2]))
 			h.setX(in.Rd, 0)
 			h.scalarStoreAccess(a)
 		} else {
@@ -235,7 +235,7 @@ func (h *Hart) execute(in riscv.Instr, nextPC *uint64, now uint64) StepResult {
 	case riscv.OpSCD:
 		a := x[in.Rs1]
 		if h.resv.check(h.ID, h.L1D.LineAddr(a)) {
-			h.Mem.Write64(a, x[in.Rs2])
+			h.memWrite64(a, x[in.Rs2])
 			h.setX(in.Rd, 0)
 			h.scalarStoreAccess(a)
 		} else {
@@ -275,7 +275,7 @@ func (h *Hart) ecall() StepResult {
 		buf := h.X[riscv.RegA1]
 		n := h.X[riscv.RegA2]
 		for i := uint64(0); i < n; i++ {
-			h.Console.WriteByte(h.Mem.Read8(buf + i))
+			h.Console.WriteByte(h.memRead8(buf + i))
 		}
 		h.X[riscv.RegA0] = n
 		return StepExecuted
@@ -289,7 +289,7 @@ func (h *Hart) ecall() StepResult {
 
 func (h *Hart) amo32(in riscv.Instr) {
 	a := h.X[in.Rs1]
-	old := sext32(h.Mem.Read32(a))
+	old := sext32(h.memRead32(a))
 	src := h.X[in.Rs2]
 	var res uint32
 	switch in.Op {
@@ -312,18 +312,18 @@ func (h *Hart) amo32(in riscv.Instr) {
 	case riscv.OpAMOMAXUW:
 		res = maxU32(uint32(old), uint32(src))
 	}
-	h.Mem.Write32(a, res)
+	h.memWrite32(a, res)
 	h.setX(in.Rd, old)
 	// Timing: an AMO is a read-modify-write of one line; the result value
 	// depends on the memory round trip, so rd becomes pending on a miss.
 	h.oneAddr[0] = a
 	h.dataAccess(h.oneAddr[:], true, RegX, in.Rd, in.Rd != 0)
-	h.resv.invalidateStores(h.ID, h.L1D.LineAddr(a))
+	h.storeInvalidate(a)
 }
 
 func (h *Hart) amo64(in riscv.Instr) {
 	a := h.X[in.Rs1]
-	old := h.Mem.Read64(a)
+	old := h.memRead64(a)
 	src := h.X[in.Rs2]
 	var res uint64
 	switch in.Op {
@@ -362,11 +362,11 @@ func (h *Hart) amo64(in riscv.Instr) {
 			res = old
 		}
 	}
-	h.Mem.Write64(a, res)
+	h.memWrite64(a, res)
 	h.setX(in.Rd, old)
 	h.oneAddr[0] = a
 	h.dataAccess(h.oneAddr[:], true, RegX, in.Rd, in.Rd != 0)
-	h.resv.invalidateStores(h.ID, h.L1D.LineAddr(a))
+	h.storeInvalidate(a)
 }
 
 // ---- arithmetic helpers ----

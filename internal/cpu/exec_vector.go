@@ -205,7 +205,7 @@ func (h *Hart) executeVMem(in riscv.Instr) StepResult {
 			} else {
 				h.Stats.StoreMisses++
 				for _, a := range h.addrScratch {
-					h.resv.invalidateStores(h.ID, h.L1D.LineAddr(a))
+					h.storeInvalidate(a)
 				}
 			}
 			h.emit(ev)
@@ -221,7 +221,7 @@ func (h *Hart) executeVMem(in riscv.Instr) StepResult {
 	h.dataAccess(h.addrScratch, isStore, RegV, in.Rd, !isStore)
 	if isStore {
 		for _, a := range h.addrScratch {
-			h.resv.invalidateStores(h.ID, h.L1D.LineAddr(a))
+			h.storeInvalidate(a)
 		}
 	}
 	return StepExecuted
@@ -234,26 +234,26 @@ func (h *Hart) transferElem(vreg uint8, i uint64, ew uint, addr uint64, isStore 
 		v := h.vGetInt(vreg, i, ew)
 		switch ew {
 		case 8:
-			h.Mem.Write8(addr, uint8(v))
+			h.memWrite8(addr, uint8(v))
 		case 16:
-			h.Mem.Write16(addr, uint16(v))
+			h.memWrite16(addr, uint16(v))
 		case 32:
-			h.Mem.Write32(addr, uint32(v))
+			h.memWrite32(addr, uint32(v))
 		default:
-			h.Mem.Write64(addr, v)
+			h.memWrite64(addr, v)
 		}
 		return
 	}
 	var v uint64
 	switch ew {
 	case 8:
-		v = uint64(h.Mem.Read8(addr))
+		v = uint64(h.memRead8(addr))
 	case 16:
-		v = uint64(h.Mem.Read16(addr))
+		v = uint64(h.memRead16(addr))
 	case 32:
-		v = uint64(h.Mem.Read32(addr))
+		v = uint64(h.memRead32(addr))
 	default:
-		v = h.Mem.Read64(addr)
+		v = h.memRead64(addr)
 	}
 	h.vSetInt(vreg, i, ew, v)
 }

@@ -62,6 +62,12 @@ const (
 	StepHalted
 	// StepFault: illegal instruction or trap; hart is halted with an error.
 	StepFault
+	// StepSpecUnsafe: the next instruction cannot run speculatively
+	// (atomics read-modify-write shared reservation state and memory).
+	// Only returned while speculation is armed (BeginSpec); the
+	// orchestrator aborts the speculation and re-executes the hart
+	// serially in its commit slot.
+	StepSpecUnsafe
 )
 
 // Config holds per-hart model parameters.
@@ -200,6 +206,10 @@ type Hart struct {
 
 	// CSR backing store for CSRs without dedicated fields.
 	csr map[uint16]uint64
+
+	// spec holds the speculative-execution journal and rollback snapshot
+	// used by the parallel orchestrator (see spec.go).
+	spec specState
 
 	// CycleFn lets the orchestrator expose the global cycle counter via
 	// the cycle/time CSRs. Optional.
@@ -412,7 +422,7 @@ func (h *Hart) Step(now uint64) StepResult {
 	// Decode through the step cache.
 	e := &h.stepCache[h.PC>>2&(stepCacheSize-1)]
 	if !e.valid || e.pc != h.PC {
-		raw := h.Mem.Read32(h.PC)
+		raw := h.memRead32(h.PC)
 		in, err := riscv.Decode(raw)
 		if err != nil {
 			h.Fault = fmt.Errorf("hart %d: pc=%#x: %w", h.ID, h.PC, err)
@@ -440,6 +450,15 @@ func (h *Hart) Step(now uint64) StepResult {
 		(use.ReadsV|use.WritesV)&h.pending[RegV] != 0 {
 		h.Stats.StallsRAW++
 		return StepStalledRAW
+	}
+
+	if h.spec.active {
+		if in.Op.Classify()&riscv.ClassAtomic != 0 {
+			return StepSpecUnsafe
+		}
+		if use.WritesV != 0 {
+			h.specSaveV(use.WritesV)
+		}
 	}
 
 	nextPC := h.PC + 4
@@ -539,5 +558,5 @@ func (h *Hart) scalarLoadAccess(addr uint64, dest RegKind, destReg uint8) {
 func (h *Hart) scalarStoreAccess(addr uint64) {
 	h.oneAddr[0] = addr
 	h.dataAccess(h.oneAddr[:], true, 0, 0, false)
-	h.resv.invalidateStores(h.ID, h.L1D.LineAddr(addr))
+	h.storeInvalidate(addr)
 }

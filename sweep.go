@@ -1,6 +1,9 @@
 package coyote
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // Point names one simulation job in a design-space sweep.
 type Point struct {
@@ -19,14 +22,61 @@ type PointResult struct {
 
 // Sweep runs a set of independent simulations concurrently on a fixed
 // pool of `workers` goroutines and returns results in input order. Each
-// simulation is single-threaded and deterministic, so parallelism changes
-// only wall-clock time (and therefore the MIPS numbers — use serial runs
-// when measuring simulator throughput itself; simulated-time metrics are
-// unaffected). workers ≤ 0 means one worker per point.
+// simulation is deterministic regardless of how the sweep is scheduled, so
+// parallelism changes only wall-clock time (and therefore the MIPS numbers
+// — use serial runs when measuring simulator throughput itself;
+// simulated-time metrics are unaffected). workers ≤ 0 means one worker per
+// point.
+//
+// Points whose Config.Workers > 1 each spin up their own in-cycle worker
+// pool inside Run. To keep the total host goroutine count (outer sweep
+// workers × largest inner pool) at or below GOMAXPROCS, the outer pool is
+// capped accordingly — a sweep of parallel simulations degrades toward
+// running them one after another rather than oversubscribing the host with
+// spinning pools.
 func Sweep(points []Point, workers int) []PointResult {
+	workers = capOuterWorkers(workers, len(points),
+		maxInnerWorkers(points), runtime.GOMAXPROCS(0))
 	return sweepWith(points, workers, func(p Point) (*Result, error) {
 		return RunKernel(p.Kernel, p.Params, p.Config)
 	})
+}
+
+// maxInnerWorkers returns the largest per-point in-cycle worker pool the
+// sweep will instantiate (at least 1). A point's pool never exceeds its
+// core count, mirroring core.System.startWorkers.
+func maxInnerWorkers(points []Point) int {
+	inner := 1
+	for _, p := range points {
+		w := p.Config.Workers
+		if w > p.Config.Cores {
+			w = p.Config.Cores
+		}
+		if w > inner {
+			inner = w
+		}
+	}
+	return inner
+}
+
+// capOuterWorkers bounds the sweep's own pool so outer × inner host
+// goroutines never exceed procs. The cap only engages when some point
+// actually runs an inner pool (inner > 1): classic single-threaded sweeps
+// keep the historical "as many workers as requested" contract, which the
+// scheduler already time-slices fine.
+func capOuterWorkers(workers, npoints, inner, procs int) int {
+	if workers <= 0 || workers > npoints {
+		workers = npoints
+	}
+	if inner > 1 {
+		if budget := procs / inner; workers > budget {
+			workers = budget
+		}
+		if workers < 1 && npoints > 0 {
+			workers = 1
+		}
+	}
+	return workers
 }
 
 // sweepWith is Sweep with the per-point run function injected, so tests

@@ -67,6 +67,90 @@ func TestSweepWorkerClamping(t *testing.T) {
 	}
 }
 
+// TestSweepOversubscriptionGuard checks the outer-pool cap: when sweep
+// points run inner in-cycle worker pools, outer × inner must stay within
+// GOMAXPROCS; without inner pools the historical uncapped contract holds.
+func TestSweepOversubscriptionGuard(t *testing.T) {
+	cases := []struct {
+		name                           string
+		workers, npoints, inner, procs int
+		want                           int
+	}{
+		{"serial points keep request", 6, 10, 1, 4, 6},
+		{"serial points clamp to npoints", 20, 10, 1, 4, 10},
+		{"zero means one per point", 0, 10, 1, 4, 10},
+		{"inner pools split the budget", 8, 10, 4, 8, 2},
+		{"budget rounds down", 8, 10, 3, 8, 2},
+		{"never below one point at a time", 8, 10, 4, 1, 1},
+		{"request below budget untouched", 2, 10, 2, 16, 2},
+		{"empty sweep stays empty", 4, 0, 4, 1, 0},
+	}
+	for _, c := range cases {
+		if got := capOuterWorkers(c.workers, c.npoints, c.inner, c.procs); got != c.want {
+			t.Errorf("%s: capOuterWorkers(%d, %d, %d, %d) = %d, want %d",
+				c.name, c.workers, c.npoints, c.inner, c.procs, got, c.want)
+		}
+	}
+}
+
+// TestSweepMaxInnerWorkers checks that the sweep sizes the guard from the
+// largest effective inner pool, which is bounded by each point's core
+// count just like core.System.startWorkers bounds the real pool.
+func TestSweepMaxInnerWorkers(t *testing.T) {
+	mk := func(cores, workers int) Point {
+		cfg := DefaultConfig(cores)
+		cfg.Workers = workers
+		return Point{Config: cfg}
+	}
+	if got := maxInnerWorkers(nil); got != 1 {
+		t.Errorf("empty sweep: inner = %d, want 1", got)
+	}
+	if got := maxInnerWorkers([]Point{mk(4, 0), mk(8, 1)}); got != 1 {
+		t.Errorf("serial points: inner = %d, want 1", got)
+	}
+	if got := maxInnerWorkers([]Point{mk(4, 2), mk(8, 6), mk(2, 1)}); got != 6 {
+		t.Errorf("mixed points: inner = %d, want 6", got)
+	}
+	// A 2-core point asking for 16 workers only ever starts 2.
+	if got := maxInnerWorkers([]Point{mk(2, 16)}); got != 2 {
+		t.Errorf("core-bounded point: inner = %d, want 2", got)
+	}
+}
+
+// TestSweepParallelPointsDeterministic runs a small sweep whose points
+// themselves use the parallel orchestrator and checks results still match
+// fully serial execution of the same points.
+func TestSweepParallelPointsDeterministic(t *testing.T) {
+	mk := func(workers int) []Point {
+		var pts []Point
+		for _, kernel := range []string{"axpy-scalar", "spmv-scalar"} {
+			cfg := DefaultConfig(2)
+			cfg.Workers = workers
+			pts = append(pts, Point{
+				Name:   kernel,
+				Kernel: kernel,
+				Params: Params{N: 64, Cores: 2},
+				Config: cfg,
+			})
+		}
+		return pts
+	}
+	serial := Sweep(mk(1), 1)
+	parallel := Sweep(mk(2), 4)
+	for i := range serial {
+		p, s := parallel[i], serial[i]
+		if p.Err != nil || s.Err != nil {
+			t.Fatalf("%s: errs %v / %v", s.Name, p.Err, s.Err)
+		}
+		if p.Result.Cycles != s.Result.Cycles ||
+			p.Result.Instructions != s.Result.Instructions {
+			t.Errorf("%s: workers=2 sweep %d/%d vs serial %d/%d cycles/instrs",
+				s.Name, p.Result.Cycles, p.Result.Instructions,
+				s.Result.Cycles, s.Result.Instructions)
+		}
+	}
+}
+
 // TestSweepWorkerPool drives sweepWith with a fake run function and
 // checks the pool contract: input-order results, every point run exactly
 // once, and never more than `workers` runs in flight at once.
