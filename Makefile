@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: all build test race golden-workers lint vet bench-smoke san fuzz ci
+.PHONY: all build test race golden-workers lint vet bench-smoke bench-block san fuzz ci
 
 all: build test lint
 
@@ -22,7 +22,10 @@ race:
 
 # Workers>1 golden-trace lane: byte-identical .prv traces and cycle counts
 # for Workers ∈ {1, 2, 3, NumCPU}, plus the forced same-line conflict that
-# exercises the serial re-execution fallback.
+# exercises the serial re-execution fallback. The prefix also matches
+# TestWorkersInterleaveMatrix: the superblock engine diffed bit-exactly
+# against the single-step reference across interleave {1,2,8,64} ×
+# workers {1,4}.
 golden-workers:
 	$(GO) test -run 'TestWorkers' -count 1 .
 
@@ -36,6 +39,11 @@ vet:
 
 bench-smoke:
 	$(GO) test -bench 'Fig3|RunLoop128Stalled' -benchtime 1x -run '^$$' ./
+
+# Superblock engine microbenchmarks: block-cached stepping vs the
+# single-step reference path, plus the 0 allocs/op pin on StepBlock.
+bench-block:
+	$(GO) test -bench 'StepBlock' -benchmem -run '^$$' ./internal/cpu/
 
 # Sanitizer lane (DESIGN.md §10): the full test suite with the coyotesan
 # runtime invariant checkers compiled in. The golden tests passing here

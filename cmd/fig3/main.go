@@ -22,7 +22,8 @@
 //	fig3                        # default sweep 1..128 cores, both kernels
 //	fig3 -cores 1,2,4,8         # custom core counts
 //	fig3 -workers 1,4           # sweep the in-cycle worker pool too
-//	fig3 -interleave 8          # Spike-style interleaving enabled
+//	fig3 -interleave 1,8        # sweep Spike-style interleaving quanta
+//	fig3 -engine reference      # per-instruction engine (no superblocks)
 //	fig3 -repeat 7              # median-of-7 wall-clock per point
 //	fig3 -baseline old.json     # record speedup vs a previous run
 //	fig3 -cpuprofile cpu.pb.gz  # profile the simulator itself
@@ -46,6 +47,7 @@ type point struct {
 	Kernel       string  `json:"kernel"`
 	Cores        int     `json:"cores"`
 	Workers      int     `json:"workers"`
+	Interleave   int     `json:"interleave"`
 	N            int     `json:"n"`
 	Instructions uint64  `json:"instructions"`
 	Cycles       uint64  `json:"cycles"`
@@ -55,7 +57,11 @@ type point struct {
 }
 
 type summary struct {
+	// Interleave holds the first swept quantum for compatibility with
+	// readers of pre-sweep summaries; Interleaves is the full sweep.
 	Interleave  int     `json:"interleave"`
+	Interleaves []int   `json:"interleaves,omitempty"`
+	Engine      string  `json:"engine,omitempty"`
 	FastForward bool    `json:"fastforward"`
 	Repeat      int     `json:"repeat"`
 	Warmup      int     `json:"warmup"`
@@ -66,12 +72,17 @@ type summary struct {
 // pointKey identifies a point in the baseline map. Summaries written
 // before the workers dimension existed unmarshal with Workers == 0; those
 // points ran the sequential orchestrator, so they normalise to workers=1
-// and old baselines keep working against new workers=1 runs.
-func pointKey(kernel string, cores, workers int) string {
+// and old baselines keep working against new workers=1 runs. The
+// interleave dimension is likewise normalised: points written before it
+// existed carry the summary-level quantum, threaded in by the loader.
+func pointKey(kernel string, cores, workers, interleave int) string {
 	if workers <= 0 {
 		workers = 1
 	}
-	return fmt.Sprintf("%s/%d/w%d", kernel, cores, workers)
+	if interleave <= 0 {
+		interleave = 1
+	}
+	return fmt.Sprintf("%s/%d/w%d/q%d", kernel, cores, workers, interleave)
 }
 
 // medianMIPS reports the median of the timed samples (mean of the middle
@@ -97,7 +108,8 @@ func main() {
 		minN        = flag.Int("min-n", 48, "minimum matmul size")
 		spmvRows    = flag.Int("spmv-rows-per-core", 256, "SpMV rows per simulated core")
 		nnzPerRow   = flag.Int("nnz-per-row", 24, "SpMV nonzeros per row")
-		interleave  = flag.Int("interleave", 1, "interleaving quantum (1 = Coyote default)")
+		interleave  = flag.String("interleave", "1", "comma-separated interleaving quanta (1 = Coyote default)")
+		engine      = flag.String("engine", "block", "execution engine: block (superblock cache) or reference (per-instruction)")
 		fastForward = flag.Bool("fastforward", false, "enable the idle-cycle fast-forward optimisation")
 		repeat      = flag.Int("repeat", 5, "timed runs per point; median MIPS reported")
 		dataOut     = flag.String("o", "", "also write a gnuplot-style data file")
@@ -124,6 +136,17 @@ func main() {
 		}
 		workerCounts = append(workerCounts, w)
 	}
+	var quanta []int
+	for _, f := range strings.Split(*interleave, ",") {
+		q, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || q <= 0 {
+			fatal(fmt.Errorf("bad interleave quantum %q", f))
+		}
+		quanta = append(quanta, q)
+	}
+	if *engine != "block" && *engine != "reference" {
+		fatal(fmt.Errorf("bad -engine %q (want block or reference)", *engine))
+	}
 	if *repeat < 1 {
 		fatal(fmt.Errorf("-repeat must be at least 1"))
 	}
@@ -141,7 +164,13 @@ func main() {
 			fatal(fmt.Errorf("baseline %s: %w", *baseline, err))
 		}
 		for _, p := range prev.Points {
-			base[pointKey(p.Kernel, p.Cores, p.Workers)] = p.MIPS
+			q := p.Interleave
+			if q <= 0 {
+				// Pre-sweep summary: every point ran at the summary-level
+				// quantum (itself 0 in the oldest files, meaning 1).
+				q = prev.Interleave
+			}
+			base[pointKey(p.Kernel, p.Cores, p.Workers, q)] = p.MIPS
 		}
 	}
 
@@ -164,14 +193,16 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("# Figure 3: simulation throughput vs simulated cores (interleave=%d fastforward=%v repeat=%d+1 warmup)\n",
-		*interleave, *fastForward, *repeat)
-	fmt.Printf("%-20s %6s %8s %8s %12s %12s %10s\n",
-		"kernel", "cores", "workers", "n", "instructions", "cycles", "MIPS")
+	fmt.Printf("# Figure 3: simulation throughput vs simulated cores (interleave=%s engine=%s fastforward=%v repeat=%d+1 warmup)\n",
+		*interleave, *engine, *fastForward, *repeat)
+	fmt.Printf("%-20s %6s %8s %6s %8s %12s %12s %10s\n",
+		"kernel", "cores", "workers", "ilv", "n", "instructions", "cycles", "MIPS")
 	var fileLines []string
-	fileLines = append(fileLines, "# kernel cores workers mips")
+	fileLines = append(fileLines, "# kernel cores workers interleave mips")
 	sum := summary{
-		Interleave:  *interleave,
+		Interleave:  quanta[0],
+		Interleaves: quanta,
+		Engine:      *engine,
 		FastForward: *fastForward,
 		Repeat:      *repeat,
 		Warmup:      1,
@@ -180,53 +211,56 @@ func main() {
 
 	for _, kname := range strings.Split(*kernFlag, ",") {
 		kname = strings.TrimSpace(kname)
-		for _, c := range cores {
-			for _, w := range workerCounts {
-				p := point{Kernel: kname, Cores: c, Workers: w}
-				params := coyote.Params{Cores: c}
-				switch {
-				case strings.HasPrefix(kname, "spmv"):
-					p.N = *spmvRows * c
-					params.N = p.N
-					params.Density = float64(*nnzPerRow) / float64(p.N)
-				default:
-					p.N = c * *rowsPerCore
-					if p.N < *minN {
-						p.N = *minN
+		for _, q := range quanta {
+			for _, c := range cores {
+				for _, w := range workerCounts {
+					p := point{Kernel: kname, Cores: c, Workers: w, Interleave: q}
+					params := coyote.Params{Cores: c}
+					switch {
+					case strings.HasPrefix(kname, "spmv"):
+						p.N = *spmvRows * c
+						params.N = p.N
+						params.Density = float64(*nnzPerRow) / float64(p.N)
+					default:
+						p.N = c * *rowsPerCore
+						if p.N < *minN {
+							p.N = *minN
+						}
+						params.N = p.N
 					}
-					params.N = p.N
-				}
-				cfg := coyote.DefaultConfig(c)
-				cfg.InterleaveQuantum = *interleave
-				cfg.FastForward = *fastForward
-				cfg.Workers = w
-				// One warmup run (page faults, branch predictors, heap
-				// growth) that never contributes a sample, then -repeat
-				// timed runs.
-				samples := make([]float64, 0, *repeat)
-				for r := 0; r < *repeat+1; r++ {
-					res, err := coyote.RunKernel(kname, params, cfg)
-					if err != nil {
-						fatal(fmt.Errorf("%s @ %d cores, %d workers: %w", kname, c, w, err))
+					cfg := coyote.DefaultConfig(c)
+					cfg.InterleaveQuantum = q
+					cfg.FastForward = *fastForward
+					cfg.Workers = w
+					cfg.Hart.DisableBlockCache = *engine == "reference"
+					// One warmup run (page faults, branch predictors, heap
+					// growth) that never contributes a sample, then -repeat
+					// timed runs.
+					samples := make([]float64, 0, *repeat)
+					for r := 0; r < *repeat+1; r++ {
+						res, err := coyote.RunKernel(kname, params, cfg)
+						if err != nil {
+							fatal(fmt.Errorf("%s @ %d cores, %d workers, interleave %d: %w", kname, c, w, q, err))
+						}
+						if r > 0 {
+							samples = append(samples, res.MIPS())
+						}
+						p.Cycles = res.Cycles
+						p.Instructions = res.Instructions
 					}
-					if r > 0 {
-						samples = append(samples, res.MIPS())
+					p.MIPS = medianMIPS(samples)
+					line := fmt.Sprintf("%-20s %6d %8d %6d %8d %12d %12d %10.3f",
+						p.Kernel, p.Cores, p.Workers, p.Interleave, p.N, p.Instructions, p.Cycles, p.MIPS)
+					if b, ok := base[pointKey(p.Kernel, p.Cores, p.Workers, p.Interleave)]; ok && b > 0 {
+						p.BaselineMIPS = b
+						p.Speedup = p.MIPS / b
+						line += fmt.Sprintf("  (%.2fx vs baseline %.3f)", p.Speedup, b)
 					}
-					p.Cycles = res.Cycles
-					p.Instructions = res.Instructions
+					fmt.Println(line)
+					fileLines = append(fileLines,
+						fmt.Sprintf("%s %d %d %d %.4f", p.Kernel, p.Cores, p.Workers, p.Interleave, p.MIPS))
+					sum.Points = append(sum.Points, p)
 				}
-				p.MIPS = medianMIPS(samples)
-				line := fmt.Sprintf("%-20s %6d %8d %8d %12d %12d %10.3f",
-					p.Kernel, p.Cores, p.Workers, p.N, p.Instructions, p.Cycles, p.MIPS)
-				if b, ok := base[pointKey(p.Kernel, p.Cores, p.Workers)]; ok && b > 0 {
-					p.BaselineMIPS = b
-					p.Speedup = p.MIPS / b
-					line += fmt.Sprintf("  (%.2fx vs baseline %.3f)", p.Speedup, b)
-				}
-				fmt.Println(line)
-				fileLines = append(fileLines,
-					fmt.Sprintf("%s %d %d %.4f", p.Kernel, p.Cores, p.Workers, p.MIPS))
-				sum.Points = append(sum.Points, p)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package coyote
 
 import (
 	"bytes"
+	"fmt"
 	"runtime"
 	"testing"
 )
@@ -11,8 +12,16 @@ import (
 // Result.
 func runKernelTraced(t *testing.T, name string, p Params, workers int) (string, []byte, *Result) {
 	t.Helper()
+	return runKernelTracedCfg(t, name, p, func(c *Config) { c.Workers = workers })
+}
+
+// runKernelTracedCfg is runKernelTraced with an arbitrary config mutation
+// (worker count, interleave quantum, execution engine).
+func runKernelTracedCfg(t *testing.T, name string, p Params, mutate func(*Config)) (string, []byte, *Result) {
+	t.Helper()
 	cfg := DefaultConfig(p.Cores)
-	cfg.Workers = workers
+	mutate(&cfg)
+	workers := cfg.Workers
 	sys, err := PrepareKernel(name, p, cfg)
 	if err != nil {
 		t.Fatalf("prepare (workers=%d): %v", workers, err)
@@ -103,6 +112,58 @@ func TestWorkersFour(t *testing.T) {
 				t.Error("workers=4 reported no speculative quanta; the parallel path did not run")
 			}
 		})
+	}
+}
+
+// TestWorkersInterleaveMatrix is the superblock engine's correctness
+// oracle. For interleave quanta {1, 2, 8, 64} the golden baseline is the
+// sequential run on the superblock engine; against it the matrix checks
+//
+//   - Workers=4 on the superblock engine (speculative parallel path),
+//   - Workers=1 on the per-instruction reference engine
+//     (Hart.DisableBlockCache), and
+//   - Workers=4 on the reference engine,
+//
+// all of which must produce byte-identical .prv traces and identical
+// canonical statistics: StepBlock is required to be timing-equivalent to
+// per-instruction stepping under every interleave and worker count, not
+// merely to compute the same registers. The kernels cover the scalar,
+// vector-gather and atomic (spec-unsafe fallback) execution shapes.
+func TestWorkersInterleaveMatrix(t *testing.T) {
+	params := Params{N: 48, Cores: 4, Density: 0.05}
+	kernels := []string{"matmul-scalar", "spmv-vector-gather", "histogram-atomic"}
+	variants := []struct {
+		name    string
+		workers int
+		refEng  bool
+	}{
+		{"workers4-block", 4, false},
+		{"workers1-reference", 1, true},
+		{"workers4-reference", 4, true},
+	}
+	for _, name := range kernels {
+		for _, q := range []int{1, 2, 8, 64} {
+			t.Run(fmt.Sprintf("%s/interleave%d", name, q), func(t *testing.T) {
+				baseStats, basePRV, _ := runKernelTracedCfg(t, name, params, func(c *Config) {
+					c.InterleaveQuantum = q
+				})
+				for _, v := range variants {
+					stats, prv, _ := runKernelTracedCfg(t, name, params, func(c *Config) {
+						c.InterleaveQuantum = q
+						c.Workers = v.workers
+						c.Hart.DisableBlockCache = v.refEng
+					})
+					if stats != baseStats {
+						t.Errorf("%s changed simulated stats:\n--- baseline\n%s--- %s\n%s",
+							v.name, baseStats, v.name, stats)
+					}
+					if !bytes.Equal(prv, basePRV) {
+						t.Errorf("%s changed the .prv trace (%d vs %d bytes)",
+							v.name, len(basePRV), len(prv))
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -376,7 +376,8 @@ func encodeInstruction(name string, ops []string, pc uint64, syms map[string]uin
 		}
 		in.Imm = v
 		return enc(in)
-	case op == riscv.OpECALL, op == riscv.OpEBREAK, op == riscv.OpFENCE:
+	case op == riscv.OpECALL, op == riscv.OpEBREAK, op == riscv.OpFENCE,
+		op == riscv.OpFENCEI:
 		if len(ops) != 0 && op != riscv.OpFENCE {
 			return nil, fmt.Errorf("%s takes no operands", name)
 		}

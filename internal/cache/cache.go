@@ -72,11 +72,25 @@ type line struct {
 // Cache is a tag-only set-associative cache. Not safe for concurrent use.
 type Cache struct {
 	cfg       Config
-	sets      [][]line
+	sets      []line // flat: set i occupies sets[i*Ways : (i+1)*Ways]
 	setMask   uint64
+	lineMask  uint64
 	lineShift uint
 	clock     uint64
 	Stats     Stats
+
+	// mru[i] points at the most recently touched line of set i. A repeat
+	// access to that line — the dominant pattern of scalar streams —
+	// answers from it without the set scan or an LRU write. Skipping the
+	// LRU update is sound: the memoed line holds its set's maximum stamp
+	// (every other touch of the set goes through the slow path, which
+	// refreshes the memo), so leaving the stamp alone cannot change any
+	// relative order within the set — and victim selection only ever
+	// compares within a set. Invalidate and Flush are caught by the
+	// valid&&tag recheck on use; RollbackSpec must clear the memo for the
+	// sets it restores, because a restored line can match on tag while no
+	// longer being its set's most recent.
+	mru []*line
 
 	// spec journals touched sets during a speculative episode so a
 	// misspeculated hart's cache state can be rolled back bit-exactly.
@@ -96,18 +110,23 @@ func New(cfg Config) (*Cache, error) {
 	}
 	nsets := cfg.Sets()
 	c := &Cache{
-		cfg:     cfg,
-		sets:    make([][]line, nsets),
-		setMask: uint64(nsets - 1),
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+		cfg:      cfg,
+		sets:     make([]line, nsets*cfg.Ways),
+		mru:      make([]*line, nsets),
+		setMask:  uint64(nsets - 1),
+		lineMask: uint64(cfg.LineBytes - 1),
 	}
 	for ls := cfg.LineBytes; ls > 1; ls >>= 1 {
 		c.lineShift++
 	}
 	c.san.Init("cache")
 	return c, nil
+}
+
+// set returns the ways of set idx as a slice of the flat tag store.
+func (c *Cache) set(idx uint64) []line {
+	off := int(idx) * c.cfg.Ways
+	return c.sets[off : off+c.cfg.Ways]
 }
 
 // SetSanName labels this cache's sanitizer reports (e.g. "l2bank3.tags")
@@ -128,7 +147,7 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // LineAddr masks addr down to its line base address.
 func (c *Cache) LineAddr(addr uint64) uint64 {
-	return addr >> c.lineShift << c.lineShift
+	return addr &^ c.lineMask
 }
 
 // LineBytes returns the line size.
@@ -150,11 +169,26 @@ type AccessResult struct {
 // generated by the eviction of a dirty line.
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	tag := addr >> c.lineShift
+	idx := tag & c.setMask
+	if m := c.mru[idx]; !san.Enabled && m != nil && m.valid && m.tag == tag {
+		// Repeat access to the set's most recently touched line; see the
+		// mru field comment for why skipping the LRU write is sound. The
+		// coyotesan build always takes the full path so every lookup is
+		// cross-checked against the shadow directory.
+		if c.spec.active {
+			c.specSave(idx)
+		}
+		c.Stats.Hits++
+		if write {
+			m.dirty = true
+		}
+		return AccessResult{Hit: true}
+	}
 	if c.spec.active {
-		c.specSave(tag & c.setMask)
+		c.specSave(idx)
 	}
 	c.clock++
-	set := c.sets[tag&c.setMask]
+	set := c.set(idx)
 	for i := range set {
 		l := &set[i]
 		if l.valid && l.tag == tag {
@@ -164,6 +198,7 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 			if write {
 				l.dirty = true
 			}
+			c.mru[idx] = l
 			return AccessResult{Hit: true}
 		}
 	}
@@ -193,6 +228,7 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	}
 	c.san.Install(c.clock, tag)
 	*v = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	c.mru[idx] = v
 	return res
 }
 
@@ -200,7 +236,7 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 // touching LRU or statistics.
 func (c *Cache) Probe(addr uint64) bool {
 	tag := addr >> c.lineShift
-	set := c.sets[tag&c.setMask]
+	set := c.set(tag & c.setMask)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			c.san.Lookup(c.clock, tag, true)
@@ -232,7 +268,7 @@ func (c *Cache) Invalidate(addr uint64) bool {
 	if c.spec.active {
 		c.specSave(tag & c.setMask)
 	}
-	set := c.sets[tag&c.setMask]
+	set := c.set(tag & c.setMask)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			c.san.Drop(c.clock, tag, true)
@@ -248,14 +284,12 @@ func (c *Cache) Invalidate(addr uint64) bool {
 // lines (the writebacks a real cache would perform).
 func (c *Cache) Flush() []uint64 {
 	var wbs []uint64
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			l := &c.sets[si][wi]
-			if l.valid && l.dirty && c.cfg.WriteBack {
-				wbs = append(wbs, l.tag<<c.lineShift)
-			}
-			*l = line{}
+	for i := range c.sets {
+		l := &c.sets[i]
+		if l.valid && l.dirty && c.cfg.WriteBack {
+			wbs = append(wbs, l.tag<<c.lineShift)
 		}
+		*l = line{}
 	}
 	c.san.Reset()
 	return wbs
@@ -268,11 +302,9 @@ func (c *Cache) ResetStats() { c.Stats = Stats{} }
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].valid {
-				n++
-			}
+	for i := range c.sets {
+		if c.sets[i].valid {
+			n++
 		}
 	}
 	c.san.Count(c.clock, n)

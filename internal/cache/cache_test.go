@@ -200,3 +200,30 @@ func TestDirectMappedConflicts(t *testing.T) {
 		}
 	}
 }
+
+// The MRU memo must not survive a speculative rollback: a restored line can
+// match the memo on tag while no longer being its set's most recently used
+// way, and a fast-path hit that skips the LRU refresh would then change a
+// later eviction decision versus the reference full path.
+func TestRollbackSpecClearsMRUMemo(t *testing.T) {
+	// One set, two ways: every line conflicts.
+	c := MustNew(Config{SizeBytes: 128, Ways: 2, LineBytes: 64})
+	a, b, d := uint64(0), uint64(128), uint64(256)
+
+	c.Access(a, false) // install a
+	c.Access(b, false) // install b; memo -> b
+	c.Access(a, false) // a is now the set's most recent; memo -> a
+
+	c.BeginSpec()
+	c.Access(b, false) // speculative touch; memo -> b
+	c.RollbackSpec()   // restores a as most recent; memo must drop b
+
+	c.Access(b, false) // must refresh b's LRU stamp via the full path
+	c.Access(d, false) // conflict miss: the true LRU victim is a, not b
+	if !c.Probe(b) {
+		t.Error("b was evicted: stale MRU memo skipped its LRU refresh after rollback")
+	}
+	if c.Probe(a) {
+		t.Error("a survived eviction: victim selection diverged from reference LRU")
+	}
+}

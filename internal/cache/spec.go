@@ -50,11 +50,15 @@ func (c *Cache) CommitSpec() {
 func (c *Cache) RollbackSpec() {
 	for i := range c.spec.saved {
 		sv := &c.spec.saved[i]
-		set := c.sets[sv.idx]
+		set := c.set(sv.idx)
 		if san.Enabled {
 			c.resyncShadow(set, sv.ways)
 		}
 		copy(set, sv.ways)
+		// A restored line can match the memo on tag while no longer being
+		// its set's most recent touch; drop the memo so the next access
+		// re-establishes the invariant through the slow path.
+		c.mru[sv.idx] = nil
 	}
 	c.Stats = c.spec.stats
 	c.clock = c.spec.clock
@@ -115,9 +119,10 @@ func (c *Cache) specSave(idx uint64) {
 	}
 	sv := &c.spec.saved[n]
 	sv.idx = idx
-	if cap(sv.ways) < len(c.sets[idx]) {
-		sv.ways = make([]line, len(c.sets[idx])) //coyote:alloc-ok one-time way-buffer fill; reused for the rest of the run
+	set := c.set(idx)
+	if cap(sv.ways) < len(set) {
+		sv.ways = make([]line, len(set)) //coyote:alloc-ok one-time way-buffer fill; reused for the rest of the run
 	}
-	sv.ways = sv.ways[:len(c.sets[idx])]
-	copy(sv.ways, c.sets[idx])
+	sv.ways = sv.ways[:len(set)]
+	copy(sv.ways, set)
 }

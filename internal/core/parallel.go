@@ -160,14 +160,33 @@ func (s *System) specStepHart(k int) {
 	o := &par.outcome[k]
 	o.executedAny = false
 	h.BeginSpec()
-	var res cpu.StepResult
-	for q := 0; q < s.cfg.InterleaveQuantum; q++ {
-		res = h.Step(s.cycle)
-		if res == cpu.StepExecuted {
-			o.executedAny = true
-			continue
+	if !h.BlockEngineEnabled() {
+		// Reference per-instruction engine (differential testing).
+		var res cpu.StepResult
+		for q := 0; q < s.cfg.InterleaveQuantum; q++ {
+			res = h.Step(s.cycle)
+			if res == cpu.StepExecuted {
+				o.executedAny = true
+				continue
+			}
+			break
 		}
-		break
+		o.res = res
+		return
+	}
+	rem := s.cfg.InterleaveQuantum
+	res := cpu.StepExecuted
+	for rem > 0 {
+		var n int
+		n, res = h.StepBlock(s.cycle, rem)
+		rem -= n
+		if n > 0 {
+			o.executedAny = true
+		}
+		if res != cpu.StepExecuted {
+			break
+		}
+		// res == StepExecuted implies n ≥ 1, so rem strictly decreases.
 	}
 	o.res = res
 }

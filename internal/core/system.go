@@ -382,16 +382,50 @@ func (s *System) stepCycleSeq() (bool, error) {
 	return anyRunnable, nil
 }
 
-// stepHart runs one hart's interleave quantum sequentially with immediate
-// dispatch — the per-hart body of the classic loop. It is also the serial
-// re-execution fallback for misspeculated or spec-unsafe harts in the
-// parallel commit walk.
+// stepHart runs one hart's interleave quantum sequentially — the per-hart
+// body of the classic loop. It is also the serial re-execution fallback
+// for misspeculated or spec-unsafe harts in the parallel commit walk.
+//
+// The quantum is consumed in superblock bites via StepBlock, with one
+// dispatch per bite instead of one per instruction. Batching does not
+// move any simulated event: every instruction of the quantum runs at the
+// same cycle, so the uncore sees the identical requests in the identical
+// order at the identical time — only the Go-side call count changes. The
+// reference per-instruction engine (Hart.DisableBlockCache) keeps the
+// classic step-then-dispatch loop for differential testing.
 func (s *System) stepHart(i int, h *cpu.Hart, anyRunnable *bool) error {
 	if h.BusyUntil() > s.cycle {
 		*anyRunnable = true // occupied, but will free itself
 		h.Stats.BusyCycles++
 		return nil
 	}
+	if !h.BlockEngineEnabled() {
+		return s.stepHartRef(i, h, anyRunnable)
+	}
+	rem := s.cfg.InterleaveQuantum
+	for {
+		n, res := h.StepBlock(s.cycle, rem)
+		rem -= n
+		if n > 0 {
+			*anyRunnable = true
+		}
+		if len(h.Events) > 0 {
+			s.dispatch(h)
+		}
+		if res != cpu.StepExecuted {
+			return s.applyStepResult(i, h, res, anyRunnable)
+		}
+		if rem == 0 {
+			return nil
+		}
+		// res == StepExecuted implies n ≥ 1, so rem strictly decreases.
+	}
+}
+
+// stepHartRef is the pre-superblock reference loop: one Step, one
+// dispatch, per instruction. Kept verbatim so the golden differential
+// tests can pin the block engine against it.
+func (s *System) stepHartRef(i int, h *cpu.Hart, anyRunnable *bool) error {
 	for q := 0; q < s.cfg.InterleaveQuantum; q++ {
 		res := h.Step(s.cycle)
 		if len(h.Events) > 0 {

@@ -1,0 +1,337 @@
+package cpu
+
+import (
+	"github.com/coyote-sim/coyote/internal/riscv"
+	"github.com/coyote-sim/coyote/internal/san"
+)
+
+// Superblock execution engine.
+//
+// The per-PC stepCache already removes decode work from the hot loop, but
+// every retired instruction still pays a full Step call: L1I line check,
+// cache probe, scoreboard test, orchestrator return. For straight-line
+// code — the overwhelming majority of kernel instructions — all of that
+// bookkeeping is predictable in advance. A blockEntry caches a decoded
+// straight-line run ("superblock") starting at its PC, terminated by the
+// first instruction that can redirect or leave the fast path:
+//
+//   - system instructions (ClassSystem: ecall/ebreak/fence/fence.i, CSR
+//     ops, the vsetvl family — anything that can read batched counters or
+//     change LMUL),
+//   - atomics (ClassAtomic: refuse to run speculatively),
+//   - undecodable words (the architectural single-step path owns faults),
+//   - the configured maximum block length.
+//
+// Control flow (ClassBranch: branches, jal, jalr) also ends a block, but
+// as its *last* instruction rather than by exclusion: the execution loop
+// below advances pc to whatever nextPC execute produced, so a trailing
+// branch retires inside the block and redirects the hart in one call —
+// a loop iteration costs one StepBlock entry, never a single-step detour.
+// Only the final element of a block can be a branch, by construction.
+//
+// StepBlock executes the cached run in one tight loop and is semantically
+// exactly  "call Step up to max times":  same per-instruction L1I timing,
+// same scoreboard stalls, same events in the same order — it only batches
+// the Instret and same-line L1I hit counters (flushed before returning)
+// and lets the orchestrator dispatch the accumulated events once per call
+// instead of once per instruction. Blocks are built at every entry PC, so
+// a branch into the middle of a cached run simply builds (or hits) the
+// suffix block starting there; no per-hart resume state exists.
+//
+// Terminators execute through the plain Step path: a blockEntry whose
+// first instruction terminates caches an empty run (n == 0), and
+// StepBlock falls back to a single Step for it.
+type blockEntry struct {
+	pc    uint64
+	code  []blockInstr
+	valid bool
+}
+
+// blockInstr is one pre-decoded instruction of a superblock. The usage
+// masks are refreshed in place when LMUL changed since they were computed
+// (a vsetvl terminates every block, so LMUL is constant *within* a block,
+// but a cached block can be re-entered under a different LMUL).
+type blockInstr struct {
+	in    riscv.Instr
+	use   riscv.RegUse
+	lmul  uint8
+	isVec bool
+}
+
+const blockCacheSize = 512 // direct-mapped, same indexing as stepCache
+
+// blockTerminates reports whether op must not be folded into a superblock
+// at all. Branches are not listed: they terminate a block by being folded
+// in as its final instruction (see buildBlock).
+func blockTerminates(op riscv.Op) bool {
+	return op.Classify()&(riscv.ClassSystem|riscv.ClassAtomic) != 0
+}
+
+// fetchRead32 reads an instruction word for decode. Unlike memRead32 it
+// never logs a speculative read: text is immutable during a run (stores
+// into live decoded code are a sanitizer error, see sanCheckCodeWrite),
+// so validating fetched words would be pure overhead. Under armed
+// speculation the read must still go through the private view — the
+// shared Memory accessors mutate their lookaside and allocate pages,
+// which would race with other workers.
+func (h *Hart) fetchRead32(a uint64) uint32 {
+	if h.spec.active {
+		return h.spec.view.Read32(a)
+	}
+	return h.Mem.Read32(a)
+}
+
+// buildBlock (re)fills e with the superblock starting at h.PC. Decode
+// errors and terminators simply end the run; a run of length zero routes
+// the PC to the single-step path. Building is cold (once per entry PC per
+// generation) and reuses the entry's slice capacity, so the steady state
+// allocates nothing.
+func (h *Hart) buildBlock(e *blockEntry) {
+	e.pc = h.PC
+	e.code = e.code[:0]
+	e.valid = true
+	pc := h.PC
+	for len(e.code) < h.blockMax {
+		in, err := riscv.Decode(h.fetchRead32(pc))
+		if err != nil || blockTerminates(in.Op) {
+			break
+		}
+		lmul := uint(1)
+		isVec := in.Op.IsVector()
+		if isVec {
+			lmul = h.VType.LMUL
+		}
+		e.code = append(e.code, blockInstr{ //coyote:alloc-ok cold build path; the entry's backing array is reused on rebuild, growing at most to BlockMaxLen once
+			in: in, use: riscv.RegUsage(in, lmul), lmul: uint8(lmul), isVec: isVec,
+		})
+		pc += 4
+		if in.Op.Classify()&riscv.ClassBranch != 0 {
+			break // a branch is always a block's last instruction
+		}
+	}
+	if san.Enabled && len(e.code) > 0 {
+		h.noteCodeRange(e.pc, pc)
+	}
+}
+
+// StepBlock attempts to execute up to max instructions at cycle now,
+// using the superblock cache for straight-line runs. It is semantically
+// identical to calling Step(now) up to max times: it returns the number
+// of instructions retired and the last StepResult (StepExecuted when the
+// run ended at a block boundary or the max was reached with every
+// instruction retired). Produced memory events accumulate in h.Events in
+// program order exactly as under Step; the caller drains them after the
+// call instead of after every instruction.
+//
+//coyote:allocfree
+func (h *Hart) StepBlock(now uint64, max int) (int, StepResult) {
+	if h.Halted {
+		return 0, StepHalted
+	}
+	if h.fetchPending {
+		h.Stats.StallsFetch++
+		return 0, StepStalledFetch
+	}
+	if now < h.busyUntil {
+		h.Stats.BusyCycles++
+		return 0, StepBusy
+	}
+	if h.blockOff || max <= 0 {
+		if res := h.Step(now); res != StepExecuted {
+			return 0, res
+		}
+		return 1, StepExecuted
+	}
+
+	// The tight loop. Per instruction it performs exactly the work Step
+	// performs, in the same order — fetch timing, scoreboard, speculative
+	// save, execute, retire bookkeeping — with two counters batched in
+	// locals: Instret (== retired) and the same-line L1I hit count. Both
+	// are flushed at the single exit point below, before any caller can
+	// observe Stats, so snapshots and rollbacks stay consistent.
+	//
+	// The chain loop follows block boundaries for as long as the quantum
+	// has budget: when a block's trailing branch redirects to another
+	// cached block, execution continues there within the same call. The
+	// per-call entry checks and counter flushes amortize across the whole
+	// quantum, and the orchestrator dispatches events once per quantum —
+	// every request still reaches the uncore at the same cycle in the
+	// same order.
+	spec := h.spec.active
+	retired := 0
+	hits := uint64(0)
+	res := StepExecuted
+	lineBytes := uint64(h.L1I.LineBytes())
+chain:
+	for {
+		e := &h.blockCache[h.PC>>2&(blockCacheSize-1)]
+		if !e.valid || e.pc != h.PC {
+			h.buildBlock(e)
+		}
+		n := len(e.code)
+		if n == 0 {
+			// First instruction is a terminator (or undecodable): the
+			// architectural single-step path owns system instructions,
+			// atomics and faults. Mid-chain, return what has retired; the
+			// orchestrator's quantum loop re-enters and lands here again.
+			if retired > 0 {
+				break chain
+			}
+			if res := h.Step(now); res != StepExecuted {
+				return 0, res
+			}
+			return 1, StepExecuted
+		}
+		if n > max-retired {
+			n = max - retired
+		}
+		pc := h.PC
+		code := e.code
+	loop:
+		for k := 0; k < n; {
+			// Fetch timing through L1I, hoisted to line granularity: all the
+			// instructions of this block that share pc's I-line form one
+			// segment, checked against the last-fetched line once. The inner
+			// loop then counts one same-line hit per *attempted* instruction
+			// (exactly Step's per-fetch accounting — an instruction that
+			// RAW-stalls has still fetched); when the segment's line came
+			// through a real Access, that call already counted the first
+			// instruction's hit, so the batched counter is pre-decremented.
+			line := h.L1I.LineAddr(pc)
+			seg := int((line + lineBytes - pc) >> 2)
+			if seg > n-k {
+				seg = n - k
+			}
+			if h.lastFetchValid && line == h.lastFetchLine {
+				// whole segment fetches from the resident line
+			} else if r := h.L1I.Access(pc, false); r.Hit {
+				h.lastFetchLine = line
+				h.lastFetchValid = true
+				hits--
+			} else {
+				h.lastFetchValid = false
+				h.Stats.FetchMisses++
+				h.fetchPending = true
+				h.emit(MemEvent{Addr: line, Fetch: true})
+				h.Stats.StallsFetch++
+				res = StepStalledFetch
+				break
+			}
+			segEnd := k + seg
+			_ = code[segEnd-1] // hoist the bounds check out of the segment loop
+			for ; k < segEnd; k++ {
+				bi := &code[k]
+				hits++
+
+				if bi.isVec && uint(bi.lmul) != h.VType.LMUL {
+					bi.lmul = uint8(h.VType.LMUL)
+					bi.use = riscv.RegUsage(bi.in, h.VType.LMUL)
+				}
+				use := &bi.use
+
+				// Scoreboard: stall on any pending source or destination.
+				if (use.ReadsX|use.WritesX)&h.pending[RegX] != 0 ||
+					(use.ReadsF|use.WritesF)&h.pending[RegF] != 0 ||
+					(use.ReadsV|use.WritesV)&h.pending[RegV] != 0 {
+					h.Stats.StallsRAW++
+					res = StepStalledRAW
+					break loop
+				}
+
+				// Superblocks never contain atomics or ecall, so the write masks
+				// are the complete speculative-save footprint.
+				if spec {
+					if use.WritesX != 0 {
+						h.specSaveX(use.WritesX)
+					}
+					if use.WritesF != 0 {
+						h.specSaveF(use.WritesF)
+					}
+					if use.WritesV != 0 {
+						h.specSaveV(use.WritesV)
+					}
+				}
+
+				h.PC = pc // execute reads h.PC (auipc, branch targets, fault reports)
+				nextPC := pc + 4
+				res = h.execute(bi.in, &nextPC, now)
+				if res != StepExecuted {
+					break loop // fault: execute already halted the hart
+				}
+				// pc+4 for every instruction but a trailing branch, whose redirect
+				// (or fall-through) execute wrote into nextPC; a branch is always
+				// the block's last element, so the loop exits right after.
+				pc = nextPC
+				h.PC = pc
+				retired++
+				if bi.isVec {
+					h.Stats.VectorOps++
+					if occ := h.vectorOccupancy(bi.in); occ > 1 {
+						h.busyUntil = now + occ
+						if k+1 < n {
+							// Step would report StepBusy for the next attempt of
+							// this quantum; at the block's end the next StepBlock
+							// entry check does the same accounting instead.
+							h.Stats.BusyCycles++
+							res = StepBusy
+							break loop
+						}
+					}
+				}
+			}
+		}
+		// Chain into the next block only while the quantum has budget and
+		// the hart can actually take another instruction this cycle: a
+		// trailing vector op may have set busyUntil, which pre-chaining the
+		// next StepBlock *entry* check would catch — mid-chain we must stop
+		// here and let the orchestrator's re-entry do that accounting.
+		if res != StepExecuted || retired == max || now < h.busyUntil {
+			break chain
+		}
+	}
+	h.Stats.Instret += uint64(retired)
+	h.L1I.Stats.Hits += hits
+	return retired, res
+}
+
+// noteCodeRange extends the live-decoded-code watermark (san builds only).
+func (h *Hart) noteCodeRange(lo, hi uint64) {
+	if lo < h.codeLo {
+		h.codeLo = lo
+	}
+	if hi > h.codeHi {
+		h.codeHi = hi
+	}
+}
+
+// sanCheckCodeWrite panics (via san.Check) when an architectural store
+// lands inside a live decoded superblock or step-cache entry: the caches
+// would keep executing the stale pre-decoded code. Bare-metal kernels
+// never store to text, so the cheap watermark test short-circuits the
+// precise scan. Only called under san.Enabled, from the non-speculative
+// store path and from CommitSpec (an aborted speculative store never
+// architecturally happens). The check covers the storing hart's own
+// caches; cross-hart code patching would additionally need fence.i on
+// every hart, which this model does not support.
+func (h *Hart) sanCheckCodeWrite(a uint64, size uint8) {
+	hi := a + uint64(size)
+	if a >= h.codeHi || hi <= h.codeLo {
+		return
+	}
+	for i := range h.blockCache {
+		e := &h.blockCache[i]
+		if e.valid && a < e.pc+uint64(4*len(e.code)) && hi > e.pc {
+			san.Check(false, h.sanNow(), "cpu.selfmod",
+				"store overlaps a live decoded superblock (missing fence.i?)",
+				uint64(h.ID), a)
+		}
+	}
+	for i := range h.stepCache {
+		e := &h.stepCache[i]
+		if e.valid && a < e.pc+4 && hi > e.pc {
+			san.Check(false, h.sanNow(), "cpu.selfmod",
+				"store overlaps a live decoded instruction (missing fence.i?)",
+				uint64(h.ID), a)
+		}
+	}
+}

@@ -73,7 +73,7 @@ func (h *Hart) executeCSR(in riscv.Instr) StepResult {
 			h.writeCSR(addr, old&^src)
 		}
 	default:
-		h.Fault = fmt.Errorf("hart %d: bad CSR op %v", h.ID, in.Op)
+		h.Fault = fmt.Errorf("hart %d: bad CSR op %v", h.ID, in.Op) //coyote:alloc-ok fault path is terminal, the run ends here
 		h.Halted = true
 		return StepFault
 	}

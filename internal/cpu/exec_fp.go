@@ -179,7 +179,7 @@ func (h *Hart) executeFP(in riscv.Instr) StepResult {
 		h.setX(in.Rd, fclass(h.getF64(in.Rs1), h.F[in.Rs1]&(1<<52-1) != 0 && h.F[in.Rs1]>>52&0x7ff == 0))
 
 	default:
-		h.Fault = fmt.Errorf("hart %d: pc=%#x: unimplemented FP op %v", h.ID, h.PC, in.Op)
+		h.Fault = fmt.Errorf("hart %d: pc=%#x: unimplemented FP op %v", h.ID, h.PC, in.Op) //coyote:alloc-ok fault path is terminal, the run ends here
 		h.Halted = true
 		return StepFault
 	}

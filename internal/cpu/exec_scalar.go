@@ -172,6 +172,13 @@ func (h *Hart) execute(in riscv.Instr, nextPC *uint64, now uint64) StepResult {
 
 	case riscv.OpFENCE:
 		// No reordering to constrain in this model.
+	case riscv.OpFENCEI:
+		// Instruction-stream synchronisation: the decoded-instruction and
+		// superblock caches hold pre-decoded text, so a program that wrote
+		// code must fence.i before jumping to it. The flush has no timing
+		// or statistics effect (decode is not modelled as a cached timing
+		// resource), so running it under speculation needs no undo.
+		h.FlushDecodeCache()
 
 	case riscv.OpECALL:
 		return h.ecall()
@@ -257,7 +264,7 @@ func (h *Hart) execute(in riscv.Instr, nextPC *uint64, now uint64) StepResult {
 		if in.Op.IsVector() {
 			return h.executeVector(in)
 		}
-		h.Fault = fmt.Errorf("hart %d: pc=%#x: unimplemented op %v", h.ID, h.PC, in.Op)
+		h.Fault = fmt.Errorf("hart %d: pc=%#x: unimplemented op %v", h.ID, h.PC, in.Op) //coyote:alloc-ok fault path is terminal, the run ends here
 		h.Halted = true
 		return StepFault
 	}
@@ -280,7 +287,7 @@ func (h *Hart) ecall() StepResult {
 		h.X[riscv.RegA0] = n
 		return StepExecuted
 	default:
-		h.Fault = fmt.Errorf("hart %d: pc=%#x: unsupported ecall %d",
+		h.Fault = fmt.Errorf("hart %d: pc=%#x: unsupported ecall %d", //coyote:alloc-ok fault path is terminal, the run ends here
 			h.ID, h.PC, h.X[riscv.RegA7])
 		h.Halted = true
 		return StepFault

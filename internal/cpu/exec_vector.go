@@ -93,6 +93,8 @@ func (h *Hart) setMaskBit(reg uint8, i uint64, v bool) {
 func active(h *Hart, vm bool, i uint64) bool { return vm || h.maskBit(i) }
 
 // executeVector handles every V-extension instruction.
+//
+//coyote:allocfree-boundary vector dispatch builds per-op closures; audited by its own AllocsPerRun tests, not the scalar hot-path walk
 func (h *Hart) executeVector(in riscv.Instr) StepResult {
 	switch in.Op {
 	case riscv.OpVSETVLI:

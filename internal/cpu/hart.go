@@ -81,7 +81,21 @@ type Config struct {
 	// cache transactions — the ACME architecture's aggregate-semantics
 	// memory path (paper §I).
 	MCPUOffload bool
+
+	// BlockMaxLen caps the length of a decoded superblock (see StepBlock).
+	// Zero or negative selects the default of 32 instructions. The cap only
+	// bounds decode-cache memory; it has no effect on simulated timing.
+	BlockMaxLen int
+
+	// DisableBlockCache forces the per-instruction reference engine:
+	// StepBlock degrades to single Step calls and the orchestrator falls
+	// back to the classic step-dispatch loop. Simulated timing is identical
+	// either way — the differential golden tests run both engines against
+	// each other to prove it.
+	DisableBlockCache bool
 }
+
+const defaultBlockMaxLen = 32
 
 // DefaultConfig mirrors the ACME VAS tile core: 16-lane VPU and 16 KiB L1s.
 func DefaultConfig() Config {
@@ -188,6 +202,20 @@ type Hart struct {
 	// supported, matching Spike's bare-metal assumptions.
 	stepCache []stepEntry
 
+	// blockCache is the superblock extension of stepCache: each entry
+	// holds a decoded straight-line run starting at its PC, executed by
+	// StepBlock in one tight loop (see block.go).
+	blockCache []blockEntry
+	blockMax   int
+	blockOff   bool
+
+	// codeLo/codeHi bound the PCs covered by live decoded entries (step
+	// and block caches). Maintained only in the coyotesan build, where a
+	// store landing inside the range is cross-checked against the live
+	// entries: silently executing stale pre-decoded code is the one way
+	// the decode caches could diverge from memory.
+	codeLo, codeHi uint64
+
 	// lastFetchLine short-circuits the L1I tag lookup for straight-line
 	// fetches from the same cache line.
 	lastFetchLine  uint64
@@ -237,6 +265,10 @@ func NewHart(id int, cfg Config, m *mem.Memory, resv *Reservations) (*Hart, erro
 	if resv == nil {
 		resv = NewReservations(id + 1)
 	}
+	blockMax := cfg.BlockMaxLen
+	if blockMax <= 0 {
+		blockMax = defaultBlockMaxLen
+	}
 	h := &Hart{
 		ID:          id,
 		V:           make([]byte, 32*cfg.VLenBits/8),
@@ -248,10 +280,19 @@ func NewHart(id int, cfg Config, m *mem.Memory, resv *Reservations) (*Hart, erro
 		resv:        resv,
 		mcpuOffload: cfg.MCPUOffload,
 		stepCache:   make([]stepEntry, stepCacheSize),
+		blockCache:  make([]blockEntry, blockCacheSize),
+		blockMax:    blockMax,
+		blockOff:    cfg.DisableBlockCache,
 		csr:         make(map[uint16]uint64),
+		codeLo:      ^uint64(0),
 	}
 	return h, nil
 }
+
+// BlockEngineEnabled reports whether the superblock engine is active (the
+// orchestrator uses it to pick between the block loop and the reference
+// per-instruction loop).
+func (h *Hart) BlockEngineEnabled() bool { return !h.blockOff }
 
 // stepEntry is one slot of the decoded-instruction cache.
 type stepEntry struct {
@@ -268,14 +309,19 @@ const stepCacheSize = 512 // 2 KiB window of straight-line code (kernels are far
 // releases the core (0 when idle). The orchestrator uses it to fast-forward.
 func (h *Hart) BusyUntil() uint64 { return h.busyUntil }
 
-// FlushDecodeCache invalidates the decoded-instruction cache and fetch
-// fast path. Required after program memory changes (e.g. loading a new
-// binary over an old one); ordinary kernels never need it.
+// FlushDecodeCache invalidates the decoded-instruction cache, the
+// superblock cache and the fetch fast path. Required after program memory
+// changes (loading a new binary over an old one, or fence.i after writing
+// code); ordinary kernels never need it.
 func (h *Hart) FlushDecodeCache() {
 	for i := range h.stepCache {
 		h.stepCache[i].valid = false
 	}
+	for i := range h.blockCache {
+		h.blockCache[i].valid = false
+	}
 	h.lastFetchValid = false
+	h.codeLo, h.codeHi = ^uint64(0), 0
 }
 
 // AddStallCycles credits stall cycles the orchestrator observed while the
@@ -367,6 +413,9 @@ func (h *Hart) markPending(kind RegKind, r uint8) {
 	if kind == RegX && r == 0 {
 		return
 	}
+	if h.spec.active {
+		h.spec.pendUndo = append(h.spec.pendUndo, pendUndo{kind: kind, reg: r}) //coyote:alloc-ok pooled undo log; grows to the quantum's high-water mark once, reused for the rest of the run
+	}
 	h.pending[kind] |= 1 << r
 	h.pendingCount[kind][r]++
 	if san.Enabled {
@@ -419,13 +468,18 @@ func (h *Hart) Step(now uint64) StepResult {
 		return StepStalledFetch
 	}
 
-	// Decode through the step cache.
+	// Decode through the step cache. The instruction fetch reads text
+	// without the speculative read log: text is immutable during a run
+	// (self-modifying code is unsupported and sanitizer-checked), so
+	// logging fetches would only bloat validation. Under armed
+	// speculation the read still must go through the private view — the
+	// shared Memory accessors mutate their lookaside and allocate pages.
 	e := &h.stepCache[h.PC>>2&(stepCacheSize-1)]
 	if !e.valid || e.pc != h.PC {
-		raw := h.memRead32(h.PC)
+		raw := h.fetchRead32(h.PC)
 		in, err := riscv.Decode(raw)
 		if err != nil {
-			h.Fault = fmt.Errorf("hart %d: pc=%#x: %w", h.ID, h.PC, err)
+			h.Fault = fmt.Errorf("hart %d: pc=%#x: %w", h.ID, h.PC, err) //coyote:alloc-ok fault path is terminal, the run ends here
 			h.Halted = true
 			return StepFault
 		}
@@ -435,6 +489,9 @@ func (h *Hart) Step(now uint64) StepResult {
 		}
 		*e = stepEntry{pc: h.PC, in: in, use: riscv.RegUsage(in, lmul),
 			lmul: uint8(lmul), valid: true}
+		if san.Enabled {
+			h.noteCodeRange(h.PC, h.PC+4)
+		}
 	} else if e.in.Op.IsVector() && uint(e.lmul) != h.VType.LMUL {
 		// LMUL changed since the usage masks were computed: refresh the
 		// register-group footprint.
@@ -456,9 +513,7 @@ func (h *Hart) Step(now uint64) StepResult {
 		if in.Op.Classify()&riscv.ClassAtomic != 0 {
 			return StepSpecUnsafe
 		}
-		if use.WritesV != 0 {
-			h.specSaveV(use.WritesV)
-		}
+		h.specSaveFor(in.Op, use)
 	}
 
 	nextPC := h.PC + 4
@@ -548,15 +603,36 @@ func (h *Hart) dataAccess(addrs []uint64, write bool, dest RegKind, destReg uint
 	}
 }
 
-// scalarLoadAccess is dataAccess for a single scalar load.
+// scalarLoadAccess is dataAccess specialised for a single scalar load:
+// one address needs no line dedup, and the hit path — the overwhelming
+// majority — needs no line address either. Event order matches the
+// general path exactly: any writeback first, then the miss request.
 func (h *Hart) scalarLoadAccess(addr uint64, dest RegKind, destReg uint8) {
-	h.oneAddr[0] = addr
-	h.dataAccess(h.oneAddr[:], false, dest, destReg, true)
+	res := h.L1D.Access(addr, false)
+	if res.HasWriteback {
+		h.Stats.Writebacks++
+		h.emit(MemEvent{Addr: res.Writeback, Write: true})
+	}
+	if !res.Hit {
+		h.Stats.LoadMisses++
+		h.markPending(dest, destReg)
+		h.emit(MemEvent{Addr: h.L1D.LineAddr(addr), HasDest: true, Dest: dest, DestReg: destReg})
+	}
 }
 
-// scalarStoreAccess is dataAccess for a single scalar store.
+// scalarStoreAccess is dataAccess specialised for a single scalar store.
 func (h *Hart) scalarStoreAccess(addr uint64) {
-	h.oneAddr[0] = addr
-	h.dataAccess(h.oneAddr[:], true, 0, 0, false)
+	res := h.L1D.Access(addr, true)
+	if res.HasWriteback {
+		h.Stats.Writebacks++
+		h.emit(MemEvent{Addr: res.Writeback, Write: true})
+	}
+	if !res.Hit {
+		h.Stats.StoreMisses++
+		// Write-allocate: the line must still be fetched, but no register
+		// depends on it; model as a read request without a destination
+		// (the store buffer hides the latency).
+		h.emit(MemEvent{Addr: h.L1D.LineAddr(addr)})
+	}
 	h.storeInvalidate(addr)
 }

@@ -22,9 +22,15 @@ import (
 //   - atomics (LR/SC/AMO read-modify-write the shared reservation set and
 //     memory) refuse to execute speculatively: Step returns
 //     StepSpecUnsafe and the orchestrator re-executes the hart serially;
-//   - everything private that a quantum can touch — registers, stats,
-//     scoreboard, CSRs, console, events, the L1 tag arrays — is
-//     snapshotted so AbortSpec restores the hart bit-exactly.
+//   - everything private that a quantum can touch is either cheap scalar
+//     state (PC, stats, vtype, …), snapshotted wholesale by BeginSpec, or
+//     journaled on first write: scalar and FP registers via the same
+//     record-on-first-write undo log the vector file and CSR map already
+//     used (specSaveX/specSaveF/specSaveV, csrUndo), and the pending-
+//     register scoreboard via a per-increment undo list in markPending.
+//     AbortSpec replays the journals and restores the hart bit-exactly —
+//     rollback cost scales with the instructions the quantum retired, not
+//     with the architectural state size.
 //
 // At commit time ValidateSpec replays the read log against current memory
 // (which by then includes every lower-index hart's committed stores). A
@@ -54,9 +60,16 @@ type specCSRUndo struct {
 	old     uint64
 }
 
+// pendUndo records one markPending increment performed under armed
+// speculation, so AbortSpec can decrement it back out.
+type pendUndo struct {
+	kind RegKind
+	reg  uint8
+}
+
 // specState holds the speculation journal and the pre-speculation
-// snapshot of the hart's private state. All slices are pooled: reset by
-// re-slicing to zero length, grown at most once to the quantum's
+// snapshot of the hart's private scalar state. All slices are pooled:
+// reset by re-slicing to zero length, grown at most once to the quantum's
 // high-water mark.
 type specState struct {
 	active  bool
@@ -67,11 +80,7 @@ type specState struct {
 	writes []specWrite
 
 	pc           uint64
-	x            [32]uint64
-	f            [32]uint64
 	stats        Stats
-	pending      [regKinds]uint32
-	pendingCount [regKinds][32]uint16
 	fetchPending bool
 	vl           uint64
 	vtype        riscv.VType
@@ -85,14 +94,36 @@ type specState struct {
 	consoleLen   int
 	eventsLen    int
 
-	// Lazy vector-register save: only the registers an instruction's
-	// write mask names are copied (a full V snapshot would be 4 KiB per
-	// hart per cycle).
+	// Lazy register saves: only the registers an instruction's write
+	// masks name are copied, on the first write of the episode (full X+F
+	// snapshots were 512 B per hart per cycle; a full V snapshot would be
+	// 4 KiB). The masks make the save idempotent, so restore order is
+	// irrelevant.
+	xSavedMask uint32
+	xSaveReg   []uint8
+	xSaveVal   []uint64
+	fSavedMask uint32
+	fSaveReg   []uint8
+	fSaveVal   []uint64
 	vSavedMask uint32
 	vSaveReg   []uint8
 	vSave      []byte
 
+	// pendUndo journals scoreboard increments (markPending is the only
+	// pending-state mutator that can run during a quantum: completions
+	// fire between cycles, on the main goroutine).
+	pendUndo []pendUndo
+
 	csrUndo []specCSRUndo
+
+	// Full-snapshot cross-check of the write journals, coyotesan only:
+	// AbortSpec compares the journal-restored state against these copies,
+	// pinning any instruction whose RegUse write mask under-reports what
+	// it mutated.
+	sanX       [32]uint64
+	sanF       [32]uint64
+	sanPend    [regKinds]uint32
+	sanPendCnt [regKinds][32]uint16
 }
 
 // SpecArmed reports whether the hart is currently executing speculatively.
@@ -115,17 +146,20 @@ func (h *Hart) BeginSpec() {
 	sp.active = true
 	sp.reads = sp.reads[:0]
 	sp.writes = sp.writes[:0]
+	sp.xSavedMask = 0
+	sp.xSaveReg = sp.xSaveReg[:0]
+	sp.xSaveVal = sp.xSaveVal[:0]
+	sp.fSavedMask = 0
+	sp.fSaveReg = sp.fSaveReg[:0]
+	sp.fSaveVal = sp.fSaveVal[:0]
 	sp.vSavedMask = 0
 	sp.vSaveReg = sp.vSaveReg[:0]
 	sp.vSave = sp.vSave[:0]
+	sp.pendUndo = sp.pendUndo[:0]
 	sp.csrUndo = sp.csrUndo[:0]
 
 	sp.pc = h.PC
-	sp.x = h.X
-	sp.f = h.F
 	sp.stats = h.Stats
-	sp.pending = h.pending
-	sp.pendingCount = h.pendingCount
 	sp.fetchPending = h.fetchPending
 	sp.vl, sp.vtype, sp.vtypeRaw = h.VL, h.VType, h.vtypeRaw
 	sp.busyUntil = h.busyUntil
@@ -133,6 +167,13 @@ func (h *Hart) BeginSpec() {
 	sp.lastFetchLn, sp.lastFetchOK = h.lastFetchLine, h.lastFetchValid
 	sp.consoleLen = h.Console.Len()
 	sp.eventsLen = len(h.Events)
+
+	if san.Enabled {
+		sp.sanX = h.X
+		sp.sanF = h.F
+		sp.sanPend = h.pending
+		sp.sanPendCnt = h.pendingCount
+	}
 
 	h.L1I.BeginSpec()
 	h.L1D.BeginSpec()
@@ -179,6 +220,9 @@ func (h *Hart) CommitSpec() {
 	sp.active = false
 	for i := range sp.writes {
 		w := &sp.writes[i]
+		if san.Enabled {
+			h.sanCheckCodeWrite(w.addr, w.size)
+		}
 		switch w.size {
 		case 1:
 			h.Mem.Write8(w.addr, uint8(w.val))
@@ -198,9 +242,10 @@ func (h *Hart) CommitSpec() {
 	h.L1D.CommitSpec()
 }
 
-// AbortSpec discards the speculative quantum: every snapshotted field is
-// restored, buffered stores are dropped, appended events are recycled and
-// truncated, and the L1 journals roll back.
+// AbortSpec discards the speculative quantum: scalar snapshot fields are
+// restored, the register and scoreboard write-journals replay, buffered
+// stores are dropped, appended events are recycled and truncated, and the
+// L1 journals roll back.
 func (h *Hart) AbortSpec() {
 	sp := &h.spec
 	if san.Enabled {
@@ -210,11 +255,7 @@ func (h *Hart) AbortSpec() {
 	sp.active = false
 
 	h.PC = sp.pc
-	h.X = sp.x
-	h.F = sp.f
 	h.Stats = sp.stats
-	h.pending = sp.pending
-	h.pendingCount = sp.pendingCount
 	h.fetchPending = sp.fetchPending
 	h.VL, h.VType, h.vtypeRaw = sp.vl, sp.vtype, sp.vtypeRaw
 	h.busyUntil = sp.busyUntil
@@ -229,9 +270,28 @@ func (h *Hart) AbortSpec() {
 	}
 	h.Events = h.Events[:sp.eventsLen]
 
+	// Register write-journals: each register appears at most once (the
+	// saved-masks make the save first-write-only), so restore order is
+	// irrelevant.
+	for i, r := range sp.xSaveReg {
+		h.X[r] = sp.xSaveVal[i]
+	}
+	for i, r := range sp.fSaveReg {
+		h.F[r] = sp.fSaveVal[i]
+	}
 	for i, r := range sp.vSaveReg {
 		dst := h.V[uint64(r)*uint64(h.VLenB) : uint64(r+1)*uint64(h.VLenB)]
 		copy(dst, sp.vSave[i*int(h.VLenB):(i+1)*int(h.VLenB)])
+	}
+	// Scoreboard undo: the quantum only ever incremented (completions run
+	// between cycles), so decrementing each journaled increment restores
+	// the counts, and the bits follow the counts.
+	for i := len(sp.pendUndo) - 1; i >= 0; i-- {
+		u := sp.pendUndo[i]
+		h.pendingCount[u.kind][u.reg]--
+		if h.pendingCount[u.kind][u.reg] == 0 {
+			h.pending[u.kind] &^= 1 << u.reg
+		}
 	}
 	for i := len(sp.csrUndo) - 1; i >= 0; i-- {
 		u := &sp.csrUndo[i]
@@ -242,8 +302,72 @@ func (h *Hart) AbortSpec() {
 		}
 	}
 
+	if san.Enabled {
+		// Journal exactness: the rollback must reproduce the full
+		// pre-speculation snapshots bit for bit. A mismatch means some
+		// instruction wrote a register its RegUse mask does not name.
+		san.Check(h.X == sp.sanX, h.sanNow(), "cpu.spec",
+			"X-register write-journal rollback diverges from full snapshot", uint64(h.ID), 0)
+		san.Check(h.F == sp.sanF, h.sanNow(), "cpu.spec",
+			"F-register write-journal rollback diverges from full snapshot", uint64(h.ID), 0)
+		san.Check(h.pending == sp.sanPend && h.pendingCount == sp.sanPendCnt,
+			h.sanNow(), "cpu.spec",
+			"scoreboard undo log rollback diverges from full snapshot", uint64(h.ID), 0)
+	}
+
 	h.L1I.RollbackSpec()
 	h.L1D.RollbackSpec()
+}
+
+// specSaveFor journals the architectural registers op will overwrite,
+// before it executes. The RegUse write masks are the exact footprint for
+// every speculatively-executable instruction except ecall, whose a0
+// return value is written outside its (ofsNone) footprint.
+//
+//coyote:allocfree
+func (h *Hart) specSaveFor(op riscv.Op, use *riscv.RegUse) {
+	if use.WritesX != 0 {
+		h.specSaveX(use.WritesX)
+	}
+	if use.WritesF != 0 {
+		h.specSaveF(use.WritesF)
+	}
+	if use.WritesV != 0 {
+		h.specSaveV(use.WritesV)
+	}
+	if op == riscv.OpECALL {
+		h.specSaveX(1 << riscv.RegA0)
+	}
+}
+
+// specSaveX lazily snapshots the scalar registers in mask that have not
+// been saved yet this episode.
+//
+//coyote:allocfree
+func (h *Hart) specSaveX(mask uint32) {
+	sp := &h.spec
+	for m := mask &^ sp.xSavedMask; m != 0; {
+		r := uint8(bits.TrailingZeros32(m))
+		m &^= 1 << r
+		sp.xSavedMask |= 1 << r
+		sp.xSaveReg = append(sp.xSaveReg, r)      //coyote:alloc-ok pooled save list; grows to ≤32 entries once, reused for the rest of the run
+		sp.xSaveVal = append(sp.xSaveVal, h.X[r]) //coyote:alloc-ok pooled save list; grows to ≤32 entries once, reused for the rest of the run
+	}
+}
+
+// specSaveF lazily snapshots the FP registers in mask that have not been
+// saved yet this episode.
+//
+//coyote:allocfree
+func (h *Hart) specSaveF(mask uint32) {
+	sp := &h.spec
+	for m := mask &^ sp.fSavedMask; m != 0; {
+		r := uint8(bits.TrailingZeros32(m))
+		m &^= 1 << r
+		sp.fSavedMask |= 1 << r
+		sp.fSaveReg = append(sp.fSaveReg, r)      //coyote:alloc-ok pooled save list; grows to ≤32 entries once, reused for the rest of the run
+		sp.fSaveVal = append(sp.fSaveVal, h.F[r]) //coyote:alloc-ok pooled save list; grows to ≤32 entries once, reused for the rest of the run
+	}
 }
 
 // specSaveV lazily snapshots the vector registers in mask that have not
@@ -339,6 +463,9 @@ func (h *Hart) memRead64(a uint64) uint64 {
 
 func (h *Hart) memWrite8(a uint64, v uint8) {
 	if !h.spec.active {
+		if san.Enabled {
+			h.sanCheckCodeWrite(a, 1)
+		}
 		h.Mem.Write8(a, v)
 		return
 	}
@@ -347,6 +474,9 @@ func (h *Hart) memWrite8(a uint64, v uint8) {
 
 func (h *Hart) memWrite16(a uint64, v uint16) {
 	if !h.spec.active {
+		if san.Enabled {
+			h.sanCheckCodeWrite(a, 2)
+		}
 		h.Mem.Write16(a, v)
 		return
 	}
@@ -355,6 +485,9 @@ func (h *Hart) memWrite16(a uint64, v uint16) {
 
 func (h *Hart) memWrite32(a uint64, v uint32) {
 	if !h.spec.active {
+		if san.Enabled {
+			h.sanCheckCodeWrite(a, 4)
+		}
 		h.Mem.Write32(a, v)
 		return
 	}
@@ -363,6 +496,9 @@ func (h *Hart) memWrite32(a uint64, v uint32) {
 
 func (h *Hart) memWrite64(a uint64, v uint64) {
 	if !h.spec.active {
+		if san.Enabled {
+			h.sanCheckCodeWrite(a, 8)
+		}
 		h.Mem.Write64(a, v)
 		return
 	}

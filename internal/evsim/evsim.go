@@ -70,6 +70,13 @@ type Engine struct {
 	occ    [occWords]uint64
 	bucket [bucketWindow][]event
 
+	// ringMinAt memoizes the earliest ring event time so the per-cycle
+	// orchestrator poll does not rescan the occupancy bitset while waiting
+	// out a long latency (a DRAM round trip polls ~100 times). Enqueues
+	// only lower it; it is invalidated when its bucket runs.
+	ringMinAt    Cycle
+	ringMinValid bool
+
 	// overflow is a hand-rolled binary min-heap on (when, seq) for events
 	// at or beyond base+bucketWindow. No container/heap: pushing through
 	// the heap.Interface would box every event into an `any`.
@@ -143,6 +150,9 @@ func (e *Engine) enqueue(when Cycle, ev event) {
 		e.bucket[slot] = append(e.bucket[slot], ev)
 		e.occ[slot>>6] |= 1 << uint(slot&63)
 		e.inRing++
+		if !e.ringMinValid || when < e.ringMinAt {
+			e.ringMinAt, e.ringMinValid = when, true
+		}
 		return
 	}
 	e.san.OverflowPush(e.base, when, bucketWindow)
@@ -179,12 +189,19 @@ func (e *Engine) slideTo(base Cycle) {
 		e.bucket[slot] = b
 		e.occ[slot>>6] |= 1 << uint(slot&63)
 		e.inRing++
+		if !e.ringMinValid || ev.when < e.ringMinAt {
+			e.ringMinAt, e.ringMinValid = ev.when, true
+		}
 	}
 }
 
 // ringMin returns the earliest event time in the ring. Caller guarantees
-// inRing > 0. Scans the occupancy bitset from the base slot, wrapping.
+// inRing > 0. Usually answered from the memoized minimum; scans the
+// occupancy bitset from the base slot (wrapping) on a cache miss.
 func (e *Engine) ringMin() Cycle {
+	if e.ringMinValid {
+		return e.ringMinAt
+	}
 	start := int(e.base) & bucketMask
 	w := start >> 6
 	word := e.occ[w] &^ (1<<uint(start&63) - 1)
@@ -192,7 +209,8 @@ func (e *Engine) ringMin() Cycle {
 		if word != 0 {
 			slot := w<<6 + bits.TrailingZeros64(word)
 			delta := (slot - start + bucketWindow) & bucketMask
-			return e.base + Cycle(delta)
+			e.ringMinAt, e.ringMinValid = e.base+Cycle(delta), true
+			return e.ringMinAt
 		}
 		w++
 		if w == occWords {
@@ -243,6 +261,12 @@ func (e *Engine) runBucket(slot int) {
 	}
 	e.bucket[slot] = b[:0]
 	e.occ[slot>>6] &^= 1 << uint(slot&63)
+	if e.ringMinValid && e.ringMinAt <= e.now {
+		// The memoized minimum pointed at (or before) the bucket that just
+		// drained — including delay-0 cascades enqueued mid-run. Rescan
+		// lazily on the next ringMin call.
+		e.ringMinValid = false
+	}
 }
 
 // AdvanceTo runs every event scheduled at or before target, then sets the

@@ -28,7 +28,11 @@ import (
 //
 // Arguments of panic(…) are exempt: a panic is already off the hot path.
 // A cold sub-path inside a hot function (pool refill on first use) is
-// exempted line-by-line with //coyote:alloc-ok <reason>.
+// exempted line-by-line with //coyote:alloc-ok <reason>. A whole callee
+// whose allocations are accepted by design — and audited by its own
+// AllocsPerRun tests rather than this walker — is annotated
+// //coyote:allocfree-boundary <reason>: the walk stops there instead of
+// flooding the report with findings the owner has already signed off on.
 //
 // Dynamic calls — through function values, stored callbacks, or
 // interface methods — are a boundary the walker does not cross. That is
@@ -229,7 +233,10 @@ func classifyCall(pass *ProgramPass, info *types.Info, idx *bodyIndex, report fu
 
 	resolve := func(fn *types.Func) []string {
 		key := FuncKey(fn)
-		if _, ok := pass.Program.Funcs[key]; ok {
+		if node, ok := pass.Program.Funcs[key]; ok {
+			if FuncAnnotation(node.Decl, "allocfree-boundary") {
+				return callees // explicitly signed-off boundary: not walked
+			}
 			return append(callees, key)
 		}
 		if p := fn.Pkg(); p != nil && allocPkgDeny[p.Path()] {

@@ -30,13 +30,14 @@ const directivePrefix = "coyote:"
 // knownDirectives enumerates every directive the suite understands,
 // mapping kind → whether a justification is required after the kind word.
 var knownDirectives = map[string]bool{
-	"allocfree":     false, // annotation: marks a function as a checked root
-	"alloc-ok":      true,  // exempts one allocation site (pool refill etc.)
-	"mapiter-ok":    true,  // exempts one map-range site
-	"wallclock-ok":  true,  // exempts one wall-clock read
-	"floatorder-ok": true,  // exempts one float reduction over a map
-	"statecheck-ok": true,  // exempts one enum switch or dead state
-	"portproto-ok":  true,  // exempts one fire-and-forget request site
+	"allocfree":          false, // annotation: marks a function as a checked root
+	"allocfree-boundary": true,  // annotation: stops the allocfree walk at this callee
+	"alloc-ok":           true,  // exempts one allocation site (pool refill etc.)
+	"mapiter-ok":         true,  // exempts one map-range site
+	"wallclock-ok":       true,  // exempts one wall-clock read
+	"floatorder-ok":      true,  // exempts one float reduction over a map
+	"statecheck-ok":      true,  // exempts one enum switch or dead state
+	"portproto-ok":       true,  // exempts one fire-and-forget request site
 }
 
 // EscapeHatch returns the directive kind that justifies a finding of the

@@ -5,6 +5,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 )
@@ -17,6 +18,22 @@ const PageSize = 1 << PageBits
 
 const pageMask = PageSize - 1
 
+// The lookaside is a direct-mapped table of page pointers indexed by page
+// number. One entry is not enough: any access pattern touching two pages
+// alternately (a matmul row walk against its output vector, a stack frame
+// against a heap array) thrashes it and pays the map lookup on every
+// access. 64 entries cover the working set of every kernel in the suite.
+const (
+	lookasideBits = 6
+	lookasideSize = 1 << lookasideBits
+	lookasideMask = lookasideSize - 1
+)
+
+type lookEntry struct {
+	base uint64
+	p    *page
+}
+
 type page [PageSize]byte
 
 // Memory is a sparse physical memory. The zero value is not usable; call
@@ -25,9 +42,8 @@ type page [PageSize]byte
 type Memory struct {
 	pages map[uint64]*page
 
-	// one-entry lookaside to avoid a map hit on every access.
-	lastBase uint64
-	lastPage *page
+	// direct-mapped lookaside to avoid a map hit on every access.
+	look [lookasideSize]lookEntry
 }
 
 // New returns an empty memory.
@@ -37,15 +53,16 @@ func New() *Memory {
 
 func (m *Memory) pageFor(addr uint64) *page {
 	base := addr &^ pageMask
-	if m.lastPage != nil && base == m.lastBase {
-		return m.lastPage
+	e := &m.look[addr>>PageBits&lookasideMask]
+	if e.p != nil && e.base == base {
+		return e.p
 	}
 	p, ok := m.pages[base]
 	if !ok {
-		p = new(page)
+		p = new(page) //coyote:alloc-ok first-touch page allocation; steady state hits resident pages via the lookaside
 		m.pages[base] = p
 	}
-	m.lastBase, m.lastPage = base, p
+	e.base, e.p = base, p
 	return p
 }
 
@@ -58,8 +75,7 @@ func (m *Memory) Footprint() uint64 { return uint64(len(m.pages)) * PageSize }
 // Reset drops all contents.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint64]*page)
-	m.lastPage = nil
-	m.lastBase = 0
+	m.look = [lookasideSize]lookEntry{}
 }
 
 // Read8 loads one byte.
@@ -74,21 +90,18 @@ func (m *Memory) Write8(addr uint64, v uint8) {
 
 // Read16 loads a little-endian 16-bit value (any alignment).
 func (m *Memory) Read16(addr uint64) uint16 {
-	if addr&pageMask <= PageSize-2 {
+	if o := addr & pageMask; o <= PageSize-2 {
 		p := m.pageFor(addr)
-		o := addr & pageMask
-		return uint16(p[o]) | uint16(p[o+1])<<8
+		return binary.LittleEndian.Uint16(p[o:])
 	}
 	return uint16(m.Read8(addr)) | uint16(m.Read8(addr+1))<<8
 }
 
 // Write16 stores a little-endian 16-bit value.
 func (m *Memory) Write16(addr uint64, v uint16) {
-	if addr&pageMask <= PageSize-2 {
+	if o := addr & pageMask; o <= PageSize-2 {
 		p := m.pageFor(addr)
-		o := addr & pageMask
-		p[o] = byte(v)
-		p[o+1] = byte(v >> 8)
+		binary.LittleEndian.PutUint16(p[o:], v)
 		return
 	}
 	m.Write8(addr, byte(v))
@@ -97,23 +110,18 @@ func (m *Memory) Write16(addr uint64, v uint16) {
 
 // Read32 loads a little-endian 32-bit value.
 func (m *Memory) Read32(addr uint64) uint32 {
-	if addr&pageMask <= PageSize-4 {
+	if o := addr & pageMask; o <= PageSize-4 {
 		p := m.pageFor(addr)
-		o := addr & pageMask
-		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+		return binary.LittleEndian.Uint32(p[o:])
 	}
 	return uint32(m.Read16(addr)) | uint32(m.Read16(addr+2))<<16
 }
 
 // Write32 stores a little-endian 32-bit value.
 func (m *Memory) Write32(addr uint64, v uint32) {
-	if addr&pageMask <= PageSize-4 {
+	if o := addr & pageMask; o <= PageSize-4 {
 		p := m.pageFor(addr)
-		o := addr & pageMask
-		p[o] = byte(v)
-		p[o+1] = byte(v >> 8)
-		p[o+2] = byte(v >> 16)
-		p[o+3] = byte(v >> 24)
+		binary.LittleEndian.PutUint32(p[o:], v)
 		return
 	}
 	m.Write16(addr, uint16(v))
@@ -122,28 +130,18 @@ func (m *Memory) Write32(addr uint64, v uint32) {
 
 // Read64 loads a little-endian 64-bit value.
 func (m *Memory) Read64(addr uint64) uint64 {
-	if addr&pageMask <= PageSize-8 {
+	if o := addr & pageMask; o <= PageSize-8 {
 		p := m.pageFor(addr)
-		o := addr & pageMask
-		return uint64(p[o]) | uint64(p[o+1])<<8 | uint64(p[o+2])<<16 | uint64(p[o+3])<<24 |
-			uint64(p[o+4])<<32 | uint64(p[o+5])<<40 | uint64(p[o+6])<<48 | uint64(p[o+7])<<56
+		return binary.LittleEndian.Uint64(p[o:])
 	}
 	return uint64(m.Read32(addr)) | uint64(m.Read32(addr+4))<<32
 }
 
 // Write64 stores a little-endian 64-bit value.
 func (m *Memory) Write64(addr uint64, v uint64) {
-	if addr&pageMask <= PageSize-8 {
+	if o := addr & pageMask; o <= PageSize-8 {
 		p := m.pageFor(addr)
-		o := addr & pageMask
-		p[o] = byte(v)
-		p[o+1] = byte(v >> 8)
-		p[o+2] = byte(v >> 16)
-		p[o+3] = byte(v >> 24)
-		p[o+4] = byte(v >> 32)
-		p[o+5] = byte(v >> 40)
-		p[o+6] = byte(v >> 48)
-		p[o+7] = byte(v >> 56)
+		binary.LittleEndian.PutUint64(p[o:], v)
 		return
 	}
 	m.Write32(addr, uint32(v))

@@ -1,22 +1,22 @@
 package mem
 
+import "encoding/binary"
+
 // View is a read-only window onto a Memory that is safe to use from a
 // worker goroutine while no goroutine mutates the Memory. Unlike the
 // Memory accessors, a View never allocates backing pages (absent pages
 // read as zero — the same value pageFor would return after allocating)
-// and never touches the Memory's shared one-entry lookaside; each View
-// carries its own. The parallel orchestrator gives every hart a private
-// View for the speculative execution phase, during which all memory
-// writes are buffered hart-side, so concurrent View reads race with
-// nothing.
+// and never touches the Memory's shared lookaside; each View carries its
+// own. The parallel orchestrator gives every hart a private View for the
+// speculative execution phase, during which all memory writes are
+// buffered hart-side, so concurrent View reads race with nothing.
 //
-// A View must not be used across a Memory.Reset (the cached page pointer
+// A View must not be used across a Memory.Reset (the cached page pointers
 // would go stale); the simulator never resets memory mid-run.
 type View struct {
 	m *Memory
 
-	lastBase uint64
-	lastPage *page
+	look [lookasideSize]lookEntry
 }
 
 // NewView returns a read-only view of m.
@@ -27,14 +27,15 @@ func (m *Memory) NewView() View { return View{m: m} }
 // through the owning Memory becomes visible to the view.
 func (v *View) peek(addr uint64) *page {
 	base := addr &^ pageMask
-	if v.lastPage != nil && base == v.lastBase {
-		return v.lastPage
+	e := &v.look[addr>>PageBits&lookasideMask]
+	if e.p != nil && e.base == base {
+		return e.p
 	}
 	p, ok := v.m.pages[base]
 	if !ok {
 		return nil
 	}
-	v.lastBase, v.lastPage = base, p
+	e.base, e.p = base, p
 	return p
 }
 
@@ -49,40 +50,36 @@ func (v *View) Read8(addr uint64) uint8 {
 
 // Read16 loads a little-endian 16-bit value (any alignment).
 func (v *View) Read16(addr uint64) uint16 {
-	if addr&pageMask <= PageSize-2 {
+	if o := addr & pageMask; o <= PageSize-2 {
 		p := v.peek(addr)
 		if p == nil {
 			return 0
 		}
-		o := addr & pageMask
-		return uint16(p[o]) | uint16(p[o+1])<<8
+		return binary.LittleEndian.Uint16(p[o:])
 	}
 	return uint16(v.Read8(addr)) | uint16(v.Read8(addr+1))<<8
 }
 
 // Read32 loads a little-endian 32-bit value.
 func (v *View) Read32(addr uint64) uint32 {
-	if addr&pageMask <= PageSize-4 {
+	if o := addr & pageMask; o <= PageSize-4 {
 		p := v.peek(addr)
 		if p == nil {
 			return 0
 		}
-		o := addr & pageMask
-		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+		return binary.LittleEndian.Uint32(p[o:])
 	}
 	return uint32(v.Read16(addr)) | uint32(v.Read16(addr+2))<<16
 }
 
 // Read64 loads a little-endian 64-bit value.
 func (v *View) Read64(addr uint64) uint64 {
-	if addr&pageMask <= PageSize-8 {
+	if o := addr & pageMask; o <= PageSize-8 {
 		p := v.peek(addr)
 		if p == nil {
 			return 0
 		}
-		o := addr & pageMask
-		return uint64(p[o]) | uint64(p[o+1])<<8 | uint64(p[o+2])<<16 | uint64(p[o+3])<<24 |
-			uint64(p[o+4])<<32 | uint64(p[o+5])<<40 | uint64(p[o+6])<<48 | uint64(p[o+7])<<56
+		return binary.LittleEndian.Uint64(p[o:])
 	}
 	return uint64(v.Read32(addr)) | uint64(v.Read32(addr+4))<<32
 }

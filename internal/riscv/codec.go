@@ -19,7 +19,7 @@ func Decode(raw uint32) (Instr, error) {
 			return unpack(r, raw), nil
 		}
 	}
-	return Instr{}, fmt.Errorf("riscv: cannot decode %#08x", raw)
+	return Instr{}, fmt.Errorf("riscv: cannot decode %#08x", raw) //coyote:alloc-ok decode errors fault the hart and end the run
 }
 
 func unpack(r *encRow, raw uint32) Instr {

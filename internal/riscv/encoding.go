@@ -299,6 +299,7 @@ func init() {
 	}
 
 	add(OpFENCE, ofsNone, 0x7f|7<<12, opcMISCMEM)
+	add(OpFENCEI, ofsNone, 0x7f|7<<12, opcMISCMEM|1<<12)
 	add(OpECALL, ofsNone, 0xffffffff, opcSYSTEM)
 	add(OpEBREAK, ofsNone, 0xffffffff, opcSYSTEM|1<<20)
 

@@ -55,6 +55,7 @@ const (
 	OpOR
 	OpAND
 	OpFENCE
+	OpFENCEI
 	OpECALL
 	OpEBREAK
 	OpADDIW
@@ -315,8 +316,26 @@ const (
 	ClassCSR
 )
 
+// classTab caches classify for every opcode: Classify sits on the
+// executor's dispatch path (once per FP/vector instruction), where the
+// comparison chain in classify measurably outweighs a table load.
+var classTab = func() [opMax]Class {
+	var t [opMax]Class
+	for op := Op(0); op < opMax; op++ {
+		t[op] = op.classify()
+	}
+	return t
+}()
+
 // Classify reports the behavioural class of op.
 func (op Op) Classify() Class {
+	if op >= opMax {
+		return ClassALU // matches classify's default for unknown opcodes
+	}
+	return classTab[op]
+}
+
+func (op Op) classify() Class {
 	switch {
 	case op >= OpLB && op <= OpLWU:
 		return ClassLoad
@@ -330,7 +349,7 @@ func (op Op) Classify() Class {
 		return ClassBranch
 	case op >= OpCSRRW && op <= OpCSRRCI:
 		return ClassCSR | ClassSystem
-	case op == OpECALL || op == OpEBREAK || op == OpFENCE:
+	case op == OpECALL || op == OpEBREAK || op == OpFENCE || op == OpFENCEI:
 		return ClassSystem
 	case op >= OpLRW && op <= OpAMOMAXUD:
 		return ClassAtomic | ClassLoad | ClassStore
@@ -391,7 +410,7 @@ var opNames = [opMax]string{
 	OpADD:  "add", OpSUB: "sub", OpSLL: "sll", OpSLT: "slt",
 	OpSLTU: "sltu", OpXOR: "xor", OpSRL: "srl", OpSRA: "sra",
 	OpOR: "or", OpAND: "and",
-	OpFENCE: "fence", OpECALL: "ecall", OpEBREAK: "ebreak",
+	OpFENCE: "fence", OpFENCEI: "fence.i", OpECALL: "ecall", OpEBREAK: "ebreak",
 	OpADDIW: "addiw", OpSLLIW: "slliw", OpSRLIW: "srliw", OpSRAIW: "sraiw",
 	OpADDW: "addw", OpSUBW: "subw", OpSLLW: "sllw", OpSRLW: "srlw",
 	OpSRAW:  "sraw",
