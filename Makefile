@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: all build test race golden-workers lint vet bench-smoke bench-block san fuzz ci
+.PHONY: all build test race golden-workers lint vet bench-smoke bench-block san fuzz cache-bench ci
 
 all: build test lint
 
@@ -52,6 +52,21 @@ bench-block:
 san:
 	$(GO) build -tags coyotesan ./...
 	$(GO) test -tags coyotesan ./...
+
+# Result-cache cold/warm benchmark (DESIGN.md §11): run the default
+# explore grid twice against a throwaway cache directory and report the
+# wall-clock for each. The second run must be all hits; CI enforces a
+# ≥20× speedup, this target just shows the numbers.
+cache-bench:
+	$(GO) build -o /tmp/coyote-explore ./cmd/explore
+	rm -rf /tmp/coyote-cache-bench
+	@t0=$$(date +%s%N); \
+	/tmp/coyote-explore -cache -cache-dir /tmp/coyote-cache-bench | tail -1; \
+	t1=$$(date +%s%N); \
+	/tmp/coyote-explore -cache -cache-dir /tmp/coyote-cache-bench | tail -1; \
+	t2=$$(date +%s%N); \
+	cold=$$(( (t1 - t0) / 1000000 )); warm=$$(( (t2 - t1) / 1000000 )); \
+	echo "cold $${cold} ms, warm $${warm} ms ($$(( t1 - t0 > t2 - t1 ? (t1 - t0) / (t2 - t1) : 0 ))x)"
 
 # Fuzz smoke: explore random kernel/config combinations under the
 # sanitizer for FUZZTIME on top of the committed seed corpus in

@@ -52,6 +52,9 @@ func main() {
 		tracePfx   = flag.String("trace", "", "write Paraver trace files <prefix>.prv/.pcf/.row")
 		uncoreDump = flag.Bool("uncore", false, "also print the per-unit uncore counters")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
+		cacheOn    = flag.Bool("cache", false, "serve repeat runs from the content-addressed result cache (kernel runs only; implies no wall-clock/MIPS on a hit)")
+		cacheDir   = flag.String("cache-dir", "", "result cache directory (default: ~/.cache/coyote)")
+		cacheVer   = flag.Float64("cache-verify", 0, "fraction of cache hits to recompute and cross-check; 1 recomputes every hit and panics on divergence")
 	)
 	flag.Parse()
 
@@ -105,8 +108,24 @@ func main() {
 	cfg.FastForward = *fastFwd
 	cfg.Hart.MCPUOffload = *mcpu
 
+	// The cache applies only to kernel runs (keys content-address the
+	// kernel's assembled program + params + config) and cannot serve a
+	// trace: the Paraver event stream is per-run output the cache does
+	// not store. Both fall back to an uncached run with a note.
+	useCache := *cacheOn
+	if useCache && *runFile != "" {
+		fmt.Fprintln(os.Stderr, "coyote: -cache applies to -kernel runs only; running uncached")
+		useCache = false
+	}
+	if useCache && *tracePfx != "" {
+		fmt.Fprintln(os.Stderr, "coyote: -trace needs a real simulation; running uncached")
+		useCache = false
+	}
+
 	var sys *core.System
 	var params coyote.Params
+	var res *coyote.Result
+	var cacheLine string
 	verify := false
 	switch {
 	case *runFile != "":
@@ -125,29 +144,52 @@ func main() {
 		sys.LoadProgram(prog)
 	case *kernel != "":
 		params = kernels.Params{N: *n, Cores: cfg.Cores, Density: *density, Seed: *seed}
-		sys, err = coyote.PrepareKernel(*kernel, params, cfg)
-		if err != nil {
-			fatal(err)
+		if useCache {
+			c, err := coyote.OpenResultCache(*cacheDir, 0)
+			if err != nil {
+				fatal(err)
+			}
+			c.SetVerify(*cacheVer)
+			var st coyote.CacheStatus
+			res, st, err = coyote.RunKernelCached(*kernel, params, cfg, c)
+			if err != nil {
+				fatal(err)
+			}
+			key, err := coyote.KeyForPoint(*kernel, params, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			// Every cached result was host-verified when it was first
+			// simulated; RunKernelCached verifies again on every miss.
+			verify = true
+			cacheLine = fmt.Sprintf("cache             %s (key %s)\n", st, key.Short())
+		} else {
+			sys, err = coyote.PrepareKernel(*kernel, params, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			verify = true
 		}
-		verify = true
 	default:
 		fmt.Fprintln(os.Stderr, "need -kernel, -run or -list; see -help")
 		os.Exit(2)
 	}
 
 	var tw *trace.Writer
-	if *tracePfx != "" {
-		tw = trace.NewWriter(cfg.Cores)
-		sys.Tracer = tw
-	}
-
-	res, err := sys.Run()
-	if err != nil {
-		fatal(err)
-	}
-	if verify {
-		if err := coyote.VerifyKernel(sys, *kernel, params); err != nil {
-			fatal(fmt.Errorf("verification FAILED: %w", err))
+	if sys != nil {
+		if *tracePfx != "" {
+			tw = trace.NewWriter(cfg.Cores)
+			sys.Tracer = tw
+		}
+		var err error
+		res, err = sys.Run()
+		if err != nil {
+			fatal(err)
+		}
+		if verify {
+			if err := coyote.VerifyKernel(sys, *kernel, params); err != nil {
+				fatal(fmt.Errorf("verification FAILED: %w", err))
+			}
 		}
 	}
 
@@ -163,6 +205,7 @@ func main() {
 		}
 	} else {
 		fmt.Fprint(out, res.Report())
+		fmt.Fprint(out, cacheLine)
 		if verify {
 			fmt.Fprintln(out, "verification     OK")
 		}

@@ -7,6 +7,13 @@
 //	explore -kernels spmv-vector-gather -cores 16 -n 2048
 //	explore -kernels matmul-vector,spmv-vector-ell -grid l2,mapping,noc
 //	explore -csv out.csv ...
+//	explore -cache -cache-dir /tmp/dse ...   # warm re-runs are ~free
+//
+// With -cache, every grid point is routed through the content-addressed
+// result cache: points already simulated — in this run, a previous run,
+// or another process sharing the cache directory — are served without
+// simulating, duplicates in flight are coalesced, and the CSV gains a
+// `cache` audit column (hit|miss|coalesced).
 package main
 
 import (
@@ -75,6 +82,10 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write results as CSV")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the grid run")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile after the grid run")
+
+		cacheOn  = flag.Bool("cache", false, "serve repeated points from the content-addressed result cache")
+		cacheDir = flag.String("cache-dir", "", "result cache directory (default: ~/.cache/coyote)")
+		cacheVer = flag.Float64("cache-verify", 0, "fraction of cache hits to recompute and cross-check; 1 recomputes every hit and panics on divergence")
 	)
 	flag.Parse()
 
@@ -145,34 +156,66 @@ func main() {
 		points = next
 	}
 
-	fmt.Printf("DSE grid: %d cores, n=%d, %d points per kernel\n\n",
-		*cores, *n, len(points))
-	header := fmt.Sprintf("%-22s %-28s %12s %9s %9s %12s",
-		"kernel", "variant", "simcycles", "L1D miss", "L2 miss", "DRAM bytes")
-	fmt.Println(header)
-	var csv []string
-	csv = append(csv, "kernel,variant,simcycles,l1d_miss_rate,l2_miss_rate,dram_bytes")
-
+	// Build the full job list up front so the sweep engine can coalesce
+	// duplicates and the cache can serve repeats, then run it in input
+	// order — results come back in the same order the grid is printed.
+	var jobs []coyote.Point
 	for _, kname := range strings.Split(*kernFlag, ",") {
 		kname = strings.TrimSpace(kname)
 		for _, p := range points {
 			cfg := coyote.DefaultConfig(*cores)
 			cfg.Workers = *workers
 			p.mut(&cfg)
-			res, err := coyote.RunKernel(kname,
-				coyote.Params{N: *n, Density: *density}, cfg)
-			if err != nil {
-				fatal(fmt.Errorf("%s [%s]: %w", kname, p.name, err))
-			}
-			l2 := res.L2Stats()
-			dram := res.MemTrafficBytes(cfg.Uncore.L2.LineBytes)
-			fmt.Printf("%-22s %-28s %12d %8.2f%% %8.2f%% %12d\n",
-				kname, p.name, res.Cycles,
-				100*res.L1D.MissRate(), 100*l2.MissRate(), dram)
-			csv = append(csv, fmt.Sprintf("%s,%s,%d,%.4f,%.4f,%d",
-				kname, p.name, res.Cycles, res.L1D.MissRate(), l2.MissRate(), dram))
+			jobs = append(jobs, coyote.Point{
+				Name:   p.name,
+				Kernel: kname,
+				Params: coyote.Params{N: *n, Density: *density},
+				Config: cfg,
+			})
 		}
-		fmt.Println()
+	}
+
+	var cache *coyote.ResultCache
+	if *cacheOn {
+		var err error
+		if cache, err = coyote.OpenResultCache(*cacheDir, 0); err != nil {
+			fatal(err)
+		}
+		cache.SetVerify(*cacheVer)
+	}
+
+	fmt.Printf("DSE grid: %d cores, n=%d, %d points per kernel\n\n",
+		*cores, *n, len(points))
+	header := fmt.Sprintf("%-22s %-28s %12s %9s %9s %12s %9s",
+		"kernel", "variant", "simcycles", "L1D miss", "L2 miss", "DRAM bytes", "cache")
+	fmt.Println(header)
+	var csv []string
+	csv = append(csv, "kernel,variant,simcycles,l1d_miss_rate,l2_miss_rate,dram_bytes,cache")
+
+	results := coyote.SweepCached(jobs, 1, cache)
+	for i, r := range results {
+		if r.Err != nil {
+			fatal(fmt.Errorf("%s [%s]: %w", r.Kernel, r.Name, r.Err))
+		}
+		res, cfg := r.Result, r.Config
+		status := r.Cache
+		if status == "" {
+			status = "-"
+		}
+		l2 := res.L2Stats()
+		dram := res.MemTrafficBytes(cfg.Uncore.L2.LineBytes)
+		fmt.Printf("%-22s %-28s %12d %8.2f%% %8.2f%% %12d %9s\n",
+			r.Kernel, r.Name, res.Cycles,
+			100*res.L1D.MissRate(), 100*l2.MissRate(), dram, status)
+		csv = append(csv, fmt.Sprintf("%s,%s,%d,%.4f,%.4f,%d,%s",
+			r.Kernel, r.Name, res.Cycles, res.L1D.MissRate(), l2.MissRate(), dram, status))
+		if i+1 < len(results) && results[i+1].Kernel != r.Kernel {
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+	if cache != nil {
+		fmt.Println("cache:", cache.Stats().Summary())
 	}
 
 	if *csvPath != "" {

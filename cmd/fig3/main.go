@@ -19,6 +19,12 @@
 // run followed by -repeat timed runs, and the median MIPS is reported —
 // best-of-N rewarded lucky scheduling, medians don't.
 //
+// fig3 bypasses the content-addressed result cache BY CONSTRUCTION — it
+// has no -cache flag and every point calls RunKernel directly. The
+// figure measures the simulator's own throughput (MIPS = instructions /
+// wall-clock); a cache hit costs ~zero wall-clock, so a cached fig3
+// would measure the cache, not the simulator. Keep it that way.
+//
 //	fig3                        # default sweep 1..128 cores, both kernels
 //	fig3 -cores 1,2,4,8         # custom core counts
 //	fig3 -workers 1,4           # sweep the in-cycle worker pool too

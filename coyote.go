@@ -27,6 +27,7 @@ import (
 	"github.com/coyote-sim/coyote/internal/asm"
 	"github.com/coyote-sim/coyote/internal/core"
 	"github.com/coyote-sim/coyote/internal/kernels"
+	"github.com/coyote-sim/coyote/internal/rcache"
 	"github.com/coyote-sim/coyote/internal/trace"
 )
 
@@ -136,4 +137,80 @@ func RunKernel(name string, p Params, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("coyote: %s produced wrong results: %w", name, err)
 	}
 	return res, nil
+}
+
+// ResultCache is the content-addressed, persistent simulation-result
+// cache with request coalescing (internal/rcache). CI-enforced
+// determinism — bit-identical committed state for any worker count and
+// interleave — is what makes it sound: identical canonical key implies
+// identical Result.
+type ResultCache = rcache.Cache
+
+// CacheKey is the canonical content address of one simulation point.
+type CacheKey = rcache.Key
+
+// CacheStatus reports how a cached lookup was satisfied: CacheMiss (the
+// point was simulated), CacheHit (served from memory or disk), or
+// CacheCoalesced (shared an identical in-flight simulation).
+type CacheStatus = rcache.Status
+
+// CacheStats snapshots a ResultCache's outcome counters.
+type CacheStats = rcache.Stats
+
+const (
+	CacheMiss      = rcache.Miss
+	CacheHit       = rcache.Hit
+	CacheCoalesced = rcache.Coalesced
+)
+
+// CacheSchemaVersion is the result-cache key schema version; it must be
+// bumped with any semantics-affecting simulator change (see
+// internal/rcache and DESIGN.md §11).
+const CacheSchemaVersion = rcache.SchemaVersion
+
+// OpenResultCache opens a persistent result cache rooted at dir
+// (DefaultCacheDir() when dir is empty) with an in-process LRU of
+// memEntries entries (a default bound when <= 0) in front of it.
+func OpenResultCache(dir string, memEntries int) (*ResultCache, error) {
+	return rcache.Open(dir, memEntries)
+}
+
+// NewResultCache creates a memory-only result cache: in-process reuse
+// and single-flight coalescing without persistence.
+func NewResultCache(memEntries int) *ResultCache { return rcache.New(memEntries) }
+
+// DefaultCacheDir returns the default persistent cache location
+// (~/.cache/coyote or the OS equivalent).
+func DefaultCacheDir() (string, error) { return rcache.DefaultDir() }
+
+// KeyForPoint computes the canonical cache key of (kernel, params,
+// config): the SHA-256 of a versioned explicit encoding of the kernel's
+// assembled program and every semantics-affecting parameter. Execution
+// strategy (Workers, InterleaveQuantum, FastForward, superblock knobs)
+// is excluded — the golden determinism matrix proves it cannot change
+// results, so all strategies share one cache line per logical point.
+func KeyForPoint(kernel string, p Params, cfg Config) (CacheKey, error) {
+	return rcache.KeyForPoint(kernel, p, cfg)
+}
+
+// RunKernelCached is RunKernel backed by a result cache: on a repeat
+// point the simulation is skipped entirely and the cached Result is
+// returned (with WallTime 0 — served points cost no simulation time).
+// A nil cache degrades to a plain RunKernel reported as CacheMiss.
+// Verification still happens on every real simulation (inside the
+// compute path); hits were verified when first computed, and the
+// cache's verify sampling (ResultCache.SetVerify) can re-prove any
+// fraction of them on top.
+func RunKernelCached(name string, p Params, cfg Config, c *ResultCache) (*Result, CacheStatus, error) {
+	if c == nil {
+		res, err := RunKernel(name, p, cfg)
+		return res, CacheMiss, err
+	}
+	key, err := KeyForPoint(name, p, cfg)
+	if err != nil {
+		return nil, CacheMiss, err
+	}
+	return c.GetOrCompute(key, func() (*Result, error) {
+		return RunKernel(name, p, cfg)
+	})
 }

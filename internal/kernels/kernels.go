@@ -26,8 +26,11 @@ type Params struct {
 	Seed    int64   // data generator seed
 }
 
-// withDefaults fills unset fields.
-func (p Params) withDefaults() Params {
+// WithDefaults fills unset fields — the canonicalization every kernel
+// applies before Setup/Verify. Exported so the result cache can hash
+// the *effective* parameters: Params{} and Params{N: 64, Seed: 42}
+// describe the same run and must produce the same canonical key.
+func (p Params) WithDefaults() Params {
 	if p.N == 0 {
 		p.N = 64
 	}
@@ -42,6 +45,10 @@ func (p Params) withDefaults() Params {
 	}
 	return p
 }
+
+// withDefaults is the historical unexported spelling kept for the
+// kernel implementations.
+func (p Params) withDefaults() Params { return p.WithDefaults() }
 
 // Kernel is one runnable workload.
 type Kernel struct {

@@ -1,0 +1,274 @@
+package rcache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/coyote-sim/coyote/internal/core"
+)
+
+// Status classifies how one lookup was satisfied.
+type Status uint8
+
+const (
+	// Miss: the point was simulated by this call.
+	Miss Status = iota
+	// Hit: the result was served from the memory or disk tier.
+	Hit
+	// Coalesced: an identical point was already in flight; this call
+	// waited for it and shared its result without simulating.
+	Coalesced
+)
+
+func (s Status) String() string {
+	switch s {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Stats counts cache outcomes since the Cache was created.
+type Stats struct {
+	Hits      uint64 // served from memory or disk
+	MemHits   uint64 // … of which from the in-process LRU
+	DiskHits  uint64 // … of which from the persistent store
+	Misses    uint64 // computed by the caller
+	Coalesced uint64 // shared an in-flight computation
+	Stores    uint64 // blobs written to disk
+	StoreErrs uint64 // disk writes that failed (cache stays correct, just colder)
+	Corrupt   uint64 // blobs quarantined on load
+	Verified  uint64 // hits recomputed and cross-checked (all agreed, or we panicked)
+}
+
+// Lookups returns the total number of GetOrCompute calls accounted.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Misses + s.Coalesced }
+
+// HitRate returns (hits+coalesced)/lookups — coalesced lookups did not
+// simulate, which is what a hit rate is for.
+func (s Stats) HitRate() float64 {
+	n := s.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(n)
+}
+
+// Summary renders the one-line report the commands print.
+func (s Stats) Summary() string {
+	return fmt.Sprintf("%d lookups: %d hits (%d mem, %d disk), %d misses, %d coalesced — hit rate %.1f%%",
+		s.Lookups(), s.Hits, s.MemHits, s.DiskHits, s.Misses, s.Coalesced, 100*s.HitRate())
+}
+
+// Cache is the two-tier, single-flight result cache: an in-process LRU
+// in front of an optional persistent DiskStore, with request coalescing
+// so concurrent lookups of one key simulate at most once.
+//
+// Correctness stance: a Cache can only ever return a result that was
+// produced by a real simulation of the same canonical key (checksummed
+// on disk, deep-copied in memory), or fail toward a miss. With
+// SetVerify > 0 it additionally recomputes a deterministic sample of
+// hits and panics on divergence — the self-checking lane CI runs with
+// fraction 1.0 under the coyotesan tag.
+type Cache struct {
+	mu     sync.Mutex
+	mem    *lru
+	disk   *DiskStore // nil for a memory-only cache
+	flight map[Key]*flight
+	verify float64
+	stats  Stats
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	res  *core.Result // normalized; nil on error
+	err  error
+}
+
+// DefaultMemEntries bounds the in-process tier when callers pass
+// memEntries <= 0 to New/Open. Results are small (a few KiB of
+// counters), so this is megabytes, not gigabytes.
+const DefaultMemEntries = 4096
+
+// New creates a memory-only cache — coalescing and in-process reuse
+// without persistence.
+func New(memEntries int) *Cache {
+	if memEntries <= 0 {
+		memEntries = DefaultMemEntries
+	}
+	return &Cache{mem: newLRU(memEntries), flight: make(map[Key]*flight)}
+}
+
+// Open creates a cache backed by the persistent store at dir (created
+// if needed). dir == "" selects DefaultDir().
+func Open(dir string, memEntries int) (*Cache, error) {
+	if dir == "" {
+		var err error
+		dir, err = DefaultDir()
+		if err != nil {
+			return nil, err
+		}
+	}
+	disk, err := OpenDisk(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := New(memEntries)
+	c.disk = disk
+	return c, nil
+}
+
+// SetVerify sets the fraction of hits to recompute and cross-check
+// (0 = never, 1 = every hit). Sampling is deterministic in the key, so
+// the same points are audited on every run — divergences cannot hide
+// behind an unlucky sample.
+func (c *Cache) SetVerify(frac float64) {
+	c.mu.Lock()
+	c.verify = frac
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the outcome counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// GetOrCompute returns the result for key, simulating via compute only
+// on a miss. compute must be the real simulation of exactly the point
+// the key addresses — the contract KeyForPoint + RunKernel satisfy.
+//
+// On a miss the caller's own compute result is returned as-is (with its
+// live WallTime), while the normalized copy is what gets published to
+// both tiers and to coalesced waiters. Hits and coalesced lookups
+// return a private deep copy with WallTime zero: served points cost no
+// simulation time, and callers can never mutate shared cache state.
+// Errors are never cached; every waiter of a failed flight receives the
+// error and the key stays computable.
+func (c *Cache) GetOrCompute(key Key, compute func() (*core.Result, error)) (*core.Result, Status, error) {
+	c.mu.Lock()
+	if r, ok := c.mem.get(key); ok {
+		c.stats.Hits++
+		c.stats.MemHits++
+		verify := c.verify
+		c.mu.Unlock()
+		c.maybeVerify(key, r, verify, compute)
+		return Clone(r), Hit, nil
+	}
+	if f, ok := c.flight[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, Coalesced, f.err
+		}
+		return Clone(f.res), Coalesced, nil
+	}
+	// Leader: register the flight before probing disk, so concurrent
+	// duplicates coalesce behind the disk read too.
+	f := &flight{done: make(chan struct{})}
+	c.flight[key] = f
+	verify := c.verify
+	c.mu.Unlock()
+
+	var (
+		status = Miss
+		stored *core.Result // normalized form published to tiers/waiters
+		ret    *core.Result // what this caller gets back
+		err    error
+	)
+	if c.disk != nil {
+		switch r, derr := c.disk.Load(key); {
+		case derr == nil:
+			stored, ret, status = r, Clone(r), Hit
+		case errors.Is(derr, ErrCorrupt):
+			c.mu.Lock()
+			c.stats.Corrupt++
+			c.mu.Unlock()
+		}
+	}
+	if stored == nil {
+		ret, err = compute()
+		if err == nil {
+			stored = Normalize(ret)
+			if c.disk != nil {
+				if serr := c.disk.Store(key, stored); serr != nil {
+					c.mu.Lock()
+					c.stats.StoreErrs++
+					c.mu.Unlock()
+				} else {
+					c.mu.Lock()
+					c.stats.Stores++
+					c.mu.Unlock()
+				}
+			}
+		}
+	}
+
+	c.mu.Lock()
+	if err == nil {
+		c.mem.add(key, stored)
+	}
+	if status == Hit {
+		c.stats.Hits++
+		c.stats.DiskHits++
+	} else {
+		c.stats.Misses++
+	}
+	f.res, f.err = stored, err
+	delete(c.flight, key)
+	c.mu.Unlock()
+	close(f.done)
+
+	if err != nil {
+		return nil, status, err
+	}
+	if status == Hit {
+		c.maybeVerify(key, stored, verify, compute)
+	}
+	return ret, status, nil
+}
+
+// maybeVerify recomputes a hit when the key falls inside the verify
+// sample and panics on any divergence: a cache that can disagree with
+// the simulator must crash loudly, never return the wrong number.
+func (c *Cache) maybeVerify(key Key, cached *core.Result, frac float64, compute func() (*core.Result, error)) {
+	if !sampled(key, frac) {
+		return
+	}
+	fresh, err := compute()
+	if err != nil {
+		panic(fmt.Sprintf("rcache: -cache-verify recompute of key %s failed: %v", key, err))
+	}
+	if !Equal(cached, fresh) {
+		panic(fmt.Sprintf("rcache: DIVERGENCE on key %s — cached result does not match recomputation; "+
+			"a semantics-affecting change landed without a SchemaVersion bump (or the blob store is unsound)\n%s",
+			key, Diff(cached, fresh)))
+	}
+	c.mu.Lock()
+	c.stats.Verified++
+	c.mu.Unlock()
+}
+
+// sampled maps the key's first 8 bytes onto [0,1) and compares against
+// the fraction — deterministic, uniform, and RNG-free.
+func sampled(key Key, frac float64) bool {
+	if frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	u := binary.BigEndian.Uint64(key[:8])
+	return float64(u)/float64(math.MaxUint64) < frac
+}

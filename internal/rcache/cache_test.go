@@ -1,0 +1,398 @@
+package rcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/coyote-sim/coyote/internal/core"
+	"github.com/coyote-sim/coyote/internal/cpu"
+)
+
+// fakeResult builds a deterministic synthetic Result from a seed —
+// store/load round trips don't need a real simulation, just bytes that
+// exercise every field kind (scalars, slices, the counter map).
+func fakeResult(seed int64) *core.Result {
+	rng := rand.New(rand.NewSource(seed))
+	nh := 1 + rng.Intn(4)
+	r := &core.Result{
+		Cycles:       rng.Uint64() % 1_000_000_000,
+		Instructions: rng.Uint64() % 1_000_000_000,
+		WallTime:     time.Duration(rng.Int63n(1_000_000_000)),
+		UncoreRaw: map[string]uint64{
+			"l2bank0.hits":   rng.Uint64() % 100_000,
+			"l2bank0.misses": rng.Uint64() % 100_000,
+			"mc0.reads":      rng.Uint64() % 100_000,
+		},
+		Par: core.ParStats{SpecQuanta: rng.Uint64() % 1000, Commits: rng.Uint64() % 1000},
+	}
+	for i := 0; i < nh; i++ {
+		r.HartStats = append(r.HartStats, cpu.Stats{
+			Instret:   rng.Uint64() % 1_000_000,
+			StallsRAW: rng.Uint64() % 1_000_000,
+		})
+		r.ExitCodes = append(r.ExitCodes, rng.Uint64()%4)
+		r.Consoles = append(r.Consoles, fmt.Sprintf("hart %d", i))
+	}
+	return r
+}
+
+func keyFromSeed(seed int64) Key {
+	var k Key
+	rng := rand.New(rand.NewSource(seed))
+	for i := range k {
+		k[i] = byte(rng.Intn(256))
+	}
+	return k
+}
+
+func mustMarshal(t *testing.T, r *core.Result) []byte {
+	t.Helper()
+	b, err := marshalResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyFromSeed(1)
+	want := Normalize(fakeResult(1))
+	if err := s.Store(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustMarshal(t, got), mustMarshal(t, want)) {
+		t.Fatalf("round trip changed the result:\n got %s\nwant %s",
+			mustMarshal(t, got), mustMarshal(t, want))
+	}
+}
+
+func TestDiskMiss(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(keyFromSeed(2)); !errors.Is(err, ErrMiss) {
+		t.Fatalf("got %v, want ErrMiss", err)
+	}
+}
+
+// TestCorruptionQuarantine flips one byte of a stored blob: the load
+// must fail (never return a wrong result) and the bad blob must be
+// moved aside so it is never re-read.
+func TestCorruptionQuarantine(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyFromSeed(3)
+	if err := s.Store(key, Normalize(fakeResult(3))); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, 20, len(data) / 2, len(data) - 1} {
+		corrupted := append([]byte(nil), data...)
+		corrupted[pos] ^= 0x41
+		if err := os.WriteFile(p, corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Load(key); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: got %v, want ErrCorrupt", pos, err)
+		}
+		if _, err := os.Stat(p + ".corrupt"); err != nil {
+			t.Fatalf("flip at %d: corrupt blob not quarantined: %v", pos, err)
+		}
+		if _, err := s.Load(key); !errors.Is(err, ErrMiss) {
+			t.Fatalf("flip at %d: quarantined blob still served: %v", pos, err)
+		}
+		os.Remove(p + ".corrupt")
+	}
+}
+
+// TestTruncationDetected cuts the blob short at every prefix length of
+// a small blob: all of them must fail validation.
+func TestTruncationDetected(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyFromSeed(4)
+	if err := s.Store(key, Normalize(fakeResult(4))); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n += 17 {
+		if err := os.WriteFile(p, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Load(key); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrCorrupt", n, err)
+		}
+		os.Remove(p + ".corrupt")
+	}
+}
+
+// TestMisfiledBlobRejected copies a valid blob to another key's path:
+// the self-identifying Key field must reject it.
+func TestMisfiledBlobRejected(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := keyFromSeed(5), keyFromSeed(6)
+	if err := s.Store(a, Normalize(fakeResult(5))); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.path(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.path(b)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(b), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("misfiled blob: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSingleFlightCoalescing proves the coalescing contract: a second
+// lookup of a key whose computation is in flight waits for it and
+// shares the result — the simulation runs exactly once.
+func TestSingleFlightCoalescing(t *testing.T) {
+	c := New(0)
+	key := keyFromSeed(7)
+	want := fakeResult(7)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var computes int
+	compute := func() (*core.Result, error) {
+		computes++
+		close(started)
+		<-release
+		return Clone(want), nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderStatus Status
+	go func() {
+		defer wg.Done()
+		_, leaderStatus, _ = c.GetOrCompute(key, compute)
+	}()
+	<-started // the leader is inside compute; now race a duplicate in
+
+	wg.Add(1)
+	var waiterStatus Status
+	var waiterRes *core.Result
+	go func() {
+		defer wg.Done()
+		waiterRes, waiterStatus, _ = c.GetOrCompute(key, compute)
+	}()
+	// Wait until the duplicate has registered as a waiter, then release.
+	for {
+		c.mu.Lock()
+		n := c.stats.Coalesced
+		c.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	if leaderStatus != Miss || waiterStatus != Coalesced {
+		t.Fatalf("statuses: leader %v, waiter %v; want miss, coalesced", leaderStatus, waiterStatus)
+	}
+	if !Equal(waiterRes, want) {
+		t.Fatal("coalesced waiter got a different result")
+	}
+	if waiterRes.WallTime != 0 {
+		t.Fatalf("coalesced result carries WallTime %v, want 0", waiterRes.WallTime)
+	}
+}
+
+// TestLRUEvictionFallsBackToDisk bounds the memory tier at one entry:
+// an evicted key must still be served — from disk — and accounted as a
+// disk hit.
+func TestLRUEvictionFallsBackToDisk(t *testing.T) {
+	c, err := Open(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := keyFromSeed(8), keyFromSeed(9)
+	ra, rb := fakeResult(8), fakeResult(9)
+	mustCompute := func(r *core.Result) func() (*core.Result, error) {
+		return func() (*core.Result, error) { return Clone(r), nil }
+	}
+	if _, st, err := c.GetOrCompute(a, mustCompute(ra)); err != nil || st != Miss {
+		t.Fatalf("a: %v %v", st, err)
+	}
+	if _, st, err := c.GetOrCompute(b, mustCompute(rb)); err != nil || st != Miss {
+		t.Fatalf("b: %v %v", st, err)
+	}
+	if c.mem.len() != 1 {
+		t.Fatalf("LRU holds %d entries, want 1", c.mem.len())
+	}
+	got, st, err := c.GetOrCompute(a, func() (*core.Result, error) {
+		t.Fatal("evicted key recomputed despite disk copy")
+		return nil, nil
+	})
+	if err != nil || st != Hit {
+		t.Fatalf("a after eviction: %v %v", st, err)
+	}
+	if !Equal(got, ra) {
+		t.Fatal("disk hit returned wrong result")
+	}
+	s := c.Stats()
+	if s.DiskHits != 1 || s.MemHits != 0 || s.Misses != 2 {
+		t.Fatalf("stats %+v: want 1 disk hit, 0 mem hits, 2 misses", s)
+	}
+}
+
+// TestHitsReturnPrivateCopies mutates a returned result and checks the
+// cache is unaffected.
+func TestHitsReturnPrivateCopies(t *testing.T) {
+	c := New(0)
+	key := keyFromSeed(10)
+	orig := fakeResult(10)
+	if _, _, err := c.GetOrCompute(key, func() (*core.Result, error) { return Clone(orig), nil }); err != nil {
+		t.Fatal(err)
+	}
+	got1, _, _ := c.GetOrCompute(key, nil) // hit: compute must not be called
+	got1.Cycles = 0xdead
+	got1.UncoreRaw["l2bank0.hits"] = 0xdead
+	got1.HartStats[0].Instret = 0xdead
+	got2, st, _ := c.GetOrCompute(key, nil)
+	if st != Hit {
+		t.Fatalf("status %v, want hit", st)
+	}
+	if !Equal(got2, orig) {
+		t.Fatal("mutating a served result poisoned the cache")
+	}
+}
+
+// TestErrorsNotCached: a failed computation must not poison the key.
+func TestErrorsNotCached(t *testing.T) {
+	c := New(0)
+	key := keyFromSeed(11)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute(key, func() (*core.Result, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	want := fakeResult(11)
+	got, st, err := c.GetOrCompute(key, func() (*core.Result, error) { return Clone(want), nil })
+	if err != nil || st != Miss {
+		t.Fatalf("retry: %v %v", st, err)
+	}
+	if !Equal(got, want) {
+		t.Fatal("retry returned wrong result")
+	}
+}
+
+// TestVerifyDivergencePanics seeds the store with a result that does
+// not match what the "simulator" produces: with verify fraction 1 the
+// next hit must panic rather than serve the stale value silently.
+func TestVerifyDivergencePanics(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyFromSeed(12)
+	stale := fakeResult(12)
+	if _, _, err := c.GetOrCompute(key, func() (*core.Result, error) { return Clone(stale), nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.SetVerify(1.0)
+	fresh := fakeResult(13) // diverges from what was cached
+	defer func() {
+		if recover() == nil {
+			t.Fatal("diverging hit did not panic under -cache-verify=1")
+		}
+	}()
+	c.GetOrCompute(key, func() (*core.Result, error) { return Clone(fresh), nil })
+}
+
+// TestVerifyCleanHit: agreeing recomputation passes and is counted.
+func TestVerifyCleanHit(t *testing.T) {
+	c := New(0)
+	c.SetVerify(1.0)
+	key := keyFromSeed(14)
+	want := fakeResult(14)
+	compute := func() (*core.Result, error) { return Clone(want), nil }
+	if _, _, err := c.GetOrCompute(key, compute); err != nil {
+		t.Fatal(err)
+	}
+	if _, st, err := c.GetOrCompute(key, compute); err != nil || st != Hit {
+		t.Fatalf("hit: %v %v", st, err)
+	}
+	if s := c.Stats(); s.Verified != 1 {
+		t.Fatalf("Verified = %d, want 1", s.Verified)
+	}
+}
+
+// TestSampledDeterministic: the verify sample is a pure function of the
+// key, monotone in the fraction.
+func TestSampledDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 64; seed++ {
+		k := keyFromSeed(seed)
+		if sampled(k, 0) {
+			t.Fatal("fraction 0 sampled a key")
+		}
+		if !sampled(k, 1) {
+			t.Fatal("fraction 1 skipped a key")
+		}
+		if sampled(k, 0.5) != sampled(k, 0.5) {
+			t.Fatal("sampling not deterministic")
+		}
+		if sampled(k, 0.25) && !sampled(k, 0.75) {
+			t.Fatal("sampling not monotone in the fraction")
+		}
+	}
+}
+
+// TestNormalizeStripsNondeterministicSurface: WallTime and Par differ
+// legitimately between executions of one point; the cached form must
+// not carry them.
+func TestNormalizeStripsNondeterministicSurface(t *testing.T) {
+	r := fakeResult(15)
+	n := Normalize(r)
+	if n.WallTime != 0 || n.Par != (core.ParStats{}) {
+		t.Fatalf("normalize left WallTime=%v Par=%+v", n.WallTime, n.Par)
+	}
+	if r.WallTime == 0 {
+		t.Fatal("normalize mutated its argument")
+	}
+	if !Equal(r, n) {
+		t.Fatal("normalize changed the deterministic surface")
+	}
+}

@@ -1,0 +1,52 @@
+package rcache
+
+import (
+	"container/list"
+
+	"github.com/coyote-sim/coyote/internal/core"
+)
+
+// lru is the in-process tier: a bounded most-recently-used map of
+// normalized results in front of the disk store, so repeated points in
+// one process (a sweep with duplicate rows, iterative exploration in a
+// REPL-style driver) never touch the filesystem. Not goroutine-safe —
+// the Cache serializes access under its mutex.
+type lru struct {
+	max   int // <= 0 means unbounded
+	ll    *list.List
+	items map[Key]*list.Element
+}
+
+type lruEntry struct {
+	k Key
+	r *core.Result
+}
+
+func newLRU(max int) *lru {
+	return &lru{max: max, ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+func (c *lru) get(k Key) (*core.Result, bool) {
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).r, true
+}
+
+func (c *lru) add(k Key, r *core.Result) {
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).r = r
+		return
+	}
+	c.items[k] = c.ll.PushFront(&lruEntry{k: k, r: r})
+	if c.max > 0 && c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).k)
+	}
+}
+
+func (c *lru) len() int { return c.ll.Len() }

@@ -18,6 +18,10 @@ type PointResult struct {
 	Point
 	Result *Result
 	Err    error
+	// Cache records how a cached sweep satisfied this point — "hit",
+	// "miss" or "coalesced" (see rcache.Status). Empty when the sweep
+	// ran without a cache.
+	Cache string
 }
 
 // Sweep runs a set of independent simulations concurrently on a fixed
@@ -37,8 +41,36 @@ type PointResult struct {
 func Sweep(points []Point, workers int) []PointResult {
 	workers = capOuterWorkers(workers, len(points),
 		maxInnerWorkers(points), runtime.GOMAXPROCS(0))
-	return sweepWith(points, workers, func(p Point) (*Result, error) {
-		return RunKernel(p.Kernel, p.Params, p.Config)
+	return sweepWith(points, workers, func(p Point) (*Result, string, error) {
+		res, err := RunKernel(p.Kernel, p.Params, p.Config)
+		return res, "", err
+	})
+}
+
+// SweepCached is Sweep with every point routed through the
+// content-addressed result cache: repeat points (across sweeps,
+// sessions, or CI runs sharing a cache directory) are served without
+// simulating, and duplicate points inside one sweep — including
+// concurrent in-flight duplicates — are single-flighted so they
+// simulate exactly once and fan the result out. Each PointResult's
+// Cache field records the outcome. A nil cache degrades to Sweep.
+//
+// Served results carry WallTime 0 and zeroed Par counters: only the
+// deterministic committed state is cached (see internal/rcache), which
+// is also why cached sweeps must never feed simulator-throughput (MIPS)
+// measurements — cmd/fig3 bypasses the cache by construction.
+func SweepCached(points []Point, workers int, c *ResultCache) []PointResult {
+	if c == nil {
+		return Sweep(points, workers)
+	}
+	workers = capOuterWorkers(workers, len(points),
+		maxInnerWorkers(points), runtime.GOMAXPROCS(0))
+	return sweepWith(points, workers, func(p Point) (*Result, string, error) {
+		res, status, err := RunKernelCached(p.Kernel, p.Params, p.Config, c)
+		if err != nil {
+			return nil, "", err
+		}
+		return res, status.String(), nil
 	})
 }
 
@@ -83,8 +115,9 @@ func capOuterWorkers(workers, npoints, inner, procs int) int {
 // can observe scheduling without paying for real simulations. Exactly
 // min(workers, len(points)) goroutines are started; they pull point
 // indices from a shared channel, so a slow point never blocks the rest of
-// the queue behind an idle worker.
-func sweepWith(points []Point, workers int, run func(Point) (*Result, error)) []PointResult {
+// the queue behind an idle worker. run's second return is the cache
+// status recorded in PointResult.Cache ("" for uncached runs).
+func sweepWith(points []Point, workers int, run func(Point) (*Result, string, error)) []PointResult {
 	if workers <= 0 || workers > len(points) {
 		workers = len(points)
 	}
@@ -100,8 +133,8 @@ func sweepWith(points []Point, workers int, run func(Point) (*Result, error)) []
 			defer wg.Done()
 			for i := range idx {
 				p := points[i]
-				res, err := run(p)
-				results[i] = PointResult{Point: p, Result: res, Err: err}
+				res, status, err := run(p)
+				results[i] = PointResult{Point: p, Result: res, Err: err, Cache: status}
 			}
 		}()
 	}

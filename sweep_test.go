@@ -168,7 +168,7 @@ func TestSweepWorkerPool(t *testing.T) {
 	var gate sync.WaitGroup
 	gate.Add(workers)
 
-	res := sweepWith(points, workers, func(p Point) (*Result, error) {
+	res := sweepWith(points, workers, func(p Point) (*Result, string, error) {
 		n := inFlight.Add(1)
 		for {
 			old := peak.Load()
@@ -181,7 +181,7 @@ func TestSweepWorkerPool(t *testing.T) {
 			gate.Wait()
 		}
 		inFlight.Add(-1)
-		return &Result{Instructions: uint64(p.Name[1])}, nil
+		return &Result{Instructions: uint64(p.Name[1])}, "", nil
 	})
 
 	if len(res) != npoints {
@@ -203,5 +203,119 @@ func TestSweepWorkerPool(t *testing.T) {
 	}
 	if p := peak.Load(); p < workers {
 		t.Errorf("observed only %d concurrent runs with %d workers and a rendezvous gate", p, workers)
+	}
+}
+
+// TestSweepCachedDedup is the regression test for the historical dedup
+// gap: a sweep containing N identical points used to simulate every
+// copy independently. With the single-flight cache in place, N copies
+// must cost exactly ONE simulation while all N PointResults come back
+// populated, in input order, with the same committed state.
+func TestSweepCachedDedup(t *testing.T) {
+	const copies = 8
+	points := make([]Point, copies)
+	for i := range points {
+		points[i] = Point{
+			Name:   fmt.Sprintf("copy%d", i),
+			Kernel: "axpy-scalar",
+			Params: Params{N: 64, Cores: 2},
+			Config: DefaultConfig(2),
+		}
+	}
+
+	// Injected-runner variant: count the actual simulations.
+	cache := NewResultCache(0)
+	var sims atomic.Int64
+	res := sweepWith(points, 4, func(p Point) (*Result, string, error) {
+		key, err := KeyForPoint(p.Kernel, p.Params, p.Config)
+		if err != nil {
+			return nil, "", err
+		}
+		r, st, err := cache.GetOrCompute(key, func() (*Result, error) {
+			sims.Add(1)
+			return RunKernel(p.Kernel, p.Params, p.Config)
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return r, st.String(), nil
+	})
+
+	if got := sims.Load(); got != 1 {
+		t.Fatalf("%d identical points cost %d simulations, want exactly 1", copies, got)
+	}
+	statuses := map[string]int{}
+	for i, r := range res {
+		if r.Err != nil || r.Result == nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		if r.Name != points[i].Name {
+			t.Fatalf("result %d: got %s, want %s — input order not preserved", i, r.Name, points[i].Name)
+		}
+		if r.Result.Cycles != res[0].Result.Cycles {
+			t.Fatalf("result %d: %d cycles, want %d", i, r.Result.Cycles, res[0].Result.Cycles)
+		}
+		statuses[r.Cache]++
+	}
+	if statuses["miss"] != 1 {
+		t.Errorf("statuses %v: want exactly one miss", statuses)
+	}
+	if statuses["hit"]+statuses["coalesced"] != copies-1 {
+		t.Errorf("statuses %v: want %d hit/coalesced", statuses, copies-1)
+	}
+
+	// Public-API variant: SweepCached reports the same contract through
+	// its Cache fields and the cache's own accounting.
+	cache2 := NewResultCache(0)
+	res2 := SweepCached(points, 4, cache2)
+	for i, r := range res2 {
+		if r.Err != nil || r.Result == nil {
+			t.Fatalf("SweepCached result %d: %v", i, r.Err)
+		}
+		if r.Result.Cycles != res[0].Result.Cycles {
+			t.Fatalf("SweepCached result %d: %d cycles, want %d", i, r.Result.Cycles, res[0].Result.Cycles)
+		}
+	}
+	if s := cache2.Stats(); s.Misses != 1 || s.Lookups() != copies {
+		t.Errorf("SweepCached stats %+v: want 1 miss of %d lookups", s, copies)
+	}
+}
+
+// TestSweepCachedMatchesSweep checks cached sweeps serve the exact
+// committed state an uncached sweep produces, and that a warm re-sweep
+// is all hits with zero additional misses.
+func TestSweepCachedMatchesSweep(t *testing.T) {
+	points := sweepPoints()
+	plain := Sweep(points, 2)
+
+	cache := NewResultCache(0)
+	cold := SweepCached(points, 2, cache)
+	warm := SweepCached(points, 2, cache)
+
+	for i := range plain {
+		if plain[i].Err != nil || cold[i].Err != nil || warm[i].Err != nil {
+			t.Fatalf("%s: errs %v / %v / %v", plain[i].Name, plain[i].Err, cold[i].Err, warm[i].Err)
+		}
+		for _, r := range []PointResult{cold[i], warm[i]} {
+			if r.Result.Cycles != plain[i].Result.Cycles ||
+				r.Result.Instructions != plain[i].Result.Instructions {
+				t.Errorf("%s [%s]: cached %d/%d vs plain %d/%d cycles/instrs",
+					r.Name, r.Cache, r.Result.Cycles, r.Result.Instructions,
+					plain[i].Result.Cycles, plain[i].Result.Instructions)
+			}
+		}
+		if warm[i].Cache != "hit" {
+			t.Errorf("%s: warm status %q, want hit", warm[i].Name, warm[i].Cache)
+		}
+		if plain[i].Cache != "" {
+			t.Errorf("%s: uncached sweep recorded status %q", plain[i].Name, plain[i].Cache)
+		}
+	}
+	s := cache.Stats()
+	if int(s.Misses) != len(points) {
+		t.Errorf("cold misses %d, want %d", s.Misses, len(points))
+	}
+	if int(s.Hits) < len(points) {
+		t.Errorf("warm hits %d, want at least %d", s.Hits, len(points))
 	}
 }
