@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: all build test race golden-workers lint vet bench-smoke bench-block san fuzz cache-bench ci
+.PHONY: all build test race golden-workers lint lint-flow vet bench-smoke bench-block san fuzz cache-bench ci
 
 all: build test lint
 
@@ -33,6 +33,11 @@ golden-workers:
 # Zero findings required; exit 1 on findings, 2 on load failure.
 lint:
 	$(GO) run ./cmd/coyotelint ./...
+
+# Just the interprocedural dataflow lanes (DESIGN.md §12): cache-key
+# soundness, spec-layer write isolation, global-state freedom.
+lint-flow:
+	$(GO) run ./cmd/coyotelint -run keytaint,specwrite,globalmut ./...
 
 vet:
 	$(GO) vet ./...

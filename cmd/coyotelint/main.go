@@ -3,6 +3,7 @@
 //
 //	go run ./cmd/coyotelint ./...
 //	go run ./cmd/coyotelint -json ./... | jq .
+//	go run ./cmd/coyotelint -run keytaint,specwrite,globalmut ./...
 //
 // It exits 0 when the tree is clean, 1 when any analyzer reports a
 // finding, and 2 when the packages cannot be loaded. -json emits one
@@ -25,6 +26,7 @@ import (
 func main() {
 	list := flag.Bool("analyzers", false, "list the analyzers in the suite and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: the full suite)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: coyotelint [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the Coyote determinism & hot-path invariant suite.\n")
@@ -44,12 +46,18 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
+	analyzers, err := lint.AnalyzersByName(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coyotelint:", err)
+		os.Exit(2)
+	}
+
 	prog, err := lint.Load(".", patterns, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coyotelint:", err)
 		os.Exit(2)
 	}
-	res := lint.RunSuite(prog)
+	res := lint.RunSelected(prog, analyzers)
 	if *jsonOut {
 		// One JSON object per line, stable field order, so findings pipe
 		// cleanly into jq / CI annotators. "directive" names the escape

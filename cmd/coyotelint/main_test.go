@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/lint"
+)
+
+// TestFindingJSONSchema pins the -json line format. CI annotators and
+// editor integrations key on these exact field names; renaming one is a
+// breaking change to downstream tooling and must be deliberate.
+func TestFindingJSONSchema(t *testing.T) {
+	b, err := json.Marshal(finding{
+		Analyzer:  "keytaint",
+		Pos:       "internal/core/stats.go:10:2",
+		Message:   "example",
+		Directive: "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := []string{"analyzer", "directive", "message", "pos"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("finding JSON keys = %v, want %v", keys, want)
+	}
+}
+
+// TestFlowAnalyzerEscapeHatches pins the directive column for the
+// dataflow lanes: specwrite and globalmut have site-level escape
+// hatches, keytaint deliberately has none — a proven execution-strategy
+// flow into a cached result is a cache-poisoning bug with no local
+// justification (DESIGN.md §12).
+func TestFlowAnalyzerEscapeHatches(t *testing.T) {
+	for name, want := range map[string]string{
+		"keytaint":  "",
+		"specwrite": "specwrite-ok",
+		"globalmut": "globalmut-ok",
+	} {
+		if got := lint.EscapeHatch(name); got != want {
+			t.Errorf("EscapeHatch(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestSuiteIncludesFlowAnalyzers proves the default suite — what CI's
+// bare `coyotelint ./...` invocation runs — contains the three dataflow
+// lanes, and that the -run flag resolves them by name.
+func TestSuiteIncludesFlowAnalyzers(t *testing.T) {
+	inSuite := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		inSuite[a.Name] = true
+	}
+	for _, name := range []string{"keytaint", "specwrite", "globalmut"} {
+		if !inSuite[name] {
+			t.Errorf("default suite is missing analyzer %q", name)
+		}
+	}
+
+	sel, err := lint.AnalyzersByName("keytaint,specwrite,globalmut")
+	if err != nil {
+		t.Fatalf("AnalyzersByName: %v", err)
+	}
+	if len(sel) != 3 {
+		t.Fatalf("AnalyzersByName returned %d analyzers, want 3", len(sel))
+	}
+	if _, err := lint.AnalyzersByName("keytaint,nosuch"); err == nil {
+		t.Error("AnalyzersByName accepted an unknown analyzer name")
+	}
+}

@@ -154,11 +154,12 @@ func (s *System) runShard(w int) {
 // hart itself. Dispatch is deferred to the commit walk; the events simply
 // pile up in the hart's buffer in program order, which is the same
 // per-hart contiguous order the sequential loop dispatches them in.
+//coyote:specphase
 func (s *System) specStepHart(k int) {
 	par := &s.par
 	h := s.Harts[par.list[k]]
 	o := &par.outcome[k]
-	o.executedAny = false
+	o.executedAny = false //coyote:specwrite-ok worker-private outcome slot, read only by the commit phase after the barrier
 	h.BeginSpec()
 	if !h.BlockEngineEnabled() {
 		// Reference per-instruction engine (differential testing).
@@ -166,12 +167,12 @@ func (s *System) specStepHart(k int) {
 		for q := 0; q < s.cfg.InterleaveQuantum; q++ {
 			res = h.Step(s.cycle)
 			if res == cpu.StepExecuted {
-				o.executedAny = true
+				o.executedAny = true //coyote:specwrite-ok worker-private outcome slot (see above)
 				continue
 			}
 			break
 		}
-		o.res = res
+		o.res = res //coyote:specwrite-ok worker-private outcome slot (see above)
 		return
 	}
 	rem := s.cfg.InterleaveQuantum
@@ -181,14 +182,14 @@ func (s *System) specStepHart(k int) {
 		n, res = h.StepBlock(s.cycle, rem)
 		rem -= n
 		if n > 0 {
-			o.executedAny = true
+			o.executedAny = true //coyote:specwrite-ok worker-private outcome slot (see above)
 		}
 		if res != cpu.StepExecuted {
 			break
 		}
 		// res == StepExecuted implies n ≥ 1, so rem strictly decreases.
 	}
-	o.res = res
+	o.res = res //coyote:specwrite-ok worker-private outcome slot (see above)
 }
 
 // stepCycleParallel runs one simulated cycle's functional phase on the

@@ -277,6 +277,7 @@ func (s *System) ResetStats() {
 
 // Run simulates until every hart halts, a fault occurs, or MaxCycles is
 // reached.
+//coyote:globalfree
 func (s *System) Run() (*Result, error) {
 	if s.prog == nil {
 		return nil, fmt.Errorf("core: no program loaded")

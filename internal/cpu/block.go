@@ -86,6 +86,7 @@ func (h *Hart) fetchRead32(a uint64) uint32 {
 // the PC to the single-step path. Building is cold (once per entry PC per
 // generation) and reuses the entry's slice capacity, so the steady state
 // allocates nothing.
+//coyote:specwrite-ok fills the block-cache entry under construction; decode state is a pure function of program memory, exempted at its Hart field declarations
 func (h *Hart) buildBlock(e *blockEntry) {
 	e.pc = h.PC
 	e.code = e.code[:0]

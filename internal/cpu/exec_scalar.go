@@ -35,34 +35,34 @@ func (h *Hart) execute(in riscv.Instr, nextPC *uint64, now uint64) StepResult {
 		h.setX(in.Rd, h.PC+uint64(int64(int32(uint32(in.Imm)<<12))))
 	case riscv.OpJAL:
 		h.setX(in.Rd, h.PC+4)
-		*nextPC = h.PC + uint64(in.Imm)
+		*nextPC = h.PC + uint64(in.Imm) //coyote:specwrite-ok out-param: redirects the caller's nextPC local; the h.PC it feeds is snapshot-covered in spec.go
 	case riscv.OpJALR:
 		t := (x[in.Rs1] + uint64(in.Imm)) &^ 1
 		h.setX(in.Rd, h.PC+4)
-		*nextPC = t
+		*nextPC = t //coyote:specwrite-ok out-param: redirects the caller's nextPC local; the h.PC it feeds is snapshot-covered in spec.go
 	case riscv.OpBEQ:
 		if x[in.Rs1] == x[in.Rs2] {
-			*nextPC = h.PC + uint64(in.Imm)
+			*nextPC = h.PC + uint64(in.Imm) //coyote:specwrite-ok out-param: redirects the caller's nextPC local; the h.PC it feeds is snapshot-covered in spec.go
 		}
 	case riscv.OpBNE:
 		if x[in.Rs1] != x[in.Rs2] {
-			*nextPC = h.PC + uint64(in.Imm)
+			*nextPC = h.PC + uint64(in.Imm) //coyote:specwrite-ok out-param: redirects the caller's nextPC local; the h.PC it feeds is snapshot-covered in spec.go
 		}
 	case riscv.OpBLT:
 		if int64(x[in.Rs1]) < int64(x[in.Rs2]) {
-			*nextPC = h.PC + uint64(in.Imm)
+			*nextPC = h.PC + uint64(in.Imm) //coyote:specwrite-ok out-param: redirects the caller's nextPC local; the h.PC it feeds is snapshot-covered in spec.go
 		}
 	case riscv.OpBGE:
 		if int64(x[in.Rs1]) >= int64(x[in.Rs2]) {
-			*nextPC = h.PC + uint64(in.Imm)
+			*nextPC = h.PC + uint64(in.Imm) //coyote:specwrite-ok out-param: redirects the caller's nextPC local; the h.PC it feeds is snapshot-covered in spec.go
 		}
 	case riscv.OpBLTU:
 		if x[in.Rs1] < x[in.Rs2] {
-			*nextPC = h.PC + uint64(in.Imm)
+			*nextPC = h.PC + uint64(in.Imm) //coyote:specwrite-ok out-param: redirects the caller's nextPC local; the h.PC it feeds is snapshot-covered in spec.go
 		}
 	case riscv.OpBGEU:
 		if x[in.Rs1] >= x[in.Rs2] {
-			*nextPC = h.PC + uint64(in.Imm)
+			*nextPC = h.PC + uint64(in.Imm) //coyote:specwrite-ok out-param: redirects the caller's nextPC local; the h.PC it feeds is snapshot-covered in spec.go
 		}
 
 	case riscv.OpLB:

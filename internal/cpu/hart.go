@@ -133,11 +133,13 @@ func NewReservations(n int) *Reservations {
 	return &Reservations{line: make([]uint64, n), valid: make([]bool, n)}
 }
 
+//coyote:specwrite-ok reservation state is replay-deterministic: an aborted quantum re-runs the same LR sequence, and cross-hart invalidation is deferred while speculation is armed (see spec.go)
 func (r *Reservations) set(hart int, line uint64) {
 	r.line[hart] = line
 	r.valid[hart] = true
 }
 
+//coyote:specwrite-ok reservation state is replay-deterministic: an aborted quantum re-runs the same SC sequence (see spec.go)
 func (r *Reservations) check(hart int, line uint64) bool {
 	ok := r.valid[hart] && r.line[hart] == line
 	r.valid[hart] = false // SC always clears the reservation
@@ -146,6 +148,7 @@ func (r *Reservations) check(hart int, line uint64) bool {
 
 // invalidateStores drops every reservation matching a stored-to line,
 // except the storing hart's own (its SC consumed it already).
+//coyote:specwrite-ok commit-phase helper: the spec layer defers store invalidation until the quantum commits (see spec.go storeInvalidate)
 func (r *Reservations) invalidateStores(storer int, line uint64) {
 	for i := range r.valid {
 		if i != storer && r.valid[i] && r.line[i] == line {
@@ -200,12 +203,15 @@ type Hart struct {
 	// masks, avoiding per-step decode and dependency analysis (the same
 	// trick Spike's instruction cache plays). Self-modifying code is not
 	// supported, matching Spike's bare-metal assumptions.
-	stepCache []stepEntry
+	// Decode-derived state below is deliberately outside the spec
+	// journal: it is a pure function of program memory, so an aborted
+	// quantum that re-decodes produces identical entries.
+	stepCache []stepEntry //coyote:specwrite-ok decode cache, rebuilt identically on replay; never part of committed state
 
 	// blockCache is the superblock extension of stepCache: each entry
 	// holds a decoded straight-line run starting at its PC, executed by
 	// StepBlock in one tight loop (see block.go).
-	blockCache []blockEntry
+	blockCache []blockEntry //coyote:specwrite-ok decode cache, same argument as stepCache
 	blockMax   int
 	blockOff   bool
 
@@ -214,7 +220,7 @@ type Hart struct {
 	// store landing inside the range is cross-checked against the live
 	// entries: silently executing stale pre-decoded code is the one way
 	// the decode caches could diverge from memory.
-	codeLo, codeHi uint64
+	codeLo, codeHi uint64 //coyote:specwrite-ok sanitizer bookkeeping derived from the decode caches
 
 	// lastFetchLine short-circuits the L1I tag lookup for straight-line
 	// fetches from the same cache line.
@@ -222,15 +228,15 @@ type Hart struct {
 	lastFetchValid bool
 
 	// scratch buffers reused across steps to avoid allocation
-	lineScratch []uint64
-	oneAddr     [1]uint64
-	addrScratch []uint64
+	lineScratch []uint64   //coyote:specwrite-ok per-step scratch, dead before the next instruction
+	oneAddr     [1]uint64   //coyote:specwrite-ok per-step scratch, dead before the next instruction
+	addrScratch []uint64    //coyote:specwrite-ok per-step scratch, dead before the next instruction
 
 	// gatherPool recycles MemEvent.Gather descriptor slices. The
 	// orchestrator returns a descriptor with RecycleGatherBuf once the
 	// uncore has consumed it, so steady-state MCPU offload allocates no
 	// per-access buffers.
-	gatherPool [][]uint64
+	gatherPool [][]uint64 //coyote:specwrite-ok buffer pool; recycled descriptor contents are dead once the uncore consumes them
 
 	// CSR backing store for CSRs without dedicated fields.
 	csr map[uint16]uint64

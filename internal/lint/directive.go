@@ -38,6 +38,10 @@ var knownDirectives = map[string]bool{
 	"floatorder-ok":      true,  // exempts one float reduction over a map
 	"statecheck-ok":      true,  // exempts one enum switch or dead state
 	"portproto-ok":       true,  // exempts one fire-and-forget request site
+	"specphase":          false, // annotation: marks a speculative-phase root (specwrite walks from it)
+	"specwrite-ok":       true,  // exempts one un-journaled store / dynamic call on the spec path
+	"globalfree":         false, // annotation: marks a root whose call graph must not touch mutable globals
+	"globalmut-ok":       true,  // exempts one mutable-global use on a globalfree path
 }
 
 // EscapeHatch returns the directive kind that justifies a finding of the
@@ -57,7 +61,15 @@ func EscapeHatch(analyzer string) string {
 		return "statecheck-ok"
 	case "portproto":
 		return "portproto-ok"
+	case "specwrite":
+		return "specwrite-ok"
+	case "globalmut":
+		return "globalmut-ok"
 	}
+	// keytaint deliberately has NO escape hatch: a proven
+	// execution-strategy→result flow is a cache-poisoning bug, and the only
+	// fixes are removing the flow or moving the field into the canonical
+	// key (with a SchemaVersion bump).
 	return ""
 }
 

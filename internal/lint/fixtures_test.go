@@ -88,6 +88,9 @@ func TestFloatOrderFixture(t *testing.T) { checkFixture(t, FloatOrderAnalyzer, "
 func TestAllocFreeFixture(t *testing.T)  { checkFixture(t, AllocFreeAnalyzer, "allocfreefix") }
 func TestStateCheckFixture(t *testing.T) { checkFixture(t, StateCheckAnalyzer, "statecheckfix") }
 func TestPortProtoFixture(t *testing.T)  { checkFixture(t, PortProtoAnalyzer, "portprotofix") }
+func TestKeyTaintFixture(t *testing.T)   { checkFixture(t, KeyTaintAnalyzer, "keytaintfix") }
+func TestSpecWriteFixture(t *testing.T)  { checkFixture(t, SpecWriteAnalyzer, "specwritefix") }
+func TestGlobalMutFixture(t *testing.T)  { checkFixture(t, GlobalMutAnalyzer, "globalmutfix") }
 
 // TestDirectiveFixture asserts the directive analyzer rejects an unknown
 // kind and an escape hatch without a justification, and accepts a
@@ -128,19 +131,28 @@ func TestStrippedJustificationFails(t *testing.T) {
 		{"allocfreefix", "//coyote:alloc-ok pool warm-up: runs once per unit lifetime", AllocFreeAnalyzer, `make allocates`},
 		{"statecheckfix", "//coyote:statecheck-ok only the drain state is reachable here; the dispatcher filters the rest", StateCheckAnalyzer, `misses state`},
 		{"portprotofix", "//coyote:portproto-ok prefetch: the fill only warms the tags, nobody consumes the data", PortProtoAnalyzer, `zero Done`},
+		{"specwritefix", "//coyote:specwrite-ok fixture: worker-private scratch, justified for the strip test", SpecWriteAnalyzer, `R1: store to Hart\.aux`},
+		{"globalmutfix", "//coyote:globalmut-ok fixture: justified read for the strip test", GlobalMutAnalyzer, `mutable package-level variable counter`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.pkg+"/"+tc.analyzer.Name, func(t *testing.T) {
 			base := loadFixture(t, tc.pkg, nil)
 			before := RunAnalyzers(base, []*Analyzer{tc.analyzer}, nil)
 
-			file := base.Packages[0].Filenames[0]
-			src, err := os.ReadFile(file)
-			if err != nil {
-				t.Fatal(err)
+			var file string
+			var src []byte
+			for _, name := range base.Packages[0].Filenames {
+				data, err := os.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if strings.Contains(string(data), tc.directive) {
+					file, src = name, data
+					break
+				}
 			}
-			if !strings.Contains(string(src), tc.directive) {
-				t.Fatalf("fixture %s does not contain directive %q", file, tc.directive)
+			if file == "" {
+				t.Fatalf("fixture %s does not contain directive %q", tc.pkg, tc.directive)
 			}
 			stripped := strings.Replace(string(src), tc.directive, "", 1)
 

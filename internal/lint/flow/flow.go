@@ -1,0 +1,444 @@
+// Package flow is Coyote's SSA-lite interprocedural dataflow engine: the
+// value- and field-sensitive layer under the keytaint, specwrite and
+// globalmut analyzers (internal/lint). Like the rest of the lint suite it
+// is built on go/ast and go/types alone — no golang.org/x/tools — and it
+// analyzes the same source-parsed, export-data-resolved packages the
+// `go list -export` loader produces.
+//
+// The engine has two independent facilities:
+//
+//   - a call-graph walker (walk.go): static reachability from annotated
+//     roots, same architecture as the allocfree analyzer's walk but shared
+//     and reusable, with per-call-site classification (static in-module,
+//     external, dynamic);
+//   - a taint engine (taint.go): whole-program, flow-insensitive,
+//     field-sensitive taint propagation with per-function transfer
+//     summaries computed to fixpoint over the call graph.
+//
+// This file holds the program model both share: the package/function
+// index and access-path ("chain") resolution.
+//
+// Soundness stance (documented in DESIGN.md §12): the engine tracks
+// explicit data flow only. Control dependence (a tainted branch condition
+// or loop bound) does not taint the values computed under it — those
+// influences are covered dynamically by the golden determinism matrix.
+// Interfaces, closures and channels are handled conservatively (havoc or
+// containment, never silent omission); aliasing through function results
+// is the one documented hole (a method returning an interior pointer
+// hides the object it exposes).
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Package is one source-analyzed package: the subset of the lint loader's
+// view the engine needs. The lint package constructs these (flow cannot
+// import lint — the dependency points the other way).
+type Package struct {
+	Path  string
+	Files []*ast.File
+	// Filenames[i] is the file name Files[i] was parsed from.
+	Filenames []string
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Func is one function or method declaration with a body.
+type Func struct {
+	Key  string
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+}
+
+// File returns the name of the file fn is declared in.
+func (f *Func) File(fset *token.FileSet) string {
+	return fset.Position(f.Decl.Pos()).Filename
+}
+
+// Program indexes every function of the loaded source packages.
+type Program struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Funcs map[string]*Func
+}
+
+// NewProgram builds the function index over pkgs.
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	p := &Program{Fset: fset, Pkgs: pkgs, Funcs: make(map[string]*Func)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := FuncKey(obj)
+				// A package may declare any number of init functions,
+				// all named "init"; suffix duplicates so every body
+				// stays indexed. Nothing can call init, so the suffixed
+				// keys are never looked up by Resolve.
+				for n := 2; p.Funcs[key] != nil; n++ {
+					key = fmt.Sprintf("%s#%d", FuncKey(obj), n)
+				}
+				p.Funcs[key] = &Func{Key: key, Pkg: pkg, Decl: fd, Obj: obj}
+			}
+		}
+	}
+	return p
+}
+
+// FuncKey returns a stable, instantiation-independent identifier for a
+// function or method: "pkg/path.Func" or "pkg/path.Recv.Method". Keys
+// built from a source-checked *types.Func and from an export-data import
+// of the same function agree, which is what lets call-graph walks cross
+// package boundaries.
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed {
+			obj := n.Origin().Obj()
+			if obj.Pkg() != nil {
+				return obj.Pkg().Path() + "." + obj.Name() + "." + fn.Name()
+			}
+			return obj.Name() + "." + fn.Name()
+		}
+		return t.String() + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// Resolve looks a *types.Func up in the program's source index.
+func (p *Program) Resolve(fn *types.Func) *Func {
+	return p.Funcs[FuncKey(fn)]
+}
+
+// maxPathLen caps access-path depth. Deeper selections collapse into the
+// trailing "*" wildcard segment — field-sensitivity with a bounded
+// lattice, the classic k-limiting.
+const maxPathLen = 3
+
+// Chain is a bounded access path: a root object (a local, parameter,
+// receiver or package-level variable) plus up to maxPathLen field/index
+// segments. Index and element accesses use the wildcard segment "*":
+// the engine is field-sensitive but element-insensitive.
+type Chain struct {
+	Root types.Object
+	Path []string
+}
+
+// Key renders the chain for map keys: "root.f1.f2".
+func (c Chain) Key() string {
+	if len(c.Path) == 0 {
+		return objKey(c.Root)
+	}
+	return objKey(c.Root) + "." + strings.Join(c.Path, ".")
+}
+
+func objKey(o types.Object) string {
+	pos := strconv.Itoa(int(o.Pos()))
+	if o.Pkg() != nil {
+		return o.Pkg().Path() + "." + o.Name() + "@" + pos
+	}
+	return o.Name() + "@" + pos
+}
+
+// push appends a segment, collapsing beyond the depth cap.
+func (c Chain) push(seg string) Chain {
+	path := make([]string, len(c.Path), len(c.Path)+1)
+	copy(path, c.Path)
+	if len(path) >= maxPathLen {
+		if path[len(path)-1] != "*" {
+			path = append(path[:maxPathLen-1:maxPathLen-1], "*")
+		}
+		return Chain{Root: c.Root, Path: path}
+	}
+	return Chain{Root: c.Root, Path: append(path, seg)}
+}
+
+// IsGlobal reports whether the chain is rooted at a package-level var.
+func (c Chain) IsGlobal() bool {
+	v, ok := c.Root.(*types.Var)
+	if !ok {
+		return false
+	}
+	return isGlobalVar(v)
+}
+
+func isGlobalVar(v *types.Var) bool {
+	if v.Pkg() == nil || v.IsField() {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// AliasEnv maps a local object to the chain it aliases: built from
+// statements of the form `v := &h.F.G`, `v := &h`, `sp := h.ptrField`
+// (pointer-typed field copy) and `u := cfg.Sub` (struct value copy —
+// taint-wise the copy reads the source once, but for *store* attribution
+// treating it as an alias is the conservative choice for pointer-free
+// structs too, since the engine is flow-insensitive anyway).
+type AliasEnv map[types.Object]Chain
+
+// ResolveChain resolves expr to an access path, looking through unary &,
+// parens, derefs, index expressions (as "*") and the alias environment.
+// ok is false when the expression is not rooted at a variable (calls,
+// literals, complex expressions).
+func ResolveChain(info *types.Info, env AliasEnv, expr ast.Expr) (Chain, bool) {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return Chain{}, false
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if env != nil {
+				if base, ok := env[v]; ok {
+					return base, true
+				}
+			}
+			return Chain{Root: v, Path: nil}, true
+		}
+		return Chain{}, false
+	case *ast.ParenExpr:
+		return ResolveChain(info, env, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return ResolveChain(info, env, e.X)
+		}
+		return Chain{}, false
+	case *ast.StarExpr:
+		return ResolveChain(info, env, e.X)
+	case *ast.SelectorExpr:
+		// Only field selections extend chains; method values do not.
+		if sel, ok := info.Selections[e]; ok && sel.Kind() != types.FieldVal {
+			return Chain{}, false
+		}
+		base, ok := ResolveChain(info, env, e.X)
+		if !ok {
+			// Package-qualified global: pkg.Var parses as a selector whose
+			// X is the package name.
+			if obj := info.ObjectOf(e.Sel); obj != nil {
+				if v, isVar := obj.(*types.Var); isVar && isGlobalVar(v) {
+					return Chain{Root: v}, true
+				}
+			}
+			return Chain{}, false
+		}
+		return base.push(e.Sel.Name), true
+	case *ast.IndexExpr:
+		base, ok := ResolveChain(info, env, e.X)
+		if !ok {
+			return Chain{}, false
+		}
+		return base.push("*"), true
+	case *ast.SliceExpr:
+		return ResolveChain(info, env, e.X)
+	case *ast.TypeAssertExpr:
+		return ResolveChain(info, env, e.X)
+	}
+	return Chain{}, false
+}
+
+// FieldOwner resolves a field-selection expression to the defining named
+// struct type and field name. ok is false for anything that is not a
+// plain field selection on a named struct (method values, package
+// selectors, unnamed structs).
+func FieldOwner(info *types.Info, sel *ast.SelectorExpr) (owner *types.Named, field string, ok bool) {
+	s, found := info.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	t := s.Recv()
+	for {
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, "", false
+	}
+	return n, sel.Sel.Name, true
+}
+
+// NamedOf unwraps pointers and returns the named type of t, or nil.
+func NamedOf(t types.Type) *types.Named {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// TypeMatches reports whether named type n matches a spec written as
+// either a bare type name ("Config") or a package-suffix-qualified one
+// ("core.Config", matching import paths ending in "core" or equal to
+// "core"). Bare names let fixture packages exercise analyzers whose real
+// specs name simulator types.
+func TypeMatches(n *types.Named, spec string) bool {
+	if n == nil {
+		return false
+	}
+	name := n.Obj().Name()
+	pkgSuffix, typeName, qualified := strings.Cut(spec, ".")
+	if !qualified {
+		return name == spec
+	}
+	if name != typeName {
+		return false
+	}
+	if n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
+}
+
+// StaticCallee resolves a call expression to the concrete *types.Func it
+// invokes, looking through method values on concrete types. It returns
+// nil for calls through func values, interface methods, type conversions
+// and builtins — the dynamic calls the engine must treat conservatively.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				fn, _ := sel.Obj().(*types.Func)
+				if fn == nil {
+					return nil
+				}
+				// An interface method has no body anywhere; the concrete
+				// target is unknown. Report it as dynamic.
+				if types.IsInterface(sel.Recv()) {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsConversionOrBuiltin reports whether call is a type conversion or a
+// builtin call (len, append, copy, …) rather than a function call.
+func IsConversionOrBuiltin(info *types.Info, call *ast.CallExpr) (conv bool, builtin *types.Builtin) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch o := info.Uses[fun].(type) {
+		case *types.TypeName:
+			return true, nil
+		case *types.Builtin:
+			return false, o
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+			return true, nil
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.FuncType,
+		*ast.InterfaceType, *ast.StructType, *ast.StarExpr, *ast.IndexExpr,
+		*ast.IndexListExpr:
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// BuildAliases scans a function body for alias-introducing short variable
+// declarations and assignments: `v := &chain`, `v := chain` where chain
+// is pointer-typed or a struct value. The environment is intentionally
+// flow-insensitive: one alias per object, last writer wins is NOT modeled
+// — the first recorded alias sticks, and multiple distinct aliases make
+// the object unresolvable (mapped to the zero Chain), which downstream
+// code treats as "unknown root" and handles conservatively.
+func BuildAliases(info *types.Info, body *ast.BlockStmt) AliasEnv {
+	env := AliasEnv{}
+	conflicted := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || conflicted[obj] {
+			return
+		}
+		// Only pointer-typed locals and struct-valued copies act as
+		// aliases for store attribution.
+		switch rhs := ast.Unparen(rhs).(type) {
+		case *ast.UnaryExpr:
+			if rhs.Op != token.AND {
+				return
+			}
+		case *ast.SelectorExpr, *ast.Ident, *ast.IndexExpr:
+			t := info.TypeOf(rhs)
+			if t == nil {
+				return
+			}
+			switch t.Underlying().(type) {
+			case *types.Pointer, *types.Struct, *types.Slice, *types.Map:
+			default:
+				return
+			}
+		default:
+			return
+		}
+		chain, ok := ResolveChain(info, env, rhs)
+		if !ok {
+			return
+		}
+		if prev, exists := env[obj]; exists {
+			if prev.Key() != chain.Key() {
+				conflicted[obj] = true
+				delete(env, obj)
+			}
+			return
+		}
+		env[obj] = chain
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			record(as.Lhs[i], as.Rhs[i])
+		}
+		return true
+	})
+	return env
+}

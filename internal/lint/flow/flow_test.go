@@ -1,0 +1,346 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc builds a one-file Program from source, bypassing the
+// go-list loader so the engine is testable in isolation.
+func typecheckSrc(t *testing.T, src string) *Program {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	tpkg, err := conf.Check("test/p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pkg := &Package{
+		Path:      "test/p",
+		Files:     []*ast.File{file},
+		Filenames: []string{"p.go"},
+		Types:     tpkg,
+		Info:      info,
+	}
+	return NewProgram(fset, []*Package{pkg})
+}
+
+// testTaintConfig: reads of Cfg.A / Cfg.B are sources (labels 1 and 2),
+// stores into any Res field are sinks, calls of any method named Emit
+// are call sinks.
+func testTaintConfig() *TaintConfig {
+	return &TaintConfig{
+		SourceOf: func(owner *types.Named, field string) (Label, bool) {
+			if owner.Obj().Name() != "Cfg" {
+				return 0, false
+			}
+			switch field {
+			case "A":
+				return 1, true
+			case "B":
+				return 2, true
+			}
+			return 0, false
+		},
+		SinkOf: func(owner *types.Named, field string) (string, bool) {
+			if owner.Obj().Name() == "Res" {
+				return "Res." + field, true
+			}
+			return "", false
+		},
+		CallSinkOf: func(fn *types.Func) (string, bool) {
+			if fn.Name() == "Emit" {
+				return "emit", true
+			}
+			return "", false
+		},
+		LabelName: func(l Label) string {
+			return map[Label]string{1: "A", 2: "B"}[l]
+		},
+	}
+}
+
+func runTaintOn(t *testing.T, src string) []Finding {
+	t.Helper()
+	prog := typecheckSrc(t, src)
+	return RunTaint(prog, testTaintConfig())
+}
+
+func wantFindings(t *testing.T, got []Finding, want ...struct {
+	sink  string
+	label Label
+}) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].Sink != w.sink || got[i].Label != w.label {
+			t.Errorf("finding %d: got (%q, label %d), want (%q, label %d)",
+				i, got[i].Sink, got[i].Label, w.sink, w.label)
+		}
+	}
+}
+
+type fw = struct {
+	sink  string
+	label Label
+}
+
+const typesPrelude = `package p
+type Cfg struct{ A, B int }
+type Res struct{ X, Y int }
+`
+
+func TestTaintDirectFlow(t *testing.T) {
+	got := runTaintOn(t, typesPrelude+`
+func f(c Cfg, r *Res) { r.X = c.A }
+`)
+	wantFindings(t, got, fw{"Res.X", 1})
+}
+
+func TestTaintFieldSensitivity(t *testing.T) {
+	// Taint stored into s.u must not leak through a read of s.v; a read
+	// of the whole struct must see it.
+	got := runTaintOn(t, typesPrelude+`
+type pair struct{ u, v int }
+func clean(c Cfg, r *Res) {
+	var s pair
+	s.u = c.A
+	r.X = s.v
+}
+func whole(c Cfg, r *Res) {
+	var s pair
+	s.u = c.B
+	t := s
+	r.Y = t.u
+}
+`)
+	wantFindings(t, got, fw{"Res.Y", 2})
+}
+
+func TestTaintInterproceduralReturn(t *testing.T) {
+	got := runTaintOn(t, typesPrelude+`
+func pick(c Cfg) int { return c.A }
+func f(c Cfg, r *Res) { r.X = pick(c) }
+`)
+	wantFindings(t, got, fw{"Res.X", 1})
+}
+
+func TestTaintParamOut(t *testing.T) {
+	// Flow through a pointer out-parameter, two calls deep.
+	got := runTaintOn(t, typesPrelude+`
+func set(p *int, v int) { *p = v }
+func mid(p *int, c Cfg) { set(p, c.B) }
+func f(c Cfg, r *Res) {
+	var tmp int
+	mid(&tmp, c)
+	r.Y = tmp
+}
+`)
+	wantFindings(t, got, fw{"Res.Y", 2})
+}
+
+func TestTaintThroughGlobal(t *testing.T) {
+	got := runTaintOn(t, typesPrelude+`
+var g int
+func store(c Cfg) { g = c.A }
+func load(r *Res) { r.X = g }
+`)
+	wantFindings(t, got, fw{"Res.X", 1})
+}
+
+func TestTaintCompositeLiteralSink(t *testing.T) {
+	got := runTaintOn(t, typesPrelude+`
+func f(c Cfg) Res { return Res{X: c.A} }
+`)
+	wantFindings(t, got, fw{"Res.X", 1})
+}
+
+func TestTaintCallSink(t *testing.T) {
+	// Interface method call sink: dynamic callee, matched abstractly.
+	got := runTaintOn(t, typesPrelude+`
+type Tr interface{ Emit(v int) }
+func f(c Cfg, tr Tr) { tr.Emit(c.B) }
+`)
+	wantFindings(t, got, fw{"emit", 2})
+}
+
+func TestTaintChannelFlow(t *testing.T) {
+	got := runTaintOn(t, typesPrelude+`
+func f(c Cfg, r *Res) {
+	ch := make(chan int, 1)
+	ch <- c.A
+	r.X = <-ch
+}
+`)
+	wantFindings(t, got, fw{"Res.X", 1})
+}
+
+func TestTaintNoImplicitFlow(t *testing.T) {
+	// Control dependence is deliberately outside the lattice: a source
+	// used only in a branch condition must not taint stores in the
+	// branch body. This is the documented soundness caveat — the golden
+	// matrix covers it dynamically.
+	got := runTaintOn(t, typesPrelude+`
+func f(c Cfg, r *Res) {
+	if c.A > 0 {
+		r.X = 1
+	}
+	for i := 0; i < c.B; i++ {
+		r.Y = i
+	}
+}
+`)
+	wantFindings(t, got)
+}
+
+func TestTaintSliceAndAppend(t *testing.T) {
+	got := runTaintOn(t, typesPrelude+`
+func f(c Cfg, r *Res) {
+	var xs []int
+	xs = append(xs, c.A)
+	r.X = xs[0]
+}
+`)
+	wantFindings(t, got, fw{"Res.X", 1})
+}
+
+func TestTaintClosureCapture(t *testing.T) {
+	// A closure body is analyzed inline against the shared cell map, so
+	// captured-variable flows are seen even though the literal itself is
+	// never resolved as a callee.
+	got := runTaintOn(t, typesPrelude+`
+func f(c Cfg, r *Res) {
+	var tmp int
+	fill := func() { tmp = c.A }
+	fill()
+	r.X = tmp
+}
+`)
+	wantFindings(t, got, fw{"Res.X", 1})
+}
+
+func TestTaintDeadSourceClean(t *testing.T) {
+	// Sources read but never reaching a sink produce nothing.
+	got := runTaintOn(t, typesPrelude+`
+func f(c Cfg, r *Res) {
+	tmp := c.A + c.B
+	_ = tmp
+	r.X = 3
+}
+`)
+	wantFindings(t, got)
+}
+
+func TestWalkerReachable(t *testing.T) {
+	prog := typecheckSrc(t, `package p
+func root() { a(); b() }
+func a()    { c() }
+func b()    {}
+func c()    {}
+func island() {}
+type T struct{}
+func (t T) Boundary() { island() }
+func root2() { T{}.Boundary() }
+`)
+	w := &Walker{Prog: prog}
+	var keys []string
+	for _, fn := range w.Reachable([]*Func{prog.Funcs["test/p.root"]}) {
+		keys = append(keys, fn.Key)
+	}
+	want := []string{"test/p.a", "test/p.b", "test/p.c", "test/p.root"}
+	if len(keys) != len(want) {
+		t.Fatalf("reachable = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("reachable = %v, want %v", keys, want)
+		}
+	}
+
+	// With T.Boundary as boundary, island stays unreachable from root2.
+	w.Boundary = func(fn *Func) bool { return fn.Key == "test/p.T.Boundary" }
+	reached := w.Reachable([]*Func{prog.Funcs["test/p.root2"]})
+	for _, fn := range reached {
+		if fn.Key == "test/p.island" {
+			t.Fatalf("island reached through boundary: %v", reached)
+		}
+	}
+}
+
+func TestForEachStoreAndRootObject(t *testing.T) {
+	prog := typecheckSrc(t, `package p
+type S struct{ f int; m map[string]int }
+var G S
+func f(s *S) {
+	s.f = 1
+	s.m["k"] = 2
+	G.f++
+	local := 3
+	_ = local
+}
+`)
+	fn := prog.Funcs["test/p.f"]
+	if fn == nil {
+		t.Fatal("func f not indexed")
+	}
+	var roots []string
+	ForEachStore(fn.Decl.Body, func(st Store) {
+		obj := RootObject(fn.Pkg.Info, st.Target)
+		if obj == nil {
+			t.Errorf("no root object for store at %v", prog.Fset.Position(st.Pos))
+			return
+		}
+		roots = append(roots, obj.Name())
+	})
+	want := []string{"s", "s", "G", "local"}
+	if len(roots) != len(want) {
+		t.Fatalf("store roots = %v, want %v", roots, want)
+	}
+	for i := range want {
+		if roots[i] != want[i] {
+			t.Fatalf("store roots = %v, want %v", roots, want)
+		}
+	}
+	if RootObject(fn.Pkg.Info, ast.NewIdent("bogus")) != nil {
+		t.Fatal("unresolvable expression should yield nil root object")
+	}
+}
+
+func TestChainKeyAndPush(t *testing.T) {
+	prog := typecheckSrc(t, `package p
+type S struct{ A struct{ B struct{ C struct{ D int } } } }
+func f(s *S) int { return s.A.B.C.D }
+`)
+	fn := prog.Funcs["test/p.f"]
+	info := fn.Pkg.Info
+	env := BuildAliases(info, fn.Decl.Body)
+	ret := fn.Decl.Body.List[0].(*ast.ReturnStmt).Results[0]
+	ch, ok := ResolveChain(info, env, ret)
+	if !ok {
+		t.Fatal("chain not resolved")
+	}
+	// Path is k-limited to maxPathLen segments; deeper access collapses
+	// into the wildcard.
+	if len(ch.Path) > maxPathLen {
+		t.Fatalf("path exceeds k-limit: %v", ch.Path)
+	}
+	if ch.Path[len(ch.Path)-1] != "*" {
+		t.Fatalf("k-limited chain should end in wildcard: %v", ch.Path)
+	}
+}

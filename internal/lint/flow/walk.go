@@ -1,0 +1,143 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Walker computes which functions are reachable from a set of roots over
+// the static call graph. Boundary functions are reported as reached but
+// not descended into; dynamic calls (func values, interface methods) are
+// not walked — analyzers built on Walker must treat them as explicit
+// boundaries (specwrite flags them, globalmut documents them).
+type Walker struct {
+	Prog *Program
+	// Boundary reports whether fn's body should not be descended into.
+	// May be nil (no boundaries).
+	Boundary func(fn *Func) bool
+}
+
+// Reachable returns every function reachable from roots (including the
+// roots themselves), sorted by key. Boundary functions appear in the
+// result but their callees do not (unless reached another way).
+func (w *Walker) Reachable(roots []*Func) []*Func {
+	seen := map[string]*Func{}
+	var queue []*Func
+	for _, r := range roots {
+		if r == nil || seen[r.Key] != nil {
+			continue
+		}
+		seen[r.Key] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if w.Boundary != nil && w.Boundary(fn) {
+			continue
+		}
+		ForEachCall(fn.Pkg.Info, fn.Decl.Body, func(call *ast.CallExpr, callee *types.Func) {
+			if callee == nil {
+				return
+			}
+			target := w.Prog.Resolve(callee)
+			if target == nil || seen[target.Key] != nil {
+				return
+			}
+			seen[target.Key] = target
+			queue = append(queue, target)
+		})
+	}
+	out := make([]*Func, 0, len(seen))
+	for _, fn := range seen {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ForEachCall visits every call expression under node (including inside
+// func literals — a closure defined in a reachable function is treated
+// as reachable) with its statically resolved callee, or nil for dynamic
+// calls. Conversions and builtins are skipped.
+func ForEachCall(info *types.Info, node ast.Node, visit func(call *ast.CallExpr, callee *types.Func)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if conv, builtin := IsConversionOrBuiltin(info, call); conv || builtin != nil {
+			return true
+		}
+		if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); isLit {
+			// Immediately-invoked literal: its body is scanned inline by
+			// this very traversal, so the call itself is not dynamic.
+			return true
+		}
+		visit(call, StaticCallee(info, call))
+		return true
+	})
+}
+
+// Store is one syntactic mutation of a value: an assignment target, an
+// increment/decrement operand, or a channel send.
+type Store struct {
+	Target ast.Expr  // the mutated expression
+	Pos    token.Pos // position to report
+}
+
+// ForEachStore visits every store under node, including inside func
+// literals. Range-clause key/value targets are skipped — they bind loop
+// locals, never pre-existing state.
+func ForEachStore(node ast.Node, visit func(st Store)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				lhs = ast.Unparen(lhs)
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				visit(Store{Target: lhs, Pos: lhs.Pos()})
+			}
+		case *ast.IncDecStmt:
+			visit(Store{Target: ast.Unparen(s.X), Pos: s.X.Pos()})
+		case *ast.SendStmt:
+			visit(Store{Target: ast.Unparen(s.Chan), Pos: s.Chan.Pos()})
+		}
+		return true
+	})
+}
+
+// RootObject resolves the base object a store target ultimately mutates:
+// the leftmost identifier's object after stripping selectors, indexing,
+// derefs and slices. Returns nil when the base is not a plain
+// identifier (e.g. a call result).
+func RootObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(e)
+		case *ast.SelectorExpr:
+			// Package-qualified global: pkg.Var.
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+					return info.ObjectOf(e.Sel)
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.TypeAssertExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

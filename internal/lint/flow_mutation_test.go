@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestFlowSeededMutations seeds one cache-poisoning, one spec-isolation
+// and one hidden-global bug into the real simulator sources via the
+// loader's overlay, and proves each is caught at lint time by exactly
+// the intended flow analyzer: the intended analyzer reports a finding
+// matching wantMsg, and the other two stay silent. This is the static
+// counterpart of the runtime demonstrations (the golden worker matrix,
+// the coyotesan spec audits) — the bugs below would poison the result
+// cache or corrupt committed state only under specific schedules, but
+// the dataflow engine rejects them on every schedule, at compile time.
+func TestFlowSeededMutations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks internal/core and internal/cpu")
+	}
+	flowAnalyzers := []*Analyzer{KeyTaintAnalyzer, SpecWriteAnalyzer, GlobalMutAnalyzer}
+	cases := []struct {
+		name     string
+		patterns []string
+		file     string // suffix of the source file to mutate
+		old, new string
+		analyzer *Analyzer
+		wantMsg  string
+	}{
+		{
+			// A worker-count-dependent result: the canonical key omits
+			// Workers on the strength of the determinism proof, so any
+			// Workers→Result flow silently poisons the cache.
+			name:     "keytaint/workers-into-result",
+			patterns: []string{"./internal/core"},
+			file:     "stats.go",
+			old:      "r.Instructions += h.Stats.Instret",
+			new:      "r.Instructions += h.Stats.Instret + uint64(s.cfg.Workers)",
+			analyzer: KeyTaintAnalyzer,
+			wantMsg:  `key-excluded execution-strategy field Config\.Workers .*flows into Result\.Instructions`,
+		},
+		{
+			// A raw memory write on the speculative path: an aborted
+			// quantum could not roll it back. The deferred-write journal
+			// (memWrite32) is the only legal route.
+			name:     "specwrite/raw-write-on-spec-path",
+			// internal/cache rides along for its spec.go: journal
+			// coverage is read from the owning package's source.
+			patterns: []string{"./internal/core", "./internal/cpu", "./internal/cache"},
+			file:     "exec_scalar.go",
+			old:      "h.memWrite32(a, res)",
+			new:      "h.Mem.Write32(a, res)",
+			analyzer: SpecWriteAnalyzer,
+			wantMsg:  `R3: direct Memory\.Write32`,
+		},
+		{
+			// Hidden cross-run state: a package-level counter mutated on
+			// the Run path makes two simulations of the same Config
+			// observably order-dependent.
+			name:     "globalmut/counter-on-run-path",
+			patterns: []string{"./internal/core"},
+			file:     "system.go",
+			old:      "//coyote:globalfree\nfunc (s *System) Run() (*Result, error) {",
+			new:      "var runSeq uint64\n\n//coyote:globalfree\nfunc (s *System) Run() (*Result, error) {\n\trunSeq++",
+			analyzer: GlobalMutAnalyzer,
+			wantMsg:  `mutable package-level variable runSeq`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := Load("../..", tc.patterns, nil)
+			if err != nil {
+				t.Fatalf("loading %v: %v", tc.patterns, err)
+			}
+			var file string
+			for _, pkg := range base.Packages {
+				for _, fn := range pkg.Filenames {
+					if strings.HasSuffix(fn, string(filepath.Separator)+tc.file) {
+						file = fn
+					}
+				}
+			}
+			if file == "" {
+				t.Fatalf("%v has no file %s", tc.patterns, tc.file)
+			}
+			if diags := RunAnalyzers(base, flowAnalyzers, nil).Diagnostics; len(diags) != 0 {
+				for _, d := range diags {
+					t.Logf("got: %s", RunAnalyzers(base, flowAnalyzers, nil).Format(d))
+				}
+				t.Fatalf("unmutated tree already has %d flow findings", len(diags))
+			}
+
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(src), tc.old) {
+				t.Fatalf("%s does not contain %q; the mutation no longer applies", file, tc.old)
+			}
+			mutated := strings.Replace(string(src), tc.old, tc.new, 1)
+
+			prog, err := Load("../..", tc.patterns, map[string][]byte{file: []byte(mutated)})
+			if err != nil {
+				t.Fatalf("loading mutated %v: %v", tc.patterns, err)
+			}
+			res := RunAnalyzers(prog, flowAnalyzers, nil)
+			re := regexp.MustCompile(tc.wantMsg)
+			matched := false
+			for _, d := range res.Diagnostics {
+				if d.Analyzer != tc.analyzer.Name {
+					t.Errorf("mutation tripped the wrong analyzer: %s", res.Format(d))
+					continue
+				}
+				if re.MatchString(d.Message) {
+					matched = true
+				}
+			}
+			if !matched {
+				for _, d := range res.Diagnostics {
+					t.Logf("got: %s", res.Format(d))
+				}
+				t.Fatalf("mutation %s produced no %s finding matching %q", tc.name, tc.analyzer.Name, tc.wantMsg)
+			}
+		})
+	}
+}

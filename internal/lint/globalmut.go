@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/coyote-sim/coyote/internal/lint/flow"
+)
+
+// GlobalMutAnalyzer proves that the simulation entry points are free of
+// hidden global state: no *mutable* package-level variable may be read
+// or written anywhere in the static call graph of a function annotated
+// //coyote:globalfree. Two simulations of the same Config must not be
+// able to influence each other, and a Sweep must be order-independent —
+// both properties die the moment a reachable function touches a global
+// someone mutates.
+//
+// Classification runs over every loaded source package first:
+// a package-level variable is MUTABLE when, outside init functions,
+// it is (a) stored to, (b) address-taken (a write-capable escape), or
+// (c) the receiver of a pointer-receiver method call (sync.Map.Store
+// and friends mutate through the implicit &). Variables only assigned
+// at declaration or inside init — the registry pattern — stay immutable
+// and may be read freely.
+//
+// Reads are flagged alongside writes deliberately: reading a global
+// that anyone mutates makes the result depend on call ordering even if
+// this path never writes it.
+//
+// //coyote:globalmut-ok <justification> exempts one site or a whole
+// function (doc comment). Dynamic calls are not walked — same boundary
+// as every walker-based analyzer — so a mutable global reached only
+// through a func value escapes this check (documented in DESIGN.md §12).
+var GlobalMutAnalyzer = &Analyzer{
+	Name:       "globalmut",
+	Doc:        "call graphs of //coyote:globalfree roots must not read or write mutable package-level state",
+	RunProgram: runGlobalMut,
+}
+
+func runGlobalMut(pass *ProgramPass) {
+	fprog := pass.Program.Flow()
+
+	var roots []*flow.Func
+	for key, fn := range pass.Program.Funcs {
+		if FuncAnnotation(fn.Decl, "globalfree") {
+			roots = append(roots, fprog.Funcs[key])
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	mutated := classifyMutableGlobals(fprog)
+
+	byPath := make(map[string]*Package, len(pass.Program.Packages))
+	for _, pkg := range pass.Program.Packages {
+		byPath[pkg.ImportPath] = pkg
+	}
+
+	w := &flow.Walker{Prog: fprog}
+	for _, fn := range w.Reachable(roots) {
+		if FuncAnnotation(fn.Decl, "globalmut-ok") {
+			continue
+		}
+		pkg := byPath[fn.Pkg.Path]
+		reportGlobalUses(pass, pkg, fn, mutated)
+	}
+}
+
+// mutation records why a global was classified mutable.
+type mutation struct {
+	pos  token.Pos
+	kind string
+}
+
+// classifyMutableGlobals scans every function body in the program for
+// the three mutation signals, keyed by package-path-qualified variable
+// name (object identity differs between the source-checked and
+// export-data views of the same package).
+func classifyMutableGlobals(fprog *flow.Program) map[string]mutation {
+	mutated := map[string]mutation{}
+	record := func(obj types.Object, pos token.Pos, kind string) {
+		v, ok := obj.(*types.Var)
+		if !ok || !(flow.Chain{Root: v}).IsGlobal() {
+			return
+		}
+		key := globalKey(v)
+		if _, seen := mutated[key]; !seen {
+			mutated[key] = mutation{pos: pos, kind: kind}
+		}
+	}
+	initOnly := initOnlyFuncs(fprog)
+	for _, fn := range fprog.Funcs {
+		if isInitFunc(fn.Obj) || initOnly[fn.Key] {
+			continue // init-time setup is the legitimate registry pattern
+		}
+		info := fn.Pkg.Info
+		flow.ForEachStore(fn.Decl.Body, func(st flow.Store) {
+			record(flow.RootObject(info, st.Target), st.Pos, "stored")
+		})
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.UnaryExpr:
+				if e.Op == token.AND {
+					record(flow.RootObject(info, e.X), e.Pos(), "address-taken")
+				}
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := info.Selections[sel]
+				if !ok || s.Kind() != types.MethodVal {
+					return true
+				}
+				m, ok := s.Obj().(*types.Func)
+				if !ok || !hasPointerReceiver(m) {
+					return true
+				}
+				record(flow.RootObject(info, sel.X), e.Pos(), "pointer-receiver method "+m.Name()+" called")
+			}
+			return true
+		})
+	}
+	return mutated
+}
+
+// reportGlobalUses flags every identifier in fn that resolves to a
+// mutable package-level variable, reads and writes alike.
+func reportGlobalUses(pass *ProgramPass, pkg *Package, fn *flow.Func, mutated map[string]mutation) {
+	info := fn.Pkg.Info
+	seen := map[token.Pos]bool{}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || !(flow.Chain{Root: v}).IsGlobal() {
+			return true
+		}
+		mut, isMutable := mutated[globalKey(v)]
+		if !isMutable || seen[id.Pos()] {
+			return true
+		}
+		seen[id.Pos()] = true
+		if pkg != nil && pkg.Directives.At(pass.Program.Fset, id.Pos(), "globalmut-ok") != nil {
+			return true
+		}
+		where := pass.Program.Fset.Position(mut.pos)
+		pass.Report(Diagnostic{
+			Pos: id.Pos(),
+			Message: fmt.Sprintf(
+				"mutable package-level variable %s used on a //coyote:globalfree path (%s at %s:%d) — "+
+					"pass the state explicitly or justify with //coyote:globalmut-ok",
+				v.Name(), mut.kind, shortFile(where.Filename), where.Line),
+		})
+		return true
+	})
+}
+
+// initOnlyFuncs computes the functions whose bodies can only ever run
+// during package initialization: unexported non-method functions that
+// are never referenced as a value and whose every static caller is an
+// init function or itself init-only. The registry helper pattern —
+// kernels calling register() from init, tables built by an unexported
+// build function — lands here, and its stores are setup, not runtime
+// mutation. A function referenced in a package-level var initializer or
+// used as a func value anywhere is conservatively excluded.
+func initOnlyFuncs(fprog *flow.Program) map[string]bool {
+	callers := map[string][]*flow.Func{}
+	escapes := map[string]bool{} // referenced as a value somewhere
+	noteEscape := func(info *types.Info, root ast.Node, calleeIdents map[*ast.Ident]bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || calleeIdents[id] {
+				return true
+			}
+			if f, ok := info.Uses[id].(*types.Func); ok {
+				if t := fprog.Resolve(f); t != nil {
+					escapes[t.Key] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, fn := range fprog.Funcs {
+		info := fn.Pkg.Info
+		calleeIdents := map[*ast.Ident]bool{}
+		flow.ForEachCall(info, fn.Decl.Body, func(call *ast.CallExpr, callee *types.Func) {
+			if id := calleeNameIdent(call.Fun); id != nil {
+				calleeIdents[id] = true
+			}
+			if callee == nil {
+				return
+			}
+			if t := fprog.Resolve(callee); t != nil {
+				callers[t.Key] = append(callers[t.Key], fn)
+			}
+		})
+		noteEscape(info, fn.Decl.Body, calleeIdents)
+	}
+	// Package-level variable initializers can also smuggle a function out
+	// as a value (var f = register) — or call one directly, which counts
+	// as a non-init caller we cannot attribute, so treat it as an escape.
+	for _, pkg := range fprog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+					noteEscape(pkg.Info, gd, nil)
+				}
+			}
+		}
+	}
+
+	const (
+		pending = iota + 1
+		yes
+		no
+	)
+	state := map[string]int{}
+	var rec func(key string) bool
+	rec = func(key string) bool {
+		switch state[key] {
+		case yes:
+			return true
+		case pending, no: // cycles are conservatively not init-only
+			return false
+		}
+		state[key] = pending
+		fn := fprog.Funcs[key]
+		sig, _ := fn.Obj.Type().(*types.Signature)
+		ok := !fn.Obj.Exported() && sig != nil && sig.Recv() == nil &&
+			!escapes[key] && len(callers[key]) > 0
+		if ok {
+			for _, c := range callers[key] {
+				if isInitFunc(c.Obj) {
+					continue
+				}
+				if !rec(c.Key) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			state[key] = yes
+		} else {
+			state[key] = no
+		}
+		return ok
+	}
+	out := map[string]bool{}
+	for key := range fprog.Funcs {
+		if rec(key) {
+			out[key] = true
+		}
+	}
+	return out
+}
+
+// calleeNameIdent returns the identifier naming the function in a direct
+// call expression (f(...) or x.f(...)), or nil for other call shapes.
+func calleeNameIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+func isInitFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return fn.Name() == "init" && ok && sig.Recv() == nil
+}
+
+func hasPointerReceiver(fn *types.Func) bool {
+	sig, ok := fn.Origin().Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isPtr := sig.Recv().Type().(*types.Pointer)
+	return isPtr
+}
+
+func globalKey(v *types.Var) string {
+	if v.Pkg() != nil {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return v.Name()
+}

@@ -74,7 +74,34 @@ type Diagnostic struct {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DirectiveAnalyzer, MapIterAnalyzer, WallClockAnalyzer, AllocFreeAnalyzer, FloatOrderAnalyzer, StateCheckAnalyzer, PortProtoAnalyzer}
+	return []*Analyzer{DirectiveAnalyzer, MapIterAnalyzer, WallClockAnalyzer, AllocFreeAnalyzer, FloatOrderAnalyzer, StateCheckAnalyzer, PortProtoAnalyzer, KeyTaintAnalyzer, SpecWriteAnalyzer, GlobalMutAnalyzer}
+}
+
+// AnalyzersByName resolves a comma-separated analyzer list ("" = all).
+// Unknown names are reported as an error so CI can't silently run an
+// empty suite.
+func AnalyzersByName(names string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // SimPackages lists the import-path suffixes of the packages where the
@@ -164,9 +191,13 @@ func DefaultFilter(a *Analyzer) func(*Package) bool {
 
 // RunSuite applies the full suite the way the driver and the tests both
 // do: each analyzer with its default package filter.
-func RunSuite(prog *Program) *RunResult {
+func RunSuite(prog *Program) *RunResult { return RunSelected(prog, Analyzers()) }
+
+// RunSelected applies a subset of the suite (the driver's -run flag),
+// keeping each analyzer's default package filter.
+func RunSelected(prog *Program, analyzers []*Analyzer) *RunResult {
 	res := &RunResult{Fset: prog.Fset}
-	for _, a := range Analyzers() {
+	for _, a := range analyzers {
 		sub := RunAnalyzers(prog, []*Analyzer{a}, DefaultFilter(a))
 		res.Diagnostics = append(res.Diagnostics, sub.Diagnostics...)
 	}

@@ -14,6 +14,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+
+	"github.com/coyote-sim/coyote/internal/lint/flow"
 )
 
 // Package is one parsed and type-checked package of the module under
@@ -38,6 +40,29 @@ type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
 	Funcs    map[string]*FuncNode
+
+	flowProg *flow.Program // lazily built by Flow()
+}
+
+// Flow returns the dataflow engine's view of the program, built once and
+// cached: the same files, type info and FileSet, re-indexed into the
+// flow package's model (flow cannot import lint, so the bridge lives
+// here).
+func (p *Program) Flow() *flow.Program {
+	if p.flowProg == nil {
+		pkgs := make([]*flow.Package, 0, len(p.Packages))
+		for _, pkg := range p.Packages {
+			pkgs = append(pkgs, &flow.Package{
+				Path:      pkg.ImportPath,
+				Files:     pkg.Files,
+				Filenames: pkg.Filenames,
+				Types:     pkg.Types,
+				Info:      pkg.Info,
+			})
+		}
+		p.flowProg = flow.NewProgram(p.Fset, pkgs)
+	}
+	return p.flowProg
 }
 
 // FuncNode is one function or method with a body, available for

@@ -1,0 +1,57 @@
+// Package globalmutfix is the analysistest-style fixture for the
+// globalmut analyzer: a //coyote:globalfree root whose call graph reads
+// and writes a mix of mutable and init-only package-level state. Each
+// `// want` comment marks a line the analyzer must flag; unmarked lines
+// must stay clean.
+package globalmutfix
+
+// counter is stored outside init → mutable.
+var counter uint64
+
+// registry is filled only by register, which only init calls: the
+// init-only classification keeps it immutable.
+var registry = map[string]int{}
+
+// table is assigned only at declaration → immutable.
+var table = [4]int{1, 2, 3, 4}
+
+// hooked is address-taken outside init → mutable.
+var hooked int
+
+// seq receives a pointer-receiver method call outside init → mutable.
+type box struct{ n int }
+
+func (b *box) bump() { b.n++ }
+
+var seq box
+
+func init() {
+	register("a", 1)
+}
+
+func register(name string, v int) {
+	registry[name] = v
+}
+
+// Tick is not reachable from the root; it exists to classify counter as
+// mutable.
+func Tick() { counter++ }
+
+// Hook classifies hooked as mutable by taking its address.
+func Hook() *int { return &hooked }
+
+//coyote:globalfree
+func Run() uint64 {
+	n := counter               // want `mutable package-level variable counter`
+	n += uint64(registry["a"]) // init-only registry: clean
+	n += uint64(table[0])      // declaration-only table: clean
+	seq.bump()                 // want `mutable package-level variable seq`
+	helper()
+	return n
+}
+
+func helper() {
+	counter = 0 // want `mutable package-level variable counter`
+	x := counter //coyote:globalmut-ok fixture: justified read for the strip test
+	_ = x
+}

@@ -1,0 +1,33 @@
+// The fixture's trusted journal implementation: functions here are
+// walked for reachability but their stores are not checked, and every
+// protected-type field this file mentions counts as snapshot-covered.
+package specwritefix
+
+type hartSnap struct {
+	pc   uint64
+	regs [4]uint64
+}
+
+var snaps = map[*Hart]*hartSnap{}
+
+// BeginSpec snapshots the rollback-covered Hart state: pc and regs.
+func (h *Hart) BeginSpec() {
+	snaps[h] = &hartSnap{pc: h.pc, regs: h.regs}
+}
+
+// Abort restores the snapshot.
+func (h *Hart) Abort() {
+	s := snaps[h]
+	h.pc = s.pc
+	h.regs = s.regs
+}
+
+// BeginSpec snapshots the rollback-covered Cache state: dirty.
+func (c *Cache) BeginSpec() {
+	c.snapDirty = c.dirty
+}
+
+// Abort restores the snapshot.
+func (c *Cache) Abort() {
+	c.dirty = c.snapDirty
+}

@@ -1,0 +1,100 @@
+// Package specwritefix is the analysistest-style fixture for the
+// specwrite analyzer. It mirrors the shapes of internal/cpu and
+// internal/mem structurally: a protected type is any type with a
+// BeginSpec method, the trusted journal is whatever lives in a file
+// named spec.go, and the Memory type name marks the walk boundary. Each
+// `// want` comment marks a line the analyzer must flag; unmarked lines
+// must stay clean.
+package specwritefix
+
+// Hart mirrors cpu.Hart. pc and regs are covered by the snapshot in
+// spec.go; scratch and tbl are not; decode carries a field-declaration
+// exemption.
+type Hart struct {
+	pc      uint64
+	regs    [4]uint64
+	scratch uint64
+	aux     uint64
+	tbl     []entry
+	decode  []uint64 //coyote:specwrite-ok decode scratch: a pure function of program memory, rebuilt identically on replay
+}
+
+type entry struct{ v uint64 }
+
+// Cache mirrors cache.Cache: dirty is covered by spec.go, lru is not.
+type Cache struct {
+	dirty     bool
+	snapDirty bool
+	lru       int
+}
+
+// Memory mirrors mem.Memory: the walk boundary. Its own body is not
+// store-checked (the R3 rule fires at callers instead), so the raw store
+// below must NOT be flagged.
+type Memory struct{ data []byte }
+
+func (m *Memory) Write8(a uint64, v byte) { m.data[a] = v }
+func (m *Memory) Read8(a uint64) byte     { return m.data[a] }
+
+// Walker is an interface whose dynamic dispatch the analyzer cannot see
+// through.
+type Walker interface{ Visit(uint64) }
+
+// gen is package-level state: any store on a spec path is R4.
+var gen uint64
+
+// hook is a func value that could mutate a Hart through its argument.
+var hook func(*Hart)
+
+type buf struct{ n int }
+
+//coyote:specphase
+func SpecStep(h *Hart, c *Cache, m *Memory, w Walker, f func(int) int) {
+	h.pc += 4      // snapshot-covered field: clean
+	h.regs[1] = 7  // snapshot-covered field: clean
+	h.scratch = 1  // want `R1: store to Hart\.scratch`
+	h.aux = 2      //coyote:specwrite-ok fixture: worker-private scratch, justified for the strip test
+	h.decode = append(h.decode, h.pc) // field-declaration exemption: clean
+
+	c.dirty = true // covered via the Cache snapshot: clean
+	c.lru = 3      // want `R1: store to Cache\.lru`
+
+	fillEntry(h)
+	fillBuf(&buf{})
+	trusted(h)
+
+	m.Write8(h.pc, 1)    // want `R3: direct Memory\.Write8`
+	_ = m.Read8(h.pc)    // reads are harmless: clean
+	gen++                // want `R4: store to package-level variable gen`
+	w.Visit(h.pc)        // want `R5: dynamic call`
+	hook(h)              // want `R5: dynamic call`
+	_ = f(3)             // func value, value-typed params only: clean
+	add := func(a, b int) int { return a + b }
+	_ = add(1, 2) // local closure, body checked inline: clean
+
+	var tmp buf
+	tmp.n = 2 // store to a local: clean
+	pc := h.pc
+	pc++ // plain local assignment: clean
+	_ = pc
+}
+
+// fillEntry stores through a pointer that aliases into a protected
+// field: the chain resolver must attribute it to Hart.tbl and judge it
+// by that field's (missing) journal coverage.
+func fillEntry(h *Hart) {
+	e := &h.tbl[0]
+	e.v = 9 // want `R1: store to Hart\.tbl`
+}
+
+// fillBuf mutates caller-visible state with no protected field in sight.
+func fillBuf(b *buf) {
+	b.n = 1 // want `R2: store through b`
+}
+
+// trusted carries a function-level exemption: nothing in its body is
+// flagged.
+//coyote:specwrite-ok fixture: trusted helper, rollback handled by its caller
+func trusted(h *Hart) {
+	h.scratch = 3
+}

@@ -35,6 +35,7 @@ func (v *View) peek(addr uint64) *page {
 	if !ok {
 		return nil
 	}
+	//coyote:specwrite-ok lookaside fill: caches a pointer to an existing page; memory contents are untouched and the entry is recomputed on demand
 	e.base, e.p = base, p
 	return p
 }

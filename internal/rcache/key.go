@@ -54,6 +54,23 @@ import (
 // bump is always safe and never requires a manual cache flush.
 const SchemaVersion = 1
 
+// ExcludedConfigFields is the authoritative list of execution-strategy
+// Config fields deliberately omitted from the canonical key, as dotted
+// paths relative to core.Config. Three things must stay in sync — this
+// declaration, the fields CanonicalBytes actually skips, and the
+// determinism proofs in the package comment — and the coyotelint
+// keytaint analyzer cross-checks the first two against each other and
+// against its own source list on every CI run. Adding a field here
+// (or removing one) changes which configs share a key: bump
+// SchemaVersion and regenerate testdata/rcache/keys.golden.
+var ExcludedConfigFields = []string{
+	"Workers",
+	"InterleaveQuantum",
+	"FastForward",
+	"Hart.BlockMaxLen",
+	"Hart.DisableBlockCache",
+}
+
 // Key is the canonical content address of one simulation point.
 type Key [sha256.Size]byte
 
@@ -187,6 +204,7 @@ var progHashes sync.Map // kernel name -> [sha256.Size]byte
 // (bases, text, data, entry and the sorted symbol table). Any edit to a
 // kernel's source therefore changes every key derived from it — kernel
 // code is part of the content address, not trusted by name.
+//coyote:globalmut-ok progHashes memoizes a pure function of process-constant kernel sources; concurrent sweeps store identical bytes in any order
 func programHash(kernel string) ([sha256.Size]byte, error) {
 	if h, ok := progHashes.Load(kernel); ok {
 		return h.([sha256.Size]byte), nil

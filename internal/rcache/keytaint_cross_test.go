@@ -1,0 +1,128 @@
+package rcache
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/core"
+	"github.com/coyote-sim/coyote/internal/kernels"
+)
+
+// This file closes the loop between the three independent statements of
+// the key-exclusion set:
+//
+//   - rcache.ExcludedConfigFields, the authoritative declaration;
+//   - the fuzz harness's keyMutators partition (execStrategy flag);
+//   - the actual core.Config struct, via reflection.
+//
+// The fourth statement — the set of fields CanonicalBytes really omits,
+// and the proof that none of them can flow into a cached Result — is
+// checked at lint time by the keytaint analyzer, which cross-checks the
+// encoder against ExcludedConfigFields. With this test, all four views
+// must agree before CI passes; drifting any one of them fails either
+// this test or the lint job.
+
+// configLeafPaths flattens the exported leaves of core.Config into
+// dotted paths, recursing through named struct fields the same way the
+// analyzer's configUniverse does.
+func configLeafPaths(t reflect.Type, prefix string) []string {
+	var out []string
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		path := f.Name
+		if prefix != "" {
+			path = prefix + "." + f.Name
+		}
+		if f.Type.Kind() == reflect.Struct {
+			out = append(out, configLeafPaths(f.Type, path)...)
+			continue
+		}
+		out = append(out, path)
+	}
+	return out
+}
+
+// fieldByPath resolves a dotted ExcludedConfigFields path to a settable
+// reflect.Value inside cfg.
+func fieldByPath(t *testing.T, cfg *core.Config, path string) reflect.Value {
+	t.Helper()
+	v := reflect.ValueOf(cfg).Elem()
+	for _, part := range strings.Split(path, ".") {
+		v = v.FieldByName(part)
+		if !v.IsValid() {
+			t.Fatalf("ExcludedConfigFields path %q does not resolve in core.Config (stale after a rename?)", path)
+		}
+	}
+	return v
+}
+
+// TestExcludedFieldsResolveAndStayExcluded proves every declared
+// exclusion (a) names a real core.Config leaf and (b) is genuinely
+// invisible to the key: perturbing the field through reflection — not
+// through a hand-written mutator that could drift — leaves the canonical
+// key unchanged.
+func TestExcludedFieldsResolveAndStayExcluded(t *testing.T) {
+	leaves := map[string]bool{}
+	for _, p := range configLeafPaths(reflect.TypeOf(core.Config{}), "") {
+		leaves[p] = true
+	}
+	base := core.DefaultConfig(4)
+	p := kernels.Params{N: 64}
+	want := mustKey(t, "axpy-scalar", p, base)
+
+	for _, path := range ExcludedConfigFields {
+		if !leaves[path] {
+			t.Errorf("ExcludedConfigFields entry %q is not an exported leaf of core.Config", path)
+			continue
+		}
+		cfg := base
+		f := fieldByPath(t, &cfg, path)
+		switch f.Kind() {
+		case reflect.Bool:
+			f.SetBool(!f.Bool())
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(f.Int() + 1)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(f.Uint() + 1)
+		default:
+			t.Fatalf("excluded field %s has kind %s; extend the test", path, f.Kind())
+		}
+		if got := mustKey(t, "axpy-scalar", p, cfg); got != want {
+			t.Errorf("mutating excluded field %s changed the key: the declaration and the encoder disagree", path)
+		}
+	}
+}
+
+// TestFuzzMutatorsAgreeWithExcludedFields proves the fuzz harness's
+// execStrategy partition is exactly the declared exclusion set: a new
+// excluded field without a no-key-change mutator, or a mutator marked
+// execStrategy for a field the key actually hashes, fails here rather
+// than silently weakening the fuzz property.
+func TestFuzzMutatorsAgreeWithExcludedFields(t *testing.T) {
+	declared := make([]string, 0, len(ExcludedConfigFields))
+	for _, p := range ExcludedConfigFields {
+		leaf := p
+		if i := strings.LastIndexByte(p, '.'); i >= 0 {
+			leaf = p[i+1:]
+		}
+		declared = append(declared, leaf)
+	}
+	var fromMutators []string
+	for _, m := range keyMutators {
+		if m.execStrategy {
+			fromMutators = append(fromMutators, m.name)
+		}
+	}
+	sort.Strings(declared)
+	sort.Strings(fromMutators)
+	if !reflect.DeepEqual(declared, fromMutators) {
+		t.Fatalf("execStrategy fuzz mutators %v != ExcludedConfigFields leaves %v; "+
+			"keep keyMutators, ExcludedConfigFields and the keytaint source list in sync",
+			fromMutators, declared)
+	}
+}
