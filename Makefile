@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: all build test race golden-workers lint lint-flow vet bench-smoke bench-block san fuzz cache-bench ci
+.PHONY: all build test race golden-workers lint lint-flow vet bench-smoke bench-block san fuzz cache-bench mut mut-smoke mut-pinned ci
 
 all: build test lint
 
@@ -71,7 +71,8 @@ cache-bench:
 	/tmp/coyote-explore -cache -cache-dir /tmp/coyote-cache-bench | tail -1; \
 	t2=$$(date +%s%N); \
 	cold=$$(( (t1 - t0) / 1000000 )); warm=$$(( (t2 - t1) / 1000000 )); \
-	echo "cold $${cold} ms, warm $${warm} ms ($$(( t1 - t0 > t2 - t1 ? (t1 - t0) / (t2 - t1) : 0 ))x)"
+	if [ $$(( t2 - t1 )) -gt 0 ]; then speedup="$$(( (t1 - t0) / (t2 - t1) ))x"; else speedup="infx"; fi; \
+	echo "cold $${cold} ms, warm $${warm} ms ($${speedup})"
 
 # Fuzz smoke: explore random kernel/config combinations under the
 # sanitizer for FUZZTIME on top of the committed seed corpus in
@@ -79,4 +80,28 @@ cache-bench:
 fuzz:
 	$(GO) test -tags coyotesan -run '^$$' -fuzz FuzzKernelSan -fuzztime $(FUZZTIME) .
 
-ci: build vet test race golden-workers lint bench-smoke san
+# Mutation testing (DESIGN.md §13): the full catalog over the simulator
+# packages, adjudicated by the oracle cascade. Exit 1 on any unannotated
+# survivor. Verdicts are memoized under .coyotemut/cache, so re-runs only
+# pay for mutants whose code (or whose oracles) changed.
+mut:
+	$(GO) run ./cmd/coyotemut ./internal/...
+
+# The CI smoke lane: a deterministic seed-sampled subset of the catalog.
+# Same exit contract as `mut`, same verdict cache.
+mut-smoke:
+	$(GO) run ./cmd/coyotemut -budget 40 -seed 1 ./internal/...
+
+# Replay the pinned regression corpus (internal/mut/testdata/pinned/)
+# through the full oracle cascade: every pin must be killed by exactly
+# its designated layer. Opt-in via env because eight full cascades take
+# ~7 minutes on one core — too heavy for the default `go test ./...`.
+mut-pinned:
+	COYOTE_MUT_PINNED=1 $(GO) test -count=1 -timeout 30m -run TestPinnedCorpus -v ./internal/mut/
+
+# Mirrors every required lane of .github/workflows/ci.yml: the test job
+# (build/vet/test/race/lint/bench-smoke), the golden-workers and
+# coyotesan jobs (san includes the sanitizer build+suite, fuzz is the
+# coyotesan job's smoke step), the rcache job's cold/warm benchmark, and
+# the coyotemut job's mutation smoke + pinned-corpus lanes.
+ci: build vet test race golden-workers lint bench-smoke san fuzz cache-bench mut-smoke mut-pinned

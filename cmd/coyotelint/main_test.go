@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"os/exec"
+	"path/filepath"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"github.com/coyote-sim/coyote/internal/lint"
@@ -77,5 +81,34 @@ func TestSuiteIncludesFlowAnalyzers(t *testing.T) {
 	}
 	if _, err := lint.AnalyzersByName("keytaint,nosuch"); err == nil {
 		t.Error("AnalyzersByName accepted an unknown analyzer name")
+	}
+}
+
+// TestUnknownAnalyzerExitCode runs the real binary: a mistyped -run name
+// must exit 2 — the usage/config-error code, distinct from exit 1
+// (findings) — and list the valid analyzer names on stderr so the caller
+// can fix the invocation instead of silently running an empty suite.
+func TestUnknownAnalyzerExitCode(t *testing.T) {
+	// Build and exec the real binary: `go run` collapses every non-zero
+	// child exit to its own exit 1, which would hide the code under test.
+	bin := filepath.Join(t.TempDir(), "coyotelint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-run", "nosuchlane", "./...")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want an exit error, got %v (stderr: %s)", err, stderr.String())
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	for _, want := range []string{`unknown analyzer "nosuchlane"`, "valid:", "keytaint"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
 	}
 }

@@ -1,0 +1,133 @@
+// Command coyotemut measures — and enforces — the kill power of Coyote's
+// oracle stack by mutation testing (see internal/mut). It enumerates a
+// typed catalog of plausible source faults over the simulator packages,
+// discards uncompilable candidates at a typecheck gate, adjudicates the
+// rest through the ordered oracle cascade (build → vet → lint → tests →
+// golden → san), and reports the kill matrix.
+//
+// Exit status: 0 when every surviving mutant carries a
+// //coyote:mut-survivor triage, 1 when any unannotated survivor remains,
+// 2 on usage or infrastructure errors.
+//
+// Usage:
+//
+//	coyotemut [flags] [./internal/... ...]
+//
+// The -budget/-seed pair selects a reproducible sample of the enumerated
+// pool; two runs with the same flags over the same tree produce
+// byte-identical JSON reports. Verdicts are memoized under -cache-dir in
+// a content-addressed store keyed by mutant content and the full
+// oracle-set fingerprint, so a re-run over an unchanged tree re-executes
+// zero mutants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/coyote-sim/coyote/internal/mut"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		budget   = flag.Int("budget", 0, "max mutants to adjudicate (0 = all); sampled deterministically by -seed")
+		seed     = flag.Int64("seed", 1, "sampling seed for -budget")
+		cacheDir = flag.String("cache-dir", "", "verdict cache directory (default <module>/.coyotemut/cache)")
+		noCache  = flag.Bool("no-cache", false, "disable the verdict cache")
+		jsonOut  = flag.String("json", "", "also write the JSON report to this file (- for stdout instead of the table)")
+		list     = flag.Bool("list", false, "list the sampled mutants without adjudicating")
+		verbose  = flag.Bool("v", false, "log per-mutant cascade progress to stderr")
+		timeout  = flag.Duration("timeout", 120*time.Second, "per-stage go test timeout")
+		dir      = flag.String("C", ".", "module root to run in")
+	)
+	flag.Parse()
+
+	eng, err := mut.NewEngine(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coyotemut: %v\n", err)
+		return 2
+	}
+	pool, err := eng.Enumerate(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coyotemut: %v\n", err)
+		return 2
+	}
+	if len(pool) == 0 {
+		fmt.Fprintf(os.Stderr, "coyotemut: no mutation sites match %v\n", flag.Args())
+		return 2
+	}
+	sample := mut.Sample(pool, *budget, *seed)
+
+	if *list {
+		for _, m := range sample {
+			fmt.Printf("%s\t%s\n", m.ID, m.Variant)
+		}
+		fmt.Fprintf(os.Stderr, "coyotemut: %d of %d enumerated mutants selected\n", len(sample), len(pool))
+		return 0
+	}
+
+	var cache *mut.VerdictCache
+	if !*noCache {
+		cdir := *cacheDir
+		if cdir == "" {
+			cdir = filepath.Join(eng.Dir, ".coyotemut", "cache")
+		}
+		cache, err = mut.OpenVerdictCache(cdir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coyotemut: %v\n", err)
+			return 2
+		}
+	}
+
+	orc := mut.NewOracles(eng)
+	orc.TestTimeout = *timeout
+
+	opts := mut.RunOptions{Cache: cache}
+	if *verbose {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	opts.Progress = func(i, n int, o *mut.Outcome) {
+		status := string(o.Status)
+		if o.Status == mut.StatusKilled {
+			status = "killed by " + o.Oracle
+		}
+		if o.Cached {
+			status += " (cached)"
+		}
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s\n", i, n, o.Mutant.ID, status)
+	}
+
+	outs, err := eng.Run(sample, orc, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coyotemut: %v\n", err)
+		return 2
+	}
+
+	report := mut.BuildReport(outs, len(pool), *budget, *seed)
+	if *jsonOut != "" {
+		data, err := report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coyotemut: %v\n", err)
+			return 2
+		}
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+			return report.ExitStatus()
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "coyotemut: %v\n", err)
+			return 2
+		}
+	}
+	report.WriteTable(os.Stdout)
+	return report.ExitStatus()
+}

@@ -202,7 +202,7 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 			return AccessResult{Hit: true}
 		}
 	}
-	c.san.Lookup(c.clock, tag, false)
+	c.san.Lookup(c.clock, tag, false) //coyote:mut-survivor equivalent: purely observational sanitizer probe; deleting it changes no simulated state, it can only blunt shadow-directory audits
 	c.Stats.Misses++
 	// Choose a victim: invalid first, else LRU.
 	victim := 0

@@ -227,3 +227,40 @@ func TestRollbackSpecClearsMRUMemo(t *testing.T) {
 		t.Error("a survived eviction: victim selection diverged from reference LRU")
 	}
 }
+
+// TestDirtyEvictionWritebackAddress dirties a line whose address is NOT
+// zero and pins the writeback's victim address. TestDirtyEvictionWriteback
+// above uses line 0, for which `Writeback != 0` cannot distinguish a
+// correct address from a lost one.
+func TestDirtyEvictionWritebackAddress(t *testing.T) {
+	c := small()
+	sets := uint64(c.Config().Sets())
+	stride := sets * 64
+	c.Access(stride, true) // dirty the victim-to-be at a nonzero address
+	c.Access(2*stride, false)
+	res := c.Access(3*stride, false) // evicts the dirty line
+	if !res.HasWriteback {
+		t.Fatalf("expected a writeback, got %+v", res)
+	}
+	if res.Writeback != stride {
+		t.Errorf("writeback address = %#x, want %#x", res.Writeback, stride)
+	}
+}
+
+// TestCommitSpecStopsJournaling proves CommitSpec actually ends the
+// episode: an access made after the commit must not be journaled, so a
+// later rollback cannot undo it. If commit left the journal armed, the
+// post-commit access would record its set's pre-access (empty) contents
+// and the rollback would evict the line.
+func TestCommitSpecStopsJournaling(t *testing.T) {
+	c := small()
+	c.BeginSpec()
+	c.Access(0x2000, true) // speculative install in set 0, journaled
+	c.CommitSpec()
+
+	c.Access(0x1040, false) // post-commit install in set 1
+	c.RollbackSpec()
+	if !c.Probe(0x1040) {
+		t.Error("rollback undid a post-commit access: its set was still being journaled")
+	}
+}

@@ -11,6 +11,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/coyote-sim/coyote/internal/cache"
+	"github.com/coyote-sim/coyote/internal/evsim"
 )
 
 // busyWorkload produces a mix of fetch misses, load/store misses,
@@ -249,6 +252,65 @@ func TestResetStatsClearsCountersKeepsState(t *testing.T) {
 	for k, v := range s.Uncore.Snapshot() {
 		if v != 0 {
 			t.Errorf("uncore counter %s = %d after reset", k, v)
+		}
+	}
+}
+
+// TestL2DirtyEvictionsReachMemory shrinks each L2 bank until the busy
+// workload's dirty lines are evicted mid-run, then requires every one of
+// those writebacks to arrive at the memory controllers. The conservation
+// test above runs with the default geometry, where nothing spills out of
+// the L2, so it cannot see a dropped writeback; this one can.
+func TestL2DirtyEvictionsReachMemory(t *testing.T) {
+	res := runBusy(t, func(c *Config) {
+		// A 1 KiB L1D thrashes on the 4 KiB per-hart region, pushing dirty
+		// lines into the L2; a 4 KiB L2 bank then thrashes in turn.
+		c.Hart.L1D = cache.Config{SizeBytes: 1024, Ways: 2, LineBytes: 64, WriteBack: true}
+		c.Uncore.L2 = cache.Config{SizeBytes: 4096, Ways: 2, LineBytes: 64, WriteBack: true}
+	})
+	l2wb := sumCounter(res, "l2bank", ".writebacks")
+	if l2wb == 0 {
+		t.Fatal("workload produced no L2 writebacks; the premise of this test is gone")
+	}
+	if got := res.MemWrites(); got != l2wb {
+		t.Errorf("DRAM writes %d != L2 writebacks %d: dirty evictions lost on the way to memory", got, l2wb)
+	}
+}
+
+// TestStallCreditExact pins the exact stall-cycle totals for a program
+// with one instruction-fetch miss episode and one load-use miss episode.
+// The orchestrator parks a stalled hart and credits the parked cycles on
+// wakeup; the hart's own Step counts the cycle it reported the stall, so
+// the credit is (wake - stallSince - 1). Both totals are affine in the
+// DRAM latency — fetch = MemLatency + 24, load-use = MemLatency + 22,
+// the constants being the fixed L1→L2→controller→return path — and an
+// off-by-one in the wakeup credit shifts every episode by one cycle,
+// which no coarser bound can see.
+func TestStallCreditExact(t *testing.T) {
+	const oneMissAsm = `
+_start:
+	la   a0, data
+	ld   t6, 0(a0)
+	add  t6, t6, t0
+	li a7, 93
+	li a0, 0
+	ecall
+.data
+data: .zero 64
+`
+	for _, lat := range []evsim.Cycle{20, 300} {
+		s := newSystem(t, 1, func(c *Config) { c.Uncore.MemLatency = lat })
+		s.LoadProgram(mustAsm(t, oneMissAsm))
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := res.HartStats[0]
+		if want := uint64(lat) + 24; h.StallsFetch != want {
+			t.Errorf("MemLatency=%d: fetch stalls %d, want %d", lat, h.StallsFetch, want)
+		}
+		if want := uint64(lat) + 22; h.StallsRAW != want {
+			t.Errorf("MemLatency=%d: load-use stalls %d, want %d", lat, h.StallsRAW, want)
 		}
 	}
 }

@@ -257,7 +257,7 @@ func (s *System) stepCycleParallel() (bool, error) {
 			anyRunnable = true
 		}
 		if err := s.applyStepResult(i, h, o.res, &anyRunnable); err != nil {
-			s.abortSpecsFrom(k + 1)
+			s.abortSpecsFrom(k + 1) //coyote:mut-survivor out-of-scope: post-fatal unwind; Run returns the error and nothing after the failed slot is committed or observable
 			return false, err
 		}
 		if san.Enabled {

@@ -447,3 +447,36 @@ func TestDefaultConfigTiles(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkersReferenceEngineMatchesSequential runs the per-instruction
+// reference engine (block cache disabled) under the parallel orchestrator
+// and requires bit-identical results against the sequential loop. The
+// golden worker tests all run with the block engine on, so the reference
+// path inside specStepHart is otherwise never executed with Workers > 1.
+// The MaxCycles bound is deliberately tight: a reference path that stops
+// consuming step results never halts, and must fail here rather than
+// grind toward the two-billion-cycle default.
+func TestWorkersReferenceEngineMatchesSequential(t *testing.T) {
+	run := func(workers int) *Result {
+		s := newSystem(t, 4, func(c *Config) {
+			c.Hart.DisableBlockCache = true
+			c.InterleaveQuantum = 4
+			c.Workers = workers
+			c.MaxCycles = 5_000_000
+		})
+		s.LoadProgram(mustAsm(t, busyWorkload))
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(3)
+	if par.Cycles != seq.Cycles {
+		t.Errorf("cycles: workers=3 got %d, workers=1 got %d", par.Cycles, seq.Cycles)
+	}
+	if par.Instructions != seq.Instructions {
+		t.Errorf("instructions: workers=3 got %d, workers=1 got %d", par.Instructions, seq.Instructions)
+	}
+}

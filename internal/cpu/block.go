@@ -269,7 +269,7 @@ chain:
 					h.Stats.VectorOps++
 					if occ := h.vectorOccupancy(bi.in); occ > 1 {
 						h.busyUntil = now + occ
-						if k+1 < n {
+						if k+1 < n { //coyote:mut-survivor equivalent: at k+1 == n the block ends and the next StepBlock entry performs the same deferred busy accounting
 							// Step would report StepBusy for the next attempt of
 							// this quantum; at the block's end the next StepBlock
 							// entry check does the same accounting instead.

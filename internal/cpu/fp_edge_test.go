@@ -243,3 +243,20 @@ func mustVType(sew, lmul uint) int64 {
 	}
 	return v
 }
+
+// TestFP32DivQuotient pins FDIV.S as an actual division: 7/2 is exact in
+// binary32, so the quotient is 3.5 with no rounding slack — an operator
+// slip (e.g. to multiplication, yielding 14) cannot pass.
+func TestFP32DivQuotient(t *testing.T) {
+	runISACase(t, isaCase{
+		name: "fp32_div",
+		src: `
+		li a1, 7
+		fcvt.s.l fa0, a1
+		li a2, 2
+		fcvt.s.l fa1, a2
+		fdiv.s fa2, fa0, fa1
+		fcvt.d.s fa2, fa2`,
+		f: map[uint8]float64{12: 3.5},
+	})
+}

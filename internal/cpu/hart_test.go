@@ -433,3 +433,26 @@ func TestWritebackEventOnDirtyEviction(t *testing.T) {
 		t.Error("expected at least one writeback event")
 	}
 }
+
+// TestMulhsuEdges pins the high-half signed×unsigned multiply at its
+// sign boundaries. a = 0 is the sharp edge: the negative-operand
+// correction (hi -= b) must fire for a < 0 only — pulling zero into the
+// correction underflows the high half by b.
+func TestMulhsuEdges(t *testing.T) {
+	cases := []struct {
+		a    int64
+		b    uint64
+		want uint64
+	}{
+		{0, ^uint64(0), 0},           // 0 × max: high half is 0
+		{1, 1 << 63, 0},              // 2^63 fits below the high half
+		{2, 1 << 63, 1},              // 2^64: exactly one high bit
+		{-1, 1, ^uint64(0)},          // −1 × 1 = −1: all-ones high half
+		{-1, ^uint64(0), ^uint64(0)}, // −(2^64−1): high = 0xFF…FF
+	}
+	for _, c := range cases {
+		if got := mulhsu(c.a, c.b); got != c.want {
+			t.Errorf("mulhsu(%d, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}

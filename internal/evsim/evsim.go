@@ -189,7 +189,7 @@ func (e *Engine) slideTo(base Cycle) {
 		e.bucket[slot] = b
 		e.occ[slot>>6] |= 1 << uint(slot&63)
 		e.inRing++
-		if !e.ringMinValid || ev.when < e.ringMinAt {
+		if !e.ringMinValid || ev.when < e.ringMinAt { //coyote:mut-survivor equivalent: on ev.when == ringMinAt the assignment rewrites identical values
 			e.ringMinAt, e.ringMinValid = ev.when, true
 		}
 	}

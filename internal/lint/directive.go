@@ -42,6 +42,7 @@ var knownDirectives = map[string]bool{
 	"specwrite-ok":       true,  // exempts one un-journaled store / dynamic call on the spec path
 	"globalfree":         false, // annotation: marks a root whose call graph must not touch mutable globals
 	"globalmut-ok":       true,  // exempts one mutable-global use on a globalfree path
+	"mut-survivor":       true,  // triages one coyotemut surviving-mutant site (equivalent mutant etc.)
 }
 
 // EscapeHatch returns the directive kind that justifies a finding of the

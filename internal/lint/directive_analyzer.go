@@ -17,7 +17,7 @@ func runDirective(pass *Pass) {
 		if !known {
 			pass.Report(Diagnostic{
 				Pos:     d.Pos,
-				Message: "unknown directive //coyote:" + d.Kind + " (have allocfree, allocfree-boundary, alloc-ok, mapiter-ok, wallclock-ok, floatorder-ok, statecheck-ok, portproto-ok)",
+				Message: "unknown directive //coyote:" + d.Kind + " (see the directive table in DESIGN.md §9)",
 			})
 			continue
 		}

@@ -1,0 +1,114 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the static call graph of a Program, indexed in both
+// directions. The forward direction is what Walker traverses; the
+// reverse direction answers "who can reach this function?" — the query
+// coyotemut uses to select only the test functions whose call graph can
+// reach a mutated function.
+//
+// Edges are the same ones Walker sees: static in-module calls, including
+// calls made inside function literals defined in a body. Dynamic calls
+// (func values, interface methods) contribute no edges, so reverse
+// reachability UNDER-approximates: a caller that only reaches the target
+// through a dispatch table or an interface is not found. Callers that
+// need soundness (coyotemut's targeted-test stage) must treat an empty
+// answer as "unknown" and fall back to a coarser over-approximation
+// (every test in every dependent package), never as "unreachable".
+type CallGraph struct {
+	prog    *Program
+	callees map[string][]string // caller key → sorted callee keys
+	callers map[string][]string // callee key → sorted caller keys
+}
+
+// NewCallGraph builds the bidirectional index over every function in the
+// program, in one pass.
+func NewCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{
+		prog:    prog,
+		callees: make(map[string][]string, len(prog.Funcs)),
+		callers: make(map[string][]string, len(prog.Funcs)),
+	}
+	type edge struct{ from, to string }
+	seen := make(map[edge]bool)
+	for key, fn := range prog.Funcs {
+		ForEachCall(fn.Pkg.Info, fn.Decl.Body, func(_ *ast.CallExpr, callee *types.Func) {
+			if callee == nil {
+				return
+			}
+			target := prog.Resolve(callee)
+			if target == nil {
+				return
+			}
+			e := edge{from: key, to: target.Key}
+			if seen[e] {
+				return
+			}
+			seen[e] = true
+			g.callees[e.from] = append(g.callees[e.from], e.to)
+			g.callers[e.to] = append(g.callers[e.to], e.from)
+		})
+	}
+	for _, m := range []map[string][]string{g.callees, g.callers} {
+		for k := range m {
+			sort.Strings(m[k])
+		}
+	}
+	return g
+}
+
+// Callees returns the sorted keys of the functions fn calls statically.
+func (g *CallGraph) Callees(key string) []string { return g.callees[key] }
+
+// Callers returns the sorted keys of the functions that call fn
+// statically.
+func (g *CallGraph) Callers(key string) []string { return g.callers[key] }
+
+// ReachersOf returns every function from which target is statically
+// reachable (including target itself when it exists), sorted by key: the
+// reverse-BFS dual of Walker.Reachable.
+func (g *CallGraph) ReachersOf(target string) []*Func {
+	seen := map[string]bool{}
+	var queue []string
+	if g.prog.Funcs[target] != nil {
+		seen[target] = true
+		queue = append(queue, target)
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		for _, caller := range g.callers[key] {
+			if seen[caller] {
+				continue
+			}
+			seen[caller] = true
+			queue = append(queue, caller)
+		}
+	}
+	out := make([]*Func, 0, len(seen))
+	for key := range seen {
+		if fn := g.prog.Funcs[key]; fn != nil {
+			out = append(out, fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// FuncAt returns the function whose declaration (including its doc
+// comment) spans pos, or nil. This is how a byte offset in a mutated
+// file maps back to the enclosing function's call-graph node.
+func (p *Program) FuncAt(pos token.Pos) *Func {
+	for _, fn := range p.Funcs {
+		if fn.Decl.Pos() <= pos && pos <= fn.Decl.End() {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package flow
+
+import (
+	"go/token"
+	"testing"
+)
+
+const graphSrc = `package p
+
+func leaf() int { return 1 }
+
+func mid() int { return leaf() }
+
+func top() int { return mid() + mid() }
+
+func viaLiteral() int {
+	f := func() int { return leaf() }
+	return f()
+}
+
+func unrelated() int { return 2 }
+`
+
+func fnNamed(t *testing.T, prog *Program, name string) *Func {
+	t.Helper()
+	for _, fn := range prog.Funcs {
+		if fn.Decl.Name.Name == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %s not in program", name)
+	return nil
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	prog := typecheckSrc(t, graphSrc)
+	g := NewCallGraph(prog)
+	leaf := fnNamed(t, prog, "leaf")
+	mid := fnNamed(t, prog, "mid")
+	top := fnNamed(t, prog, "top")
+
+	hasKey := func(keys []string, want string) bool {
+		for _, k := range keys {
+			if k == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasKey(g.Callees(mid.Key), leaf.Key) {
+		t.Errorf("Callees(mid) = %v, missing leaf", g.Callees(mid.Key))
+	}
+	if !hasKey(g.Callers(leaf.Key), mid.Key) {
+		t.Errorf("Callers(leaf) = %v, missing mid", g.Callers(leaf.Key))
+	}
+	// top calls mid twice — edges are deduplicated.
+	count := 0
+	for _, k := range g.Callees(top.Key) {
+		if k == mid.Key {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("top->mid recorded %d times, want 1", count)
+	}
+}
+
+func TestCallGraphReachersOf(t *testing.T) {
+	prog := typecheckSrc(t, graphSrc)
+	g := NewCallGraph(prog)
+	leaf := fnNamed(t, prog, "leaf")
+
+	reachers := g.ReachersOf(leaf.Key)
+	got := map[string]bool{}
+	for _, fn := range reachers {
+		got[fn.Decl.Name.Name] = true
+	}
+	// viaLiteral reaches leaf through a call inside its function literal
+	// — those edges are attributed to the enclosing declaration.
+	for _, want := range []string{"leaf", "mid", "top", "viaLiteral"} {
+		if !got[want] {
+			t.Errorf("ReachersOf(leaf) misses %s (got %v)", want, got)
+		}
+	}
+	if got["unrelated"] {
+		t.Error("ReachersOf(leaf) includes unrelated")
+	}
+	for i := 1; i < len(reachers); i++ {
+		if reachers[i-1].Key >= reachers[i].Key {
+			t.Fatal("ReachersOf result not sorted by key")
+		}
+	}
+	if rs := g.ReachersOf("no/such.Func"); len(rs) != 0 {
+		t.Errorf("ReachersOf(unknown) = %v, want empty", rs)
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	prog := typecheckSrc(t, graphSrc)
+	mid := fnNamed(t, prog, "mid")
+	if fn := prog.FuncAt(mid.Decl.Body.Pos()); fn == nil || fn.Key != mid.Key {
+		t.Fatalf("FuncAt(mid body) = %v", fn)
+	}
+	if fn := prog.FuncAt(token.NoPos); fn != nil {
+		t.Fatalf("FuncAt(NoPos) = %v, want nil", fn)
+	}
+}

@@ -97,7 +97,15 @@ func AnalyzersByName(names string) ([]*Analyzer, error) {
 		}
 		a, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+			// List the valid names in the error: a driver (or a tool
+			// invoking the driver, like coyotemut's oracle cascade) that
+			// mistypes an analyzer must fail loudly and fixably, never
+			// silently run an empty suite.
+			valid := make([]string, 0, len(all))
+			for _, a := range all {
+				valid = append(valid, a.Name)
+			}
+			return nil, fmt.Errorf("lint: unknown analyzer %q (valid: %s)", n, strings.Join(valid, ", "))
 		}
 		out = append(out, a)
 	}

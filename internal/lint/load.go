@@ -76,33 +76,92 @@ type FuncNode struct {
 
 // listedPkg is the subset of `go list -json` output the loader consumes.
 type listedPkg struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	GoFiles    []string
-	Standard   bool
-	Incomplete bool
-	Error      *struct{ Err string }
+	ImportPath  string
+	Dir         string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	Deps        []string
+	TestImports []string
+	Standard    bool
+	Incomplete  bool
+	Error       *struct{ Err string }
 }
 
-// Load builds a Program for the packages matching patterns, resolving
-// every import from compiler export data so no network access and no
-// third-party dependencies are needed. dir is the directory the go tool
-// runs in (the module root, or any directory inside it). overlay maps
-// absolute file paths to replacement contents; the justification tests
-// use it to re-lint a package with one directive removed.
-func Load(dir string, patterns []string, overlay map[string][]byte) (*Program, error) {
-	roots, exports, err := goList(dir, patterns)
+// PackageInfo is the loader's pre-typecheck view of one root package:
+// what `go list` reported. Tools that schedule work over the package
+// graph (coyotemut's dependent-package selection) read these without
+// paying for a typecheck.
+type PackageInfo struct {
+	ImportPath  string
+	Dir         string
+	GoFiles     []string // non-test sources, file names relative to Dir
+	TestGoFiles []string // in-package _test.go sources
+	Deps        []string // transitive (non-test) dependency import paths
+	TestImports []string // direct imports of the in-package test files
+}
+
+// LoadOptions tunes a Loader.
+type LoadOptions struct {
+	// IncludeTests parses and type-checks each root package's in-package
+	// _test.go files together with the package proper, so test functions
+	// appear in the Program's function index (and hence in flow call
+	// graphs). External "_test"-suffixed test packages are not supported
+	// and their files are ignored; this repo's convention is in-package
+	// tests throughout.
+	IncludeTests bool
+}
+
+// Loader resolves a pattern set once (two `go list` invocations) and can
+// then build any number of Programs against different overlays without
+// re-shelling to the go tool. coyotemut leans on this: one Loader, one
+// type-check per candidate mutant, zero repeated `go list` cost.
+type Loader struct {
+	dir     string
+	opts    LoadOptions
+	roots   []*listedPkg
+	exports map[string]string
+}
+
+// NewLoader shells out to `go list` for patterns (run in dir) and
+// returns a Loader ready to build Programs. dir is the directory the go
+// tool runs in (the module root, or any directory inside it).
+func NewLoader(dir string, patterns []string, opts LoadOptions) (*Loader, error) {
+	roots, exports, err := goList(dir, patterns, opts.IncludeTests)
 	if err != nil {
 		return nil, err
 	}
 	if len(roots) == 0 {
 		return nil, fmt.Errorf("lint: no packages match %v", patterns)
 	}
+	return &Loader{dir: dir, opts: opts, roots: roots, exports: exports}, nil
+}
 
+// Packages returns the `go list` view of the root packages, in listing
+// order.
+func (l *Loader) Packages() []PackageInfo {
+	out := make([]PackageInfo, 0, len(l.roots))
+	for _, lp := range l.roots {
+		out = append(out, PackageInfo{
+			ImportPath:  lp.ImportPath,
+			Dir:         lp.Dir,
+			GoFiles:     lp.GoFiles,
+			TestGoFiles: lp.TestGoFiles,
+			Deps:        lp.Deps,
+			TestImports: lp.TestImports,
+		})
+	}
+	return out
+}
+
+// Load parses and type-checks every root package against the overlay
+// (absolute file path → replacement contents; nil for none) and returns
+// the Program. Each call builds a fresh FileSet and type universe, so
+// Programs from the same Loader are independent.
+func (l *Loader) Load(overlay map[string][]byte) (*Program, error) {
 	fset := token.NewFileSet()
 	lookup := func(path string) (io.ReadCloser, error) {
-		e, ok := exports[path]
+		e, ok := l.exports[path]
 		if !ok {
 			return nil, fmt.Errorf("lint: no export data for %q", path)
 		}
@@ -111,8 +170,8 @@ func Load(dir string, patterns []string, overlay map[string][]byte) (*Program, e
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
 	prog := &Program{Fset: fset, Funcs: make(map[string]*FuncNode)}
-	for _, lp := range roots {
-		pkg, err := typecheck(fset, imp, lp, overlay)
+	for _, lp := range l.roots {
+		pkg, err := typecheck(fset, imp, lp, overlay, l.opts.IncludeTests)
 		if err != nil {
 			return nil, err
 		}
@@ -122,15 +181,38 @@ func Load(dir string, patterns []string, overlay map[string][]byte) (*Program, e
 	return prog, nil
 }
 
+// Load builds a Program for the packages matching patterns, resolving
+// every import from compiler export data so no network access and no
+// third-party dependencies are needed. dir is the directory the go tool
+// runs in (the module root, or any directory inside it). overlay maps
+// absolute file paths to replacement contents; the justification tests
+// use it to re-lint a package with one directive removed. One-shot
+// convenience over NewLoader + Loader.Load.
+func Load(dir string, patterns []string, overlay map[string][]byte) (*Program, error) {
+	l, err := NewLoader(dir, patterns, LoadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return l.Load(overlay)
+}
+
 // goList shells out to the go tool twice: once without -deps to learn the
 // root packages to analyze from source, once with -export -deps to map
-// every transitively imported package to its export data file.
-func goList(dir string, patterns []string) (roots []*listedPkg, exports map[string]string, err error) {
-	rootOut, err := runGoList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...))
+// every transitively imported package to its export data file. With
+// tests, both listings include the test variants so test-only imports
+// resolve too.
+func goList(dir string, patterns []string, tests bool) (roots []*listedPkg, exports map[string]string, err error) {
+	rootArgs := []string{"list", "-json=ImportPath,Dir,GoFiles,TestGoFiles,Deps,TestImports"}
+	depArgs := []string{"list", "-export", "-deps"}
+	if tests {
+		depArgs = append(depArgs, "-test")
+	}
+	depArgs = append(depArgs, "-json=ImportPath,Export")
+	rootOut, err := runGoList(dir, append(rootArgs, patterns...))
 	if err != nil {
 		return nil, nil, err
 	}
-	depOut, err := runGoList(dir, append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, patterns...))
+	depOut, err := runGoList(dir, append(depArgs, patterns...))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -157,7 +239,12 @@ func goList(dir string, patterns []string) (roots []*listedPkg, exports map[stri
 			return nil, nil, fmt.Errorf("lint: parsing go list -export output: %w", err)
 		}
 		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+			// Test variants list as "pkg [pkg.test]"; their export data is
+			// for the augmented package, which nothing imports by that
+			// name. Keep the plain path's entry.
+			if _, dup := exports[p.ImportPath]; !dup {
+				exports[p.ImportPath] = p.Export
+			}
 		}
 	}
 	return roots, exports, nil
@@ -177,9 +264,13 @@ func runGoList(dir string, args []string) ([]byte, error) {
 
 // typecheck parses and type-checks one package from source, resolving
 // imports through imp.
-func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPkg, overlay map[string][]byte) (*Package, error) {
+func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPkg, overlay map[string][]byte, tests bool) (*Package, error) {
 	pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir}
-	for _, name := range lp.GoFiles {
+	names := lp.GoFiles
+	if tests {
+		names = append(append([]string(nil), lp.GoFiles...), lp.TestGoFiles...)
+	}
+	for _, name := range names {
 		path := filepath.Join(lp.Dir, name)
 		var src any
 		if overlay != nil {

@@ -1,11 +1,6 @@
 package lint
 
-import (
-	"os"
-	"regexp"
-	"strings"
-	"testing"
-)
+import "testing"
 
 // TestRepoTreeClean runs the full suite over the repository exactly the
 // way CI's `go run ./cmd/coyotelint ./...` does and requires zero
@@ -23,84 +18,5 @@ func TestRepoTreeClean(t *testing.T) {
 	res := RunSuite(prog)
 	for _, d := range res.Diagnostics {
 		t.Errorf("%s", res.Format(d))
-	}
-}
-
-// TestSeededMutationsCaughtStatically applies the classic sanitizer
-// mutations to the real uncore sources via the loader's overlay and
-// proves the protocol analyzers catch each one at lint time — the static
-// counterpart of the runtime demonstrations in internal/uncore's
-// coyotesan tests.
-func TestSeededMutationsCaughtStatically(t *testing.T) {
-	if testing.Short() {
-		t.Skip("loads and type-checks internal/uncore")
-	}
-	cases := []struct {
-		name     string
-		file     string // suffix of the source file to mutate
-		old, new string
-		analyzer *Analyzer
-		wantMsg  string
-	}{
-		{
-			// Dropping the prefetch arm of the MSHR fill switch lumps a
-			// state into default — a deleted transition.
-			name: "statecheck/dropped-state-arm", file: "l2bank.go",
-			old: "case mshrPrefetch:", new: "default:",
-			analyzer: StateCheckAnalyzer, wantMsg: `misses state mshrPrefetch`,
-		},
-		{
-			// Stripping the justification from the deliberate
-			// fire-and-forget site exposes the zero-Done read.
-			name: "portproto/stripped-justification", file: "llc.go",
-			old:      "//coyote:portproto-ok write-allocate fetch: the write already completed at the slice, the fetch only warms the line",
-			new:      "",
-			analyzer: PortProtoAnalyzer, wantMsg: `zero Done`,
-		},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			base, err := Load("../..", []string{"./internal/uncore"}, nil)
-			if err != nil {
-				t.Fatalf("loading internal/uncore: %v", err)
-			}
-			var file string
-			for _, fn := range base.Packages[0].Filenames {
-				if strings.HasSuffix(fn, tc.file) {
-					file = fn
-				}
-			}
-			if file == "" {
-				t.Fatalf("internal/uncore has no file %s", tc.file)
-			}
-			if n := len(RunAnalyzers(base, []*Analyzer{tc.analyzer}, nil).Diagnostics); n != 0 {
-				t.Fatalf("unmutated tree already has %d %s findings", n, tc.analyzer.Name)
-			}
-
-			src, err := os.ReadFile(file)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !strings.Contains(string(src), tc.old) {
-				t.Fatalf("%s does not contain %q; the mutation no longer applies", file, tc.old)
-			}
-			mutated := strings.Replace(string(src), tc.old, tc.new, 1)
-
-			prog, err := Load("../..", []string{"./internal/uncore"}, map[string][]byte{file: []byte(mutated)})
-			if err != nil {
-				t.Fatalf("loading mutated internal/uncore: %v", err)
-			}
-			res := RunAnalyzers(prog, []*Analyzer{tc.analyzer}, nil)
-			re := regexp.MustCompile(tc.wantMsg)
-			for _, d := range res.Diagnostics {
-				if re.MatchString(d.Message) {
-					return
-				}
-			}
-			for _, d := range res.Diagnostics {
-				t.Logf("got: %s", res.Format(d))
-			}
-			t.Fatalf("mutation %s produced no %s finding matching %q", tc.name, tc.analyzer.Name, tc.wantMsg)
-		})
 	}
 }

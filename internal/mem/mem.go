@@ -25,7 +25,7 @@ const pageMask = PageSize - 1
 // access. 64 entries cover the working set of every kernel in the suite.
 const (
 	lookasideBits = 6
-	lookasideSize = 1 << lookasideBits
+	lookasideSize = 1 << lookasideBits //coyote:mut-survivor equivalent: host-side memo capacity; entries are tag-checked, so size affects only lookup speed, never results
 	lookasideMask = lookasideSize - 1
 )
 

@@ -1,0 +1,92 @@
+package mut
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"github.com/coyote-sim/coyote/internal/rcache"
+)
+
+// VerdictSchema versions the verdict payload AND the key derivation.
+// Bump on any change to either; old verdicts are then simply unreachable
+// (different store root) rather than misread.
+const VerdictSchema = 1
+
+// verdictMagic is the on-disk header tag, distinct from the result
+// cache's so a blob can never be mistaken across stores.
+const verdictMagic = "coyotemut-verdict"
+
+// VerdictCache memoizes mutant adjudications in the same checksummed,
+// quarantine-on-corruption content-addressed store the result cache uses.
+// A verdict is pure content-addressed data: the key covers the mutant
+// (original + mutated file hashes) and the full oracle-set fingerprint,
+// so a hit can only ever replay a verdict the current oracles would
+// reproduce.
+type VerdictCache struct {
+	blobs *rcache.BlobStore
+}
+
+// OpenVerdictCache opens (creating if needed) a verdict store rooted at
+// dir.
+func OpenVerdictCache(dir string) (*VerdictCache, error) {
+	blobs, err := rcache.OpenBlobStore(dir, verdictMagic, VerdictSchema)
+	if err != nil {
+		return nil, fmt.Errorf("mut: opening verdict cache: %w", err)
+	}
+	return &VerdictCache{blobs: blobs}, nil
+}
+
+// VerdictKey derives the cache key for one mutant under one oracle set.
+func VerdictKey(m *Mutant, oracleFingerprint string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "coyotemut-key/v%d\n", VerdictSchema)
+	fmt.Fprintf(h, "pkg %s\nfile %s\nmutator %s\nvariant %s\n", m.Pkg, m.RelFile, m.Mutator, m.Variant)
+	fmt.Fprintf(h, "orig %s\nmutant %s\n", hashBytes(m.Orig), hashBytes(m.Content))
+	fmt.Fprintf(h, "oracles %s\n", oracleFingerprint)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Verdict is the cached adjudication payload.
+type Verdict struct {
+	Schema int    `json:"schema"`
+	ID     string `json:"id"` // mutant ID at store time, for debugging
+	Status Status `json:"status"`
+	Oracle string `json:"oracle,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Load returns the cached verdict for key, rcache.ErrMiss when absent,
+// rcache.ErrCorrupt (after quarantining) when undecodable.
+func (c *VerdictCache) Load(key string) (*Verdict, error) {
+	payload, err := c.blobs.Load(key)
+	if err != nil {
+		return nil, err
+	}
+	var v Verdict
+	if err := json.Unmarshal(payload, &v); err != nil {
+		c.blobs.Quarantine(key)
+		return nil, fmt.Errorf("%w: %v", rcache.ErrCorrupt, err)
+	}
+	if v.Schema != VerdictSchema || v.Status == "" {
+		c.blobs.Quarantine(key)
+		return nil, fmt.Errorf("%w: bad verdict payload", rcache.ErrCorrupt)
+	}
+	return &v, nil
+}
+
+// Store persists one outcome under key.
+func (c *VerdictCache) Store(key string, o *Outcome) error {
+	payload, err := json.Marshal(Verdict{
+		Schema: VerdictSchema,
+		ID:     o.Mutant.ID,
+		Status: o.Status,
+		Oracle: o.Oracle,
+		Detail: o.Detail,
+	})
+	if err != nil {
+		return err
+	}
+	return c.blobs.Store(key, payload)
+}

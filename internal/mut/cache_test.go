@@ -1,0 +1,126 @@
+package mut
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"github.com/coyote-sim/coyote/internal/rcache"
+)
+
+func cacheTestMutant() *Mutant {
+	return &Mutant{
+		ID:      "internal/core/x.go:3:1:ror:eqnoteq",
+		Pkg:     "github.com/coyote-sim/coyote/internal/core",
+		RelFile: "internal/core/x.go",
+		Mutator: "ror",
+		Variant: "== -> !=",
+		Orig:    []byte("a == b"),
+		Content: []byte("a != b"),
+	}
+}
+
+func TestVerdictCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenVerdictCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cacheTestMutant()
+	key := VerdictKey(m, "fp")
+	if _, err := c.Load(key); !errors.Is(err, rcache.ErrMiss) {
+		t.Fatalf("empty cache Load = %v, want ErrMiss", err)
+	}
+	o := &Outcome{Mutant: m, Status: StatusKilled, Oracle: "tests", Detail: "FAIL: TestX"}
+	if err := c.Store(key, o); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusKilled || v.Oracle != "tests" || v.Detail != "FAIL: TestX" || v.ID != m.ID {
+		t.Fatalf("round-tripped verdict = %+v", v)
+	}
+	// Verdicts survive a reopen: the store is plain files on disk.
+	c2, err := OpenVerdictCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c2.Load(key); err != nil || v.Status != StatusKilled {
+		t.Fatalf("reopened cache Load = %+v, %v", v, err)
+	}
+}
+
+func TestVerdictKeySensitivity(t *testing.T) {
+	m := cacheTestMutant()
+	base := VerdictKey(m, "fp")
+
+	changed := *m
+	changed.Content = []byte("a <= b")
+	if VerdictKey(&changed, "fp") == base {
+		t.Error("key ignores mutant content")
+	}
+	orig := *m
+	orig.Orig = []byte("a == c")
+	if VerdictKey(&orig, "fp") == base {
+		t.Error("key ignores original content")
+	}
+	if VerdictKey(m, "other-oracle-set") == base {
+		t.Error("key ignores the oracle fingerprint")
+	}
+	// Position is NOT part of the key: the verdict is content-addressed,
+	// so unrelated edits that only shift a mutant's line keep the hit.
+	moved := *m
+	moved.Line, moved.Col = 999, 9
+	if VerdictKey(&moved, "fp") != base {
+		t.Error("key depends on line/col — content addressing broken")
+	}
+}
+
+func TestVerdictCacheCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenVerdictCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cacheTestMutant()
+	o := &Outcome{Mutant: m, Status: StatusSurvived}
+
+	// Payload-level corruption: a valid blob whose payload is not a
+	// verdict. Load must quarantine and report ErrCorrupt, then miss.
+	k1 := VerdictKey(m, "fp1")
+	if err := c.blobs.Store(k1, []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(k1); !errors.Is(err, rcache.ErrCorrupt) {
+		t.Fatalf("garbage payload Load = %v, want ErrCorrupt", err)
+	}
+	if _, err := c.Load(k1); !errors.Is(err, rcache.ErrMiss) {
+		t.Fatalf("post-quarantine Load = %v, want ErrMiss", err)
+	}
+
+	// Schema drift in an otherwise well-formed verdict.
+	k2 := VerdictKey(m, "fp2")
+	if err := c.blobs.Store(k2, []byte(`{"schema":999,"status":"killed"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(k2); !errors.Is(err, rcache.ErrCorrupt) {
+		t.Fatalf("wrong-schema Load = %v, want ErrCorrupt", err)
+	}
+
+	// Blob-level corruption: the on-disk file is overwritten wholesale.
+	k3 := VerdictKey(m, "fp3")
+	if err := c.Store(k3, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.blobs.Path(k3), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(k3); !errors.Is(err, rcache.ErrCorrupt) {
+		t.Fatalf("trashed blob Load = %v, want ErrCorrupt", err)
+	}
+	if _, err := c.Load(k3); !errors.Is(err, rcache.ErrMiss) {
+		t.Fatalf("post-quarantine Load = %v, want ErrMiss", err)
+	}
+}

@@ -1,0 +1,365 @@
+package mut
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/coyote-sim/coyote/internal/lint"
+	"github.com/coyote-sim/coyote/internal/lint/flow"
+)
+
+// Engine owns the one-time program analysis every mutant shares: a single
+// `go list` resolution, one fully type-checked base program (tests
+// included, so test functions appear in the call graph), the flow call
+// graph for targeted test selection, and a per-package loader cache for
+// the typecheck gate.
+type Engine struct {
+	Dir  string // module root the go tool runs in
+	Base *lint.Program
+
+	infos   []lint.PackageInfo          // `go list ./...` view, listing order
+	infoBy  map[string]lint.PackageInfo // by import path
+	graph   *flow.CallGraph             // lazily built
+	gate    map[string]*lint.Loader     // per-package typecheck-gate loaders
+	sources map[string][]byte           // original file contents by abs path
+}
+
+// NewEngine resolves and type-checks the module rooted at dir.
+func NewEngine(dir string) (*Engine, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := lint.NewLoader(abs, []string{"./..."}, lint.LoadOptions{IncludeTests: true})
+	if err != nil {
+		return nil, err
+	}
+	base, err := loader.Load(nil)
+	if err != nil {
+		return nil, fmt.Errorf("mut: type-checking baseline: %w", err)
+	}
+	e := &Engine{
+		Dir:     abs,
+		Base:    base,
+		infos:   loader.Packages(),
+		infoBy:  make(map[string]lint.PackageInfo),
+		gate:    make(map[string]*lint.Loader),
+		sources: make(map[string][]byte),
+	}
+	for _, pi := range e.infos {
+		e.infoBy[pi.ImportPath] = pi
+	}
+	return e, nil
+}
+
+// Graph returns the base program's call graph, built on first use.
+func (e *Engine) Graph() *flow.CallGraph {
+	if e.graph == nil {
+		e.graph = flow.NewCallGraph(e.Base.Flow())
+	}
+	return e.graph
+}
+
+// src returns (and caches) the original bytes of a source file.
+func (e *Engine) src(path string) ([]byte, error) {
+	if b, ok := e.sources[path]; ok {
+		return b, nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	e.sources[path] = b
+	return b, nil
+}
+
+// matchPattern reports whether a module-relative package directory is
+// selected by a go-style pattern ("./internal/...", "./internal/cpu").
+// Only the "./dir" and "./dir/..." forms are supported — exactly what the
+// coyotemut command line takes.
+func matchPattern(relDir, pattern string) bool {
+	p := strings.TrimPrefix(filepath.ToSlash(pattern), "./")
+	if p == "..." || p == "" || p == "." {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(p, "..."); ok {
+		prefix = strings.TrimSuffix(prefix, "/")
+		return relDir == prefix || strings.HasPrefix(relDir, prefix+"/")
+	}
+	return relDir == p
+}
+
+func matchAny(relDir string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, p := range patterns {
+		if matchPattern(relDir, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Enumerate discovers every mutant in the target packages selected by
+// patterns (nil = all targets), in canonical order: by file, then source
+// position, then catalog order. Mutants whose mutated file contents
+// collide with an earlier mutant's (the same edit reached two ways) are
+// dropped — the earlier catalog entry keeps the site.
+func (e *Engine) Enumerate(patterns []string) ([]*Mutant, error) {
+	return e.enumerate(func(pkg *lint.Package) bool {
+		return IsTargetPackage(pkg.ImportPath) && matchAny(relTo(e.Dir, pkgDir(pkg)), patterns)
+	})
+}
+
+// EnumerateIn enumerates mutants in the exact packages given by import
+// path, bypassing the TargetPackages filter — the mutator catalog's
+// meta-test uses this to aim the full catalog at its fixture package.
+func (e *Engine) EnumerateIn(importPaths ...string) ([]*Mutant, error) {
+	return e.enumerate(func(pkg *lint.Package) bool {
+		return containsStr(importPaths, pkg.ImportPath)
+	})
+}
+
+func (e *Engine) enumerate(want func(*lint.Package) bool) ([]*Mutant, error) {
+	catalogRank := map[string]int{}
+	for i, m := range Catalog() {
+		catalogRank[m.Name] = i
+	}
+	var mutants []*Mutant
+	seen := map[string]bool{} // file \x00 content-hash
+	for _, pkg := range e.Base.Packages {
+		if !want(pkg) {
+			continue
+		}
+		for i, file := range pkg.Files {
+			name := pkg.Filenames[i]
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			src, err := e.src(name)
+			if err != nil {
+				return nil, fmt.Errorf("mut: %w", err)
+			}
+			ctx := &FileCtx{Pkg: pkg, File: file, Filename: name, Src: src, Fset: e.Base.Fset}
+			for _, mutator := range Catalog() {
+				for _, site := range mutator.Sites(ctx) {
+					content := site.apply(src)
+					key := name + "\x00" + hashBytes(content)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					pos := e.Base.Fset.Position(site.Pos)
+					rel := relTo(e.Dir, name)
+					mutants = append(mutants, &Mutant{
+						ID:      mutantID(rel, pos.Line, pos.Column, site.Mutator, site.Variant),
+						Pkg:     pkg.ImportPath,
+						File:    name,
+						RelFile: rel,
+						Line:    pos.Line,
+						Col:     pos.Column,
+						Pos:     site.Pos,
+						Mutator: site.Mutator,
+						Variant: site.Variant,
+						Orig:    src,
+						Content: content,
+					})
+				}
+			}
+		}
+	}
+	sort.SliceStable(mutants, func(i, j int) bool {
+		a, b := mutants[i], mutants[j]
+		if a.RelFile != b.RelFile {
+			return a.RelFile < b.RelFile
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if catalogRank[a.Mutator] != catalogRank[b.Mutator] {
+			return catalogRank[a.Mutator] < catalogRank[b.Mutator]
+		}
+		return a.Variant < b.Variant
+	})
+	return mutants, nil
+}
+
+// pkgDir returns the directory of a loaded package (from its first file).
+func pkgDir(pkg *lint.Package) string {
+	if len(pkg.Filenames) > 0 {
+		return filepath.Dir(pkg.Filenames[0])
+	}
+	return ""
+}
+
+// Sample deterministically selects budget mutants from the canonical
+// enumeration using a seeded permutation, then restores canonical order.
+// budget <= 0 or >= len means "all".
+func Sample(mutants []*Mutant, budget int, seed int64) []*Mutant {
+	if budget <= 0 || budget >= len(mutants) {
+		return mutants
+	}
+	r := rand.New(rand.NewSource(seed))
+	idx := r.Perm(len(mutants))[:budget]
+	sort.Ints(idx)
+	out := make([]*Mutant, 0, budget)
+	for _, i := range idx {
+		out = append(out, mutants[i])
+	}
+	return out
+}
+
+// gateLoader returns (and caches) the single-package loader used to
+// type-check candidate mutants of one package. Tests are included so a
+// mutant that would break the package's own test compilation is also
+// caught here rather than miscounted downstream.
+func (e *Engine) gateLoader(importPath string) (*lint.Loader, error) {
+	if l, ok := e.gate[importPath]; ok {
+		return l, nil
+	}
+	l, err := lint.NewLoader(e.Dir, []string{importPath}, lint.LoadOptions{IncludeTests: true})
+	if err != nil {
+		return nil, err
+	}
+	e.gate[importPath] = l
+	return l, nil
+}
+
+// Gate type-checks a mutant in-process through the lint loader's overlay.
+// A gate failure means the mutant is uncompilable: it is discarded from
+// the kill statistics (an uncompilable edit proves nothing about the
+// oracles — the compiler is not one of the layers under measurement).
+func (e *Engine) Gate(m *Mutant) (ok bool, detail string, err error) {
+	l, err := e.gateLoader(m.Pkg)
+	if err != nil {
+		return false, "", err
+	}
+	if _, terr := l.Load(map[string][]byte{m.File: m.Content}); terr != nil {
+		return false, firstLine(terr.Error()), nil
+	}
+	return true, "", nil
+}
+
+// Status is a mutant's adjudicated fate.
+type Status string
+
+const (
+	// StatusKilled: some oracle layer failed on the mutant.
+	StatusKilled Status = "killed"
+	// StatusSurvived: every layer passed — the oracle stack would merge
+	// this edit silently.
+	StatusSurvived Status = "survived"
+	// StatusUncompilable: the typecheck gate rejected the mutant; it is
+	// excluded from the mutation score.
+	StatusUncompilable Status = "uncompilable"
+)
+
+// Outcome is one mutant's adjudication.
+type Outcome struct {
+	Mutant *Mutant
+	Status Status
+	Oracle string // cascade layer that killed ("" unless killed)
+	Detail string // deterministic kill/compile-failure summary
+	Cached bool   // verdict came from the cache (not part of the verdict)
+
+	// Survivor triage, looked up fresh every run (annotations must be
+	// editable without invalidating cached verdicts).
+	Annotated     bool
+	Justification string
+}
+
+// RunOptions tunes an adjudication run.
+type RunOptions struct {
+	Cache    *VerdictCache                    // nil disables memoization
+	Progress func(i, n int, o *Outcome)       // called after each mutant
+	Log      func(format string, args ...any) // verbose diagnostics
+}
+
+// Run adjudicates every mutant through the oracle cascade, in order,
+// consulting and populating the verdict cache.
+func (e *Engine) Run(mutants []*Mutant, orc *Oracles, opts RunOptions) ([]*Outcome, error) {
+	fp, err := orc.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*Outcome, 0, len(mutants))
+	for i, m := range mutants {
+		o, err := e.runOne(m, orc, fp, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mut: %s: %w", m.ID, err)
+		}
+		e.annotate(o)
+		outs = append(outs, o)
+		if opts.Progress != nil {
+			opts.Progress(i+1, len(mutants), o)
+		}
+	}
+	return outs, nil
+}
+
+func (e *Engine) runOne(m *Mutant, orc *Oracles, fingerprint string, opts RunOptions) (*Outcome, error) {
+	key := VerdictKey(m, fingerprint)
+	if opts.Cache != nil {
+		if v, err := opts.Cache.Load(key); err == nil {
+			return &Outcome{Mutant: m, Status: v.Status, Oracle: v.Oracle, Detail: v.Detail, Cached: true}, nil
+		}
+	}
+	o := &Outcome{Mutant: m}
+	ok, detail, err := e.Gate(m)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		o.Status, o.Detail = StatusUncompilable, detail
+	} else {
+		oracle, detail, killed, err := orc.Adjudicate(m, opts.Log)
+		if err != nil {
+			return nil, err
+		}
+		if killed {
+			o.Status, o.Oracle, o.Detail = StatusKilled, oracle, detail
+		} else {
+			o.Status = StatusSurvived
+		}
+	}
+	if opts.Cache != nil {
+		if err := opts.Cache.Store(key, o); err != nil && opts.Log != nil {
+			opts.Log("verdict cache store failed: %v", err)
+		}
+	}
+	return o, nil
+}
+
+// annotate resolves a survivor's //coyote:mut-survivor triage directive,
+// if any, from the base program's directive index.
+func (e *Engine) annotate(o *Outcome) {
+	if o.Status != StatusSurvived {
+		return
+	}
+	for _, pkg := range e.Base.Packages {
+		if pkg.ImportPath != o.Mutant.Pkg {
+			continue
+		}
+		if d := pkg.Directives.At(e.Base.Fset, o.Mutant.Pos, "mut-survivor"); d != nil {
+			o.Annotated = true
+			o.Justification = d.Reason
+		}
+		return
+	}
+}
+
+// firstLine truncates s at its first newline.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package mut
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	engineOnce sync.Once
+	sharedEng  *Engine
+	engineErr  error
+)
+
+// testEngine type-checks the real module once and shares the engine
+// across every test in this package — NewEngine (a full `go list` plus
+// whole-tree typecheck, tests included) is the expensive step, and the
+// engine is read-only after construction.
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	engineOnce.Do(func() { sharedEng, engineErr = NewEngine("../..") })
+	if engineErr != nil {
+		t.Fatalf("NewEngine: %v", engineErr)
+	}
+	return sharedEng
+}
+
+func TestEnumerateDeterministic(t *testing.T) {
+	e := testEngine(t)
+	a, err := e.Enumerate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Enumerate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("enumeration over the simulator packages is empty")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two enumerations disagree on size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || hashBytes(a[i].Content) != hashBytes(b[i].Content) {
+			t.Fatalf("enumeration diverges at index %d: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+	}
+	// Canonical order: by file, then position.
+	for i := 1; i < len(a); i++ {
+		p, q := a[i-1], a[i]
+		if p.RelFile > q.RelFile || (p.RelFile == q.RelFile && p.Line > q.Line) {
+			t.Fatalf("enumeration out of canonical order at %d: %s before %s", i, p.ID, q.ID)
+		}
+	}
+	seenMutator := map[string]bool{}
+	for _, m := range a {
+		if !IsTargetPackage(m.Pkg) {
+			t.Fatalf("mutant in non-target package: %s", m.ID)
+		}
+		if strings.HasSuffix(m.RelFile, "_test.go") {
+			t.Fatalf("mutant in a test file: %s", m.ID)
+		}
+		seenMutator[m.Mutator] = true
+	}
+	for _, name := range CatalogNames() {
+		if !seenMutator[name] {
+			t.Errorf("mutator %s fires nowhere in the simulator tree", name)
+		}
+	}
+}
+
+func TestEnumeratePatternFilter(t *testing.T) {
+	e := testEngine(t)
+	all, err := e.Enumerate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evsim, err := e.Enumerate([]string{"./internal/evsim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evsim) == 0 || len(evsim) >= len(all) {
+		t.Fatalf("pattern filter broken: %d of %d mutants selected", len(evsim), len(all))
+	}
+	for _, m := range evsim {
+		if !strings.HasPrefix(m.RelFile, "internal/evsim/") {
+			t.Fatalf("pattern ./internal/evsim selected %s", m.ID)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	pool := make([]*Mutant, 100)
+	for i := range pool {
+		pool[i] = &Mutant{ID: fmt.Sprintf("m%03d", i)}
+	}
+	a := Sample(pool, 10, 42)
+	b := Sample(pool, 10, 42)
+	if len(a) != 10 {
+		t.Fatalf("budget 10 sampled %d", len(a))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("same seed sampled different mutants at %d: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+	}
+	// Canonical order is preserved: the sample is a subsequence of pool.
+	last := -1
+	for _, m := range a {
+		var idx int
+		fmt.Sscanf(m.ID, "m%d", &idx)
+		if idx <= last {
+			t.Fatalf("sample not in canonical order: %v", a)
+		}
+		last = idx
+	}
+	c := Sample(pool, 10, 43)
+	same := true
+	for i := range a {
+		if a[i].ID != c[i].ID {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 selected the identical sample — seeding is ignored")
+	}
+	if got := Sample(pool, 0, 1); len(got) != len(pool) {
+		t.Errorf("budget 0 must mean all, got %d", len(got))
+	}
+	if got := Sample(pool, 1000, 1); len(got) != len(pool) {
+		t.Errorf("oversized budget must mean all, got %d", len(got))
+	}
+}
+
+func TestGateRejectsUncompilable(t *testing.T) {
+	e := testEngine(t)
+	muts, err := e.Enumerate([]string{"./internal/evsim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) == 0 {
+		t.Fatal("no evsim mutants to gate")
+	}
+	broken := *muts[0]
+	broken.Content = []byte("package evsim\n\nfunc broken( {}\n")
+	ok, detail, err := e.Gate(&broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("gate accepted a syntactically invalid file")
+	}
+	if detail == "" {
+		t.Fatal("gate rejection carries no detail")
+	}
+
+	// The unmutated file must pass — the gate may only reject real
+	// compile breakage, never the baseline.
+	clean := *muts[0]
+	clean.Content = clean.Orig
+	ok, detail, err = e.Gate(&clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("gate rejected the original source: %s", detail)
+	}
+}

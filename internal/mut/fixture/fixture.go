@@ -1,0 +1,164 @@
+// Package fixture is the mutator catalog's meta-test target: a miniature
+// simulator-shaped package written so that EVERY mutant the catalog can
+// produce here is (a) compilable and (b) killed by this package's own
+// tests. An equivalent mutant on the fixture is a bug — either the
+// fixture drifted (a comparison whose strictness is value-invisible, a
+// dead statement) or a mutator started producing no-op edits. The
+// catalog meta-test in internal/mut enforces exactly that contract.
+//
+// Every construct the catalog targets appears at least once: arithmetic,
+// bitwise and shift operators, relational and boundary comparisons,
+// branch conditions, timing-flavored constants (names the timing mutator
+// recognizes: CycleDelay, HitLatency, MissPenalty, cycleBudget) and a
+// Schedule* call, deletable statements of all three kinds, and functions
+// of several result shapes for early-return injection.
+package fixture
+
+// CycleDelay is the fixture's step cost (a timing-mutator site).
+const CycleDelay = 4
+
+// Ways is the fixture's associativity (an off-by-one site, not timing).
+const Ways = 4
+
+// Step advances simulated time by CycleDelay.
+func Step(t int) int {
+	return t + CycleDelay
+}
+
+// Grade buckets v against [lo, hi]: -1 below, 1 above, 0 inside.
+func Grade(v, lo, hi int) int {
+	if v < lo {
+		return -1
+	}
+	if v > hi {
+		return 1
+	}
+	return 0
+}
+
+// Index flattens (set, way) into a slot number.
+func Index(set, way int) int {
+	return set*Ways + way
+}
+
+// WrapAdvance advances a ring cursor by step, wrapping at size.
+func WrapAdvance(cur, step, size int) int {
+	return (cur + step) % size
+}
+
+// MeanLatency averages total cycles over n events (n > 0).
+func MeanLatency(totalCycles, n int) int {
+	return totalCycles / n
+}
+
+// Mask extracts width low bits of tag after shifting.
+func Mask(tag, shift, width uint) uint {
+	return (tag >> shift) & (1<<width - 1)
+}
+
+// Combine merges two flag words.
+func Combine(a, b uint) uint {
+	return a | b
+}
+
+// HitCount counts tags equal to want.
+func HitCount(tags []uint, want uint) int {
+	n := 0
+	for _, t := range tags {
+		if t == want {
+			n++
+		}
+	}
+	return n
+}
+
+// Counter accumulates simulated events.
+type Counter struct {
+	Events int
+	Total  int
+}
+
+// Record adds one event of the given cost.
+func (c *Counter) Record(cost int) {
+	c.Events++
+	c.Total += cost
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.Total = 0
+	c.Events = 0
+}
+
+// Drain records each cost, resets, and returns the drained total. The
+// indexed loop is deliberate: statement deletion must stay compilable
+// (a range variable orphaned by deleting its only use would be rejected
+// by the typecheck gate instead of scored), and deleting the i++ turns
+// the loop into a hang — exercising the oracle's timeout-kill path.
+func (c *Counter) Drain(costs []int) int {
+	for i := 0; i < len(costs); i++ {
+		c.Record(costs[i])
+	}
+	total := c.Total
+	c.Reset()
+	return total
+}
+
+// Config parameterizes the fixture's timing.
+type Config struct {
+	HitLatency  int
+	MissPenalty int
+}
+
+// DefaultConfig is the baseline timing (two key-value timing sites).
+func DefaultConfig() Config {
+	return Config{HitLatency: 2, MissPenalty: 8}
+}
+
+// AccessTime returns the simulated access time under cfg.
+func AccessTime(cfg Config, hit bool) int {
+	if hit {
+		return cfg.HitLatency
+	}
+	return cfg.MissPenalty
+}
+
+// Scheduler queues fixture events by absolute cycle.
+type Scheduler struct {
+	fires       []int
+	cycleBudget int
+}
+
+// ScheduleAt queues an event at the given cycle.
+func (s *Scheduler) ScheduleAt(cycle int) {
+	s.fires = append(s.fires, cycle)
+}
+
+// Prime queues the fixture's standard warm-up event (a Schedule* timing
+// site: the literal delay argument).
+func (s *Scheduler) Prime() {
+	s.ScheduleAt(6)
+}
+
+// Run counts queued events that fire within the fixed cycle budget.
+func (s *Scheduler) Run() int {
+	s.cycleBudget = 10
+	n := 0
+	for _, f := range s.fires {
+		if f <= s.cycleBudget {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingBefore counts queued events strictly before cycle.
+func (s *Scheduler) PendingBefore(cycle int) int {
+	n := 0
+	for _, f := range s.fires {
+		if f < cycle {
+			n++
+		}
+	}
+	return n
+}

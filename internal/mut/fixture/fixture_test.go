@@ -1,0 +1,134 @@
+package fixture
+
+import "testing"
+
+// The assertions below are chosen so that every catalog mutant on
+// fixture.go fails at least one of them — boundary cases sit exactly on
+// each comparison's equality point, zero-value returns are always
+// distinguishable, and every statement's side effect is observed. When a
+// new mutator lands in the catalog, extend fixture.go AND this file
+// together; the meta-test in internal/mut fails loudly otherwise.
+
+func TestStep(t *testing.T) {
+	if got := Step(10); got != 14 {
+		t.Fatalf("Step(10) = %d, want 14", got)
+	}
+}
+
+func TestGrade(t *testing.T) {
+	cases := []struct{ v, lo, hi, want int }{
+		{0, 2, 8, -1}, // below
+		{2, 2, 8, 0},  // exactly lo (boundary)
+		{5, 2, 8, 0},  // inside
+		{8, 2, 8, 0},  // exactly hi (boundary)
+		{9, 2, 8, 1},  // above
+	}
+	for _, c := range cases {
+		if got := Grade(c.v, c.lo, c.hi); got != c.want {
+			t.Fatalf("Grade(%d,%d,%d) = %d, want %d", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestIndex(t *testing.T) {
+	if got := Index(3, 2); got != 14 {
+		t.Fatalf("Index(3,2) = %d, want 14", got)
+	}
+}
+
+func TestWrapAdvance(t *testing.T) {
+	if got := WrapAdvance(2, 3, 4); got != 1 {
+		t.Fatalf("WrapAdvance(2,3,4) = %d, want 1", got)
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	if got := MeanLatency(12, 3); got != 4 {
+		t.Fatalf("MeanLatency(12,3) = %d, want 4", got)
+	}
+}
+
+func TestMask(t *testing.T) {
+	if got := Mask(0xAB, 4, 4); got != 0xA {
+		t.Fatalf("Mask(0xAB,4,4) = %#x, want 0xa", got)
+	}
+	// tag with bits above the mask width, zero shift: distinguishes a
+	// too-wide (or all-ones) mask from the correct one.
+	if got := Mask(0x1B, 0, 4); got != 0xB {
+		t.Fatalf("Mask(0x1B,0,4) = %#x, want 0xb", got)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	if got := Combine(0b0101, 0b0011); got != 0b0111 {
+		t.Fatalf("Combine = %#b, want 0b111", got)
+	}
+}
+
+func TestHitCount(t *testing.T) {
+	if got := HitCount([]uint{1, 2, 2}, 2); got != 2 {
+		t.Fatalf("HitCount = %d, want 2", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Record(5)
+	if c.Events != 1 || c.Total != 5 {
+		t.Fatalf("after Record(5): %+v", c)
+	}
+	c.Reset()
+	if c.Events != 0 || c.Total != 0 {
+		t.Fatalf("after Reset: %+v", c)
+	}
+}
+
+func TestCounterDrain(t *testing.T) {
+	var c Counter
+	if got := c.Drain([]int{2, 3}); got != 5 {
+		t.Fatalf("Drain = %d, want 5", got)
+	}
+	if c.Events != 0 || c.Total != 0 {
+		t.Fatalf("after Drain: %+v", c)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.HitLatency != 2 || cfg.MissPenalty != 8 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+}
+
+func TestAccessTime(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := AccessTime(cfg, true); got != 2 {
+		t.Fatalf("hit time = %d, want 2", got)
+	}
+	if got := AccessTime(cfg, false); got != 8 {
+		t.Fatalf("miss time = %d, want 8", got)
+	}
+}
+
+func TestSchedulerRun(t *testing.T) {
+	var s Scheduler
+	for _, c := range []int{6, 7, 10, 11} {
+		s.ScheduleAt(c)
+	}
+	// 10 sits exactly on the budget: kills both the <= boundary swap and
+	// the budget nudge.
+	if got := s.Run(); got != 3 {
+		t.Fatalf("Run = %d, want 3", got)
+	}
+}
+
+func TestSchedulerPrime(t *testing.T) {
+	var s Scheduler
+	s.Prime()
+	if got := s.PendingBefore(7); got != 1 {
+		t.Fatalf("PendingBefore(7) = %d, want 1", got)
+	}
+	if got := s.PendingBefore(6); got != 0 {
+		t.Fatalf("PendingBefore(6) = %d, want 0", got)
+	}
+}

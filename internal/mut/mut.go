@@ -1,0 +1,194 @@
+// Package mut is Coyote's mutation-testing engine: it measures — and CI
+// enforces — the kill power of the oracle stack that the repo's whole
+// value proposition rests on. Bit-identical determinism is what makes
+// the result cache sound, and that determinism is guarded by layers of
+// oracles: the build itself, go vet, the coyotelint static suite
+// (including the interprocedural keytaint/specwrite/globalmut lanes),
+// the unit tests, the golden determinism traces, and the coyotesan
+// runtime sanitizer. Mutation testing asks the only question that
+// validates such a stack: if the simulator's source were wrong in this
+// specific, plausible way, WHICH layer would catch it — and would any?
+//
+// The engine applies a typed catalog of source mutators (mutators.go)
+// to the simulator packages, type-checks every candidate mutant through
+// the lint loader's overlay (uncompilable mutants are discarded, not
+// counted — they prove nothing about the oracles), and adjudicates each
+// survivor of the gate against an ordered oracle cascade:
+//
+//	build → vet → lint → tests → golden → san
+//
+// The first layer that fails the mutant "kills" it, and the per-mutant
+// attribution aggregates into a kill matrix: packages × oracle layers.
+// A mutant no layer kills is a SURVIVOR — a concrete, compilable,
+// semantically distinct edit to the simulator that the entire oracle
+// stack would merge silently. Survivors must be triaged: either a test
+// is owed, or the site carries a //coyote:mut-survivor <justification>
+// directive arguing the mutant is equivalent or out of scope (the same
+// justification discipline as every other //coyote: directive).
+//
+// Three pieces of the repo's own infrastructure make this fast enough
+// to run in CI:
+//
+//   - the lint loader (internal/lint.Loader) resolves `go list` once and
+//     re-type-checks only the mutated package per candidate;
+//   - the flow call graph (internal/lint/flow.CallGraph) answers "which
+//     test functions can reach the mutated function?" so the tests stage
+//     runs a targeted -run subset when static reachability finds one,
+//     falling back to every dependent package's tests when it cannot
+//     (dispatch tables and interfaces make static reachability an
+//     under-approximation — see flow.CallGraph);
+//   - verdicts are memoized in a content-addressed store (the same
+//     checksummed, quarantine-on-corruption BlobStore the result cache
+//     uses), keyed by mutant content and oracle-set fingerprint, so
+//     re-runs only pay for mutants on changed code.
+//
+// The seed-sampled budget mode (-budget N -seed S) gives CI a
+// reproducible smoke lane; `make mut` runs the full catalog.
+package mut
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// TargetPackages lists the import-path suffixes of the packages whose
+// sources are eligible for mutation: the simulator proper plus the
+// result cache whose soundness rides on it. Harness packages (kernels,
+// asm, trace, lint itself, cmd/…) are out of scope — their bugs do not
+// silently corrupt simulation results.
+var TargetPackages = []string{
+	"internal/core",
+	"internal/cpu",
+	"internal/cache",
+	"internal/uncore",
+	"internal/evsim",
+	"internal/mem",
+	"internal/rcache",
+}
+
+// IsTargetPackage reports whether importPath is eligible for mutation.
+func IsTargetPackage(importPath string) bool {
+	for _, s := range TargetPackages {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Site is one mutation opportunity discovered in a source file: a byte
+// range of the original file and its replacement text.
+type Site struct {
+	Mutator string    // catalog mutator that produced it
+	Variant string    // human-readable edit, e.g. "`+` -> `-`"
+	Pos     token.Pos // position in the enumerating program's FileSet
+	Start   int       // byte offset of the replaced range
+	End     int       // byte offset one past the replaced range
+	Repl    string    // replacement text (may be empty or an insertion)
+}
+
+// Mutant is one applied mutation: the full original and mutated contents
+// of a single file.
+type Mutant struct {
+	ID      string // stable identifier: relfile:line:col:mutator:variant-slug
+	Pkg     string // import path of the mutated package
+	File    string // absolute path of the mutated file
+	RelFile string // module-relative path for display
+	Line    int
+	Col     int
+	Pos     token.Pos // position in the engine's base program FileSet
+	Mutator string
+	Variant string
+	Orig    []byte // original file contents
+	Content []byte // mutated file contents
+}
+
+// apply splices a site into src, returning the mutated file contents.
+func (s Site) apply(src []byte) []byte {
+	out := make([]byte, 0, len(src)+len(s.Repl))
+	out = append(out, src[:s.Start]...)
+	out = append(out, s.Repl...)
+	out = append(out, src[s.End:]...)
+	return out
+}
+
+// blank returns a replacement that erases src[start:end] while keeping
+// every newline, so the mutated file has identical line numbering to the
+// original — statement deletion reads naturally in diffs and reports.
+func blank(src []byte, start, end int) string {
+	b := make([]byte, end-start)
+	for i := range b {
+		if src[start+i] == '\n' {
+			b[i] = '\n'
+		} else {
+			b[i] = ' '
+		}
+	}
+	return string(b)
+}
+
+// slug compresses a variant description into an identifier-safe token
+// for mutant IDs.
+func slug(variant string) string {
+	var b strings.Builder
+	for _, r := range variant {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == '<':
+			b.WriteString("lt")
+		case r == '>':
+			b.WriteString("gt")
+		case r == '=':
+			b.WriteString("eq")
+		case r == '!':
+			b.WriteString("not")
+		case r == '+':
+			b.WriteString("plus")
+		case r == '-':
+			b.WriteString("minus")
+		case r == '*':
+			b.WriteString("mul")
+		case r == '/':
+			b.WriteString("div")
+		case r == '%':
+			b.WriteString("mod")
+		case r == '&':
+			b.WriteString("and")
+		case r == '|':
+			b.WriteString("or")
+		}
+	}
+	s := b.String()
+	if len(s) > 24 {
+		s = s[:24]
+	}
+	if s == "" {
+		s = "x"
+	}
+	return s
+}
+
+// hashBytes returns the hex SHA-256 of b.
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// relTo renders path relative to dir when possible, for stable IDs and
+// readable reports.
+func relTo(dir, path string) string {
+	if rel, err := filepath.Rel(dir, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}
+
+// mutantID builds the canonical mutant identifier.
+func mutantID(relFile string, line, col int, mutator, variant string) string {
+	return fmt.Sprintf("%s:%d:%d:%s:%s", relFile, line, col, mutator, slug(variant))
+}

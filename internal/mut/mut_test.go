@@ -1,0 +1,180 @@
+package mut
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSlug(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"`+` -> `-`", "plusminusgtminus"},
+		{"< -> <=", "ltminusgtlteq"},
+		{"< -> >", "ltminusgtgt"},
+		{"return on entry", "returnonentry"},
+		{"", "x"},
+		{"()[]{} ", "x"},
+		{strings.Repeat("a", 40), strings.Repeat("a", 24)},
+	}
+	for _, c := range cases {
+		if got := slug(c.in); got != c.want {
+			t.Errorf("slug(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestOraclePkg pins the oracle-eligibility rule: internal packages
+// only, and never the mutation engine's own packages — selecting
+// internal/mut as an oracle would re-run the cascade inside the cascade.
+func TestOraclePkg(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"github.com/coyote-sim/coyote/internal/core", true},
+		{"github.com/coyote-sim/coyote/internal/uncore", true},
+		{"github.com/coyote-sim/coyote/internal/lint/flow", true},
+		{"github.com/coyote-sim/coyote/internal/mut", false},
+		{"github.com/coyote-sim/coyote/internal/mut/fixture", false},
+		{"github.com/coyote-sim/coyote", false}, // root: golden stage owns it
+	}
+	for _, c := range cases {
+		if got := oraclePkg(c.pkg); got != c.want {
+			t.Errorf("oraclePkg(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestMutantID(t *testing.T) {
+	got := mutantID("internal/cpu/x.go", 5, 3, "ror", "< -> >")
+	if got != "internal/cpu/x.go:5:3:ror:ltminusgtgt" {
+		t.Errorf("mutantID = %q", got)
+	}
+}
+
+func TestSiteApply(t *testing.T) {
+	src := []byte("abcdef")
+	cases := []struct {
+		site Site
+		want string
+	}{
+		{Site{Start: 2, End: 4, Repl: "XY"}, "abXYef"},
+		{Site{Start: 3, End: 3, Repl: "Z"}, "abcZdef"}, // pure insertion
+		{Site{Start: 2, End: 4, Repl: ""}, "abef"},     // pure deletion
+	}
+	for _, c := range cases {
+		if got := string(c.site.apply(src)); got != c.want {
+			t.Errorf("apply(%+v) = %q, want %q", c.site, got, c.want)
+		}
+	}
+	if string(src) != "abcdef" {
+		t.Fatal("apply mutated its input")
+	}
+}
+
+func TestBlankKeepsNewlines(t *testing.T) {
+	src := []byte("x := foo()\ny++\n")
+	got := blank(src, 0, len(src))
+	if len(got) != len(src) {
+		t.Fatalf("blank changed length: %d -> %d", len(src), len(got))
+	}
+	if strings.Count(got, "\n") != 2 {
+		t.Fatalf("blank lost newlines: %q", got)
+	}
+	if strings.Trim(got, " \n") != "" {
+		t.Fatalf("blank left non-blank bytes: %q", got)
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		relDir, pattern string
+		want            bool
+	}{
+		{"internal/cpu", "./internal/...", true},
+		{"internal/cpu", "./internal/cpu", true},
+		{"internal/cpu", "./internal/cache", false},
+		{"internal/cache", "./internal/cache/...", true},
+		{"internal/cache/sub", "./internal/cache/...", true},
+		{"internal/cachex", "./internal/cache/...", false},
+		{"anything/at/all", "...", true},
+		{"internal/cpu", "internal/cpu", true}, // leading ./ optional
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.relDir, c.pattern); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.relDir, c.pattern, got, c.want)
+		}
+	}
+	if !matchAny("internal/cpu", nil) {
+		t.Error("matchAny with no patterns must select everything")
+	}
+	if matchAny("internal/cpu", []string{"./internal/mem", "./internal/cache"}) {
+		t.Error("matchAny matched a non-matching pattern list")
+	}
+}
+
+func TestExtractDetail(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{
+			"--- FAIL: TestB (0.00s)\n--- FAIL: TestA (0.01s)\n--- FAIL: TestB (0.00s)\nFAIL\n",
+			"FAIL: TestA, TestB",
+		},
+		{
+			"ok so far\npanic: coyotesan: cycle 7: boom\ngoroutine 1 [running]:\n",
+			"panic: coyotesan: cycle 7: boom",
+		},
+		{
+			"--- FAIL: TestX (0.00s)\npanic: boom\n",
+			"FAIL: TestX; panic: boom",
+		},
+		{
+			"# github.com/x/y\nsome compile error\n",
+			"# github.com/x/y",
+		},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := extractDetail([]byte(c.in)); got != c.want {
+			t.Errorf("extractDetail(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOffsetToLineCol(t *testing.T) {
+	src := []byte("ab\ncd\n")
+	cases := []struct{ off, line, col int }{
+		{0, 1, 1},
+		{1, 1, 2},
+		{3, 2, 1},
+		{4, 2, 2},
+	}
+	for _, c := range cases {
+		if l, col := offsetToLineCol(src, c.off); l != c.line || col != c.col {
+			t.Errorf("offsetToLineCol(%d) = %d:%d, want %d:%d", c.off, l, col, c.line, c.col)
+		}
+	}
+}
+
+func TestRelTo(t *testing.T) {
+	if got := relTo("/a/b", "/a/b/c/d.go"); got != "c/d.go" {
+		t.Errorf("relTo inside = %q", got)
+	}
+	if got := relTo("/a/b", "/elsewhere/x.go"); got != "/elsewhere/x.go" {
+		t.Errorf("relTo outside = %q", got)
+	}
+}
+
+func TestIsTargetPackage(t *testing.T) {
+	if !IsTargetPackage("github.com/coyote-sim/coyote/internal/cpu") {
+		t.Error("internal/cpu must be a target")
+	}
+	for _, p := range []string{
+		"github.com/coyote-sim/coyote/internal/lint",
+		"github.com/coyote-sim/coyote/internal/mut",
+		"github.com/coyote-sim/coyote/internal/mut/fixture",
+		"github.com/coyote-sim/coyote/cmd/coyote",
+	} {
+		if IsTargetPackage(p) {
+			t.Errorf("%s must not be a target", p)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package mut
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/coyote-sim/coyote/internal/lint"
+)
+
+// FileCtx is one source file presented to a mutator: the parsed AST, the
+// type info of its package, and the raw bytes the byte offsets of Sites
+// refer to.
+type FileCtx struct {
+	Pkg      *lint.Package
+	File     *ast.File
+	Filename string
+	Src      []byte
+	Fset     *token.FileSet
+}
+
+// offset converts a token.Pos inside this file to a byte offset in Src.
+func (c *FileCtx) offset(p token.Pos) int { return c.Fset.Position(p).Offset }
+
+// text returns the source text of a node.
+func (c *FileCtx) text(n ast.Node) string {
+	return string(c.Src[c.offset(n.Pos()):c.offset(n.End())])
+}
+
+// Mutator is one entry of the typed catalog.
+type Mutator struct {
+	Name string
+	Doc  string
+	// Sites enumerates every mutation opportunity in one file, in source
+	// order. Each Site yields exactly one Mutant.
+	Sites func(ctx *FileCtx) []Site
+}
+
+// Catalog returns the full mutator catalog in canonical order. The order
+// matters twice: it fixes mutant enumeration (and therefore the seeded
+// sample) and it resolves duplicate mutants — when two mutators produce
+// byte-identical file contents (timing and offbyone often nudge the same
+// literal), the earlier catalog entry keeps the mutant and the later
+// duplicate is dropped, which is why the more specific timing class
+// precedes the generic offbyone.
+func Catalog() []*Mutator {
+	return []*Mutator{
+		AORMutator,
+		RORMutator,
+		BoundaryMutator,
+		NegCondMutator,
+		TimingMutator,
+		OffByOneMutator,
+		StmtDelMutator,
+		EarlyRetMutator,
+	}
+}
+
+// CatalogNames returns the catalog's mutator names in order.
+func CatalogNames() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, m := range cat {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// opSite builds the Site replacing one operator token.
+func opSite(ctx *FileCtx, name string, opPos token.Pos, from, to token.Token) Site {
+	start := ctx.offset(opPos)
+	return Site{
+		Mutator: name,
+		Variant: fmt.Sprintf("`%s` -> `%s`", from, to),
+		Pos:     opPos,
+		Start:   start,
+		End:     start + len(from.String()),
+		Repl:    to.String(),
+	}
+}
+
+// isStringy reports whether expr has (possibly untyped) string type —
+// the one case where `+` is not arithmetic.
+func isStringy(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// AORMutator swaps arithmetic and bitwise operators with a fixed
+// counterpart: the classic "wrong operator" fault class.
+var AORMutator = &Mutator{
+	Name: "aor",
+	Doc:  "arithmetic/bitwise operator swap: + <-> -, * <-> /, % -> *, << <-> >>, & <-> |",
+	Sites: func(ctx *FileCtx) []Site {
+		swap := map[token.Token]token.Token{
+			token.ADD: token.SUB,
+			token.SUB: token.ADD,
+			token.MUL: token.QUO,
+			token.QUO: token.MUL,
+			token.REM: token.MUL,
+			token.SHL: token.SHR,
+			token.SHR: token.SHL,
+			token.AND: token.OR,
+			token.OR:  token.AND,
+		}
+		var sites []Site
+		ast.Inspect(ctx.File, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			to, ok := swap[be.Op]
+			if !ok {
+				return true
+			}
+			if be.Op == token.ADD && isStringy(ctx.Pkg.Info, be.X) {
+				return true
+			}
+			sites = append(sites, opSite(ctx, "aor", be.OpPos, be.Op, to))
+			return true
+		})
+		return sites
+	},
+}
+
+// RORMutator flips relational operators to their logical opposite.
+var RORMutator = &Mutator{
+	Name: "ror",
+	Doc:  "relational operator negation: == <-> !=, < <-> >, <= <-> >=",
+	Sites: func(ctx *FileCtx) []Site {
+		swap := map[token.Token]token.Token{
+			token.EQL: token.NEQ,
+			token.NEQ: token.EQL,
+			token.LSS: token.GTR,
+			token.GTR: token.LSS,
+			token.LEQ: token.GEQ,
+			token.GEQ: token.LEQ,
+		}
+		var sites []Site
+		ast.Inspect(ctx.File, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			if to, ok := swap[be.Op]; ok {
+				sites = append(sites, opSite(ctx, "ror", be.OpPos, be.Op, to))
+			}
+			return true
+		})
+		return sites
+	},
+}
+
+// BoundaryMutator toggles strictness of ordering comparisons — the
+// off-by-one of conditions. A suite that kills these proves its test
+// vectors actually sit on the boundaries.
+var BoundaryMutator = &Mutator{
+	Name: "boundary",
+	Doc:  "boundary swap: < <-> <=, > <-> >=",
+	Sites: func(ctx *FileCtx) []Site {
+		swap := map[token.Token]token.Token{
+			token.LSS: token.LEQ,
+			token.LEQ: token.LSS,
+			token.GTR: token.GEQ,
+			token.GEQ: token.GTR,
+		}
+		var sites []Site
+		ast.Inspect(ctx.File, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			if to, ok := swap[be.Op]; ok {
+				sites = append(sites, opSite(ctx, "boundary", be.OpPos, be.Op, to))
+			}
+			return true
+		})
+		return sites
+	},
+}
+
+// NegCondMutator negates if-statement conditions.
+var NegCondMutator = &Mutator{
+	Name: "negcond",
+	Doc:  "branch-condition negation: if cond -> if !(cond)",
+	Sites: func(ctx *FileCtx) []Site {
+		var sites []Site
+		ast.Inspect(ctx.File, func(n ast.Node) bool {
+			is, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			start, end := ctx.offset(is.Cond.Pos()), ctx.offset(is.Cond.End())
+			sites = append(sites, Site{
+				Mutator: "negcond",
+				Variant: "negate condition",
+				Pos:     is.Cond.Pos(),
+				Start:   start,
+				End:     end,
+				Repl:    "!(" + string(ctx.Src[start:end]) + ")",
+			})
+			return true
+		})
+		return sites
+	},
+}
+
+// timingName matches identifiers that parameterize simulated time: the
+// constants the golden traces must be sensitive to.
+var timingName = regexp.MustCompile(`(?i)(latenc|cycle|delay|penalt|quantum|hop)`)
+
+// intLitValue extracts the exact constant value of an integer literal.
+func intLitValue(info *types.Info, lit *ast.BasicLit) (int64, bool) {
+	tv, ok := info.Types[lit]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	if tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return v, exact
+}
+
+// litNudge builds a Site replacing an integer literal with value+delta,
+// rendered in decimal.
+func litNudge(ctx *FileCtx, name string, lit *ast.BasicLit, v, delta int64) Site {
+	start, end := ctx.offset(lit.Pos()), ctx.offset(lit.End())
+	sign := "+"
+	if delta < 0 {
+		sign = "-"
+	}
+	return Site{
+		Mutator: name,
+		Variant: fmt.Sprintf("%s %s 1 (-> %d)", lit.Value, sign, v+delta),
+		Pos:     lit.Pos(),
+		Start:   start,
+		End:     end,
+		Repl:    fmt.Sprintf("%d", v+delta),
+	}
+}
+
+// TimingMutator is the simulator-specific class: it perturbs integer
+// constants bound to timing-flavored names (latency, cycle, delay,
+// penalty, quantum, hop) and literal first arguments of Schedule calls.
+// Killing these proves the golden traces are sensitive to the timing
+// model — the property the FireSim/silicon comparison literature shows
+// simulators silently lose.
+var TimingMutator = &Mutator{
+	Name: "timing",
+	Doc:  "timing nudge: +1 on cycle/latency-named integer constants and Schedule delays",
+	Sites: func(ctx *FileCtx) []Site {
+		var sites []Site
+		add := func(lit *ast.BasicLit) {
+			if lit == nil || lit.Kind != token.INT {
+				return
+			}
+			if v, ok := intLitValue(ctx.Pkg.Info, lit); ok {
+				sites = append(sites, litNudge(ctx, "timing", lit, v, 1))
+			}
+		}
+		asLit := func(e ast.Expr) *ast.BasicLit {
+			lit, _ := ast.Unparen(e).(*ast.BasicLit)
+			return lit
+		}
+		ast.Inspect(ctx.File, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if timingName.MatchString(name.Name) && i < len(n.Values) {
+						add(asLit(n.Values[i]))
+					}
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok && timingName.MatchString(id.Name) {
+					add(asLit(n.Value))
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					name := ""
+					switch l := ast.Unparen(lhs).(type) {
+					case *ast.Ident:
+						name = l.Name
+					case *ast.SelectorExpr:
+						name = l.Sel.Name
+					}
+					if name != "" && timingName.MatchString(name) {
+						add(asLit(n.Rhs[i]))
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					strings.HasPrefix(sel.Sel.Name, "Schedule") && len(n.Args) > 0 {
+					add(asLit(n.Args[0]))
+				}
+			}
+			return true
+		})
+		return sites
+	},
+}
+
+// OffByOneMutator nudges integer literals by ±1: latencies, set counts,
+// quantum sizes, masks, loop bounds. Literals used as array lengths are
+// skipped — resizing a scratch buffer is almost always an equivalent
+// mutant and proves nothing.
+var OffByOneMutator = &Mutator{
+	Name: "offbyone",
+	Doc:  "integer literal off-by-one: N -> N+1 and (when N > 0) N -> N-1",
+	Sites: func(ctx *FileCtx) []Site {
+		// Collect literal nodes that are array lengths so the main walk
+		// can skip them.
+		skip := map[*ast.BasicLit]bool{}
+		ast.Inspect(ctx.File, func(n ast.Node) bool {
+			if at, ok := n.(*ast.ArrayType); ok && at.Len != nil {
+				if lit, ok := ast.Unparen(at.Len).(*ast.BasicLit); ok {
+					skip[lit] = true
+				}
+			}
+			return true
+		})
+		var sites []Site
+		ast.Inspect(ctx.File, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.INT || skip[lit] {
+				return true
+			}
+			v, ok := intLitValue(ctx.Pkg.Info, lit)
+			if !ok {
+				return true
+			}
+			sites = append(sites, litNudge(ctx, "offbyone", lit, v, 1))
+			if v > 0 {
+				sites = append(sites, litNudge(ctx, "offbyone", lit, v, -1))
+			}
+			return true
+		})
+		return sites
+	},
+}
+
+// StmtDelMutator deletes one statement: a call, an increment/decrement,
+// or a plain (non-declaring) assignment. The statement's bytes are
+// blanked in place so line numbers survive.
+var StmtDelMutator = &Mutator{
+	Name: "stmtdel",
+	Doc:  "statement deletion: blank one call, inc/dec, or assignment statement",
+	Sites: func(ctx *FileCtx) []Site {
+		var sites []Site
+		del := func(n ast.Node, what string) {
+			start, end := ctx.offset(n.Pos()), ctx.offset(n.End())
+			sites = append(sites, Site{
+				Mutator: "stmtdel",
+				Variant: "delete " + what,
+				Pos:     n.Pos(),
+				Start:   start,
+				End:     end,
+				Repl:    blank(ctx.Src, start, end),
+			})
+		}
+		ast.Inspect(ctx.File, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if _, ok := s.X.(*ast.CallExpr); ok {
+					del(s, "call statement")
+				}
+			case *ast.IncDecStmt:
+				del(s, "inc/dec statement")
+			case *ast.AssignStmt:
+				if s.Tok == token.DEFINE {
+					return true
+				}
+				// `_ = x` is a no-op; deleting it is an equivalent mutant
+				// by construction.
+				allBlank := true
+				for _, lhs := range s.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+						allBlank = false
+					}
+				}
+				if !allBlank {
+					del(s, "assignment")
+				}
+			}
+			return true
+		})
+		return sites
+	},
+}
+
+// EarlyRetMutator injects a taken-on-entry return at the top of each
+// function body: the "function never does its job" fault. Zero values
+// are produced syntactically (`*new(T)`) from the declared result types,
+// so any signature works; named results use a bare return.
+var EarlyRetMutator = &Mutator{
+	Name: "earlyret",
+	Doc:  "early-return injection: `if true { return <zeros> }` at function entry",
+	Sites: func(ctx *FileCtx) []Site {
+		var sites []Site
+		for _, decl := range ctx.File.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || len(fd.Body.List) == 0 {
+				continue
+			}
+			ret := "return"
+			if res := fd.Type.Results; res != nil && len(res.List) > 0 {
+				named := res.List[0].Names != nil
+				if !named {
+					var zeros []string
+					for _, f := range res.List {
+						zeros = append(zeros, "*new("+ctx.text(f.Type)+")")
+					}
+					ret = "return " + strings.Join(zeros, ", ")
+				}
+			}
+			at := ctx.offset(fd.Body.Lbrace) + 1
+			// Trailing newline matters: single-line bodies ("{ return x }")
+			// must not end up with a statement on the closing-brace line.
+			sites = append(sites, Site{
+				Mutator: "earlyret",
+				Variant: "return on entry",
+				Pos:     fd.Body.Lbrace,
+				Start:   at,
+				End:     at,
+				Repl:    "\nif true { " + ret + " }\n",
+			})
+		}
+		return sites
+	},
+}

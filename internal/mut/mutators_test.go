@@ -1,0 +1,101 @@
+package mut
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+const fixturePkg = "github.com/coyote-sim/coyote/internal/mut/fixture"
+
+func TestCatalogNames(t *testing.T) {
+	names := CatalogNames()
+	if len(names) == 0 {
+		t.Fatal("empty catalog")
+	}
+	seen := map[string]int{}
+	for i, n := range names {
+		if _, dup := seen[n]; dup {
+			t.Fatalf("duplicate mutator name %q", n)
+		}
+		seen[n] = i
+	}
+	// timing must precede offbyone: their +1 nudges on the same literal
+	// produce identical file contents, and content dedup keeps the
+	// EARLIER catalog entry — the specific timing label must win.
+	if seen["timing"] > seen["offbyone"] {
+		t.Fatalf("timing (%d) must precede offbyone (%d) in the catalog", seen["timing"], seen["offbyone"])
+	}
+}
+
+// TestCatalogOnFixture is the catalog meta-test: every mutator, aimed at
+// the fixture package, must produce only mutants that (a) textually
+// differ from the original, (b) pass the typecheck gate, and (c) are
+// killed by the fixture's own test suite. A survivor here is an
+// EQUIVALENT MUTANT — a catalog bug by construction, because fixture.go
+// and fixture_test.go are written as a closed pair in which every edit
+// is observable. Every catalog entry must also fire at least once.
+func TestCatalogOnFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns one go test per fixture mutant")
+	}
+	e := testEngine(t)
+	muts, err := e.EnumerateIn(fixturePkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) < 40 {
+		t.Fatalf("only %d mutants enumerated on the fixture — the catalog or the fixture shrank", len(muts))
+	}
+	byMutator := map[string]int{}
+	for _, m := range muts {
+		byMutator[m.Mutator]++
+	}
+	for _, name := range CatalogNames() {
+		if byMutator[name] == 0 {
+			t.Errorf("mutator %s produces no mutants on the fixture — extend fixture.go", name)
+		}
+	}
+	orc := NewOracles(e)
+	// The fixture suite finishes in well under a second; the only mutants
+	// that need the deadline are the ones that hang (a deleted loop
+	// increment), and those should fail fast.
+	orc.TestTimeout = 20 * time.Second
+	for _, m := range muts {
+		m := m
+		t.Run(m.ID, func(t *testing.T) {
+			if bytes.Equal(m.Orig, m.Content) {
+				t.Fatal("mutant is textually identical to the original")
+			}
+			ok, detail, err := e.Gate(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("catalog produced an uncompilable mutant (%q): %s", m.Variant, detail)
+			}
+			killed, detail := fixtureOracle(t, orc, m)
+			if !killed {
+				t.Fatalf("EQUIVALENT MUTANT: %q survived the fixture suite — fixture.go and fixture_test.go must kill every catalog edit", m.Variant)
+			}
+			t.Logf("killed: %s", detail)
+		})
+	}
+}
+
+// fixtureOracle adjudicates one fixture mutant with the fixture
+// package's own tests as the single oracle layer.
+func fixtureOracle(t *testing.T, orc *Oracles, m *Mutant) (bool, string) {
+	t.Helper()
+	ov, cleanup, err := orc.writeOverlay(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	out, failed, err := orc.runGo(orc.TestTimeout,
+		"test", "-overlay", ov, "-count=1", "./internal/mut/fixture")
+	if err != nil {
+		t.Fatalf("go test: %v\n%s", err, out)
+	}
+	return failed, extractDetail(out)
+}

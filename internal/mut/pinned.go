@@ -1,0 +1,173 @@
+package mut
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// PinnedMutant is one entry of the pinned regression corpus
+// (testdata/pinned/*.json): a seeded fault with a CONTRACT — the exact
+// oracle layer that must kill it, and nothing earlier. These migrate the
+// repo's historical hand-rolled mutation tests (the lint suite's
+// keytaint/specwrite/globalmut seeded mutants, the PR 4 runtime san
+// mutations) onto the engine: each one pins that a whole oracle layer
+// still pulls its weight, because each is invisible to every layer before
+// its own.
+type PinnedMutant struct {
+	Name string `json:"name"` // corpus identifier
+	Doc  string `json:"doc"`  // what fault this seeds and why the layer owns it
+	File string `json:"file"` // module-relative source file
+	// Old must occur exactly once in File; New replaces it. Uniqueness is
+	// enforced so the corpus fails loudly when the source drifts instead
+	// of silently mutating the wrong site.
+	Old string `json:"old"`
+	New string `json:"new"`
+	// Layer is the cascade stage that must kill the mutant; every earlier
+	// stage must pass it.
+	Layer string `json:"layer"`
+	// Detail, when non-empty, is a substring the kill detail must contain
+	// (e.g. the san violation message) — pins not just THAT the layer
+	// kills but WHY.
+	Detail string `json:"detail,omitempty"`
+}
+
+// LoadPinned reads every *.json corpus file under dir, sorted by file
+// name.
+func LoadPinned(dir string) ([]PinnedMutant, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []PinnedMutant
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var batch []PinnedMutant
+		if err := json.Unmarshal(data, &batch); err != nil {
+			return nil, fmt.Errorf("mut: parsing pinned corpus %s: %w", name, err)
+		}
+		for _, p := range batch {
+			if p.Name == "" || p.File == "" || p.Old == "" || p.Layer == "" {
+				return nil, fmt.Errorf("mut: pinned corpus %s: entry missing name/file/old/layer", name)
+			}
+			if !containsStr(OracleNames, p.Layer) {
+				return nil, fmt.Errorf("mut: pinned corpus %s: %s: unknown layer %q", name, p.Name, p.Layer)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Build materializes the pinned mutant against the current tree through
+// engine e. The Old snippet must occur exactly once.
+func (p PinnedMutant) Build(e *Engine) (*Mutant, error) {
+	abs := filepath.Join(e.Dir, filepath.FromSlash(p.File))
+	src, err := e.src(abs)
+	if err != nil {
+		return nil, fmt.Errorf("mut: pinned %s: %w", p.Name, err)
+	}
+	first := strings.Index(string(src), p.Old)
+	if first < 0 {
+		return nil, fmt.Errorf("mut: pinned %s: snippet not found in %s (source drifted — re-pin it)", p.Name, p.File)
+	}
+	if strings.Index(string(src[first+1:]), p.Old) >= 0 {
+		return nil, fmt.Errorf("mut: pinned %s: snippet occurs more than once in %s", p.Name, p.File)
+	}
+	site := Site{Mutator: "pinned", Variant: p.Name, Start: first, End: first + len(p.Old), Repl: p.New}
+	content := site.apply(src)
+	line, col := offsetToLineCol(src, first)
+	m := &Mutant{
+		ID:      mutantID(p.File, line, col, "pinned", p.Name),
+		File:    abs,
+		RelFile: p.File,
+		Line:    line,
+		Col:     col,
+		Mutator: "pinned",
+		Variant: p.Name,
+		Orig:    src,
+		Content: content,
+	}
+	// Resolve the owning package (and the site's token.Pos in the base
+	// program, which targeted test selection needs).
+	for _, pkg := range e.Base.Packages {
+		for i, name := range pkg.Filenames {
+			if name != abs {
+				continue
+			}
+			m.Pkg = pkg.ImportPath
+			m.Pos = posAt(e, pkg.Files[i].Pos(), first)
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("mut: pinned %s: %s is not in a loaded package", p.Name, p.File)
+}
+
+// offsetToLineCol converts a byte offset to 1-based line/column.
+func offsetToLineCol(src []byte, off int) (line, col int) {
+	line, col = 1, 1
+	for _, b := range src[:off] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// posAt maps a byte offset in a file to the base FileSet's token.Pos.
+func posAt(e *Engine, filePos token.Pos, off int) token.Pos {
+	tf := e.Base.Fset.File(filePos)
+	if tf == nil || off >= tf.Size() {
+		return filePos
+	}
+	return tf.Pos(off)
+}
+
+// AdjudicatePinned runs one pinned mutant through the cascade and checks
+// its contract. It returns an error describing any violation: gate
+// rejection, survival, a kill by the wrong (earlier or later) layer, or a
+// kill detail that doesn't carry the pinned substring.
+func AdjudicatePinned(e *Engine, orc *Oracles, p PinnedMutant, logf func(string, ...any)) error {
+	m, err := p.Build(e)
+	if err != nil {
+		return err
+	}
+	ok, detail, err := e.Gate(m)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("pinned %s: does not compile: %s", p.Name, detail)
+	}
+	oracle, detail, killed, err := orc.Adjudicate(m, logf)
+	if err != nil {
+		return err
+	}
+	if !killed {
+		return fmt.Errorf("pinned %s: SURVIVED the whole cascade (the %s layer lost its kill)", p.Name, p.Layer)
+	}
+	if oracle != p.Layer {
+		return fmt.Errorf("pinned %s: killed by %q, pinned to %q (detail: %s)", p.Name, oracle, p.Layer, detail)
+	}
+	if p.Detail != "" && !strings.Contains(detail, p.Detail) {
+		return fmt.Errorf("pinned %s: kill detail %q does not contain pinned %q", p.Name, detail, p.Detail)
+	}
+	return nil
+}

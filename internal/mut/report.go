@@ -1,0 +1,249 @@
+package mut
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Report aggregates a run's outcomes into the kill matrix. Every field is
+// a pure function of the mutant set and the verdicts — no timestamps, no
+// cache-hit counters — so two runs over the same tree serialize to
+// byte-identical JSON (the determinism acceptance check diffs exactly
+// this).
+type Report struct {
+	Schema  int   `json:"schema"`
+	Budget  int   `json:"budget"` // 0 = full catalog
+	Seed    int64 `json:"seed"`
+	Pool    int   `json:"pool"` // enumerated mutants before sampling
+	Sampled int   `json:"sampled"`
+
+	// Scored = killed + survived (uncompilable mutants are discarded).
+	Scored      int `json:"scored"`
+	Killed      int `json:"killed"`
+	Survived    int `json:"survived"`
+	Annotated   int `json:"annotated"`   // survivors with mut-survivor triage
+	Unannotated int `json:"unannotated"` // survivors owing a test or a triage
+	Discarded   int `json:"discarded"`   // uncompilable
+	// Score counts annotated (triaged-equivalent) survivors out of the
+	// denominator, the standard equivalent-mutant correction.
+	Score float64 `json:"score"`
+
+	ByOracle  []OracleRow  `json:"by_oracle"`
+	ByPackage []PackageRow `json:"by_package"`
+	ByMutator []MutatorRow `json:"by_mutator"`
+	Mutants   []MutantRow  `json:"mutants"`
+}
+
+// OracleRow is one cascade layer's share of the kills.
+type OracleRow struct {
+	Oracle string `json:"oracle"`
+	Kills  int    `json:"kills"`
+}
+
+// PackageRow is one package's line of the kill matrix.
+type PackageRow struct {
+	Pkg      string         `json:"pkg"`
+	Scored   int            `json:"scored"`
+	Killed   int            `json:"killed"`
+	Survived int            `json:"survived"`
+	Kills    map[string]int `json:"kills"` // oracle → count
+}
+
+// MutatorRow summarizes one catalog entry's fate.
+type MutatorRow struct {
+	Mutator  string `json:"mutator"`
+	Scored   int    `json:"scored"`
+	Killed   int    `json:"killed"`
+	Survived int    `json:"survived"`
+}
+
+// MutantRow is one mutant's verdict in the report.
+type MutantRow struct {
+	ID            string `json:"id"`
+	Pkg           string `json:"pkg"`
+	Mutator       string `json:"mutator"`
+	Variant       string `json:"variant"`
+	Status        Status `json:"status"`
+	Oracle        string `json:"oracle,omitempty"`
+	Detail        string `json:"detail,omitempty"`
+	Annotated     bool   `json:"annotated,omitempty"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// BuildReport folds outcomes into the report. pool is the enumeration
+// size before sampling.
+func BuildReport(outs []*Outcome, pool, budget int, seed int64) *Report {
+	r := &Report{Schema: VerdictSchema, Budget: budget, Seed: seed, Pool: pool, Sampled: len(outs)}
+	pkgRows := map[string]*PackageRow{}
+	mutRows := map[string]*MutatorRow{}
+	oracleKills := map[string]int{}
+	for _, o := range outs {
+		m := o.Mutant
+		row := MutantRow{
+			ID: m.ID, Pkg: relImport(m.Pkg), Mutator: m.Mutator, Variant: m.Variant,
+			Status: o.Status, Oracle: o.Oracle, Detail: o.Detail,
+			Annotated: o.Annotated, Justification: o.Justification,
+		}
+		r.Mutants = append(r.Mutants, row)
+		if o.Status == StatusUncompilable {
+			r.Discarded++
+			continue
+		}
+		p := pkgRows[row.Pkg]
+		if p == nil {
+			p = &PackageRow{Pkg: row.Pkg, Kills: map[string]int{}}
+			pkgRows[row.Pkg] = p
+		}
+		mu := mutRows[m.Mutator]
+		if mu == nil {
+			mu = &MutatorRow{Mutator: m.Mutator}
+			mutRows[m.Mutator] = mu
+		}
+		r.Scored++
+		p.Scored++
+		mu.Scored++
+		switch o.Status {
+		case StatusKilled:
+			r.Killed++
+			p.Killed++
+			mu.Killed++
+			p.Kills[o.Oracle]++
+			oracleKills[o.Oracle]++
+		case StatusSurvived:
+			r.Survived++
+			p.Survived++
+			mu.Survived++
+			if o.Annotated {
+				r.Annotated++
+			} else {
+				r.Unannotated++
+			}
+		}
+	}
+	if denom := r.Killed + r.Unannotated; denom > 0 {
+		r.Score = float64(r.Killed) / float64(denom)
+	}
+	for _, name := range OracleNames {
+		r.ByOracle = append(r.ByOracle, OracleRow{Oracle: name, Kills: oracleKills[name]})
+	}
+	for _, p := range pkgRows {
+		r.ByPackage = append(r.ByPackage, *p)
+	}
+	sort.Slice(r.ByPackage, func(i, j int) bool { return r.ByPackage[i].Pkg < r.ByPackage[j].Pkg })
+	for _, name := range CatalogNames() {
+		if mu := mutRows[name]; mu != nil {
+			r.ByMutator = append(r.ByMutator, *mu)
+		}
+	}
+	return r
+}
+
+// Survivors returns the surviving mutants' rows, unannotated first.
+func (r *Report) Survivors() []MutantRow {
+	var out []MutantRow
+	for _, m := range r.Mutants {
+		if m.Status == StatusSurvived {
+			out = append(out, m)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return !out[i].Annotated && out[j].Annotated
+	})
+	return out
+}
+
+// JSON serializes the report deterministically (two-space indent,
+// trailing newline).
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteTable renders the human report: summary, the package × oracle
+// kill matrix, the per-mutator breakdown, and the survivor listing.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "coyotemut: %d enumerated, %d sampled (budget %d, seed %d), %d discarded uncompilable\n",
+		r.Pool, r.Sampled, r.Budget, r.Seed, r.Discarded)
+	fmt.Fprintf(w, "mutation score %.1f%%: %d killed / %d survived (%d triaged, %d unannotated)\n\n",
+		r.Score*100, r.Killed, r.Survived, r.Annotated, r.Unannotated)
+
+	// Kill matrix: packages × oracle layers.
+	wPkg := len("package")
+	for _, p := range r.ByPackage {
+		if len(p.Pkg) > wPkg {
+			wPkg = len(p.Pkg)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", wPkg, "package")
+	for _, o := range OracleNames {
+		fmt.Fprintf(w, " %6s", o)
+	}
+	fmt.Fprintf(w, " %6s %6s\n", "alive", "score")
+	for _, p := range r.ByPackage {
+		fmt.Fprintf(w, "%-*s", wPkg, p.Pkg)
+		for _, o := range OracleNames {
+			fmt.Fprintf(w, " %6d", p.Kills[o])
+		}
+		score := 0.0
+		if p.Scored > 0 {
+			score = float64(p.Killed) / float64(p.Scored) * 100
+		}
+		fmt.Fprintf(w, " %6d %5.1f%%\n", p.Survived, score)
+	}
+	fmt.Fprintf(w, "%-*s", wPkg, "TOTAL")
+	for _, o := range r.ByOracle {
+		fmt.Fprintf(w, " %6d", o.Kills)
+	}
+	fmt.Fprintf(w, " %6d %5.1f%%\n\n", r.Survived, r.Score*100)
+
+	fmt.Fprintf(w, "%-10s %7s %7s %7s\n", "mutator", "scored", "killed", "alive")
+	for _, m := range r.ByMutator {
+		fmt.Fprintf(w, "%-10s %7d %7d %7d\n", m.Mutator, m.Scored, m.Killed, m.Survived)
+	}
+
+	survivors := r.Survivors()
+	if len(survivors) > 0 {
+		fmt.Fprintf(w, "\nsurvivors:\n")
+		for _, s := range survivors {
+			tag := "UNANNOTATED"
+			if s.Annotated {
+				tag = "triaged: " + s.Justification
+			}
+			fmt.Fprintf(w, "  %s  %s  [%s]\n", s.ID, s.Variant, tag)
+		}
+	}
+}
+
+// ExitStatus maps the report onto the command's exit code contract:
+// 0 when every survivor is triaged, 1 when any unannotated survivor
+// remains (CI fails the smoke lane on exactly this).
+func (r *Report) ExitStatus() int {
+	if r.Unannotated > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Diff returns "" when two reports agree, else a short description of the
+// first divergence — the determinism acceptance check between two
+// same-seed runs.
+func Diff(a, b *Report) string {
+	ab, _ := a.JSON()
+	bb, _ := b.JSON()
+	if string(ab) == string(bb) {
+		return ""
+	}
+	al, bl := strings.Split(string(ab), "\n"), strings.Split(string(bb), "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d lines", len(al), len(bl))
+}

@@ -1,0 +1,133 @@
+package mut
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func synthOutcome(id, pkg, mutator string, status Status, oracle string, annotated bool) *Outcome {
+	o := &Outcome{
+		Mutant: &Mutant{ID: id, Pkg: pkg, Mutator: mutator, Variant: "v"},
+		Status: status,
+		Oracle: oracle,
+	}
+	if annotated {
+		o.Annotated = true
+		o.Justification = "equivalent: test-only"
+	}
+	return o
+}
+
+func synthReport() *Report {
+	const core = "github.com/coyote-sim/coyote/internal/core"
+	const mem = "github.com/coyote-sim/coyote/internal/mem"
+	outs := []*Outcome{
+		synthOutcome("a", core, "ror", StatusKilled, "lint", false),
+		synthOutcome("b", core, "aor", StatusKilled, "tests", false),
+		synthOutcome("c", mem, "ror", StatusSurvived, "", false),
+		synthOutcome("d", mem, "timing", StatusSurvived, "", true),
+		synthOutcome("e", core, "stmtdel", StatusUncompilable, "", false),
+	}
+	return BuildReport(outs, 100, 5, 1)
+}
+
+func TestBuildReport(t *testing.T) {
+	r := synthReport()
+	if r.Pool != 100 || r.Sampled != 5 || r.Budget != 5 || r.Seed != 1 {
+		t.Fatalf("header fields: %+v", r)
+	}
+	if r.Scored != 4 || r.Killed != 2 || r.Survived != 2 || r.Discarded != 1 {
+		t.Fatalf("tallies: scored=%d killed=%d survived=%d discarded=%d",
+			r.Scored, r.Killed, r.Survived, r.Discarded)
+	}
+	if r.Annotated != 1 || r.Unannotated != 1 {
+		t.Fatalf("triage split: annotated=%d unannotated=%d", r.Annotated, r.Unannotated)
+	}
+	// Score excludes the triaged survivor from the denominator: 2/(2+1).
+	if want := 2.0 / 3.0; r.Score < want-1e-9 || r.Score > want+1e-9 {
+		t.Fatalf("score = %v, want %v", r.Score, want)
+	}
+	if len(r.ByOracle) != len(OracleNames) {
+		t.Fatalf("ByOracle has %d rows", len(r.ByOracle))
+	}
+	kills := map[string]int{}
+	for _, row := range r.ByOracle {
+		kills[row.Oracle] = row.Kills
+	}
+	if kills["lint"] != 1 || kills["tests"] != 1 || kills["build"] != 0 {
+		t.Fatalf("oracle kills: %v", kills)
+	}
+	if len(r.ByPackage) != 2 || r.ByPackage[0].Pkg != "internal/core" || r.ByPackage[1].Pkg != "internal/mem" {
+		t.Fatalf("package rows: %+v", r.ByPackage)
+	}
+	core := r.ByPackage[0]
+	if core.Scored != 2 || core.Killed != 2 || core.Kills["lint"] != 1 || core.Kills["tests"] != 1 {
+		t.Fatalf("core row: %+v", core)
+	}
+	// ByMutator follows catalog order and omits mutators with no scored
+	// mutants (the uncompilable stmtdel is discarded, not scored).
+	var mutators []string
+	for _, row := range r.ByMutator {
+		mutators = append(mutators, row.Mutator)
+	}
+	if strings.Join(mutators, ",") != "aor,ror,timing" {
+		t.Fatalf("ByMutator order: %v", mutators)
+	}
+	if r.ExitStatus() != 1 {
+		t.Fatal("an unannotated survivor must exit 1")
+	}
+	survivors := r.Survivors()
+	if len(survivors) != 2 || survivors[0].Annotated || !survivors[1].Annotated {
+		t.Fatalf("survivor ordering (unannotated first): %+v", survivors)
+	}
+}
+
+func TestReportCleanExit(t *testing.T) {
+	outs := []*Outcome{
+		synthOutcome("a", "github.com/coyote-sim/coyote/internal/core", "ror", StatusKilled, "build", false),
+		synthOutcome("d", "github.com/coyote-sim/coyote/internal/mem", "timing", StatusSurvived, "", true),
+	}
+	if r := BuildReport(outs, 2, 0, 1); r.ExitStatus() != 0 {
+		t.Fatal("triaged-only survivors must exit 0")
+	}
+}
+
+func TestReportJSONDeterministic(t *testing.T) {
+	a, err := synthReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := synthReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identically-built reports serialize differently")
+	}
+	if d := Diff(synthReport(), synthReport()); d != "" {
+		t.Fatalf("Diff of equal reports = %q", d)
+	}
+	changed := synthReport()
+	changed.Seed = 2
+	if d := Diff(synthReport(), changed); d == "" || !strings.Contains(d, "line") {
+		t.Fatalf("Diff of unequal reports = %q", d)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	synthReport().WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"mutation score 66.7%",
+		"internal/core",
+		"TOTAL",
+		"UNANNOTATED",
+		"triaged: equivalent: test-only",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package rcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// BlobStore is the generic content-addressed persistence layer DiskStore
+// is built on, exported so sibling tools (the coyotemut verdict cache)
+// reuse the same corruption-evident on-disk format instead of inventing
+// a second one:
+//
+//	<root>/v<schema>/<kk>/<hex-key>.json
+//	blob = "<magic> <schema> <sha256(payload)>\n" + payload
+//
+// The header checksum covers the full payload, so any byte flip or
+// truncation anywhere in the file is caught on read before the payload
+// is even parsed. The schema version is part of the directory layout, so
+// bumping it orphans (rather than misreads) every stale entry. Writes
+// are temp-file + atomic rename, so concurrent processes sharing a store
+// can only ever observe complete blobs. The failure mode is always
+// "miss", never "wrong payload": corrupt blobs are quarantined aside as
+// .corrupt files and reported as ErrCorrupt.
+type BlobStore struct {
+	root   string // version-qualified root, e.g. ~/.cache/coyote/v1
+	magic  string
+	schema int
+}
+
+// OpenBlobStore opens (creating if needed) a store rooted at
+// dir/v<schema> whose blobs carry the given magic string.
+func OpenBlobStore(dir, magic string, schema int) (*BlobStore, error) {
+	root := filepath.Join(dir, fmt.Sprintf("v%d", schema))
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("rcache: creating %s: %w", root, err)
+	}
+	return &BlobStore{root: root, magic: magic, schema: schema}, nil
+}
+
+// Path returns the on-disk location of the blob for the hex key.
+func (s *BlobStore) Path(hexKey string) string {
+	shard := hexKey
+	if len(shard) > 2 {
+		shard = shard[:2]
+	}
+	return filepath.Join(s.root, shard, hexKey+".json")
+}
+
+// Load reads, checksum-validates and strips the header of the blob for
+// hexKey, returning the raw payload. Missing blobs return ErrMiss;
+// corrupt ones are quarantined and return ErrCorrupt.
+func (s *BlobStore) Load(hexKey string) ([]byte, error) {
+	p := s.Path(hexKey)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrMiss
+		}
+		return nil, fmt.Errorf("rcache: reading %s: %w", p, err)
+	}
+	payload, err := s.decode(data)
+	if err != nil {
+		s.Quarantine(hexKey)
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Store writes payload for hexKey atomically, wrapped in the checksummed
+// header.
+func (s *BlobStore) Store(hexKey string, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %d %s\n", s.magic, s.schema, hex.EncodeToString(sum[:]))
+	blob := append([]byte(header), payload...)
+
+	p := s.Path(hexKey)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("rcache: creating shard dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("rcache: temp file: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rcache: writing blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rcache: closing blob: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rcache: publishing blob: %w", err)
+	}
+	return nil
+}
+
+// Quarantine renames the blob for hexKey aside as a .corrupt file,
+// preserving the evidence for inspection while guaranteeing it is never
+// re-read. Callers use it when payload-level validation (beyond the
+// checksum this store enforces itself) rejects a blob.
+func (s *BlobStore) Quarantine(hexKey string) {
+	p := s.Path(hexKey)
+	_ = os.Rename(p, p+".corrupt")
+}
+
+// decode validates the header + checksum of a raw blob and returns the
+// payload.
+func (s *BlobStore) decode(data []byte) ([]byte, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: missing header", ErrCorrupt)
+	}
+	var magic, sumHex string
+	var schema int
+	if _, err := fmt.Sscanf(string(data[:nl]), "%s %d %s", &magic, &schema, &sumHex); err != nil || magic != s.magic {
+		return nil, fmt.Errorf("%w: bad header %q", ErrCorrupt, data[:nl])
+	}
+	if schema != s.schema {
+		return nil, fmt.Errorf("%w: schema %d, want %d", ErrCorrupt, schema, s.schema)
+	}
+	payload := data[nl+1:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != sumHex {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}

@@ -1,9 +1,6 @@
 package rcache
 
 import (
-	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,16 +21,11 @@ var ErrCorrupt = errors.New("rcache: corrupt cache entry")
 
 // DiskStore is the persistent tier: a content-addressed directory of
 // result blobs, one file per key, named by the key's hex digest and
-// sharded by its first byte to keep directories small:
-//
-//	<root>/v<SchemaVersion>/<kk>/<64-hex-key>.json
-//
-// The schema version is part of the layout, so bumping SchemaVersion
-// orphans (rather than misreads) every stale entry. Writes are
-// temp-file + atomic rename, so concurrent processes sharing a cache
-// directory can only ever observe complete blobs.
+// sharded by its first byte to keep directories small. It layers
+// result-payload validation (key echo, non-nil result) on the generic
+// checksummed BlobStore.
 type DiskStore struct {
-	root string // version-qualified root, e.g. ~/.cache/coyote/v1
+	blobs *BlobStore
 }
 
 // DefaultDir returns the default persistent cache location,
@@ -48,35 +40,28 @@ func DefaultDir() (string, error) {
 
 // OpenDisk opens (creating if needed) the on-disk store rooted at dir.
 func OpenDisk(dir string) (*DiskStore, error) {
-	root := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
-	if err := os.MkdirAll(root, 0o755); err != nil {
-		return nil, fmt.Errorf("rcache: creating %s: %w", root, err)
+	blobs, err := OpenBlobStore(dir, blobMagic, SchemaVersion)
+	if err != nil {
+		return nil, err
 	}
-	return &DiskStore{root: root}, nil
+	return &DiskStore{blobs: blobs}, nil
 }
 
-func (s *DiskStore) path(k Key) string {
-	h := k.String()
-	return filepath.Join(s.root, h[:2], h+".json")
-}
+func (s *DiskStore) path(k Key) string { return s.blobs.Path(k.String()) }
 
 // Load reads and validates the blob for k. Corrupt blobs are moved to
 // "<name>.corrupt" beside the store (preserving the evidence for
 // inspection) and reported as ErrCorrupt; the caller treats both error
 // kinds as a miss and recomputes.
 func (s *DiskStore) Load(k Key) (*core.Result, error) {
-	p := s.path(k)
-	data, err := os.ReadFile(p)
+	payload, err := s.blobs.Load(k.String())
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, ErrMiss
-		}
-		return nil, fmt.Errorf("rcache: reading %s: %w", p, err)
+		return nil, err
 	}
-	res, err := decodeBlob(k, data)
+	res, err := decodePayload(k, payload)
 	if err != nil {
 		// Quarantine: never re-read a bad blob, keep it for forensics.
-		_ = os.Rename(p, p+".corrupt")
+		s.blobs.Quarantine(k.String())
 		return nil, err
 	}
 	return res, nil
@@ -86,38 +71,17 @@ func (s *DiskStore) Load(k Key) (*core.Result, error) {
 // normalized (the Cache layer does this); Store persists exactly what
 // it is given.
 func (s *DiskStore) Store(k Key, r *core.Result) error {
-	blob, err := encodeBlob(k, r)
+	payload, err := json.Marshal(blobPayload{Schema: SchemaVersion, Key: k.String(), Result: r})
 	if err != nil {
-		return err
+		return fmt.Errorf("rcache: encoding result: %w", err)
 	}
-	p := s.path(k)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return fmt.Errorf("rcache: creating shard dir: %w", err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("rcache: temp file: %w", err)
-	}
-	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("rcache: writing blob: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("rcache: closing blob: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("rcache: publishing blob: %w", err)
-	}
-	return nil
+	return s.blobs.Store(k.String(), payload)
 }
 
 // blobPayload is the JSON body of an on-disk entry. Schema and Key are
 // redundant with the directory layout and file name on purpose: a blob
 // copied or hard-linked to the wrong place still self-identifies, and
-// decodeBlob rejects the mismatch as corruption.
+// decodePayload rejects the mismatch as corruption.
 type blobPayload struct {
 	Schema int          `json:"schema"`
 	Key    string       `json:"key"`
@@ -127,41 +91,15 @@ type blobPayload struct {
 // blobMagic starts every blob: "coyote-rcache <schema> <sha256(payload)>\n".
 const blobMagic = "coyote-rcache"
 
-// encodeBlob renders header + JSON payload. The header checksum covers
-// the full payload, so any byte flip or truncation anywhere in the file
-// is caught on read before the JSON is even parsed.
-func encodeBlob(k Key, r *core.Result) ([]byte, error) {
-	payload, err := json.Marshal(blobPayload{Schema: SchemaVersion, Key: k.String(), Result: r})
-	if err != nil {
-		return nil, fmt.Errorf("rcache: encoding result: %w", err)
-	}
-	sum := sha256.Sum256(payload)
-	header := fmt.Sprintf("%s %d %s\n", blobMagic, SchemaVersion, hex.EncodeToString(sum[:]))
-	return append([]byte(header), payload...), nil
-}
-
-// decodeBlob validates and parses a blob read for key k.
-func decodeBlob(k Key, data []byte) (*core.Result, error) {
-	nl := bytes.IndexByte(data, '\n')
-	if nl < 0 {
-		return nil, fmt.Errorf("%w: missing header", ErrCorrupt)
-	}
-	var magic, sumHex string
-	var schema int
-	if _, err := fmt.Sscanf(string(data[:nl]), "%s %d %s", &magic, &schema, &sumHex); err != nil || magic != blobMagic {
-		return nil, fmt.Errorf("%w: bad header %q", ErrCorrupt, data[:nl])
-	}
-	if schema != SchemaVersion {
-		return nil, fmt.Errorf("%w: schema %d, want %d", ErrCorrupt, schema, SchemaVersion)
-	}
-	payload := data[nl+1:]
-	sum := sha256.Sum256(payload)
-	if hex.EncodeToString(sum[:]) != sumHex {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
-	}
+// decodePayload parses and validates a checksum-verified payload read
+// for key k.
+func decodePayload(k Key, payload []byte) (*core.Result, error) {
 	var b blobPayload
 	if err := json.Unmarshal(payload, &b); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if b.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%w: schema %d, want %d", ErrCorrupt, b.Schema, SchemaVersion)
 	}
 	if b.Key != k.String() {
 		return nil, fmt.Errorf("%w: blob is for key %s, filed under %s", ErrCorrupt, b.Key, k)

@@ -3,78 +3,50 @@
 package uncore
 
 import (
-	"strings"
 	"testing"
 
 	"github.com/coyote-sim/coyote/internal/evsim"
-	"github.com/coyote-sim/coyote/internal/san"
 )
 
-// These tests demonstrate the sanitizer catching seeded mutations of the
-// MSHR machinery at runtime — the failure modes the static analyzers
-// cannot see because they only appear in the transition dynamics.
+// These workloads drive the real MSHR machinery with the sanitizer's
+// shadow structures live. On the unmutated tree they must be violation
+// free; their kill power is enforced by the coyotemut pinned corpus
+// (internal/mut/testdata/pinned/san_layer.json), which seeds the classic
+// shadow-maintenance faults — a dropped release, a dropped insert, an
+// inverted invariant check — and asserts that exactly these tests, under
+// -tags coyotesan, catch each one when every default-build oracle cannot.
 
-func newSanUncore(t *testing.T) *Uncore {
-	t.Helper()
+// A clean run through the demand-miss machinery raises no violation and
+// leaves every shadow table drained.
+func TestSanCleanMissPath(t *testing.T) {
 	u, err := New(DefaultConfig(1), evsim.NewEngine())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return u
-}
-
-func wantViolation(t *testing.T, fragment string, f func()) {
-	t.Helper()
-	defer func() {
-		r := recover()
-		v, ok := r.(san.Violation)
-		if !ok {
-			t.Fatalf("want san.Violation panic, got %v", r)
-		}
-		if !strings.Contains(v.Error(), fragment) {
-			t.Fatalf("violation %q missing %q", v.Error(), fragment)
-		}
-	}()
-	f()
-}
-
-// Mutation: the fill path loses an MSHR release (entry never removed).
-// The end-of-run audit reports the leaked line.
-func TestSanCatchesLeakedMSHREntry(t *testing.T) {
-	u := newSanUncore(t)
-	b := u.banks[0]
-	// Seed the mutation: an in-flight miss whose fill will never arrive,
-	// exactly the state left behind by a dropped `delete(b.mshr, addr)`.
-	b.san.Insert(u.eng.Now(), 0x1040)
-	b.mshr[0x1040] = mshrEntry{state: mshrDemand}
-	wantViolation(t, "leaked at drain", func() { u.Audit() })
-}
-
-// Mutation: a fill arrives for a line that was never inserted (double
-// fill, or a release that already happened). Caught at the fill site.
-func TestSanCatchesStrayFill(t *testing.T) {
-	u := newSanUncore(t)
-	b := u.banks[0]
-	wantViolation(t, "no in-flight miss", func() { b.fill(0x2040, false) })
-}
-
-// Mutation: the merge path forgets to promote a prefetch entry to demand
-// when a waiter attaches. The fill-side state switch catches it.
-func TestSanCatchesLostPrefetchPromotion(t *testing.T) {
-	u := newSanUncore(t)
-	b := u.banks[0]
-	b.san.Insert(u.eng.Now(), 0x3040)
-	b.mshr[0x3040] = mshrEntry{
-		state:   mshrPrefetch, // mutation: should have been promoted to mshrDemand
-		waiters: []Done{{F: func(uint64) {}}},
+	fired := 0
+	for i := 0; i < 64; i++ {
+		u.Submit(Request{Addr: uint64(i) << 6, Done: FuncDone(func() { fired++ })})
+		u.eng.Drain()
 	}
-	wantViolation(t, "promotion to demand was lost", func() { b.fill(0x3040, false) })
+	if fired != 64 {
+		t.Fatalf("completions fired %d times, want 64", fired)
+	}
+	u.Audit()
 }
 
-// A clean run through the real machinery raises no violation and leaves
-// every table drained.
-func TestSanCleanMissPath(t *testing.T) {
-	u := newSanUncore(t)
+// TestSanPrefetchPath drives the next-line prefetcher under the
+// sanitizer: prefetch inserts, prefetch fills (which must arrive with no
+// merged waiters) and the end-of-run audit all exercise the shadow MSHR's
+// speculative arm. The default config leaves PrefetchDepth at 0, so
+// without this workload the prefetch-side san calls would never execute
+// under test — and the san-layer pinned mutants would survive.
+func TestSanPrefetchPath(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.PrefetchDepth = 2
+	u, err := New(cfg, evsim.NewEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
 	fired := 0
 	for i := 0; i < 64; i++ {
 		u.Submit(Request{Addr: uint64(i) << 6, Done: FuncDone(func() { fired++ })})
