@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: all build test race golden-workers lint lint-flow vet bench-smoke bench-block san fuzz cache-bench mut mut-smoke mut-pinned ci
+.PHONY: all build test race golden-workers lint lint-flow vet bench-smoke bench-block san fuzz cache-bench checkpoint sample mut mut-smoke mut-pinned ci
 
 all: build test lint
 
@@ -74,6 +74,25 @@ cache-bench:
 	if [ $$(( t2 - t1 )) -gt 0 ]; then speedup="$$(( (t1 - t0) / (t2 - t1) ))x"; else speedup="infx"; fi; \
 	echo "cold $${cold} ms, warm $${warm} ms ($${speedup})"
 
+# Checkpoint/restore gate (DESIGN.md §14): the golden suite proving
+# stop-serialize-restore-resume reproduces the uninterrupted run's
+# statistics and Paraver trace byte-for-byte on every kernel across the
+# interleave × workers matrix, functional fast-forward architectural
+# exactness, and a CLI round trip through an actual on-disk file.
+checkpoint:
+	$(GO) test -run 'TestCheckpointGolden|TestFunctionalFastForwardExact' -count 1 .
+	$(GO) build -o /tmp/coyote-ckpt ./cmd/coyote
+	/tmp/coyote-ckpt -kernel matmul-scalar -cores 4 -n 48 -checkpoint-at 5000 -checkpoint /tmp/coyote-ci.ckpt > /dev/null
+	/tmp/coyote-ckpt -restore /tmp/coyote-ci.ckpt | grep -q 'verification     OK'
+
+# Sampled-simulation smoke (DESIGN.md §14): SMARTS systematic sampling —
+# the extrapolated cycle estimate must land inside the golden error
+# fence, then a CLI demonstration run with the human-readable report.
+sample:
+	$(GO) test -run 'TestSampledVsFull' -count 1 -v .
+	$(GO) build -o /tmp/coyote-ckpt ./cmd/coyote
+	/tmp/coyote-ckpt -kernel matmul-scalar -cores 4 -n 96 -sample-period 40000 -sample-measure 8000 -sample-warmup 2000
+
 # Fuzz smoke: explore random kernel/config combinations under the
 # sanitizer for FUZZTIME on top of the committed seed corpus in
 # testdata/fuzz/. Any invariant violation becomes a reproducible crasher.
@@ -102,6 +121,7 @@ mut-pinned:
 # Mirrors every required lane of .github/workflows/ci.yml: the test job
 # (build/vet/test/race/lint/bench-smoke), the golden-workers and
 # coyotesan jobs (san includes the sanitizer build+suite, fuzz is the
-# coyotesan job's smoke step), the rcache job's cold/warm benchmark, and
-# the coyotemut job's mutation smoke + pinned-corpus lanes.
-ci: build vet test race golden-workers lint bench-smoke san fuzz cache-bench mut-smoke mut-pinned
+# coyotesan job's smoke step), the rcache job's cold/warm benchmark, the
+# checkpoint job's round-trip + sampled-vs-full lanes, and the coyotemut
+# job's mutation smoke + pinned-corpus lanes.
+ci: build vet test race golden-workers lint bench-smoke san fuzz cache-bench checkpoint sample mut-smoke mut-pinned

@@ -1,0 +1,64 @@
+package coyote
+
+import (
+	"fmt"
+
+	"github.com/coyote-sim/coyote/internal/checkpoint"
+)
+
+// Checkpoint is a loaded, integrity-verified simulator checkpoint: run
+// identity (kernel, params, config), the assembled program, the Paraver
+// trace prefix and the complete machine state at a quiescent cycle
+// boundary. Restoring and running to completion reproduces the
+// uninterrupted run's statistics and trace byte-for-byte.
+type Checkpoint = checkpoint.Image
+
+// CheckpointMeta identifies the run a checkpoint belongs to.
+type CheckpointMeta = checkpoint.Meta
+
+// CheckpointSchemaVersion versions the checkpoint binary layout; files
+// written by other versions are rejected, never misparsed (see
+// internal/checkpoint and DESIGN.md §14).
+const CheckpointSchemaVersion = checkpoint.SchemaVersion
+
+// LoadCheckpoint reads and integrity-checks a checkpoint file. Corrupt,
+// truncated, foreign or version-mismatched files fail with an error —
+// never a partial load. Continue the run with Checkpoint.Restore:
+//
+//	img, err := coyote.LoadCheckpoint("run.ckpt")
+//	tw := coyote.NewTraceWriter(img.Meta.Config.Cores) // or nil
+//	sys, err := img.Restore(tw)
+//	res, err := sys.Run()
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	return checkpoint.Load(path)
+}
+
+// RunToCheckpoint prepares a kernel, simulates to stopCycle and writes a
+// checkpoint of the stopped machine to path. tw, when non-nil, is
+// attached as the tracer and its event prefix is embedded in the file.
+// The partial Result covers the simulated prefix. stopped=false means
+// the program finished before stopCycle; no checkpoint is written.
+func RunToCheckpoint(name string, p Params, cfg Config, stopCycle uint64, path string, tw *TraceWriter) (*Result, bool, error) {
+	if p.Cores == 0 {
+		p.Cores = cfg.Cores
+	}
+	sys, err := PrepareKernel(name, p, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if tw != nil {
+		sys.Tracer = tw
+	}
+	res, stopped, err := sys.RunTo(stopCycle)
+	if err != nil {
+		return nil, false, err
+	}
+	if !stopped {
+		return res, false, nil
+	}
+	meta := CheckpointMeta{Kernel: name, Params: p, Config: cfg}
+	if err := checkpoint.Save(path, meta, sys.Program(), sys, tw); err != nil {
+		return nil, false, fmt.Errorf("coyote: %w", err)
+	}
+	return res, true, nil
+}

@@ -1,0 +1,152 @@
+package coyote
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func renderPRV(t *testing.T, tw *TraceWriter) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tw.WritePRV(&buf); err != nil {
+		t.Fatalf("rendering .prv: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointGolden proves the checkpoint/restore tentpole property:
+// for every kernel, stopping at a mid-run cycle C, serializing the
+// machine to disk, restoring into a FRESH system and running to the end
+// reproduces the uninterrupted run's statistics and Paraver trace
+// byte-for-byte — across the interleave × workers execution-strategy
+// matrix, so the quiescent stop boundary holds under the parallel
+// speculative orchestrator too.
+func TestCheckpointGolden(t *testing.T) {
+	params := Params{N: 64, Cores: 4, Density: 0.05}
+	modes := []struct{ interleave, workers int }{
+		{1, 1}, {1, 4}, {8, 1}, {8, 4},
+	}
+	for _, name := range Kernels() {
+		for _, m := range modes {
+			t.Run(fmt.Sprintf("%s/il%d-w%d", name, m.interleave, m.workers), func(t *testing.T) {
+				cfg := DefaultConfig(4)
+				cfg.InterleaveQuantum = m.interleave
+				cfg.Workers = m.workers
+
+				// Uninterrupted reference run.
+				sysFull, err := PrepareKernel(name, params, cfg)
+				if err != nil {
+					t.Fatalf("prepare: %v", err)
+				}
+				twFull := NewTraceWriter(cfg.Cores)
+				sysFull.Tracer = twFull
+				resFull, err := sysFull.Run()
+				if err != nil {
+					t.Fatalf("full run: %v", err)
+				}
+				wantStats := canonical(resFull)
+				wantPRV := renderPRV(t, twFull)
+
+				stopAt := resFull.Cycles / 2
+				if stopAt == 0 {
+					t.Skipf("run too short to split (%d cycles)", resFull.Cycles)
+				}
+				path := filepath.Join(t.TempDir(), "run.ckpt")
+				ckCfg := cfg
+				ckCfg.CheckpointAt = stopAt // recorded in the image; key-invariant
+				twPre := NewTraceWriter(cfg.Cores)
+				if _, stopped, err := RunToCheckpoint(name, params, ckCfg, stopAt, path, twPre); err != nil {
+					t.Fatalf("checkpoint run: %v", err)
+				} else if !stopped {
+					t.Fatalf("program finished before cycle %d; no checkpoint", stopAt)
+				}
+
+				img, err := LoadCheckpoint(path)
+				if err != nil {
+					t.Fatalf("load: %v", err)
+				}
+				twPost := NewTraceWriter(cfg.Cores)
+				sys, err := img.Restore(twPost)
+				if err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				res, err := sys.Run()
+				if err != nil {
+					t.Fatalf("resumed run: %v", err)
+				}
+				if err := VerifyKernel(sys, name, params); err != nil {
+					t.Fatalf("resumed run produced wrong results: %v", err)
+				}
+				if got := canonical(res); got != wantStats {
+					t.Errorf("restored run's stats diverge from the uninterrupted run:\n--- uninterrupted\n%s--- restored\n%s",
+						wantStats, got)
+				}
+				if gotPRV := renderPRV(t, twPost); !bytes.Equal(gotPRV, wantPRV) {
+					t.Errorf("restored run's .prv diverges (%d vs %d bytes)", len(gotPRV), len(wantPRV))
+				}
+			})
+		}
+	}
+}
+
+// TestFunctionalFastForwardExact proves the functional mode is
+// architecturally exact: running a kernel entirely in fast-forward (no
+// event calendar, caches warmed functionally) must still produce
+// host-verified results on every kernel.
+func TestFunctionalFastForwardExact(t *testing.T) {
+	params := Params{N: 64, Cores: 4, Density: 0.05}
+	for _, name := range Kernels() {
+		t.Run(name, func(t *testing.T) {
+			sys, err := PrepareKernel(name, params, DefaultConfig(4))
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			done, err := sys.RunFunctional(^uint64(0) / 2)
+			if err != nil {
+				t.Fatalf("functional run: %v", err)
+			}
+			if !done {
+				t.Fatalf("functional run did not finish")
+			}
+			if err := VerifyKernel(sys, name, params); err != nil {
+				t.Fatalf("functional execution produced wrong results: %v", err)
+			}
+		})
+	}
+}
+
+// TestSampledVsFull validates the sampled-simulation error bound on a
+// deterministic point: the extrapolated cycle estimate must land within
+// 35% of the full detailed run (systematic sampling of a phase-regular
+// kernel; the seeded placement makes the outcome exactly reproducible,
+// so this bound is a regression fence, not a statistical hope).
+func TestSampledVsFull(t *testing.T) {
+	params := Params{N: 48, Cores: 4}
+	cfg := DefaultConfig(4)
+	full, err := RunKernel("matmul-scalar", params, cfg)
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	sr, err := SampleKernel("matmul-scalar", params, cfg, SampleConfig{
+		Period:  20000,
+		Warmup:  2000,
+		Measure: 5000,
+		Seed:    42,
+	})
+	if err != nil {
+		t.Fatalf("sampled run: %v", err)
+	}
+	if len(sr.Intervals) < 2 {
+		t.Fatalf("want ≥2 measured intervals, got %d", len(sr.Intervals))
+	}
+	ratio := float64(sr.EstimatedCycles) / float64(full.Cycles)
+	if ratio < 0.65 || ratio > 1.35 {
+		t.Errorf("sampled estimate %d vs full %d cycles (ratio %.3f) outside ±35%%",
+			sr.EstimatedCycles, full.Cycles, ratio)
+	}
+	t.Logf("full=%d estimated=%d [%d, %d] ratio=%.3f detailed=%d/%d instrs",
+		full.Cycles, sr.EstimatedCycles, sr.EstimatedCyclesLo, sr.EstimatedCyclesHi,
+		ratio, sr.DetailedInstret, sr.TotalInstret)
+}

@@ -55,6 +55,13 @@ func main() {
 		cacheOn    = flag.Bool("cache", false, "serve repeat runs from the content-addressed result cache (kernel runs only; implies no wall-clock/MIPS on a hit)")
 		cacheDir   = flag.String("cache-dir", "", "result cache directory (default: ~/.cache/coyote)")
 		cacheVer   = flag.Float64("cache-verify", 0, "fraction of cache hits to recompute and cross-check; 1 recomputes every hit and panics on divergence")
+		ckptAt     = flag.Uint64("checkpoint-at", 0, "stop the run at this cycle and write a checkpoint (kernel runs only)")
+		ckptPath   = flag.String("checkpoint", "", "checkpoint file to write (default <kernel>.ckpt)")
+		restoreIn  = flag.String("restore", "", "restore a checkpoint file and run it to completion (ignores kernel/machine flags; the image carries them)")
+		samplePer  = flag.Uint64("sample-period", 0, "enable sampled simulation with this interval period (instructions; SMARTS systematic sampling)")
+		sampleWarm = flag.Uint64("sample-warmup", 2_000, "detailed warm-up instructions before each measured window")
+		sampleMeas = flag.Uint64("sample-measure", 10_000, "measured window length (instructions)")
+		sampleSeed = flag.Int64("sample-seed", 42, "seed placing the first measurement within the period")
 	)
 	flag.Parse()
 
@@ -107,6 +114,35 @@ func main() {
 	cfg.Uncore.MemRowBits = *rowBits
 	cfg.FastForward = *fastFwd
 	cfg.Hart.MCPUOffload = *mcpu
+
+	// Checkpoint, restore and sampling are dedicated drivers: they run a
+	// kernel under their own control flow (stop-and-serialize, resume, or
+	// the fast-forward/measure alternation) and exit here.
+	if *restoreIn != "" {
+		runRestore(*restoreIn, *tracePfx, *jsonOut, *uncoreDump)
+		return
+	}
+	if *samplePer > 0 {
+		if *kernel == "" {
+			fatal(fmt.Errorf("-sample-period needs -kernel"))
+		}
+		params := kernels.Params{N: *n, Cores: cfg.Cores, Density: *density, Seed: *seed}
+		sc := coyote.SampleConfig{Period: *samplePer, Warmup: *sampleWarm, Measure: *sampleMeas, Seed: *sampleSeed}
+		runSample(*kernel, params, cfg, sc, *jsonOut)
+		return
+	}
+	if *ckptAt > 0 {
+		if *kernel == "" {
+			fatal(fmt.Errorf("-checkpoint-at needs -kernel"))
+		}
+		params := kernels.Params{N: *n, Cores: cfg.Cores, Density: *density, Seed: *seed}
+		path := *ckptPath
+		if path == "" {
+			path = *kernel + ".ckpt"
+		}
+		runCheckpoint(*kernel, params, cfg, *ckptAt, path, *tracePfx)
+		return
+	}
 
 	// The cache applies only to kernel runs (keys content-address the
 	// kernel's assembled program + params + config) and cannot serve a
@@ -256,6 +292,110 @@ func writeTrace(tw *trace.Writer, prefix string) error {
 		}
 	}
 	return nil
+}
+
+// runCheckpoint simulates a kernel up to stopCycle, serializes the
+// stopped machine to path and reports the simulated prefix. With -trace
+// the Paraver prefix is embedded in the checkpoint file (a later
+// -restore -trace continues it); no partial .prv is written here.
+func runCheckpoint(kernel string, p kernels.Params, cfg coyote.Config, stopCycle uint64, path, tracePfx string) {
+	cfg.CheckpointAt = stopCycle // recorded in the image; the result-cache key ignores it
+	var tw *trace.Writer
+	if tracePfx != "" {
+		tw = trace.NewWriter(cfg.Cores)
+	}
+	res, stopped, err := coyote.RunToCheckpoint(kernel, p, cfg, stopCycle, path, tw)
+	if err != nil {
+		fatal(err)
+	}
+	if !stopped {
+		fatal(fmt.Errorf("%s finished at cycle %d, before -checkpoint-at %d; no checkpoint written",
+			kernel, res.Cycles, stopCycle))
+	}
+	out := bufio.NewWriter(os.Stdout)
+	fmt.Fprint(out, res.Report())
+	fmt.Fprintf(out, "checkpoint        %s (stopped at cycle %d)\n", path, stopCycle)
+	if err := out.Flush(); err != nil {
+		fatal(fmt.Errorf("writing report: %w", err))
+	}
+}
+
+// runRestore loads a checkpoint, resumes it to completion, re-verifies
+// the kernel's results against the host reference and reports the
+// whole run's statistics — identical to the uninterrupted run's.
+func runRestore(path, tracePfx string, jsonOut, uncoreDump bool) {
+	img, err := coyote.LoadCheckpoint(path)
+	if err != nil {
+		fatal(err)
+	}
+	var tw *trace.Writer
+	if tracePfx != "" {
+		tw = trace.NewWriter(img.Meta.Config.Cores)
+	}
+	sys, err := img.Restore(tw)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if img.Meta.Kernel != "" {
+		if err := coyote.VerifyKernel(sys, img.Meta.Kernel, img.Meta.Params); err != nil {
+			fatal(fmt.Errorf("verification FAILED: %w", err))
+		}
+	}
+	out := bufio.NewWriter(os.Stdout)
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Fprint(out, res.Report())
+		fmt.Fprintf(out, "restored          %s (%s N=%d cores=%d)\n",
+			path, img.Meta.Kernel, img.Meta.Params.N, img.Meta.Config.Cores)
+		if img.Meta.Kernel != "" {
+			fmt.Fprintln(out, "verification     OK")
+		}
+	}
+	if uncoreDump {
+		fmt.Fprint(out, res.UncoreReport())
+	}
+	if tw != nil {
+		if err := writeTrace(tw, tracePfx); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "trace: %s.prv (%d events)\n", tracePfx, tw.Len())
+	}
+	if err := out.Flush(); err != nil {
+		fatal(fmt.Errorf("writing report: %w", err))
+	}
+}
+
+// runSample drives SMARTS-style sampled simulation and reports the
+// extrapolated cycles with their confidence interval; -json emits the
+// full SampleResult (the BENCH_sample.json producer).
+func runSample(kernel string, p kernels.Params, cfg coyote.Config, sc coyote.SampleConfig, jsonOut bool) {
+	sr, err := coyote.SampleKernel(kernel, p, cfg, sc)
+	if err != nil {
+		fatal(err)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sr); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Fprint(out, sr.Report())
+		fmt.Fprintln(out, "verification      OK")
+	}
+	if err := out.Flush(); err != nil {
+		fatal(fmt.Errorf("writing report: %w", err))
+	}
 }
 
 func fatal(err error) {

@@ -60,19 +60,29 @@ type point struct {
 	MIPS         float64 `json:"mips"`
 	BaselineMIPS float64 `json:"baseline_mips,omitempty"`
 	Speedup      float64 `json:"speedup,omitempty"`
+	// HostSerialized marks a workers>1 point measured on a host that
+	// cannot actually run the workers in parallel (single CPU or
+	// GOMAXPROCS=1): its MIPS reflects scheduling overhead, not speedup,
+	// and must not be compared against parallel-host baselines.
+	HostSerialized bool `json:"host_serialized,omitempty"`
 }
 
 type summary struct {
 	// Interleave holds the first swept quantum for compatibility with
 	// readers of pre-sweep summaries; Interleaves is the full sweep.
-	Interleave  int     `json:"interleave"`
-	Interleaves []int   `json:"interleaves,omitempty"`
-	Engine      string  `json:"engine,omitempty"`
-	FastForward bool    `json:"fastforward"`
-	Repeat      int     `json:"repeat"`
-	Warmup      int     `json:"warmup"`
-	Stat        string  `json:"stat"`
-	Points      []point `json:"points"`
+	Interleave  int    `json:"interleave"`
+	Interleaves []int  `json:"interleaves,omitempty"`
+	Engine      string `json:"engine,omitempty"`
+	FastForward bool   `json:"fastforward"`
+	Repeat      int    `json:"repeat"`
+	Warmup      int    `json:"warmup"`
+	Stat        string `json:"stat"`
+	// HostNumCPU/HostGOMAXPROCS record the measurement machine: MIPS is
+	// wall-clock-derived, so throughput points are only comparable across
+	// summaries taken on comparable hosts (see HostSerialized per point).
+	HostNumCPU     int     `json:"host_num_cpu"`
+	HostGOMAXPROCS int     `json:"host_gomaxprocs"`
+	Points         []point `json:"points"`
 }
 
 // pointKey identifies a point in the baseline map. Summaries written
@@ -199,8 +209,10 @@ func main() {
 		}()
 	}
 
+	hostCPUs, hostProcs := runtime.NumCPU(), runtime.GOMAXPROCS(0)
 	fmt.Printf("# Figure 3: simulation throughput vs simulated cores (interleave=%s engine=%s fastforward=%v repeat=%d+1 warmup)\n",
 		*interleave, *engine, *fastForward, *repeat)
+	fmt.Printf("# host: %d CPUs, GOMAXPROCS=%d\n", hostCPUs, hostProcs)
 	fmt.Printf("%-20s %6s %8s %6s %8s %12s %12s %10s\n",
 		"kernel", "cores", "workers", "ilv", "n", "instructions", "cycles", "MIPS")
 	var fileLines []string
@@ -213,6 +225,9 @@ func main() {
 		Repeat:      *repeat,
 		Warmup:      1,
 		Stat:        "median",
+
+		HostNumCPU:     hostCPUs,
+		HostGOMAXPROCS: hostProcs,
 	}
 
 	for _, kname := range strings.Split(*kernFlag, ",") {
@@ -255,8 +270,12 @@ func main() {
 						p.Instructions = res.Instructions
 					}
 					p.MIPS = medianMIPS(samples)
+					p.HostSerialized = w > 1 && (hostCPUs == 1 || hostProcs == 1)
 					line := fmt.Sprintf("%-20s %6d %8d %6d %8d %12d %12d %10.3f",
 						p.Kernel, p.Cores, p.Workers, p.Interleave, p.N, p.Instructions, p.Cycles, p.MIPS)
+					if p.HostSerialized {
+						line += "  [host-serialized]"
+					}
 					if b, ok := base[pointKey(p.Kernel, p.Cores, p.Workers, p.Interleave)]; ok && b > 0 {
 						p.BaselineMIPS = b
 						p.Speedup = p.MIPS / b

@@ -1,6 +1,7 @@
 package coyote
 
 import (
+	"path/filepath"
 	"testing"
 
 	"github.com/coyote-sim/coyote/internal/uncore"
@@ -19,6 +20,12 @@ import (
 // page-to-bank mapping, tiny MSHR pools, DRAM row buffers) and the
 // parallel orchestrator's worker-count dimension; `make fuzz` runs a
 // short exploration on top of it.
+//
+// Every point additionally exercises the checkpoint dimension: the run
+// is stopped at a fuzzer-derived cycle, serialized, restored into a
+// fresh System and run to completion, and the reassembled statistics
+// must match the uninterrupted run bit-for-bit (in both the default and
+// -tags coyotesan builds, which also proves the shadow-state resync).
 //
 // workersSel picks the in-cycle worker pool size (1..4). Whenever the
 // fuzzed config runs Workers > 1, the rerun below executes the identical
@@ -92,6 +99,40 @@ func FuzzKernelSan(f *testing.F) {
 		if res.Cycles != again.Cycles {
 			t.Fatalf("%s %+v is nondeterministic across workers=%d/1: %d cycles then %d",
 				name, p, cfg.Workers, res.Cycles, again.Cycles)
+		}
+
+		// Checkpoint dimension: stop the same point at a fuzzer-derived
+		// mid-run cycle, serialize, restore into a fresh System and run to
+		// completion. The reassembled run must report bit-identical
+		// simulated-time statistics — any state the serializers miss (or
+		// resynchronize wrongly, including the coyotesan shadow state)
+		// shows up as a diff or a sanitizer panic.
+		if res.Cycles > 1 {
+			ckAt := 1 + uint64(seed&0x7fffffff)%(res.Cycles-1)
+			path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+			if _, stopped, err := RunToCheckpoint(name, p, cfg, ckAt, path, nil); err != nil {
+				t.Fatalf("%s %+v checkpoint at %d: %v", name, p, ckAt, err)
+			} else if stopped {
+				img, err := LoadCheckpoint(path)
+				if err != nil {
+					t.Fatalf("%s %+v load: %v", name, p, err)
+				}
+				sys, err := img.Restore(nil)
+				if err != nil {
+					t.Fatalf("%s %+v restore at %d: %v", name, p, ckAt, err)
+				}
+				rres, err := sys.Run()
+				if err != nil {
+					t.Fatalf("%s %+v resumed run: %v", name, p, err)
+				}
+				if err := VerifyKernel(sys, name, p); err != nil {
+					t.Fatalf("%s %+v resumed run wrong results: %v", name, p, err)
+				}
+				if canonical(rres) != canonical(res) {
+					t.Fatalf("%s %+v restored at cycle %d diverges from the uninterrupted run:\n--- uninterrupted\n%s--- restored\n%s",
+						name, p, ckAt, canonical(res), canonical(rres))
+				}
+			}
 		}
 	})
 }

@@ -62,12 +62,32 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(total)
 }
 
+// line packs tag, valid and dirty into one word so an 8-way set scan
+// touches two host cache lines instead of three: tv = tag<<2|dirty<<1|valid.
+// Tags are line addresses already shifted right by lineShift (≥6 for any
+// real geometry), so the two flag bits never collide with tag bits. The
+// zero value is an invalid line.
 type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64 // timestamp of last touch; smaller = older
+	tv  uint64
+	lru uint64 // timestamp of last touch; smaller = older
 }
+
+const (
+	lineValid = 1 << 0
+	lineDirty = 1 << 1
+)
+
+func (l *line) valid() bool { return l.tv&lineValid != 0 }
+func (l *line) dirty() bool { return l.tv&lineDirty != 0 }
+func (l *line) tag() uint64 { return l.tv >> 2 }
+func (l *line) matches(tag uint64) bool {
+	// valid and tag equal in one compare-friendly form: the dirty bit is
+	// masked out, the valid bit must be set.
+	return l.tv&^uint64(lineDirty) == tag<<2|lineValid
+}
+
+//coyote:specwrite-ok only called from Access, which journals the line's set via specSave before any mutation on a speculative path
+func (l *line) setDirty() { l.tv |= lineDirty }
 
 // Cache is a tag-only set-associative cache. Not safe for concurrent use.
 type Cache struct {
@@ -91,6 +111,16 @@ type Cache struct {
 	// sets it restores, because a restored line can match on tag while no
 	// longer being its set's most recent.
 	mru []*line
+
+	// warm is WarmAccess's direct-mapped residency filter, allocated on
+	// first use so timed-only runs never pay for it. Each slot holds
+	// tag<<1|1 (0 = empty), so a read hit is one load and one compare with
+	// no pointer into the tag store. The invariant "a live slot's tag is
+	// resident" is maintained by clearing the matching slot wherever a
+	// line can change identity — eviction, Invalidate — and by dropping
+	// the whole filter on Flush, RollbackSpec and Restore. Timed mode
+	// (Access/Probe/Fill) never reads it.
+	warm []uint64
 
 	// spec journals touched sets during a speculative episode so a
 	// misspeculated hart's cache state can be rolled back bit-exactly.
@@ -170,7 +200,7 @@ type AccessResult struct {
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	tag := addr >> c.lineShift
 	idx := tag & c.setMask
-	if m := c.mru[idx]; !san.Enabled && m != nil && m.valid && m.tag == tag {
+	if m := c.mru[idx]; !san.Enabled && m != nil && m.matches(tag) {
 		// Repeat access to the set's most recently touched line; see the
 		// mru field comment for why skipping the LRU write is sound. The
 		// coyotesan build always takes the full path so every lookup is
@@ -180,7 +210,7 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 		}
 		c.Stats.Hits++
 		if write {
-			m.dirty = true
+			m.setDirty()
 		}
 		return AccessResult{Hit: true}
 	}
@@ -189,46 +219,97 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	}
 	c.clock++
 	set := c.set(idx)
+	// One pass finds a hit and tracks the would-be victim — invalid-first,
+	// else earliest minimum LRU, exactly the choice two separate scans
+	// would make — so a miss never rescans the set.
+	victim := 0
+	haveInvalid := false
 	for i := range set {
 		l := &set[i]
-		if l.valid && l.tag == tag {
+		if l.matches(tag) {
 			c.san.Lookup(c.clock, tag, true)
 			c.Stats.Hits++
 			l.lru = c.clock
 			if write {
-				l.dirty = true
+				l.setDirty()
 			}
 			c.mru[idx] = l
 			return AccessResult{Hit: true}
 		}
+		if !haveInvalid {
+			if !l.valid() {
+				victim = i
+				haveInvalid = true
+			} else if set[victim].valid() && l.lru < set[victim].lru {
+				victim = i
+			}
+		}
 	}
 	c.san.Lookup(c.clock, tag, false) //coyote:mut-survivor equivalent: purely observational sanitizer probe; deleting it changes no simulated state, it can only blunt shadow-directory audits
 	c.Stats.Misses++
-	// Choose a victim: invalid first, else LRU.
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].lru < set[victim].lru {
-			victim = i
-		}
-	}
 	var res AccessResult
 	v := &set[victim]
-	if v.valid {
-		c.san.Evict(c.clock, v.tag)
+	if v.valid() {
+		c.warmDrop(v.tag())
+		c.san.Evict(c.clock, v.tag())
 		c.Stats.Evictions++
-		if v.dirty && c.cfg.WriteBack {
+		if v.dirty() && c.cfg.WriteBack {
 			c.Stats.Writebacks++
-			res.Writeback = v.tag << c.lineShift
+			res.Writeback = v.tag() << c.lineShift
 			res.HasWriteback = true
 		}
 	}
 	c.san.Install(c.clock, tag)
-	*v = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	tv := tag<<2 | lineValid
+	if write {
+		tv |= lineDirty
+	}
+	*v = line{tv: tv, lru: c.clock}
 	c.mru[idx] = v
+	return res
+}
+
+// warmSlots sizes the WarmAccess line filter: direct-mapped on the line
+// tag, big enough to hold a typical L1's working set of streams.
+const warmSlots = 512
+
+// warmDrop clears the filter slot that could reference tag, preserving
+// the filter invariant when that tag's line is about to change identity
+// (eviction or invalidation). A colliding slot holding a different tag
+// is left alone.
+func (c *Cache) warmDrop(tag uint64) {
+	if c.warm != nil {
+		if s := &c.warm[tag&(warmSlots-1)]; *s == tag<<1|1 {
+			*s = 0
+		}
+	}
+}
+
+// WarmAccess is Access for functional cache warming. Misses and writes
+// have the exact effects of Access — allocate, evict, write back, mark
+// dirty — but repeat read hits are answered through the direct-mapped
+// residency filter without an LRU write, so interleaved streams (which
+// defeat the single-entry mru memo) stay on a fast path. Unlike the mru
+// memo this DOES let the relative LRU order inside a set drift from true
+// LRU: a filter hit leaves the line's stamp stale while other ways
+// advance. Warming is approximate by contract (a detailed warm-up window
+// re-establishes near-term state before any measurement), so the drift
+// trades a strictly bounded amount of replacement fidelity for the fast
+// path. Timed simulation must never call this.
+func (c *Cache) WarmAccess(addr uint64, write bool) AccessResult {
+	tag := addr >> c.lineShift
+	if c.warm == nil {
+		c.warm = make([]uint64, warmSlots) //coyote:alloc-ok one-time filter allocation on the first warming access; reused until a flush/rollback/restore drops it
+	}
+	if !write && !san.Enabled && c.warm[tag&(warmSlots-1)] == tag<<1|1 {
+		c.Stats.Hits++
+		return AccessResult{Hit: true}
+	}
+	// Writes take the full path so the dirty bit and LRU state are exact;
+	// the mru memo inside Access keeps repeat-line write streams cheap.
+	res := c.Access(addr, write)
+	// Access always leaves addr's line resident, so the slot is live.
+	c.warm[tag&(warmSlots-1)] = tag<<1 | 1
 	return res
 }
 
@@ -238,7 +319,7 @@ func (c *Cache) Probe(addr uint64) bool {
 	tag := addr >> c.lineShift
 	set := c.set(tag & c.setMask)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].matches(tag) {
 			c.san.Lookup(c.clock, tag, true)
 			return true
 		}
@@ -270,7 +351,8 @@ func (c *Cache) Invalidate(addr uint64) bool {
 	}
 	set := c.set(tag & c.setMask)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].matches(tag) {
+			c.warmDrop(tag)
 			c.san.Drop(c.clock, tag, true)
 			set[i] = line{}
 			return true
@@ -286,11 +368,12 @@ func (c *Cache) Flush() []uint64 {
 	var wbs []uint64
 	for i := range c.sets {
 		l := &c.sets[i]
-		if l.valid && l.dirty && c.cfg.WriteBack {
-			wbs = append(wbs, l.tag<<c.lineShift)
+		if l.valid() && l.dirty() && c.cfg.WriteBack {
+			wbs = append(wbs, l.tag()<<c.lineShift)
 		}
 		*l = line{}
 	}
+	c.warm = nil
 	c.san.Reset()
 	return wbs
 }
@@ -303,7 +386,7 @@ func (c *Cache) ResetStats() { c.Stats = Stats{} }
 func (c *Cache) Occupancy() int {
 	n := 0
 	for i := range c.sets {
-		if c.sets[i].valid {
+		if c.sets[i].valid() {
 			n++
 		}
 	}

@@ -1,0 +1,74 @@
+package cache
+
+import (
+	"fmt"
+
+	"github.com/coyote-sim/coyote/internal/ckpt"
+)
+
+// Checkpoint writes the tag store, LRU clock and statistics to w. The mru
+// memo is not serialized: it is rebuilt lazily and always holds its set's
+// maximum LRU stamp, so dropping it cannot change any victim choice (see
+// the mru field comment). A checkpoint may only be taken outside a
+// speculative episode; the caller (core.System) guarantees the harts are
+// between instructions.
+func (c *Cache) Checkpoint(w *ckpt.Writer) error {
+	if c.spec.active {
+		return fmt.Errorf("cache: checkpoint during an active speculative episode")
+	}
+	w.U64(c.clock)
+	w.U64(c.Stats.Hits)
+	w.U64(c.Stats.Misses)
+	w.U64(c.Stats.Evictions)
+	w.U64(c.Stats.Writebacks)
+	w.U64(uint64(len(c.sets)))
+	for i := range c.sets {
+		l := &c.sets[i]
+		w.U64(l.tag())
+		w.Bool(l.valid())
+		w.Bool(l.dirty())
+		w.U64(l.lru)
+	}
+	return nil
+}
+
+// Restore replaces the tag store, clock and statistics from r. The shadow
+// directory (coyotesan builds) is resynchronized to the restored residency.
+func (c *Cache) Restore(r *ckpt.Reader) error {
+	clock := r.U64()
+	var st Stats
+	st.Hits = r.U64()
+	st.Misses = r.U64()
+	st.Evictions = r.U64()
+	st.Writebacks = r.U64()
+	n := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != uint64(len(c.sets)) {
+		return fmt.Errorf("cache: checkpoint has %d lines, this cache has %d (geometry mismatch)", n, len(c.sets))
+	}
+	c.clock = clock
+	c.Stats = st
+	c.san.Reset()
+	for i := range c.sets {
+		l := &c.sets[i]
+		tag := r.U64()
+		valid := r.Bool()
+		dirty := r.Bool()
+		l.lru = r.U64()
+		l.tv = 0
+		if valid {
+			l.tv = tag<<2 | lineValid
+			if dirty {
+				l.tv |= lineDirty
+			}
+			c.san.Install(c.clock, tag)
+		}
+	}
+	for i := range c.mru {
+		c.mru[i] = nil
+	}
+	c.warm = nil
+	return r.Err()
+}

@@ -62,6 +62,10 @@ func (c *Cache) RollbackSpec() {
 	}
 	c.Stats = c.spec.stats
 	c.clock = c.spec.clock
+	// Restored lines can hold different tags than the filter recorded;
+	// speculation and warming never overlap, so dropping the whole filter
+	// costs nothing.
+	c.warm = nil
 	c.spec.active = false
 	c.spec.saved = c.spec.saved[:0]
 }
@@ -71,33 +75,33 @@ func (c *Cache) RollbackSpec() {
 // coyotesan build.
 func (c *Cache) resyncShadow(cur, saved []line) {
 	for i := range cur {
-		if !cur[i].valid {
+		if !cur[i].valid() {
 			continue
 		}
 		kept := false
 		for j := range saved {
-			if saved[j].valid && saved[j].tag == cur[i].tag {
+			if saved[j].matches(cur[i].tag()) {
 				kept = true
 				break
 			}
 		}
 		if !kept {
-			c.san.Evict(c.clock, cur[i].tag)
+			c.san.Evict(c.clock, cur[i].tag())
 		}
 	}
 	for j := range saved {
-		if !saved[j].valid {
+		if !saved[j].valid() {
 			continue
 		}
 		present := false
 		for i := range cur {
-			if cur[i].valid && cur[i].tag == saved[j].tag {
+			if cur[i].matches(saved[j].tag()) {
 				present = true
 				break
 			}
 		}
 		if !present {
-			c.san.Install(c.clock, saved[j].tag)
+			c.san.Install(c.clock, saved[j].tag())
 		}
 	}
 }

@@ -1,0 +1,179 @@
+// Package ckpt is the low-level binary encoder/decoder shared by every
+// component's checkpoint serializer. It exists below internal/evsim,
+// internal/cache, internal/cpu, internal/mem, internal/uncore and
+// internal/core so each package can expose Snapshot/Restore methods over
+// its own unexported state without import cycles; the high-level file
+// format (magic, schema version, checksum) lives in internal/checkpoint.
+//
+// The encoding is deliberately plain: little-endian fixed-width integers
+// and length-prefixed byte strings, written in a statically known field
+// order. There is no reflection and no per-field tagging — the schema IS
+// the code, and any layout change must bump checkpoint.SchemaVersion
+// (same bump policy as rcache.SchemaVersion, see DESIGN.md §14).
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer accumulates an encoded checkpoint section in memory.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded contents.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the encoded size so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) {
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+}
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte (0/1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Int appends an int as a two's-complement uint64.
+func (w *Writer) Int(v int) { w.U64(uint64(v)) }
+
+// F64 appends an IEEE-754 double by bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes64 appends a u64 length prefix followed by the raw bytes.
+func (w *Writer) Bytes64(b []byte) {
+	w.U64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader decodes a section produced by Writer. Errors are sticky: the
+// first short read poisons the reader and every later accessor returns
+// zero values, so calling code can decode a whole section and check Err
+// once at the end.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps an encoded section.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail(n int) bool {
+	if r.err != nil {
+		return true
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("ckpt: truncated section: need %d bytes at offset %d of %d", n, r.off, len(r.b))
+		return true
+	}
+	return false
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	if r.fail(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.fail(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	if r.fail(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.fail(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// Bool reads one byte as a bool; any non-{0,1} value is corruption.
+func (r *Reader) Bool() bool {
+	v := r.U8()
+	if r.err == nil && v > 1 {
+		r.err = fmt.Errorf("ckpt: bad bool byte %#x at offset %d", v, r.off-1)
+	}
+	return v == 1
+}
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.U64()) }
+
+// F64 reads an IEEE-754 double by bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes64 reads a length-prefixed byte string (a fresh copy).
+func (r *Reader) Bytes64() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.err = fmt.Errorf("ckpt: byte string length %d exceeds %d remaining", n, len(r.b)-r.off)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	r.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes64()) }

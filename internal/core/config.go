@@ -51,6 +51,12 @@ type Config struct {
 	// hart gets a stack StackSize below the previous one.
 	StackTop  uint64
 	StackSize uint64
+	// CheckpointAt > 0 asks the harness driver to stop at this cycle
+	// (System.RunTo) and serialize the machine. Purely an execution-
+	// strategy knob: a run that checkpoints at cycle C and resumes
+	// produces bit-identical results to one that never stops, which is
+	// exactly what the checkpoint golden suite proves.
+	CheckpointAt uint64
 }
 
 // DefaultConfig builds the DESIGN.md §6 system for the given core count.

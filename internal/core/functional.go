@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/coyote-sim/coyote/internal/cpu"
+)
+
+// functionalQuantum is the per-sweep instruction budget of a hart in
+// functional mode. Bounded (rather than "run to halt") so multi-hart
+// sweeps still rotate through every hart and the instret target is
+// overshot by at most one quantum per hart.
+const functionalQuantum = 4096
+
+// RunFunctional advances the program by (at least) instrs retired
+// instructions at functional speed: ISA semantics execute through the
+// superblock engine exactly as in detailed mode, but the event calendar,
+// MSHRs and NoC latencies are bypassed entirely — every miss completes
+// the moment it is dispatched, with the cache hierarchy warmed
+// functionally (Uncore.WarmAccess) so tag/dirty/LRU state tracks the
+// instruction stream. This is the fast-forward phase of sampled
+// simulation: orders of magnitude cheaper per instruction than detailed
+// mode, architecturally exact, timing-free.
+//
+// Entry first drains the timed model: in-flight completions fire, parked
+// harts wake, and the clock advances past the last event, so the
+// functional region starts — and therefore later detailed regions
+// restart — from a quiescent machine. Cycle counts accumulated across a
+// functional region are NOT meaningful; sampling drivers measure CPI
+// from deltas inside detailed windows only, and reset statistics at each
+// measurement boundary.
+//
+// Returns done=true when the program finished inside the region.
+func (s *System) RunFunctional(instrs uint64) (done bool, err error) {
+	if s.prog == nil {
+		return false, fmt.Errorf("core: no program loaded")
+	}
+	// Settle all in-flight timed work. Completions may wake parked harts.
+	s.Eng.Drain()
+	if now := s.Eng.Now(); s.cycle <= now {
+		s.cycle = now + 1
+	}
+
+	// Arm every hart's warm sink: post-L1 traffic (L1 misses, dirty
+	// writebacks) flows straight into the functional hierarchy warmer
+	// instead of the event machinery, so a miss costs a map-free call
+	// rather than an emit + orchestrator round trip. MCPU gather
+	// descriptors still arrive as events; warmDispatch below handles them.
+	for i, h := range s.Harts {
+		tile := s.tileOf(i)
+		h.SetWarmSink(func(addr uint64, write bool) {
+			s.Uncore.WarmAccess(tile, addr, write)
+		})
+	}
+	defer func() {
+		for _, h := range s.Harts {
+			h.SetWarmSink(nil)
+		}
+	}()
+
+	target := s.TotalInstret() + instrs
+	// Per-hart functional clocks: multi-cycle (vector) occupancy still
+	// advances a hart's own time so BusyCycles accounting stays sane, but
+	// harts do not synchronize with each other — there is no shared
+	// timeline to keep consistent without the calendar.
+	fnow := make([]uint64, len(s.Harts))
+	for i := range fnow {
+		fnow[i] = s.cycle
+	}
+
+	for s.nDone < len(s.Harts) && s.TotalInstret() < target {
+		progress := false
+		for i, h := range s.Harts {
+			if s.halted[i] {
+				continue
+			}
+			if bu := h.BusyUntil(); bu > fnow[i] {
+				fnow[i] = bu
+				progress = true
+			}
+			var res cpu.StepResult
+			var n int
+			if h.BlockEngineEnabled() {
+				// Functional mode ignores Config.InterleaveQuantum: the
+				// quantum trades timing fidelity for speed, and a
+				// functional region has no timing to be faithful to. A
+				// large fixed quantum lets the dedicated functional block
+				// loop run free until a terminator or region boundary —
+				// with the warm sink armed, cache misses complete inline.
+				n, res = h.StepBlockFunctional(fnow[i], functionalQuantum)
+			} else {
+				res = h.Step(fnow[i])
+				if res == cpu.StepExecuted {
+					n = 1
+				}
+			}
+			if n > 0 {
+				progress = true
+			}
+			if len(h.Events) > 0 {
+				s.warmDispatch(h)
+				progress = true
+			}
+			switch res {
+			case cpu.StepExecuted, cpu.StepStalledRAW, cpu.StepStalledFetch:
+				// Stall results are transient here: warmDispatch completed
+				// the fills the hart is waiting on, so the next sweep
+				// proceeds. The runnable bitset is untouched — it only
+				// matters to the timed loop, and every bit survives as-is.
+			case cpu.StepFault:
+				return false, h.Fault
+			case cpu.StepHalted:
+				if !s.halted[i] {
+					s.halted[i] = true
+					s.park(i)
+					s.nDone++
+					progress = true // the halt transition is forward motion
+				}
+			case cpu.StepBusy:
+				if bu := h.BusyUntil(); bu > fnow[i] {
+					fnow[i] = bu
+				} else {
+					fnow[i]++
+				}
+				progress = true
+			case cpu.StepSpecUnsafe:
+				panic("core: StepSpecUnsafe outside an armed speculation")
+			}
+		}
+		if !progress {
+			// Impossible for well-formed programs: every stall's fill was
+			// completed synchronously above, so only a hart spinning on
+			// memory another (also stuck) hart must write could stop the
+			// sweep — a deadlock detailed mode would hit too.
+			return false, fmt.Errorf("core: functional fast-forward made no progress (%d/%d harts done)",
+				s.nDone, len(s.Harts))
+		}
+	}
+
+	// Commit the clock: no hart's occupancy may extend past the resumed
+	// timed region's start, and the engine must never run behind it.
+	for _, t := range fnow {
+		if t > s.cycle {
+			s.cycle = t
+		}
+	}
+	return s.nDone == len(s.Harts), nil
+}
+
+// warmDispatch is dispatch()'s functional twin: drain the hart's memory
+// events, warm the hierarchy, and complete everything immediately. No
+// uncore submission, no completion ledger (the san ledger tracks timed
+// completions; functional fills never enter the calendar), no trace
+// events (a fast-forwarded region has no meaningful timestamps).
+func (s *System) warmDispatch(h *cpu.Hart) {
+	events := h.Events
+	h.Events = h.Events[:0]
+	for _, ev := range events {
+		if ev.Gather != nil {
+			s.Uncore.WarmGather(ev.Gather, ev.Write)
+			if ev.HasDest {
+				h.CompleteFill(ev.Dest, ev.DestReg)
+			}
+			h.RecycleGatherBuf(ev.Gather)
+			continue
+		}
+		s.Uncore.WarmAccess(s.tileOf(ev.Hart), ev.Addr, ev.Write)
+		switch {
+		case ev.Fetch:
+			h.CompleteFetch()
+		case ev.HasDest:
+			h.CompleteFill(ev.Dest, ev.DestReg)
+		}
+	}
+}

@@ -61,8 +61,15 @@ type System struct {
 
 	// doneFns holds one long-lived completion callback per hart. Miss
 	// completions carry a packed argument (doneFetch, or dest kind/reg)
-	// instead of a fresh closure per event — see dispatch.
+	// instead of a fresh closure per event — see dispatch. doneH holds the
+	// matching engine-registry handles so in-flight completions can be
+	// named in a checkpoint.
 	doneFns []func(uint64)
+	doneH   []evsim.Handle
+
+	// resv is the shared LR/SC reservation set (part of the architectural
+	// state a checkpoint must carry).
+	resv *cpu.Reservations
 
 	// stall bookkeeping: when a core parks, remember why and since when
 	// so the wake-up can credit the full stalled duration to its stats.
@@ -97,6 +104,7 @@ func New(cfg Config) (*System, error) {
 		runnable:   make([]uint64, (cfg.Cores+63)/64),
 		halted:     make([]bool, cfg.Cores),
 		doneFns:    make([]func(uint64), cfg.Cores),
+		doneH:      make([]evsim.Handle, cfg.Cores),
 		stallSince: make([]uint64, cfg.Cores),
 		stallFetch: make([]bool, cfg.Cores),
 	}
@@ -106,9 +114,9 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.Uncore = un
-	resv := cpu.NewReservations(cfg.Cores)
+	s.resv = cpu.NewReservations(cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
-		h, err := cpu.NewHart(i, cfg.Hart, s.Mem, resv)
+		h, err := cpu.NewHart(i, cfg.Hart, s.Mem, s.resv)
 		if err != nil {
 			return nil, err
 		}
@@ -125,6 +133,10 @@ func New(cfg Config) (*System, error) {
 			}
 			s.wake(hart)
 		}
+		// Registered after the uncore's handles: construction order — and
+		// therefore every handle value — is a pure function of Config,
+		// which is what lets a checkpoint name callbacks by handle.
+		s.doneH[i] = s.Eng.RegisterFn(s.doneFns[i])
 	}
 	return s, nil
 }
@@ -148,6 +160,10 @@ func (s *System) LoadProgram(p *asm.Program) {
 		h.FlushDecodeCache()                                // text may overwrite a previous image
 	}
 }
+
+// Program returns the loaded program image (nil before LoadProgram) —
+// checkpoint files embed it so a restore needs no assembler.
+func (s *System) Program() *asm.Program { return s.prog }
 
 // Symbol resolves a program symbol; it panics if no program is loaded.
 func (s *System) Symbol(name string) (uint64, bool) {
@@ -203,6 +219,7 @@ func (s *System) dispatch(h *cpu.Hart) {
 				done = uncore.Done{
 					F:   s.doneFns[ev.Hart],
 					Arg: uint64(ev.Dest)<<8 | uint64(ev.DestReg),
+					H:   s.doneH[ev.Hart],
 				}
 				s.san.Issue(s.cycle, uint64(ev.Hart)<<32|done.Arg)
 				if s.Tracer != nil && len(ev.Gather) > 0 {
@@ -220,7 +237,7 @@ func (s *System) dispatch(h *cpu.Hart) {
 		}
 		switch {
 		case ev.Fetch:
-			req.Done = uncore.Done{F: s.doneFns[ev.Hart], Arg: doneFetch}
+			req.Done = uncore.Done{F: s.doneFns[ev.Hart], Arg: doneFetch, H: s.doneH[ev.Hart]}
 			s.san.Issue(s.cycle, uint64(ev.Hart)<<32|doneFetch)
 			if s.Tracer != nil {
 				s.Tracer.Event(s.cycle, ev.Hart, TraceL1IMiss, ev.Addr)
@@ -229,6 +246,7 @@ func (s *System) dispatch(h *cpu.Hart) {
 			req.Done = uncore.Done{
 				F:   s.doneFns[ev.Hart],
 				Arg: uint64(ev.Dest)<<8 | uint64(ev.DestReg),
+				H:   s.doneH[ev.Hart],
 			}
 			s.san.Issue(s.cycle, uint64(ev.Hart)<<32|req.Done.Arg)
 			if s.Tracer != nil {
@@ -275,22 +293,64 @@ func (s *System) ResetStats() {
 	s.Uncore.ResetStats()
 }
 
+// noStop disables a run-loop stop bound.
+const noStop = ^uint64(0)
+
 // Run simulates until every hart halts, a fault occurs, or MaxCycles is
 // reached.
+//
 //coyote:globalfree
 func (s *System) Run() (*Result, error) {
+	res, _, err := s.run(noStop, noStop)
+	return res, err
+}
+
+// RunTo simulates until every hart halts or the clock reaches stopCycle,
+// whichever comes first. It reports stopped=true when the bound was hit:
+// the engine has serviced everything up to stopCycle-1, no hart has a
+// speculative episode armed and no hart holds undrained events — exactly
+// the quiescent inter-cycle boundary CheckpointState serializes. The
+// calendar is NOT drained on a stop, so pending events survive into the
+// checkpoint and the resumed run replays them on schedule.
+func (s *System) RunTo(stopCycle uint64) (*Result, bool, error) {
+	return s.run(stopCycle, noStop)
+}
+
+// RunUntilInstret simulates until the harts' summed retired-instruction
+// count reaches target (or the program ends). The sampling driver uses it
+// to bound warm-up and measurement windows in instructions, the unit in
+// which sampling intervals are defined.
+func (s *System) RunUntilInstret(target uint64) (*Result, bool, error) {
+	return s.run(noStop, target)
+}
+
+// TotalInstret sums retired instructions across all harts.
+func (s *System) TotalInstret() uint64 {
+	var n uint64
+	for _, h := range s.Harts {
+		n += h.Stats.Instret
+	}
+	return n
+}
+
+func (s *System) run(stopCycle, stopInstret uint64) (*Result, bool, error) {
 	if s.prog == nil {
-		return nil, fmt.Errorf("core: no program loaded")
+		return nil, false, fmt.Errorf("core: no program loaded")
 	}
 	parallel := s.cfg.Workers > 1 && len(s.Harts) > 1
 	if parallel {
 		s.startWorkers()
 		defer s.stopWorkers()
 	}
+	stopped := false
 	start := time.Now() //coyote:wallclock-ok wall-clock MIPS measurement only; never feeds back into simulated timing
 	for s.nDone < len(s.Harts) {
+		if s.cycle >= stopCycle || (stopInstret != noStop && s.TotalInstret() >= stopInstret) {
+			stopped = true
+			break
+		}
 		if s.cycle >= s.cfg.MaxCycles {
-			return nil, fmt.Errorf("core: cycle limit %d reached (deadlock or runaway kernel?)",
+			return nil, false, fmt.Errorf("core: cycle limit %d reached (deadlock or runaway kernel?)",
 				s.cfg.MaxCycles)
 		}
 		var anyRunnable bool
@@ -301,7 +361,7 @@ func (s *System) Run() (*Result, error) {
 			anyRunnable, err = s.stepCycleSeq()
 		}
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 
 		// Advance the event-driven model to "now", servicing anything due
@@ -333,7 +393,7 @@ func (s *System) Run() (*Result, error) {
 		// event.
 		next, ok := s.Eng.NextEventTime()
 		if !ok {
-			return nil, fmt.Errorf(
+			return nil, false, fmt.Errorf(
 				"core: deadlock at cycle %d: %d/%d harts halted, none runnable, no pending events",
 				s.cycle, s.nDone, len(s.Harts))
 		}
@@ -346,9 +406,28 @@ func (s *System) Run() (*Result, error) {
 		// top keeps the canonical step-then-advance order, so completions
 		// still wake cores for the *following* cycle, exactly as when
 		// ticking cycle by cycle. Statistics count the skipped cycles.
+		// A stop bound clamps the jump: the loop passes through stopCycle
+		// (an empty runnable sweep and a no-op AdvanceTo — observationally
+		// identical to jumping over it) and breaks at the loop top.
+		if next > stopCycle {
+			next = stopCycle
+		}
 		if next > s.cycle {
 			s.cycle = next
 		}
+	}
+	if stopped {
+		// Stop-bound exit: leave the calendar pending for the checkpoint
+		// and skip the end-of-run audits — the run is not over. A clamped
+		// fast-forward jump can leave the engine clock behind the stop
+		// boundary with nothing scheduled in between; normalize it to the
+		// canonical cycle-1 position (a pure clock move: the earliest
+		// pending event is at or past the stop cycle, or the engine would
+		// already be there).
+		if s.cycle > 0 && s.Eng.Now() < s.cycle-1 {
+			s.Eng.AdvanceTo(s.cycle - 1)
+		}
+		return s.collect(time.Since(start)), true, nil //coyote:wallclock-ok reports simulator throughput; simulated state is already final
 	}
 	s.Eng.Drain()
 	if san.Enabled {
@@ -358,7 +437,7 @@ func (s *System) Run() (*Result, error) {
 		s.san.Drained(s.Eng.Now())
 		s.Uncore.Audit()
 	}
-	return s.collect(time.Since(start)), nil //coyote:wallclock-ok reports simulator throughput; simulated state is already final
+	return s.collect(time.Since(start)), false, nil //coyote:wallclock-ok reports simulator throughput; simulated state is already final
 }
 
 // stepCycleSeq is the classic single-goroutine functional phase: step

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"math"
+
 	"github.com/coyote-sim/coyote/internal/riscv"
 	"github.com/coyote-sim/coyote/internal/san"
 )
@@ -56,6 +58,69 @@ type blockInstr struct {
 	use   riscv.RegUse
 	lmul  uint8
 	isVec bool
+	fast  uint8 // fastNone or the functional-loop inline class, see fastClass
+}
+
+// Inline classes for StepBlockFunctional: the handful of opcodes that
+// dominate scalar HPC kernels execute directly in the functional loop,
+// skipping execute's two-level dispatch. Every inline body must mirror
+// execute's semantics exactly (x0 guard, sign extension, warm-gated
+// memory side effects); everything else takes fastNone through execute.
+const (
+	fastNone uint8 = iota
+	fastADDI
+	fastADD
+	fastLD
+	fastSD
+	fastFLD
+	fastFSD
+	fastFMADDD
+	fastFADDD
+	fastFMULD
+	fastBEQ
+	fastBNE
+	fastBLT
+	fastBGE
+	fastBLTU
+	fastBGEU
+)
+
+// fastClass assigns a blockInstr its functional-loop inline class. Cold
+// path: runs once per instruction per block build.
+func fastClass(op riscv.Op) uint8 {
+	switch op {
+	case riscv.OpADDI:
+		return fastADDI
+	case riscv.OpADD:
+		return fastADD
+	case riscv.OpLD:
+		return fastLD
+	case riscv.OpSD:
+		return fastSD
+	case riscv.OpFLD:
+		return fastFLD
+	case riscv.OpFSD:
+		return fastFSD
+	case riscv.OpFMADDD:
+		return fastFMADDD
+	case riscv.OpFADDD:
+		return fastFADDD
+	case riscv.OpFMULD:
+		return fastFMULD
+	case riscv.OpBEQ:
+		return fastBEQ
+	case riscv.OpBNE:
+		return fastBNE
+	case riscv.OpBLT:
+		return fastBLT
+	case riscv.OpBGE:
+		return fastBGE
+	case riscv.OpBLTU:
+		return fastBLTU
+	case riscv.OpBGEU:
+		return fastBGEU
+	}
+	return fastNone
 }
 
 const blockCacheSize = 512 // direct-mapped, same indexing as stepCache
@@ -86,6 +151,7 @@ func (h *Hart) fetchRead32(a uint64) uint32 {
 // the PC to the single-step path. Building is cold (once per entry PC per
 // generation) and reuses the entry's slice capacity, so the steady state
 // allocates nothing.
+//
 //coyote:specwrite-ok fills the block-cache entry under construction; decode state is a pure function of program memory, exempted at its Hart field declarations
 func (h *Hart) buildBlock(e *blockEntry) {
 	e.pc = h.PC
@@ -104,6 +170,7 @@ func (h *Hart) buildBlock(e *blockEntry) {
 		}
 		e.code = append(e.code, blockInstr{ //coyote:alloc-ok cold build path; the entry's backing array is reused on rebuild, growing at most to BlockMaxLen once
 			in: in, use: riscv.RegUsage(in, lmul), lmul: uint8(lmul), isVec: isVec,
+			fast: fastClass(in.Op),
 		})
 		pc += 4
 		if in.Op.Classify()&riscv.ClassBranch != 0 {
@@ -287,6 +354,211 @@ chain:
 		// next StepBlock *entry* check would catch — mid-chain we must stop
 		// here and let the orchestrator's re-entry do that accounting.
 		if res != StepExecuted || retired == max || now < h.busyUntil {
+			break chain
+		}
+	}
+	h.Stats.Instret += uint64(retired)
+	h.L1I.Stats.Hits += hits
+	return retired, res
+}
+
+// StepBlockFunctional is StepBlock's functional-mode twin: up to max
+// instructions execute with the same ISA-exact semantics through the
+// same cached superblocks, but with SetWarmSink armed every cache miss
+// completes immediately — so the stall machinery is provably inert and
+// the loop drops it. Specifically:
+//
+//   - no scoreboard check: with synchronous completion the pending
+//     masks stay empty (the MCPU gather path can mark a register
+//     pending mid-quantum, but the data was already written at issue —
+//     the mask is timing theater the orchestrator's functional
+//     dispatcher clears after the call);
+//   - no speculative saves: functional regions never run under the
+//     parallel orchestrator's speculation;
+//   - fetch misses warm the hierarchy and fetch on (no StallsFetch);
+//   - no vector-occupancy busy windows: functional time is per-hart
+//     and meaningless, so multi-cycle occupancy neither stalls the loop
+//     nor accumulates BusyCycles.
+//
+// The loop therefore only exits at terminators, faults, the halt or
+// quantum exhaustion — a cache miss no longer costs a quantum round
+// trip through the orchestrator.
+func (h *Hart) StepBlockFunctional(now uint64, max int) (int, StepResult) {
+	if h.Halted {
+		return 0, StepHalted
+	}
+	if h.warmLine == nil {
+		// No warm sink armed: the inline fast-op bodies below assume the
+		// warm-gated memory paths; fall back to fully timed stepping.
+		return h.StepBlock(now, max)
+	}
+	if h.blockOff || max <= 0 {
+		// Step still honours busyUntil; functional callers pass a clock
+		// at or past it.
+		if res := h.Step(now); res != StepExecuted {
+			return 0, res
+		}
+		return 1, StepExecuted
+	}
+	retired := 0
+	hits := uint64(0)
+	res := StepExecuted
+	lineBytes := uint64(h.L1I.LineBytes())
+chain:
+	for {
+		e := &h.blockCache[h.PC>>2&(blockCacheSize-1)]
+		if !e.valid || e.pc != h.PC {
+			h.buildBlock(e)
+		}
+		n := len(e.code)
+		if n == 0 {
+			// Terminator: the architectural single-step path owns system
+			// instructions, atomics and faults (its miss paths are warm-
+			// sink gated too).
+			if retired > 0 {
+				break chain
+			}
+			if res := h.Step(now); res != StepExecuted {
+				return 0, res
+			}
+			return 1, StepExecuted
+		}
+		if n > max-retired {
+			n = max - retired
+		}
+		pc := h.PC
+		code := e.code
+		for k := 0; k < n; {
+			line := h.L1I.LineAddr(pc)
+			seg := int((line + lineBytes - pc) >> 2)
+			if seg > n-k {
+				seg = n - k
+			}
+			if h.lastFetchValid && line == h.lastFetchLine {
+				// whole segment fetches from the resident line
+			} else {
+				if r := h.L1I.WarmAccess(pc, false); r.Hit {
+					hits--
+				} else {
+					// The first instruction of the segment fetched through the
+					// miss, not a same-line hit: cancel its upcoming hits++,
+					// matching the gated Step path (one miss, no hit).
+					h.Stats.FetchMisses++
+					h.warmLine(line, false)
+					hits--
+				}
+				h.lastFetchLine = line
+				h.lastFetchValid = true
+			}
+			segEnd := k + seg
+			_ = code[segEnd-1]
+			for ; k < segEnd; k++ {
+				bi := &code[k]
+				hits++
+				// Inline bodies mirror execute exactly; memory fast ops go
+				// straight to the warm-gated helpers the execute path would
+				// reach through scalarLoad/StoreAccess.
+				switch in := &bi.in; bi.fast {
+				case fastADDI:
+					if in.Rd != 0 {
+						h.X[in.Rd] = h.X[in.Rs1] + uint64(in.Imm)
+					}
+					pc += 4
+				case fastADD:
+					if in.Rd != 0 {
+						h.X[in.Rd] = h.X[in.Rs1] + h.X[in.Rs2]
+					}
+					pc += 4
+				case fastLD:
+					a := h.X[in.Rs1] + uint64(in.Imm)
+					if in.Rd != 0 {
+						h.X[in.Rd] = h.memRead64(a)
+					}
+					h.warmDataAccess(a, false)
+					pc += 4
+				case fastSD:
+					a := h.X[in.Rs1] + uint64(in.Imm)
+					h.memWrite64(a, h.X[in.Rs2])
+					h.warmDataAccess(a, true)
+					h.storeInvalidate(a)
+					pc += 4
+				case fastFLD:
+					a := h.X[in.Rs1] + uint64(in.Imm)
+					h.F[in.Rd] = h.memRead64(a)
+					h.warmDataAccess(a, false)
+					pc += 4
+				case fastFSD:
+					a := h.X[in.Rs1] + uint64(in.Imm)
+					h.memWrite64(a, h.F[in.Rs2])
+					h.warmDataAccess(a, true)
+					h.storeInvalidate(a)
+					pc += 4
+				case fastFMADDD:
+					h.setF64(in.Rd, math.FMA(h.getF64(in.Rs1), h.getF64(in.Rs2), h.getF64(in.Rs3)))
+					pc += 4
+				case fastFADDD:
+					h.setF64(in.Rd, h.getF64(in.Rs1)+h.getF64(in.Rs2))
+					pc += 4
+				case fastFMULD:
+					h.setF64(in.Rd, h.getF64(in.Rs1)*h.getF64(in.Rs2))
+					pc += 4
+				case fastBEQ:
+					if h.X[in.Rs1] == h.X[in.Rs2] {
+						pc += uint64(in.Imm)
+					} else {
+						pc += 4
+					}
+				case fastBNE:
+					if h.X[in.Rs1] != h.X[in.Rs2] {
+						pc += uint64(in.Imm)
+					} else {
+						pc += 4
+					}
+				case fastBLT:
+					if int64(h.X[in.Rs1]) < int64(h.X[in.Rs2]) {
+						pc += uint64(in.Imm)
+					} else {
+						pc += 4
+					}
+				case fastBGE:
+					if int64(h.X[in.Rs1]) >= int64(h.X[in.Rs2]) {
+						pc += uint64(in.Imm)
+					} else {
+						pc += 4
+					}
+				case fastBLTU:
+					if h.X[in.Rs1] < h.X[in.Rs2] {
+						pc += uint64(in.Imm)
+					} else {
+						pc += 4
+					}
+				case fastBGEU:
+					if h.X[in.Rs1] >= h.X[in.Rs2] {
+						pc += uint64(in.Imm)
+					} else {
+						pc += 4
+					}
+				default:
+					if bi.isVec && uint(bi.lmul) != h.VType.LMUL {
+						bi.lmul = uint8(h.VType.LMUL)
+						bi.use = riscv.RegUsage(bi.in, h.VType.LMUL)
+					}
+					h.PC = pc
+					nextPC := pc + 4
+					res = h.execute(bi.in, &nextPC, now)
+					if res != StepExecuted {
+						break chain // fault: execute already halted the hart
+					}
+					pc = nextPC
+					if bi.isVec {
+						h.Stats.VectorOps++
+					}
+				}
+				retired++
+			}
+			h.PC = pc
+		}
+		if retired == max {
 			break chain
 		}
 	}

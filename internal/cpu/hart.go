@@ -148,6 +148,7 @@ func (r *Reservations) check(hart int, line uint64) bool {
 
 // invalidateStores drops every reservation matching a stored-to line,
 // except the storing hart's own (its SC consumed it already).
+//
 //coyote:specwrite-ok commit-phase helper: the spec layer defers store invalidation until the quantum commits (see spec.go storeInvalidate)
 func (r *Reservations) invalidateStores(storer int, line uint64) {
 	for i := range r.valid {
@@ -228,9 +229,9 @@ type Hart struct {
 	lastFetchValid bool
 
 	// scratch buffers reused across steps to avoid allocation
-	lineScratch []uint64   //coyote:specwrite-ok per-step scratch, dead before the next instruction
-	oneAddr     [1]uint64   //coyote:specwrite-ok per-step scratch, dead before the next instruction
-	addrScratch []uint64    //coyote:specwrite-ok per-step scratch, dead before the next instruction
+	lineScratch []uint64  //coyote:specwrite-ok per-step scratch, dead before the next instruction
+	oneAddr     [1]uint64 //coyote:specwrite-ok per-step scratch, dead before the next instruction
+	addrScratch []uint64  //coyote:specwrite-ok per-step scratch, dead before the next instruction
 
 	// gatherPool recycles MemEvent.Gather descriptor slices. The
 	// orchestrator returns a descriptor with RecycleGatherBuf once the
@@ -240,6 +241,30 @@ type Hart struct {
 
 	// CSR backing store for CSRs without dedicated fields.
 	csr map[uint16]uint64
+
+	// warmLine, when non-nil, puts the hart in functional-warming mode:
+	// post-L1 traffic (misses, write-allocate fetches and dirty
+	// writebacks) is reported to the sink at line granularity and
+	// completes immediately — no MemEvent is emitted, no register is
+	// marked pending and fetch misses do not stall. Timed simulation
+	// never arms it; see SetWarmSink.
+	warmLine func(addr uint64, write bool)
+
+	// warmSeen is a hart-level direct-mapped line filter in front of the
+	// whole functional-warming data path: a read whose line is recorded
+	// here is answered as an L1D hit without touching the cache or the
+	// uncore at all. Unlike the L1D's own warming filter it is immune to
+	// set conflicts (slots are chosen by a multiplicative hash of the
+	// full line address), so strided reads that thrash a few L1D sets
+	// still collapse to one lookup each. Writes and filter misses take
+	// the exact path and then claim the slot. Same contract as
+	// cache.WarmAccess: warming-region replacement state and hit counts
+	// are approximate by design; the downstream hierarchy still sees
+	// each distinct line at least once per warming interval, which is
+	// what warming needs. Reset by SetWarmSink, so timed simulation and
+	// checkpoints never observe it. Bypassed under coyotesan so the
+	// shadow directory sees every access.
+	warmSeen []uint64
 
 	// spec holds the speculative-execution journal and rollback snapshot
 	// used by the parallel orchestrator (see spec.go).
@@ -293,6 +318,30 @@ func NewHart(id int, cfg Config, m *mem.Memory, resv *Reservations) (*Hart, erro
 		codeLo:      ^uint64(0),
 	}
 	return h, nil
+}
+
+// SetWarmSink arms (non-nil) or disarms (nil) functional-warming mode.
+// While armed, every post-L1 line transfer that timed mode would turn
+// into a MemEvent is delivered to warm instead and completes
+// immediately; the MCPU gather path is the one exception — it still
+// emits its descriptor event, because gathers bypass L1/L2 and the
+// orchestrator's functional dispatcher warms the memory side from the
+// descriptor. The caller must disarm before resuming timed simulation.
+// warmSeen filter geometry: 512 slots is one 4 KiB page of filter state,
+// and a slot holds line|1 (line addresses are line-aligned, so the low
+// bit doubles as the occupancy marker).
+const (
+	warmSeenBits  = 9
+	warmSeenSlots = 1 << warmSeenBits
+)
+
+func (h *Hart) SetWarmSink(warm func(addr uint64, write bool)) {
+
+	h.warmLine = warm
+	if warm != nil && h.warmSeen == nil {
+		h.warmSeen = make([]uint64, warmSeenSlots)
+	}
+	clear(h.warmSeen)
 }
 
 // BlockEngineEnabled reports whether the superblock engine is active (the
@@ -466,12 +515,20 @@ func (h *Hart) Step(now uint64) StepResult {
 		h.lastFetchLine = line
 		h.lastFetchValid = true
 	} else {
-		h.lastFetchValid = false
 		h.Stats.FetchMisses++
-		h.fetchPending = true
-		h.emit(MemEvent{Addr: line, Fetch: true})
-		h.Stats.StallsFetch++
-		return StepStalledFetch
+		if h.warmLine != nil {
+			// Functional mode: Access already installed the line; warm the
+			// downstream hierarchy and fetch without stalling.
+			h.lastFetchLine = line
+			h.lastFetchValid = true
+			h.warmLine(line, false)
+		} else {
+			h.lastFetchValid = false
+			h.fetchPending = true
+			h.emit(MemEvent{Addr: line, Fetch: true})
+			h.Stats.StallsFetch++
+			return StepStalledFetch
+		}
 	}
 
 	// Decode through the step cache. The instruction fetch reads text
@@ -568,6 +625,17 @@ func (h *Hart) DrainEvents() []MemEvent {
 //
 //coyote:allocfree
 func (h *Hart) dataAccess(addrs []uint64, write bool, dest RegKind, destReg uint8, hasDest bool) {
+	if h.warmLine != nil {
+		// Functional mode: the per-line L1D state effects and statistics
+		// are identical, but misses complete through the warm sink. No
+		// line dedup — WarmAccess's filter makes the repeat touches cheap
+		// and the duplicate hits match Step-granular timed accounting
+		// closely enough for a region whose stats are approximate anyway.
+		for _, a := range addrs {
+			h.warmDataAccess(a, write)
+		}
+		return
+	}
 	h.lineScratch = h.lineScratch[:0]
 	for _, a := range addrs {
 		line := h.L1D.LineAddr(a)
@@ -609,11 +677,45 @@ func (h *Hart) dataAccess(addrs []uint64, write bool, dest RegKind, destReg uint
 	}
 }
 
+// warmDataAccess is the functional-mode data path: the L1D access runs
+// through WarmAccess's line filter and any post-L1 traffic — the
+// writeback first, then the missed line, matching the timed event order
+// — goes straight to the warm sink and completes immediately. Per-line
+// L1D state effects and miss statistics are identical to the timed path.
+//
+//coyote:specwrite-ok warming mode and speculation never overlap: the orchestrator disarms the sink before timed execution resumes, and SetWarmSink resets the filter on every arm
+func (h *Hart) warmDataAccess(addr uint64, write bool) {
+	line := h.L1D.LineAddr(addr)
+	slot := &h.warmSeen[(line*0x9E3779B97F4A7C15)>>(64-warmSeenBits)]
+	if !write && !san.Enabled && *slot == line|1 {
+		h.L1D.Stats.Hits++
+		return
+	}
+	res := h.L1D.WarmAccess(addr, write)
+	*slot = line | 1
+	if res.HasWriteback {
+		h.Stats.Writebacks++
+		h.warmLine(res.Writeback, true)
+	}
+	if !res.Hit {
+		if write {
+			h.Stats.StoreMisses++
+		} else {
+			h.Stats.LoadMisses++
+		}
+		h.warmLine(line, false)
+	}
+}
+
 // scalarLoadAccess is dataAccess specialised for a single scalar load:
 // one address needs no line dedup, and the hit path — the overwhelming
 // majority — needs no line address either. Event order matches the
 // general path exactly: any writeback first, then the miss request.
 func (h *Hart) scalarLoadAccess(addr uint64, dest RegKind, destReg uint8) {
+	if h.warmLine != nil {
+		h.warmDataAccess(addr, false)
+		return
+	}
 	res := h.L1D.Access(addr, false)
 	if res.HasWriteback {
 		h.Stats.Writebacks++
@@ -628,6 +730,11 @@ func (h *Hart) scalarLoadAccess(addr uint64, dest RegKind, destReg uint8) {
 
 // scalarStoreAccess is dataAccess specialised for a single scalar store.
 func (h *Hart) scalarStoreAccess(addr uint64) {
+	if h.warmLine != nil {
+		h.warmDataAccess(addr, true)
+		h.storeInvalidate(addr)
+		return
+	}
 	res := h.L1D.Access(addr, true)
 	if res.HasWriteback {
 		h.Stats.Writebacks++

@@ -1,0 +1,153 @@
+package evsim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/coyote-sim/coyote/internal/ckpt"
+)
+
+// Calendar serialization.
+//
+// A pending event is serializable iff it was scheduled through one of the
+// handle-carrying entry points (ScheduleArgH/ScheduleArgAtH, or a Port
+// send): the checkpoint stores (when, seq, handle, arg) and the restoring
+// engine resolves the handle against its own registry, which matches
+// because unit construction — and therefore registration order — is a
+// pure function of the Config. Plain closures (Schedule/ScheduleArg
+// without a handle) cannot be serialized; every production scheduling
+// path in the simulator uses handles, so finding one pending at a
+// checkpoint is an error, not a silent drop.
+//
+// Restored events keep their original seq numbers and the engine's seq
+// counter resumes past them, so FIFO tie-breaking — and therefore every
+// subsequent event ordering — is bit-identical to the uninterrupted run.
+
+// Fn returns the registered callback for h, or nil for the zero Handle.
+// Restore paths use it to turn a checkpointed handle back into the
+// function pointer it names.
+func (e *Engine) Fn(h Handle) func(uint64) {
+	if h == 0 {
+		return nil
+	}
+	return e.fns[h-1]
+}
+
+// eventRecord is the serializable form of one pending event.
+type eventRecord struct {
+	when Cycle
+	seq  uint64
+	h    Handle
+	arg  uint64
+}
+
+// Checkpoint writes the engine's clock and pending calendar to w.
+func (e *Engine) Checkpoint(w *ckpt.Writer) error {
+	records := make([]eventRecord, 0, e.pending)
+	collect := func(ev *event) error {
+		if ev.h == 0 {
+			return fmt.Errorf("evsim: pending event at cycle %d has no registered handle (scheduled via a plain closure?)", ev.when)
+		}
+		records = append(records, eventRecord{when: ev.when, seq: ev.seq, h: ev.h, arg: ev.arg})
+		return nil
+	}
+	for slot := range e.bucket {
+		for i := range e.bucket[slot] {
+			if err := collect(&e.bucket[slot][i]); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range e.overflow {
+		if err := collect(&e.overflow[i]); err != nil {
+			return err
+		}
+	}
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].when != records[j].when {
+			return records[i].when < records[j].when
+		}
+		return records[i].seq < records[j].seq
+	})
+
+	w.U64(e.now)
+	w.U64(e.seq)
+	w.U64(e.executed)
+	w.U64(uint64(len(e.fns))) // registry size: structural integrity check
+	w.U64(uint64(len(records)))
+	for _, rec := range records {
+		w.U64(rec.when)
+		w.U64(rec.seq)
+		w.U32(uint32(rec.h))
+		w.U64(rec.arg)
+	}
+	return nil
+}
+
+// Restore reloads clock and calendar from r into a freshly constructed
+// engine whose units (and therefore handle registry) match the
+// checkpointing one. Restored events dispatch through the registry.
+func (e *Engine) Restore(r *ckpt.Reader) error {
+	now := r.U64()
+	seq := r.U64()
+	executed := r.U64()
+	nFns := r.U64()
+	nRec := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nFns != uint64(len(e.fns)) {
+		return fmt.Errorf("evsim: checkpoint has %d registered callbacks, this engine has %d (config/topology mismatch)", nFns, len(e.fns))
+	}
+	if e.pending != 0 {
+		return fmt.Errorf("evsim: restore into an engine with %d pending events", e.pending)
+	}
+
+	e.now = now
+	e.base = now
+	e.seq = seq
+	e.executed = executed
+	e.ringMinValid = false
+
+	var lastWhen, lastSeq uint64
+	for i := uint64(0); i < nRec; i++ {
+		when := r.U64()
+		evSeq := r.U64()
+		h := Handle(r.U32())
+		arg := r.U64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if h == 0 || uint64(h) > nFns {
+			return fmt.Errorf("evsim: checkpoint event %d has invalid handle %d", i, h)
+		}
+		if when < now {
+			return fmt.Errorf("evsim: checkpoint event at cycle %d precedes the checkpoint clock %d", when, now)
+		}
+		if evSeq > seq {
+			return fmt.Errorf("evsim: checkpoint event seq %d exceeds the engine seq counter %d", evSeq, seq)
+		}
+		if i > 0 && (when < lastWhen || (when == lastWhen && evSeq <= lastSeq)) {
+			return fmt.Errorf("evsim: checkpoint events out of (when, seq) order at record %d", i)
+		}
+		lastWhen, lastSeq = when, evSeq
+
+		ev := event{when: when, seq: evSeq, afn: e.fns[h-1], arg: arg, h: h}
+		e.san.Schedule(e.now, when)
+		e.pending++
+		if when < e.base+bucketWindow {
+			// Records arrive sorted by (when, seq), so appends within one
+			// bucket preserve seq order — the invariant runBucket relies on.
+			e.san.RingSlot(e.base, when, bucketWindow)
+			slot := int(when) & bucketMask
+			e.bucket[slot] = append(e.bucket[slot], ev)
+			e.occ[slot>>6] |= 1 << uint(slot&63)
+			e.inRing++
+		} else {
+			e.san.OverflowPush(e.base, when, bucketWindow)
+			e.heapPush(ev)
+		}
+	}
+	e.san.Counts(e.now, e.pending, e.inRing, len(e.overflow))
+	return nil
+}

@@ -24,15 +24,24 @@ import (
 // Cycle is a simulation timestamp in clock cycles.
 type Cycle = uint64
 
+// Handle names a callback registered with Engine.RegisterFn. Handles are
+// what make the calendar serializable: a closure cannot be written to a
+// checkpoint, but a handle can — provided units register their callbacks
+// in a deterministic order (which they do: unit construction order is a
+// pure function of the Config). Handle 0 means "unregistered".
+type Handle uint32
+
 // event is one queued callback. Either fn (a plain closure) or afn+arg
 // (the allocation-free variant: a long-lived callback plus a word of
-// context travelling inside the event) is set.
+// context travelling inside the event) is set. h, when non-zero, is the
+// registered handle for afn — the serializable identity of the callback.
 type event struct {
 	when Cycle
 	seq  uint64 // FIFO tie-break: events at the same cycle run in schedule order
 	fn   func()
 	afn  func(uint64)
 	arg  uint64
+	h    Handle
 }
 
 func eventLess(a, b *event) bool {
@@ -81,6 +90,12 @@ type Engine struct {
 	// at or beyond base+bucketWindow. No container/heap: pushing through
 	// the heap.Interface would box every event into an `any`.
 	overflow []event
+
+	// fns is the handle registry: fns[h-1] is the callback registered as
+	// Handle h. Registration happens at unit construction time, in
+	// deterministic order, so a checkpoint written by one engine instance
+	// restores correctly into a freshly built one.
+	fns []func(uint64)
 
 	san san.Queue
 }
@@ -133,6 +148,41 @@ func (e *Engine) ScheduleArg(delay Cycle, fn func(uint64), arg uint64) {
 //coyote:allocfree
 func (e *Engine) ScheduleArgAt(when Cycle, fn func(uint64), arg uint64) {
 	e.enqueue(when, event{afn: fn, arg: arg})
+}
+
+// RegisterFn registers a long-lived callback and returns its handle.
+// Events scheduled through ScheduleArgH with that handle survive
+// checkpointing: the handle, not the function pointer, is what gets
+// serialized. Call order must be deterministic (it is: all production
+// registrations happen during System/Uncore construction, whose order is
+// a pure function of the Config).
+func (e *Engine) RegisterFn(fn func(uint64)) Handle {
+	if fn == nil {
+		panic("evsim: RegisterFn(nil)")
+	}
+	e.fns = append(e.fns, fn)
+	return Handle(len(e.fns))
+}
+
+// Registered returns the number of registered handles — a cheap
+// structural integrity check when restoring a checkpoint (the restoring
+// system must have built the exact same units).
+func (e *Engine) Registered() int { return len(e.fns) }
+
+// ScheduleArgH is ScheduleArg for a registered callback: fn must be the
+// function registered as h. The direct pointer keeps dispatch free of a
+// registry lookup; the handle makes the event checkpointable.
+//
+//coyote:allocfree
+func (e *Engine) ScheduleArgH(delay Cycle, fn func(uint64), arg uint64, h Handle) {
+	e.enqueue(e.now+delay, event{afn: fn, arg: arg, h: h})
+}
+
+// ScheduleArgAtH is ScheduleArgH at an absolute cycle.
+//
+//coyote:allocfree
+func (e *Engine) ScheduleArgAtH(when Cycle, fn func(uint64), arg uint64, h Handle) {
+	e.enqueue(when, event{afn: fn, arg: arg, h: h})
 }
 
 func (e *Engine) enqueue(when Cycle, ev event) {
@@ -368,9 +418,12 @@ type Port[T any] struct {
 	fifo    []T
 	head    int
 	deliver func(uint64)
+	h       Handle
 }
 
 // NewPort wires a port into eng with the given delivery latency and sink.
+// The delivery callback is registered with the engine so in-flight port
+// messages survive checkpointing.
 func NewPort[T any](eng *Engine, latency Cycle, sink func(T)) *Port[T] {
 	if sink == nil {
 		panic("evsim: nil port sink")
@@ -387,6 +440,7 @@ func NewPort[T any](eng *Engine, latency Cycle, sink func(T)) *Port[T] {
 		}
 		p.sink(v)
 	}
+	p.h = eng.RegisterFn(p.deliver)
 	return p
 }
 
@@ -397,7 +451,7 @@ func NewPort[T any](eng *Engine, latency Cycle, sink func(T)) *Port[T] {
 func (p *Port[T]) Send(v T) {
 	p.sent++
 	p.fifo = append(p.fifo, v)
-	p.eng.ScheduleArg(p.latency, p.deliver, 0)
+	p.eng.ScheduleArgH(p.latency, p.deliver, 0, p.h)
 }
 
 // SendAfter schedules delivery with extra delay on top of the port latency
@@ -414,6 +468,20 @@ func (p *Port[T]) Latency() Cycle { return p.latency }
 
 // Sent returns the number of messages pushed through the port.
 func (p *Port[T]) Sent() uint64 { return p.sent }
+
+// Pending returns the values queued for delivery, oldest first — the
+// port-local half of a checkpoint (the matching delivery events live in
+// the engine's calendar). Read-only view into the FIFO.
+func (p *Port[T]) Pending() []T { return p.fifo[p.head:] }
+
+// RestorePending reloads the FIFO from a checkpoint. It only reloads the
+// values: the delivery events themselves are restored by the engine's
+// calendar restore, which resolves this port's registered handle.
+func (p *Port[T]) RestorePending(vs []T, sent uint64) {
+	p.fifo = append(p.fifo[:0], vs...)
+	p.head = 0
+	p.sent = sent
+}
 
 // Unit is anything that exposes statistics to the report. Units register
 // with a Registry so reports are assembled generically, as Sparta does

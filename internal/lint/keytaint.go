@@ -57,6 +57,7 @@ var keyExcludedFields = []string{
 	"FastForward",
 	"Hart.BlockMaxLen",
 	"Hart.DisableBlockCache",
+	"CheckpointAt",
 }
 
 // keyResultAuditFields are Result fields that legitimately depend on

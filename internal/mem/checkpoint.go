@@ -1,0 +1,56 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/coyote-sim/coyote/internal/ckpt"
+)
+
+// Checkpoint writes every populated page (sorted by base address so the
+// encoding is canonical) to w. The lookaside is a pure memo and is not
+// serialized.
+func (m *Memory) Checkpoint(w *ckpt.Writer) {
+	bases := make([]uint64, 0, len(m.pages))
+	//coyote:mapiter-ok bases are sorted before serialization; the encoding is order-canonical
+	for base := range m.pages {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	w.U64(uint64(len(bases)))
+	for _, base := range bases {
+		w.U64(base)
+		w.Bytes64(m.pages[base][:])
+	}
+}
+
+// Restore replaces the memory contents with the checkpointed pages.
+func (m *Memory) Restore(r *ckpt.Reader) error {
+	n := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	m.Reset()
+	var last uint64
+	for i := uint64(0); i < n; i++ {
+		base := r.U64()
+		data := r.Bytes64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if base&pageMask != 0 {
+			return fmt.Errorf("mem: checkpoint page base %#x is not page-aligned", base)
+		}
+		if i > 0 && base <= last {
+			return fmt.Errorf("mem: checkpoint pages out of order at base %#x", base)
+		}
+		if len(data) != PageSize {
+			return fmt.Errorf("mem: checkpoint page %#x has %d bytes, want %d", base, len(data), PageSize)
+		}
+		last = base
+		p := new(page)
+		copy(p[:], data)
+		m.pages[base] = p
+	}
+	return nil
+}

@@ -22,6 +22,8 @@
 //   - Config.FastForward        — determinism golden test incl. FastForward
 //   - Hart.BlockMaxLen          — superblock cap, timing-neutral by design
 //   - Hart.DisableBlockCache    — reference engine diffed bit-exact
+//   - Config.CheckpointAt       — checkpoint golden suite proves stop-at-C
+//   - restore + run-to-end is bit-identical to an uninterrupted run
 //
 // Everything else in Config is semantics-affecting and hashed. Whenever
 // a change lands that alters simulated results for an unchanged key
@@ -52,7 +54,7 @@ import (
 // for a key that would hash the same. Stale on-disk entries are simply
 // never found again (the version is part of the directory layout), so a
 // bump is always safe and never requires a manual cache flush.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // ExcludedConfigFields is the authoritative list of execution-strategy
 // Config fields deliberately omitted from the canonical key, as dotted
@@ -69,6 +71,7 @@ var ExcludedConfigFields = []string{
 	"FastForward",
 	"Hart.BlockMaxLen",
 	"Hart.DisableBlockCache",
+	"CheckpointAt",
 }
 
 // Key is the canonical content address of one simulation point.
@@ -122,7 +125,7 @@ func CanonicalBytes(kernel string, progHash [sha256.Size]byte, p kernels.Params,
 	e.u64("cfg.stacktop", cfg.StackTop)
 	e.u64("cfg.stacksize", cfg.StackSize)
 	// Excluded execution-strategy fields (see package comment):
-	// InterleaveQuantum, Workers, FastForward.
+	// InterleaveQuantum, Workers, FastForward, CheckpointAt.
 
 	h := cfg.Hart
 	e.u64("hart.vlenbits", uint64(h.VLenBits))
@@ -204,6 +207,7 @@ var progHashes sync.Map // kernel name -> [sha256.Size]byte
 // (bases, text, data, entry and the sorted symbol table). Any edit to a
 // kernel's source therefore changes every key derived from it — kernel
 // code is part of the content address, not trusted by name.
+//
 //coyote:globalmut-ok progHashes memoizes a pure function of process-constant kernel sources; concurrent sweeps store identical bytes in any order
 func programHash(kernel string) ([sha256.Size]byte, error) {
 	if h, ok := progHashes.Load(kernel); ok {

@@ -31,6 +31,7 @@ func TestKeyExcludesExecutionStrategy(t *testing.T) {
 		"FastForward":       func(c *core.Config) { c.FastForward = true },
 		"BlockMaxLen":       func(c *core.Config) { c.Hart.BlockMaxLen = 8 },
 		"DisableBlockCache": func(c *core.Config) { c.Hart.DisableBlockCache = true },
+		"CheckpointAt":      func(c *core.Config) { c.CheckpointAt = 5000 },
 	}
 	//coyote:mapiter-ok independent subtests; each compares against the same base key
 	for name, mut := range muts {

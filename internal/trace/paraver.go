@@ -77,6 +77,19 @@ func (w *Writer) Len() int { return len(w.events) }
 // Events returns the buffered events (not a copy; treat as read-only).
 func (w *Writer) Events() []Event { return w.events }
 
+// Last returns the highest event cycle seen.
+func (w *Writer) Last() uint64 { return w.last }
+
+// Seed preloads events recorded before a checkpoint. A restored run seeds
+// the writer with the checkpointed prefix, appends live events from the
+// resumed simulation, and renders a byte-identical trace: WritePRV
+// stable-sorts by cycle, and every seeded event precedes (or ties with,
+// in recorded order) every live one.
+func (w *Writer) Seed(events []Event, last uint64) {
+	w.events = append(w.events[:0], events...)
+	w.last = last
+}
+
 // Paraver state values emitted for stall intervals.
 const (
 	StateRunning = 1

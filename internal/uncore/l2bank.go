@@ -30,11 +30,13 @@ type mshrEntry struct {
 // cycle (counted as a conflict, the back-pressure the paper's
 // "maximum number of in-flight misses" parameter controls).
 //
-// The steady-state miss path is allocation-free: requests arrive by value
-// through per-bank inbound ports, each outstanding miss is tracked by a
-// pooled missTxn whose stage callbacks are pre-bound once, waiter lists
-// are recycled slices of Done values, and retries/writebacks ride the
-// engine's arg-carrying events instead of fresh closures.
+// The steady-state miss path is allocation-free AND closure-free: requests
+// arrive by value through per-bank inbound ports, each outstanding miss
+// rides two registered per-bank callbacks (issue, fill) whose word of
+// context packs the line address with the routing flags, waiter lists are
+// recycled slices of Done values, and retries/writebacks ride the engine's
+// arg-carrying events. Every scheduled event therefore carries a registry
+// handle, which is what lets the calendar be checkpointed.
 type L2Bank struct {
 	id   int
 	tile int
@@ -49,9 +51,16 @@ type L2Bank struct {
 	mshr map[uint64]mshrEntry // line → in-flight miss state
 	san  san.MSHR
 
-	// Free lists (plain slices — the simulation is single-threaded).
-	txnPool    []*missTxn
 	waiterPool [][]Done
+
+	// Miss-path stage callbacks, registered once per bank. issueFn's arg
+	// packs addr<<2 | remote<<1 | demand; fillFn's packs addr<<1 | remote.
+	// Line addresses are line-aligned, so the shifted packing is lossless
+	// for any address below 2^62.
+	issueFn func(uint64)
+	issueH  evsim.Handle
+	fillFn  func(uint64)
+	fillH   evsim.Handle
 
 	// Retry FIFO for MSHR structural conflicts: requests park here and a
 	// pre-bound retryFn event pops one per scheduled retry. FIFO order
@@ -59,8 +68,10 @@ type L2Bank struct {
 	retryQ    []Request
 	retryHead int
 	retryFn   func(uint64)
+	retryH    evsim.Handle
 
 	wbFn func(uint64) // pre-bound writeback issue; arg is the line address
+	wbH  evsim.Handle
 
 	// statistics
 	reads         uint64
@@ -88,6 +99,10 @@ func newL2Bank(id, tile int, u *Uncore) (*L2Bank, error) {
 	tags.SetSanName(fmt.Sprintf("l2bank%d.tags", id))
 	b.localIn = evsim.NewPort(u.eng, u.cfg.LocalLatency, b.handle)
 	b.remoteIn = evsim.NewPort(u.eng, u.cfg.NoCLatency, b.handle)
+	b.issueFn = b.issue
+	b.issueH = u.eng.RegisterFn(b.issueFn)
+	b.fillFn = b.fillEvent
+	b.fillH = u.eng.RegisterFn(b.fillFn)
 	b.retryFn = func(uint64) {
 		req := b.retryQ[b.retryHead]
 		b.retryQ[b.retryHead] = Request{}
@@ -98,58 +113,38 @@ func newL2Bank(id, tile int, u *Uncore) (*L2Bank, error) {
 		}
 		b.handle(req)
 	}
+	b.retryH = u.eng.RegisterFn(b.retryFn)
 	b.wbFn = func(addr uint64) { b.u.memSide(addr, true, 0, Done{}) }
+	b.wbH = u.eng.RegisterFn(b.wbFn)
 	return b, nil
-}
-
-// missTxn tracks one outstanding miss (demand or prefetch) from issue to
-// fill. Its callbacks are bound once at construction; the object cycles
-// through the bank's pool, so the steady state allocates nothing.
-type missTxn struct {
-	b      *L2Bank
-	addr   uint64
-	remote bool // response returns to a remote tile
-	demand bool // demand miss: the response hop to memory is counted
-
-	issueFn  func() // stage 1: leave the bank toward the memory side
-	fillDone Done   // stage 2: the memory side completed; fill the line
-}
-
-func (b *L2Bank) getTxn(addr uint64, remote, demand bool) *missTxn {
-	var t *missTxn
-	if n := len(b.txnPool); n > 0 {
-		t = b.txnPool[n-1]
-		b.txnPool = b.txnPool[:n-1]
-	} else {
-		t = &missTxn{b: b} //coyote:alloc-ok pool refill: one transaction per pool high-water mark, then recycled forever
-		t.issueFn = t.issue //coyote:alloc-ok binds the stage callback once per pooled transaction lifetime
-		t.fillDone = Done{F: t.fill} //coyote:alloc-ok binds the fill callback once per pooled transaction lifetime
-	}
-	t.addr, t.remote, t.demand = addr, remote, demand
-	return t
 }
 
 // issue runs L2MissLatency + one NoC hop after the miss was detected:
 // the transaction leaves toward the LLC/memory controller, carrying the
-// response hop latency so the reply lands back at the bank.
+// response hop latency so the reply lands back at the bank. arg packs
+// addr<<2 | remote<<1 | demand.
 //
 //coyote:allocfree
-func (t *missTxn) issue() {
+func (b *L2Bank) issue(arg uint64) {
+	addr := arg >> 2
+	remote := arg>>1&1 != 0
+	demand := arg&1 != 0
 	var back evsim.Cycle
-	if t.demand {
-		back = t.b.u.noc.delay(true)
+	if demand {
+		back = b.u.noc.delay(true)
 	}
-	t.b.u.memSide(t.addr, false, back, t.fillDone)
+	fill := uint64(0)
+	if remote {
+		fill = 1
+	}
+	b.u.memSide(addr, false, back, Done{F: b.fillFn, Arg: addr<<1 | fill, H: b.fillH})
 }
 
-// fill completes the memory fetch: install the line, release waiters,
-// recycle the transaction.
+// fillEvent completes the memory fetch for arg = addr<<1 | remote.
 //
 //coyote:allocfree
-func (t *missTxn) fill(uint64) {
-	b := t.b
-	b.fill(t.addr, t.remote)
-	b.txnPool = append(b.txnPool, t)
+func (b *L2Bank) fillEvent(arg uint64) {
+	b.fill(arg>>1, arg&1 != 0)
 }
 
 func (b *L2Bank) getWaiters() []Done {
@@ -209,7 +204,7 @@ func (b *L2Bank) handle(req Request) {
 			// Lookup latency plus the return traversal, folded into one
 			// scheduled event.
 			delay := b.u.cfg.L2HitLatency + b.u.noc.delay(b.tile != req.Tile)
-			b.u.eng.ScheduleArg(delay, req.Done.F, req.Done.Arg)
+			b.u.eng.ScheduleArgH(delay, req.Done.F, req.Done.Arg, req.Done.H)
 		}
 		return
 	}
@@ -222,7 +217,7 @@ func (b *L2Bank) handle(req Request) {
 		b.mshrConflicts++
 		b.tags.Invalidate(req.Addr) // do not claim the line before the retry succeeds
 		b.retryQ = append(b.retryQ, req)
-		b.u.eng.ScheduleArg(1, b.retryFn, 0)
+		b.u.eng.ScheduleArgH(1, b.retryFn, 0, b.retryH)
 		return
 	}
 	var waiters []Done
@@ -239,7 +234,11 @@ func (b *L2Bank) handle(req Request) {
 	// bank → (miss issue + NoC) → memory side; the response flows back
 	// over the NoC to the bank.
 	toMem := b.u.cfg.L2MissLatency + b.u.noc.delay(true)
-	b.u.eng.Schedule(toMem, b.getTxn(req.Addr, b.tile != req.Tile, true).issueFn)
+	issueArg := req.Addr << 2
+	if b.tile != req.Tile {
+		issueArg |= 2
+	}
+	b.u.eng.ScheduleArgH(toMem, b.issueFn, issueArg|1, b.issueH)
 
 	// Next-line prefetch (paper §III-A future work: "prefetching,
 	// streaming"): fetch the following PrefetchDepth lines into this bank
@@ -266,7 +265,7 @@ func (b *L2Bank) handle(req Request) {
 		b.san.Insert(b.u.eng.Now(), pa)
 		b.mshr[pa] = mshrEntry{state: mshrPrefetch}
 		b.prefetches++
-		b.u.eng.Schedule(toMem, b.getTxn(pa, false, false).issueFn)
+		b.u.eng.ScheduleArgH(toMem, b.issueFn, pa<<2, b.issueH)
 	}
 }
 
@@ -296,10 +295,10 @@ func (b *L2Bank) fill(addr uint64, remoteReq bool) {
 	case mshrDemand:
 		if len(waiters) > 0 {
 			delay := b.u.noc.delay(remoteReq)
-			b.u.eng.ScheduleArg(delay, waiters[0].F, waiters[0].Arg)
+			b.u.eng.ScheduleArgH(delay, waiters[0].F, waiters[0].Arg, waiters[0].H)
 			for i := 1; i < len(waiters); i++ {
 				b.u.noc.delay(remoteReq) // one response message per merged waiter
-				b.u.eng.ScheduleArg(delay, waiters[i].F, waiters[i].Arg)
+				b.u.eng.ScheduleArgH(delay, waiters[i].F, waiters[i].Arg, waiters[i].H)
 			}
 		}
 	}
@@ -310,7 +309,7 @@ func (b *L2Bank) fill(addr uint64, remoteReq bool) {
 
 // writebackToMem sends an evicted dirty line toward memory.
 func (b *L2Bank) writebackToMem(addr uint64) {
-	b.u.eng.ScheduleArg(b.u.noc.delay(true), b.wbFn, addr)
+	b.u.eng.ScheduleArgH(b.u.noc.delay(true), b.wbFn, addr, b.wbH)
 }
 
 // Name implements evsim.Unit.

@@ -33,6 +33,7 @@ type LLCSlice struct {
 
 	waiterPool [][]llcWaiter
 	fillFn     func(uint64) // pre-bound miss completion; arg is the line
+	fillH      evsim.Handle
 
 	reads      uint64
 	writes     uint64
@@ -52,12 +53,13 @@ func newLLCSlice(id int, u *Uncore) (*LLCSlice, error) {
 		l.san.Release(l.u.eng.Now(), addr)
 		delete(l.mshr, addr)
 		for _, w := range ws {
-			l.u.eng.ScheduleArg(w.extra, w.done.F, w.done.Arg)
+			l.u.eng.ScheduleArgH(w.extra, w.done.F, w.done.Arg, w.done.H)
 		}
 		if ws != nil {
 			l.waiterPool = append(l.waiterPool, ws[:0])
 		}
 	}
+	l.fillH = u.eng.RegisterFn(l.fillFn)
 	return l, nil
 }
 
@@ -110,7 +112,7 @@ func (l *LLCSlice) request(addr uint64, write bool, extraDelay evsim.Cycle, done
 	}
 	if res.Hit {
 		if done.F != nil {
-			l.u.eng.ScheduleArg(l.u.cfg.LLCHitLatency+extraDelay, done.F, done.Arg)
+			l.u.eng.ScheduleArgH(l.u.cfg.LLCHitLatency+extraDelay, done.F, done.Arg, done.H)
 		}
 		return
 	}
@@ -121,7 +123,7 @@ func (l *LLCSlice) request(addr uint64, write bool, extraDelay evsim.Cycle, done
 	}
 	l.san.Insert(l.u.eng.Now(), addr)
 	l.mshr[addr] = waiters
-	mc.request(addr, false, 0, Done{F: l.fillFn, Arg: addr})
+	mc.request(addr, false, 0, Done{F: l.fillFn, Arg: addr, H: l.fillH})
 }
 
 // Name implements evsim.Unit.

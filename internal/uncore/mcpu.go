@@ -1,6 +1,10 @@
 package uncore
 
-import "slices"
+import (
+	"slices"
+
+	"github.com/coyote-sim/coyote/internal/evsim"
+)
 
 // MCPU models the paper's Memory Controller CPUs (§I): processors at the
 // memory controllers that "operate on vectors, both dense and sparse with
@@ -14,7 +18,17 @@ import "slices"
 type MCPU struct {
 	u *Uncore
 
-	txnPool []*gatherTxn
+	// In-flight descriptors, addressed by slot id. Scheduled events carry
+	// the id — not a pointer — so a descriptor mid-flight survives
+	// checkpoint/restore: the restored engine's events name the same slot
+	// in the restored table. free holds the recyclable ids.
+	txns []gatherTxn
+	free []uint32
+
+	issueFn func(uint64) // descriptor arrives at the memory side; arg = slot id
+	issueH  evsim.Handle
+	lineFn  func(uint64) // one line transfer completed; arg = slot id
+	lineH   evsim.Handle
 
 	gathers  uint64 // descriptors processed (loads)
 	scatters uint64 // descriptors processed (stores)
@@ -22,78 +36,86 @@ type MCPU struct {
 	lines    uint64 // unique lines touched after coalescing
 }
 
-func newMCPU(u *Uncore) *MCPU { return &MCPU{u: u} }
+func newMCPU(u *Uncore) *MCPU {
+	m := &MCPU{u: u}
+	m.issueFn = m.issue
+	m.issueH = u.eng.RegisterFn(m.issueFn)
+	m.lineFn = m.lineDone
+	m.lineH = u.eng.RegisterFn(m.lineFn)
+	return m
+}
 
 // MCPUUnit returns the gather/scatter engine (always present; idle unless
 // the cores offload to it).
 func (u *Uncore) MCPUUnit() *MCPU { return u.mcpu }
 
 // gatherTxn is one in-flight scatter/gather descriptor: the coalesced
-// line list, the remaining-line count, and the pre-bound stage callbacks.
-// Pooled — the steady-state gather path allocates nothing.
+// line list, the remaining-line count and the final completion. Slots are
+// recycled through the free list — the steady-state gather path allocates
+// nothing.
 type gatherTxn struct {
-	u         *Uncore
 	lines     []uint64 // coalesced unique line addresses, sorted
 	write     bool
 	remaining int
 	done      Done
-
-	issueFn  func() // descriptor arrives at the memory side
-	lineDone Done   // one line transfer completed
+	active    bool
 }
 
-func (m *MCPU) getTxn() *gatherTxn {
-	if n := len(m.txnPool); n > 0 {
-		t := m.txnPool[n-1]
-		m.txnPool = m.txnPool[:n-1]
-		return t
+func (m *MCPU) getTxn() uint32 {
+	if n := len(m.free); n > 0 {
+		id := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.txns[id].active = true
+		return id
 	}
-	t := &gatherTxn{u: m.u} //coyote:alloc-ok pool refill: one transaction per pool high-water mark, then recycled forever
-	t.issueFn = t.issue //coyote:alloc-ok binds the stage callback once per pooled transaction lifetime
-	t.lineDone = Done{F: t.lineDoneFn} //coyote:alloc-ok binds the line-completion callback once per pooled transaction lifetime
-	return t
+	m.txns = append(m.txns, gatherTxn{active: true}) //coyote:alloc-ok pool refill: one slot per pool high-water mark, then recycled forever
+	return uint32(len(m.txns) - 1)
 }
 
-func (m *MCPU) putTxn(t *gatherTxn) {
+func (m *MCPU) putTxn(id uint32) {
+	t := &m.txns[id]
 	t.done = Done{}
-	m.txnPool = append(m.txnPool, t)
+	t.active = false
+	m.free = append(m.free, id)
 }
 
 //coyote:allocfree
-func (t *gatherTxn) issue() {
-	u := t.u
+func (m *MCPU) issue(id uint64) {
+	u := m.u
+	t := &m.txns[id]
 	if t.write {
 		for _, line := range t.lines {
 			u.mcFor(line).request(line, true, 0, Done{})
 		}
-		u.mcpu.putTxn(t)
+		m.putTxn(uint32(id))
 		return
 	}
 	t.remaining = len(t.lines)
 	if t.remaining == 0 {
 		// Empty gather: still a round trip.
 		if t.done.F != nil {
-			u.eng.ScheduleArg(u.noc.delay(true), t.done.F, t.done.Arg)
+			u.eng.ScheduleArgH(u.noc.delay(true), t.done.F, t.done.Arg, t.done.H)
 		}
-		u.mcpu.putTxn(t)
+		m.putTxn(uint32(id))
 		return
 	}
 	for _, line := range t.lines {
-		u.mcFor(line).request(line, false, 0, t.lineDone)
+		u.mcFor(line).request(line, false, 0, Done{F: m.lineFn, Arg: id, H: m.lineH})
 	}
 }
 
 //coyote:allocfree
-func (t *gatherTxn) lineDoneFn(uint64) {
+func (m *MCPU) lineDone(id uint64) {
+	t := &m.txns[id]
 	t.remaining--
 	if t.remaining > 0 {
 		return
 	}
-	u := t.u
+	u := m.u
 	if t.done.F != nil {
-		u.eng.ScheduleArg(u.noc.delay(true), t.done.F, t.done.Arg)
+		u.eng.ScheduleArgH(u.noc.delay(true), t.done.F, t.done.Arg, t.done.H)
 	}
-	u.mcpu.putTxn(t)
+	m.putTxn(uint32(id))
 }
 
 // SubmitGather hands a coalesced scatter/gather descriptor to the MCPU.
@@ -119,7 +141,8 @@ func (u *Uncore) SubmitGather(tile int, addrs []uint64, write bool, done Done) {
 	}
 	m.elements += uint64(len(addrs))
 
-	t := m.getTxn()
+	id := m.getTxn()
+	t := &m.txns[id]
 	t.write = write
 	t.done = done
 	t.lines = t.lines[:0]
@@ -139,7 +162,7 @@ func (u *Uncore) SubmitGather(tile int, addrs []uint64, write bool, done Done) {
 	t.lines = uniq
 	m.lines += uint64(len(t.lines))
 
-	u.eng.Schedule(u.noc.delay(true), t.issueFn)
+	u.eng.ScheduleArgH(u.noc.delay(true), m.issueFn, uint64(id), m.issueH)
 }
 
 // Name implements evsim.Unit.

@@ -106,7 +106,7 @@ func (m *MemCtrl) request(addr uint64, write bool, extraDelay evsim.Cycle, done 
 	}
 	m.reads++
 	if done.F != nil {
-		m.eng.ScheduleArgAt(start+lat+extraDelay, done.F, done.Arg)
+		m.eng.ScheduleArgAtH(start+lat+extraDelay, done.F, done.Arg, done.H)
 	}
 }
 

@@ -158,9 +158,17 @@ func (c Config) Validate() error {
 // register number, an address …). The zero Done means "no completion".
 // Carrying (F, Arg) by value through the uncore replaces the
 // closure-per-miss style that dominated steady-state allocation.
+//
+// H is F's identity in the engine's callback registry — the serializable
+// name of the function pointer. Every production Done carries it, so a
+// pending completion can be checkpointed as (H, Arg) and resolved against
+// the restoring engine's registry. A Done with F != nil but H == 0
+// (FuncDone, test harnesses) still executes normally; it just cannot be
+// checkpointed while in flight.
 type Done struct {
 	F   func(arg uint64)
 	Arg uint64
+	H   evsim.Handle
 }
 
 // Run invokes the completion; a zero Done is a no-op.
@@ -199,6 +207,15 @@ type Uncore struct {
 	reg   evsim.Registry
 
 	lineShift uint
+
+	// bankShift/bankMask/bankShared are bankFor's mapping, folded to a
+	// shift+mask at construction: the policy switch is constant per run,
+	// and Validate enforces power-of-two bank counts for both sharing
+	// modes. bankShared copies cfg.L2Shared next to the other two so the
+	// hot path reads one cache line instead of reaching into cfg.
+	bankShift  uint
+	bankMask   uint64
+	bankShared bool
 }
 
 // New wires up the uncore on an engine.
@@ -237,6 +254,20 @@ func New(cfg Config, eng *evsim.Engine) (*Uncore, error) {
 			u.reg.Register(bank)
 		}
 	}
+	switch cfg.Mapping {
+	case PageToBank:
+		u.bankShift = 12
+	case SetInterleave:
+		u.bankShift = u.lineShift
+	default: // unknown policies behave like SetInterleave
+		u.bankShift = u.lineShift
+	}
+	u.bankShared = cfg.L2Shared
+	if cfg.L2Shared {
+		u.bankMask = uint64(len(u.banks) - 1)
+	} else {
+		u.bankMask = uint64(cfg.BanksPerTile - 1)
+	}
 	return u, nil
 }
 
@@ -255,24 +286,14 @@ func (u *Uncore) NoC() *NoC { return u.noc }
 // Registry exposes every unit for statistics reporting.
 func (u *Uncore) Registry() *evsim.Registry { return &u.reg }
 
-// bankFor maps a line address (and requesting tile) to its owning bank.
+// bankFor maps a line address (and requesting tile) to its owning bank
+// via the shift+mask precomputed in New.
 func (u *Uncore) bankFor(tile int, addr uint64) *L2Bank {
-	var shift uint
-	switch u.cfg.Mapping {
-	case PageToBank:
-		shift = 12
-	case SetInterleave:
-		shift = u.lineShift
-	default:
-		shift = u.lineShift // unknown policies fall back to set-interleave
+	local := (addr >> u.bankShift) & u.bankMask
+	if u.bankShared {
+		return u.banks[local]
 	}
-	if u.cfg.L2Shared {
-		n := uint64(len(u.banks))
-		return u.banks[(addr>>shift)%n]
-	}
-	n := uint64(u.cfg.BanksPerTile)
-	local := (addr >> shift) % n
-	return u.banks[uint64(tile)*n+local]
+	return u.banks[uint64(tile)*uint64(u.cfg.BanksPerTile)+local]
 }
 
 // mcFor interleaves lines across memory controllers.

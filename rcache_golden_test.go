@@ -116,8 +116,9 @@ func TestCacheKeyFieldGuard(t *testing.T) {
 		want []string
 	}{
 		{"core.Config", Config{}, []string{
-			"Cores", "CoresPerTile", "FastForward", "Hart", "InterleaveQuantum",
-			"MaxCycles", "StackSize", "StackTop", "Uncore", "Workers",
+			"CheckpointAt", "Cores", "CoresPerTile", "FastForward", "Hart",
+			"InterleaveQuantum", "MaxCycles", "StackSize", "StackTop", "Uncore",
+			"Workers",
 		}},
 		{"cpu.Config", cpu.Config{}, []string{
 			"BlockMaxLen", "DisableBlockCache", "L1D", "L1I", "MCPUOffload",
